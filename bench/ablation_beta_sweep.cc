@@ -1,0 +1,67 @@
+// Ablation A: Meridian's beta gate — accuracy vs probe cost.
+//
+// The paper fixes beta = 0.5 ("controls the trade-off between the
+// number of messages sent ... and the accuracy of the result"). This
+// sweep quantifies that trade-off on the clustered world (125
+// end-networks/cluster, delta=0.2) and on a Euclidean control space.
+// Expected: higher beta -> more probes and better accuracy on the
+// control space; under clustering, no beta rescues exact-closest
+// accuracy — the condition is not a tuning problem.
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "matrix/generators.h"
+#include "meridian/meridian.h"
+
+int main() {
+  np::bench::PrintHeader(
+      "ablation_beta_sweep",
+      "Not a paper figure. Beta sweep: probe cost rises with beta; "
+      "clustered exact-closest accuracy stays poor at every beta while "
+      "Euclidean accuracy is high throughout.");
+
+  const bool quick = np::bench::QuickScale();
+  const int num_queries = quick ? 300 : 2000;
+
+  // Clustered world (paper Fig 9 setup at delta = 0.2).
+  np::matrix::ClusteredConfig cconfig;
+  cconfig.nets_per_cluster = 125;
+  cconfig.num_clusters = 10;
+  np::util::Rng cluster_rng(11);
+  const auto clustered = np::matrix::GenerateClustered(cconfig, cluster_rng);
+
+  // Euclidean control of comparable size.
+  np::util::Rng euclid_rng(12);
+  np::matrix::EuclideanConfig econfig;
+  econfig.dimensions = 3;
+  const auto euclid = np::matrix::GenerateEuclidean(
+      clustered.layout.peer_count(), econfig, euclid_rng);
+  const np::core::MatrixSpace euclid_space(euclid.matrix);
+
+  np::util::Table table({"beta", "clustered_p_exact", "clustered_probes",
+                         "clustered_hops", "euclid_p_exact",
+                         "euclid_stretch", "euclid_probes"});
+  for (const double beta : {0.25, 0.4, 0.5, 0.65, 0.8, 0.9}) {
+    np::meridian::MeridianConfig mconfig;
+    mconfig.beta = beta;
+
+    np::meridian::MeridianOverlay clustered_algo{mconfig};
+    np::core::ExperimentConfig run;
+    run.overlay_size = clustered.layout.peer_count() - 100;
+    run.num_queries = num_queries;
+    np::util::Rng rng_a(21);
+    const auto cm = np::core::RunClusteredExperiment(clustered, clustered_algo,
+                                                     run, rng_a);
+
+    np::meridian::MeridianOverlay euclid_algo{mconfig};
+    np::util::Rng rng_b(22);
+    const auto em =
+        np::core::RunGenericExperiment(euclid_space, euclid_algo, run, rng_b);
+
+    table.AddNumericRow({beta, cm.p_exact_closest, cm.mean_probes,
+                         cm.mean_hops, em.p_exact_closest, em.mean_stretch,
+                         em.mean_probes},
+                        3);
+  }
+  np::bench::PrintTable(table);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Extra ablation: quantifying §2.2's three violated assumptions as a
+// function of cluster size.
+//
+//  * Growth constraint: worst |B(2l)|/|B(l)| ratio — explodes with the
+//    number of end-networks per cluster.
+//  * Doubling: greedy half-radius cover of a cluster-scale ball —
+//    approaches the number of end-networks.
+//  * Low dimensionality: Vivaldi embedding error at 5 dimensions —
+//    stays high under clustering regardless of cluster size, versus a
+//    Euclidean control that embeds cleanly.
+#include <cmath>
+
+#include "bench/common.h"
+#include "coord/vivaldi.h"
+#include "core/condition_analyzer.h"
+#include "matrix/generators.h"
+#include "util/stats.h"
+
+using np::NodeId;
+using np::kInvalidNode;
+
+int main() {
+  np::bench::PrintHeader(
+      "ablation_condition",
+      "Not a paper figure (quantifies §2.2): growth ratio and doubling "
+      "cover scale with end-networks/cluster; embedding error stays "
+      "high at any cluster size.");
+
+  const bool quick = np::bench::QuickScale();
+
+  np::util::Table table({"world", "growth_ratio_med", "doubling_cover_max",
+                         "vivaldi5d_nn_err_p50"});
+
+  // Low-dimensionality check at the scale that matters for nearest-peer
+  // selection: the relative error of each node's *nearest-neighbor*
+  // distance. Coordinates place cluster peers on top of each other, so
+  // the LAN-scale distances are off by orders of magnitude.
+  const auto nn_embed_error = [&](const np::core::LatencySpace& space) {
+    std::vector<NodeId> members;
+    for (NodeId i = 0; i < space.size(); ++i) {
+      members.push_back(i);
+    }
+    np::coord::VivaldiConfig vconfig;
+    vconfig.dimensions = 5;
+    vconfig.rounds = quick ? 48 : 96;
+    np::util::Rng rng(77);
+    const auto embedding =
+        np::coord::VivaldiEmbedding::Train(space, members, vconfig, rng);
+    std::vector<double> errors;
+    np::util::Rng eval_rng(78);
+    for (int s = 0; s < 300; ++s) {
+      const NodeId node = static_cast<NodeId>(
+          eval_rng.Index(static_cast<std::size_t>(space.size())));
+      NodeId nearest = kInvalidNode;
+      double nearest_d = 1e18;
+      for (NodeId other = 0; other < space.size(); ++other) {
+        if (other == node) {
+          continue;
+        }
+        const double d = space.Latency(node, other);
+        if (d < nearest_d) {
+          nearest_d = d;
+          nearest = other;
+        }
+      }
+      const double predicted = embedding.PredictedLatency(node, nearest);
+      errors.push_back(std::abs(predicted - nearest_d) /
+                       std::max(nearest_d, 1e-6));
+    }
+    return np::util::Percentile(std::move(errors), 50.0);
+  };
+
+  for (const int nets : {10, 25, 50, 100}) {
+    np::matrix::ClusteredConfig config;
+    config.nets_per_cluster = nets;
+    config.num_clusters = 4;
+    np::util::Rng world_rng(static_cast<std::uint64_t>(nets));
+    const auto world = np::matrix::GenerateClustered(config, world_rng);
+    const np::core::MatrixSpace space(world.matrix);
+
+    np::util::Rng growth_rng(1);
+    const auto growth =
+        np::core::AnalyzeGrowth(space, np::core::GrowthConfig{}, growth_rng);
+    np::util::Rng doubling_rng(2);
+    np::core::DoublingConfig dconfig;
+    dconfig.radius_quantile = 0.15;
+    const auto doubling =
+        np::core::AnalyzeDoubling(space, dconfig, doubling_rng);
+
+    table.AddRow({"clustered_" + std::to_string(nets) + "nets",
+                  np::util::FormatDouble(growth.median_ratio, 1),
+                  std::to_string(doubling.max_half_cover),
+                  np::util::FormatDouble(nn_embed_error(space), 3)});
+  }
+  {
+    np::util::Rng world_rng(99);
+    np::matrix::EuclideanConfig config;
+    config.dimensions = 3;
+    const auto world = np::matrix::GenerateEuclidean(800, config, world_rng);
+    const np::core::MatrixSpace space(world.matrix);
+    np::util::Rng growth_rng(1);
+    const auto growth =
+        np::core::AnalyzeGrowth(space, np::core::GrowthConfig{}, growth_rng);
+    np::util::Rng doubling_rng(2);
+    const auto doubling = np::core::AnalyzeDoubling(
+        space, np::core::DoublingConfig{}, doubling_rng);
+    table.AddRow({"euclidean_control",
+                  np::util::FormatDouble(growth.median_ratio, 1),
+                  std::to_string(doubling.max_half_cover),
+                  np::util::FormatDouble(nn_embed_error(space), 3)});
+  }
+  np::bench::PrintTable(table);
+  return 0;
+}

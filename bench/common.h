@@ -1,0 +1,45 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Conventions: every bench prints
+//   bench: <name>
+//   paper: <what the paper's figure/table reports, and its shape>
+//   ... "row:" data lines via util::Table ...
+//   note:  <calibration remarks>
+// so the whole evaluation can be re-read mechanically from the logs.
+//
+// Set NP_BENCH_SCALE=quick to run reduced workloads (CI smoke); the
+// default regenerates at paper scale.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace np::bench {
+
+inline bool QuickScale() {
+  const char* scale = std::getenv("NP_BENCH_SCALE");
+  return scale != nullptr && std::string(scale) == "quick";
+}
+
+inline void PrintHeader(const std::string& name, const std::string& paper) {
+  std::cout << "bench: " << name << "\n";
+  std::cout << "paper: " << paper << "\n";
+  if (QuickScale()) {
+    std::cout << "scale: quick (set NP_BENCH_SCALE= to run full)\n";
+  } else {
+    std::cout << "scale: full\n";
+  }
+}
+
+inline void PrintTable(const util::Table& table) {
+  std::cout << table.Render();
+}
+
+inline void PrintNote(const std::string& note) {
+  std::cout << "note: " << note << "\n";
+}
+
+}  // namespace np::bench

@@ -1,0 +1,52 @@
+// Figure 11: false-positive and false-negative rates of the IP-prefix
+// heuristic as a function of matching prefix length.
+//
+// Paper setup (§5): same peer population and traceroute graph as Fig
+// 10; "close" = within 10 ms; per-peer FP rate = far peers sharing the
+// prefix / all far peers; FN rate = close peers NOT sharing the prefix
+// / all close peers; medians across the ~2400-peer population.
+//
+// Expected shape: FP falls with longer prefixes, FN rises; no sweet
+// spot (FP > 0.1 at <= 14 bits while FN keeps growing past /16).
+#include "bench/common.h"
+#include "measure/heuristic_eval.h"
+#include "net/tools.h"
+
+int main() {
+  np::bench::PrintHeader(
+      "fig11_prefix_rates",
+      "Median FP rate falls and median FN rate rises with prefix "
+      "length; curves cross with no sweet spot.");
+
+  const bool quick = np::bench::QuickScale();
+  np::net::TopologyConfig config = np::net::AzureusStudyConfig();
+  if (quick) {
+    config.azureus_hosts = 15000;
+  }
+  np::util::Rng world_rng(1);
+  const auto topology = np::net::Topology::Generate(config, world_rng);
+  np::net::Tools tools(topology, np::net::NoiseConfig{}, np::util::Rng(2));
+
+  const auto peers = topology.HostsOfKind(np::net::HostKind::kAzureusPeer);
+  const auto graph = np::measure::PathGraph::Build(topology, tools, peers);
+  const auto sets = np::measure::ComputeCloseSets(
+      graph, np::measure::HeuristicEvalOptions{});
+  std::cout << "population(peers with a <10ms neighbor): "
+            << sets.PopulationSize() << " (paper: ~2400)\n";
+
+  const auto rates =
+      np::measure::EvaluatePrefixHeuristic(topology, sets, 8, 24);
+  np::util::Table table({"prefix_bits", "median_fp_rate", "median_fn_rate",
+                         "mean_candidates"});
+  for (const auto& r : rates) {
+    table.AddNumericRow({static_cast<double>(r.prefix_bits),
+                         r.median_false_positive, r.median_false_negative,
+                         r.mean_candidates},
+                        3);
+  }
+  np::bench::PrintTable(table);
+  np::bench::PrintNote(
+      "mean_candidates = same-prefix peers a joiner would have to "
+      "probe (the paper: >= ~250 at 14 bits or shorter).");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 6: distribution of Azureus cluster sizes before and after the
+// factor-1.5 latency pruning.
+//
+// Paper setup (§3.2): 156,658 Azureus IPs; peers that answered TCP
+// pings or traceroutes AND showed the same last valid router from all
+// seven vantage points (5904 in the paper) are grouped by that
+// upstream router; each cluster is pruned to the largest subset whose
+// hub-to-peer latencies lie within a factor of 1.5.
+//
+// Expected shape: a heavy-tailed size distribution with clusters up to
+// ~200+ peers; ~16% of clustered peers in pruned clusters of >= 25.
+#include "bench/common.h"
+#include "measure/azureus_study.h"
+#include "net/tools.h"
+
+int main() {
+  np::bench::PrintHeader(
+      "fig6_cluster_sizes",
+      "Cumulative count of peers vs cluster size (unpruned and "
+      "pruned); ~16% of peers in pruned clusters of size >= 25; "
+      "largest clusters have hundreds of members.");
+
+  const bool quick = np::bench::QuickScale();
+  np::net::TopologyConfig config = np::net::AzureusStudyConfig();
+  if (quick) {
+    config.azureus_hosts = 15000;
+  }
+  np::util::Rng world_rng(1);
+  const auto topology = np::net::Topology::Generate(config, world_rng);
+  np::net::Tools tools(topology, np::net::NoiseConfig{}, np::util::Rng(2));
+  const auto result = np::measure::RunAzureusStudy(
+      topology, tools, np::measure::AzureusStudyOptions{});
+
+  std::cout << "total_ips: " << result.total_ips << "\n";
+  std::cout << "responsive: " << result.responsive << "\n";
+  std::cout << "unique_upstream(clustered): " << result.unique_upstream
+            << " (paper: 5904 of 156k)\n";
+
+  // Cumulative count of peers in clusters of size <= s.
+  const auto count_at_most = [](const std::vector<int>& sizes, int s) {
+    int total = 0;
+    for (int size : sizes) {
+      if (size <= s) {
+        total += size;
+      }
+    }
+    return total;
+  };
+  const auto unpruned = result.UnprunedSizes();
+  const auto pruned = result.PrunedSizes();
+  np::util::Table table({"cluster_size<=", "cum_peers_unpruned",
+                         "cum_peers_pruned"});
+  for (const int s : {1, 2, 5, 10, 25, 50, 100, 200, 1000}) {
+    table.AddNumericRow({static_cast<double>(s),
+                         static_cast<double>(count_at_most(unpruned, s)),
+                         static_cast<double>(count_at_most(pruned, s))},
+                        0);
+  }
+  np::bench::PrintTable(table);
+
+  std::cout << "largest_unpruned: " << (unpruned.empty() ? 0 : unpruned[0])
+            << ", largest_pruned: " << (pruned.empty() ? 0 : pruned[0])
+            << "\n";
+  std::cout << "frac_peers_in_pruned_clusters>=25: "
+            << np::util::FormatDouble(
+                   result.FractionInPrunedClustersAtLeast(25), 3)
+            << " (paper: ~0.16)\n";
+  return 0;
+}

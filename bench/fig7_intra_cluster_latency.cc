@@ -1,0 +1,51 @@
+// Figure 7: distribution of hub-to-peer latencies within the five
+// largest pruned clusters.
+//
+// Paper: cluster sizes 235/139/113/79/73; latencies mostly between
+// ~5 ms and ~100 ms, indicating that most cluster members sit in
+// *different* end-networks at comparable distances from the hub — the
+// raw material of the clustering condition.
+#include "bench/common.h"
+#include "measure/azureus_study.h"
+#include "net/tools.h"
+#include "util/stats.h"
+
+int main() {
+  np::bench::PrintHeader(
+      "fig7_intra_cluster_latency",
+      "Hub-to-peer latency distribution for the 5 largest pruned "
+      "clusters; most mass between ~5 and ~100 ms.");
+
+  const bool quick = np::bench::QuickScale();
+  np::net::TopologyConfig config = np::net::AzureusStudyConfig();
+  if (quick) {
+    config.azureus_hosts = 15000;
+  }
+  np::util::Rng world_rng(1);
+  const auto topology = np::net::Topology::Generate(config, world_rng);
+  np::net::Tools tools(topology, np::net::NoiseConfig{}, np::util::Rng(2));
+  const auto result = np::measure::RunAzureusStudy(
+      topology, tools, np::measure::AzureusStudyOptions{});
+
+  np::util::Table table({"cluster_rank", "pruned_size", "min_ms", "p25_ms",
+                         "median_ms", "p75_ms", "max_ms",
+                         "max/min_ratio"});
+  int rank = 1;
+  for (const auto* cluster : result.LargestPruned(5)) {
+    if (cluster->pruned_latencies.empty()) {
+      continue;
+    }
+    const auto s = np::util::Summary::Of(cluster->pruned_latencies);
+    table.AddNumericRow({static_cast<double>(rank++),
+                         static_cast<double>(cluster->pruned_peers.size()),
+                         s.min, s.p25, s.median, s.p75, s.max,
+                         s.max / std::max(s.min, 1e-9)},
+                        2);
+  }
+  np::bench::PrintTable(table);
+  np::bench::PrintNote(
+      "max/min <= 1.5 by construction of the pruning step; similar "
+      "hub latencies across many end-networks = the clustering "
+      "condition (paper cluster sizes: 235/139/113/79/73).");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 8: Meridian success rates vs the number of end-networks per
+// cluster.
+//
+// Paper setup (§4): ~2500 peers, 2 peers per end-network, cluster-hub
+// latencies sampled from a King-like dataset (median ~65 ms), mean
+// hub-to-net latency U(4,6) ms, delta = 0.2, beta = 0.5, 16 nodes per
+// ring, ~2400-peer overlay, 100 held-out targets, 5000 queries, three
+// independent latency datasets (median/min/max reported).
+//
+// Expected shape: P(exact closest) rises to a peak at ~25 end-networks
+// per cluster and falls off beyond it (the clustering-condition phase
+// transition); P(correct cluster) rises monotonically.
+#include <vector>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "matrix/generators.h"
+#include "meridian/meridian.h"
+#include "util/stats.h"
+
+namespace {
+
+constexpr int kTotalNets = 1250;  // 2500 peers / 2 per net
+
+struct Row {
+  int nets_per_cluster = 0;
+  np::util::RunSpread exact;
+  np::util::RunSpread cluster;
+  double mean_probes = 0.0;
+};
+
+Row RunPoint(int nets_per_cluster, int num_queries, int num_seeds) {
+  std::vector<double> exact_runs;
+  std::vector<double> cluster_runs;
+  double probes = 0.0;
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    np::matrix::ClusteredConfig config;
+    config.nets_per_cluster = nets_per_cluster;
+    config.num_clusters = kTotalNets / nets_per_cluster;
+    config.peers_per_net = 2;
+    config.delta = 0.2;
+    np::util::Rng world_rng(static_cast<std::uint64_t>(seed) * 1000 +
+                            static_cast<std::uint64_t>(nets_per_cluster));
+    const auto world = np::matrix::GenerateClustered(config, world_rng);
+
+    np::meridian::MeridianConfig mconfig;  // beta=0.5, ring 16: paper values
+    np::meridian::MeridianOverlay meridian(mconfig);
+
+    np::core::ExperimentConfig econfig;
+    econfig.overlay_size = world.layout.peer_count() - 100;
+    econfig.num_queries = num_queries;
+    np::util::Rng run_rng(static_cast<std::uint64_t>(seed) * 77 + 5);
+    const auto metrics =
+        np::core::RunClusteredExperiment(world, meridian, econfig, run_rng);
+    exact_runs.push_back(metrics.p_exact_closest);
+    cluster_runs.push_back(metrics.p_correct_cluster);
+    probes += metrics.mean_probes;
+  }
+  Row row;
+  row.nets_per_cluster = nets_per_cluster;
+  row.exact = np::util::RunSpread::Of(exact_runs);
+  row.cluster = np::util::RunSpread::Of(cluster_runs);
+  row.mean_probes = probes / num_seeds;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  np::bench::PrintHeader(
+      "fig8_meridian_cluster_size",
+      "P(correct closest peer) peaks near 25 end-networks/cluster then "
+      "falls (0.55 -> ~0.1 at 250); P(correct cluster) rises "
+      "monotonically toward 1.0. ~2.4K overlay, beta=0.5, delta=0.2, 2 "
+      "peers/end-network, 5000 queries, 3 runs (median [min, max]).");
+
+  const bool quick = np::bench::QuickScale();
+  const int num_queries = quick ? 500 : 5000;
+  const int num_seeds = 3;
+
+  np::util::Table table(
+      {"nets_per_cluster", "clusters", "p_exact_med", "p_exact_min",
+       "p_exact_max", "p_cluster_med", "p_cluster_min", "p_cluster_max",
+       "mean_probes"});
+  for (const int nets : {5, 25, 50, 125, 250}) {
+    const Row row = RunPoint(nets, num_queries, num_seeds);
+    table.AddNumericRow(
+        {static_cast<double>(nets),
+         static_cast<double>(kTotalNets / nets), row.exact.median,
+         row.exact.min, row.exact.max, row.cluster.median, row.cluster.min,
+         row.cluster.max, row.mean_probes},
+        3);
+  }
+  np::bench::PrintTable(table);
+  np::bench::PrintNote(
+      "exact-closest = returned peer ties the true closest overlay "
+      "member; correct-cluster = returned peer shares the target's "
+      "cluster.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 9: Meridian accuracy and the hub-latency of the discovered
+// peer as functions of delta, the intra-cluster latency variation.
+//
+// Paper setup (§4): 125 end-networks per cluster, 2 peers each, ~2.4K
+// overlay, beta = 0.5; delta swept from 0 (perfect clustering
+// condition) to 1.
+//
+// Expected shape: P(exact closest) improves markedly as delta grows
+// (the condition weakens); the median latency-to-hub of the peers
+// found on *wrong* answers falls with delta (Meridian preferentially
+// picks hub-near peers, concentrating load on them).
+#include <vector>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "matrix/generators.h"
+#include "meridian/meridian.h"
+#include "util/stats.h"
+
+int main() {
+  np::bench::PrintHeader(
+      "fig9_meridian_delta",
+      "P(correct closest) rises from ~0.05 at delta=0 to ~0.4 at "
+      "delta=1; median latency from the found (wrong) peer to its "
+      "cluster-hub falls from ~5 ms toward ~1.5-2 ms. 125 "
+      "end-networks/cluster, beta=0.5, 3 runs (median [min, max]).");
+
+  const bool quick = np::bench::QuickScale();
+  const int num_queries = quick ? 500 : 5000;
+  const int num_seeds = 3;
+
+  np::util::Table table({"delta", "p_exact_med", "p_exact_min",
+                         "p_exact_max", "wrong_hub_latency_med_ms",
+                         "mean_probes"});
+  for (const double delta :
+       {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<double> exact_runs;
+    std::vector<double> hub_runs;
+    double probes = 0.0;
+    for (int seed = 1; seed <= num_seeds; ++seed) {
+      np::matrix::ClusteredConfig config;
+      config.nets_per_cluster = 125;
+      config.num_clusters = 10;  // 1250 nets -> 2500 peers
+      config.peers_per_net = 2;
+      config.delta = delta;
+      np::util::Rng world_rng(static_cast<std::uint64_t>(seed) * 991 +
+                              static_cast<std::uint64_t>(delta * 100));
+      const auto world = np::matrix::GenerateClustered(config, world_rng);
+
+      np::meridian::MeridianOverlay meridian{np::meridian::MeridianConfig{}};
+      np::core::ExperimentConfig econfig;
+      econfig.overlay_size = world.layout.peer_count() - 100;
+      econfig.num_queries = num_queries;
+      np::util::Rng run_rng(static_cast<std::uint64_t>(seed) * 13 + 3);
+      const auto metrics = np::core::RunClusteredExperiment(
+          world, meridian, econfig, run_rng);
+      exact_runs.push_back(metrics.p_exact_closest);
+      hub_runs.push_back(metrics.median_wrong_hub_latency_ms);
+      probes += metrics.mean_probes;
+    }
+    const auto exact = np::util::RunSpread::Of(exact_runs);
+    const auto hub = np::util::RunSpread::Of(hub_runs);
+    table.AddNumericRow({delta, exact.median, exact.min, exact.max,
+                         hub.median, probes / num_seeds},
+                        3);
+  }
+  np::bench::PrintTable(table);
+  np::bench::PrintNote(
+      "wrong_hub_latency = median latency from the found peer's "
+      "end-network to its cluster-hub over queries that missed the "
+      "exact closest (paper Fig 9 right axis).");
+  return 0;
+}

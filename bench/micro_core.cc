@@ -1,0 +1,147 @@
+// google-benchmark micro-benchmarks: the building blocks' raw costs
+// (matrix generation, Meridian build/query, Chord lookups, Vivaldi
+// training, topology latency queries, bounded Dijkstra).
+#include <benchmark/benchmark.h>
+
+#include "coord/vivaldi.h"
+#include "core/experiment.h"
+#include "dht/chord.h"
+#include "matrix/generators.h"
+#include "measure/path_graph.h"
+#include "meridian/meridian.h"
+#include "net/tools.h"
+
+namespace {
+
+using np::NodeId;
+
+void BM_GenerateClustered(benchmark::State& state) {
+  np::matrix::ClusteredConfig config;
+  config.nets_per_cluster = static_cast<int>(state.range(0));
+  config.num_clusters = 1250 / config.nets_per_cluster;
+  for (auto _ : state) {
+    np::util::Rng rng(1);
+    auto world = np::matrix::GenerateClustered(config, rng);
+    benchmark::DoNotOptimize(world.matrix.At(0, 1));
+  }
+}
+BENCHMARK(BM_GenerateClustered)->Arg(25)->Arg(125);
+
+void BM_MeridianBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  np::util::Rng world_rng(2);
+  np::matrix::EuclideanConfig config;
+  const auto world = np::matrix::GenerateEuclidean(n, config, world_rng);
+  const np::core::MatrixSpace space(world.matrix);
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < n; ++i) {
+    members.push_back(i);
+  }
+  for (auto _ : state) {
+    np::meridian::MeridianOverlay overlay{np::meridian::MeridianConfig{}};
+    np::util::Rng rng(3);
+    overlay.Build(space, members, rng);
+    benchmark::DoNotOptimize(overlay.members().size());
+  }
+}
+BENCHMARK(BM_MeridianBuild)->Arg(500)->Arg(1000)->Arg(2400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MeridianQuery(benchmark::State& state) {
+  const NodeId n = 2400;
+  np::util::Rng world_rng(4);
+  np::matrix::EuclideanConfig config;
+  const auto world = np::matrix::GenerateEuclidean(n + 100, config,
+                                                   world_rng);
+  const np::core::MatrixSpace space(world.matrix);
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < n; ++i) {
+    members.push_back(i);
+  }
+  np::meridian::MeridianOverlay overlay{np::meridian::MeridianConfig{}};
+  np::util::Rng build_rng(5);
+  overlay.Build(space, members, build_rng);
+  const np::core::MeteredSpace metered(space);
+  np::util::Rng rng(6);
+  NodeId target = n;
+  for (auto _ : state) {
+    auto result = overlay.FindNearest(target, metered, rng);
+    benchmark::DoNotOptimize(result.found);
+    target = n + (target - n + 1) % 100;
+  }
+}
+BENCHMARK(BM_MeridianQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < n; ++i) {
+    nodes.push_back(i);
+  }
+  const np::dht::ChordRing ring(nodes, np::dht::ChordConfig{});
+  np::util::Rng rng(7);
+  for (auto _ : state) {
+    auto result = ring.Lookup(rng(), rng);
+    benchmark::DoNotOptimize(result.owner);
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(1024)->Arg(16384);
+
+void BM_VivaldiTrain(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  np::util::Rng world_rng(8);
+  np::matrix::EuclideanConfig config;
+  const auto world = np::matrix::GenerateEuclidean(n, config, world_rng);
+  const np::core::MatrixSpace space(world.matrix);
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < n; ++i) {
+    members.push_back(i);
+  }
+  np::coord::VivaldiConfig vconfig;
+  for (auto _ : state) {
+    np::util::Rng rng(9);
+    auto embedding =
+        np::coord::VivaldiEmbedding::Train(space, members, vconfig, rng);
+    benchmark::DoNotOptimize(embedding.dimensions());
+  }
+}
+BENCHMARK(BM_VivaldiTrain)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_TopologyLatency(benchmark::State& state) {
+  np::net::TopologyConfig config = np::net::SmallTestConfig();
+  config.azureus_hosts = 2000;
+  np::util::Rng world_rng(10);
+  const auto topology = np::net::Topology::Generate(config, world_rng);
+  const auto n = static_cast<NodeId>(topology.hosts().size());
+  np::util::Rng rng(11);
+  for (auto _ : state) {
+    const NodeId a = static_cast<NodeId>(rng.Index(
+        static_cast<std::size_t>(n)));
+    const NodeId b = static_cast<NodeId>(rng.Index(
+        static_cast<std::size_t>(n)));
+    benchmark::DoNotOptimize(topology.LatencyBetween(a, b));
+  }
+}
+BENCHMARK(BM_TopologyLatency);
+
+void BM_PathGraphClosePeers(benchmark::State& state) {
+  np::net::TopologyConfig config = np::net::SmallTestConfig();
+  config.azureus_hosts = 3000;
+  np::util::Rng world_rng(12);
+  const auto topology = np::net::Topology::Generate(config, world_rng);
+  np::net::Tools tools(topology, np::net::NoiseConfig{}, np::util::Rng(13));
+  const auto graph = np::measure::PathGraph::Build(
+      topology, tools, topology.HostsOfKind(np::net::HostKind::kAzureusPeer));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto close =
+        graph.ClosePeers(graph.peers()[i % graph.peers().size()], 10.0);
+    benchmark::DoNotOptimize(close.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_PathGraphClosePeers)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

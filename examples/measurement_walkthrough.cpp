@@ -1,0 +1,100 @@
+// Walkthrough of the paper's §3 measurement methodology on a small
+// synthetic Internet — every step printed, so the pipeline is easy to
+// follow before reading the full-scale benches:
+//
+//   1. rockettrace from a measurement host to DNS servers,
+//   2. PoP inference from (AS, city) annotations,
+//   3. latency prediction through the common router vs King,
+//   4. the Azureus study: vantage agreement, hub latencies, pruning.
+#include <iostream>
+
+#include "measure/azureus_study.h"
+#include "measure/dns_study.h"
+#include "net/ip.h"
+#include "net/tools.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using np::NodeId;
+
+int main() {
+  np::net::TopologyConfig config = np::net::SmallTestConfig();
+  config.dns_recursive_hosts = 600;
+  config.azureus_hosts = 3000;
+  np::util::Rng world_rng(3);
+  const auto topology = np::net::Topology::Generate(config, world_rng);
+  np::net::Tools tools(topology, np::net::NoiseConfig{}, np::util::Rng(4));
+
+  std::cout << "=== The world ===\n";
+  std::cout << topology.ases().size() << " ASes, " << topology.pops().size()
+            << " PoPs, " << topology.routers().size() << " routers, "
+            << topology.endnets().size() << " end-networks, "
+            << topology.hosts().size() << " hosts\n";
+
+  // --- Step 1+2: one traceroute, annotated, PoP inferred ------------------
+  const NodeId m = topology.vantage_hosts()[0];
+  const auto dns = topology.HostsOfKind(np::net::HostKind::kDnsRecursive);
+  const auto trace = tools.Traceroute(m, dns[0]);
+  std::cout << "\n=== rockettrace " << np::net::FormatIpv4(
+                   topology.host(m).ip)
+            << " -> " << np::net::FormatIpv4(topology.host(dns[0]).ip)
+            << " ===\n";
+  for (const auto& hop : trace.hops) {
+    if (hop.responded) {
+      std::cout << "  " << topology.router(hop.router).name << "  rtt="
+                << np::util::FormatDouble(hop.rtt_ms, 2) << "ms  (AS"
+                << hop.annotated_as << ", city" << hop.annotated_city
+                << ")\n";
+    } else {
+      std::cout << "  * * *\n";
+    }
+  }
+
+  // --- Step 3: the DNS prediction study, condensed ------------------------
+  np::util::Rng study_rng(5);
+  const auto study = np::measure::RunDnsStudy(
+      topology, tools, np::measure::DnsStudyOptions{}, study_rng);
+  std::cout << "\n=== DNS prediction study (paper Figs 3-5, small scale) "
+               "===\n";
+  std::cout << "servers traced: " << study.num_servers_traced
+            << ", clusters: " << study.num_clusters
+            << ", pairs: " << study.pairs.size() << "\n";
+  std::cout << "prediction measure within [0.5, 2]: "
+            << np::util::FormatDouble(study.FractionWithin(0.5, 2.0), 3)
+            << "\n";
+  const auto intra = study.IntraDomainLatencies(10);
+  const auto inter = study.InterDomainMeasured();
+  if (!intra.empty() && !inter.empty()) {
+    std::cout << "intra-domain median: "
+              << np::util::FormatDouble(np::util::Percentile(intra, 50), 2)
+              << " ms vs inter-domain median: "
+              << np::util::FormatDouble(np::util::Percentile(inter, 50), 2)
+              << " ms\n";
+  }
+
+  // --- Step 4: the Azureus clustering study -------------------------------
+  const auto azureus = np::measure::RunAzureusStudy(
+      topology, tools, np::measure::AzureusStudyOptions{});
+  std::cout << "\n=== Azureus clustering study (paper Figs 6-7, small "
+               "scale) ===\n";
+  std::cout << "IPs: " << azureus.total_ips
+            << " -> responsive: " << azureus.responsive
+            << " -> unique upstream router: " << azureus.unique_upstream
+            << "\n";
+  const auto top = azureus.LargestPruned(3);
+  for (const auto* cluster : top) {
+    if (cluster->pruned_latencies.empty()) {
+      continue;
+    }
+    const auto s = np::util::Summary::Of(cluster->pruned_latencies);
+    std::cout << "cluster at router '"
+              << topology.router(cluster->hub).name << "': "
+              << cluster->pruned_peers.size()
+              << " peers within x1.5, hub latencies "
+              << np::util::FormatDouble(s.min, 1) << ".."
+              << np::util::FormatDouble(s.max, 1) << " ms\n";
+  }
+  std::cout << "\nPeers in such clusters are the ones whose LAN mates "
+               "latency-only algorithms cannot find (paper §2).\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// World inspector: generates the synthetic worlds this library runs
+// its experiments on and prints/serializes what a downstream user needs
+// to sanity-check them.
+//
+//   $ ./build/examples/world_inspector [seed] [matrix-out.txt]
+//
+// With a matrix-out path, exports a 500-peer clustered latency matrix
+// in the library's text format (reload with
+// np::matrix::LoadMatrixFromFile).
+#include <iostream>
+#include <map>
+
+#include "matrix/generators.h"
+#include "matrix/matrix_io.h"
+#include "net/ip.h"
+#include "net/topology.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using np::NodeId;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 1;
+
+  // --- Topology world ------------------------------------------------------
+  np::net::TopologyConfig config = np::net::SmallTestConfig();
+  config.azureus_hosts = 5000;
+  config.dns_recursive_hosts = 1000;
+  np::util::Rng world_rng(seed);
+  const auto topology = np::net::Topology::Generate(config, world_rng);
+
+  std::cout << "=== topology (seed " << seed << ") ===\n";
+  std::cout << "cities: " << topology.cities().size()
+            << ", ASes: " << topology.ases().size()
+            << ", PoPs: " << topology.pops().size()
+            << ", routers: " << topology.routers().size()
+            << ", end-networks: " << topology.endnets().size()
+            << ", hosts: " << topology.hosts().size() << "\n";
+
+  // PoPs per AS and hosts per kind.
+  std::map<int, int> pops_per_as;
+  for (const auto& pop : topology.pops()) {
+    pops_per_as[pop.as_id]++;
+  }
+  std::map<np::net::HostKind, int> hosts_per_kind;
+  for (const auto& host : topology.hosts()) {
+    hosts_per_kind[host.kind]++;
+  }
+  std::cout << "hosts: " << hosts_per_kind[np::net::HostKind::kAzureusPeer]
+            << " peers, "
+            << hosts_per_kind[np::net::HostKind::kDnsRecursive]
+            << " DNS servers, "
+            << hosts_per_kind[np::net::HostKind::kVantage]
+            << " vantage points\n";
+
+  // Example address assignments.
+  std::cout << "\nexample hosts:\n";
+  for (int i = 0; i < 5; ++i) {
+    const auto& h =
+        topology.hosts()[static_cast<std::size_t>(i) * 37 + 1];
+    std::cout << "  host " << h.id << "  ip="
+              << np::net::FormatIpv4(h.ip) << "  pop=" << h.pop_id
+              << "  endnet=" << h.endnet_id
+              << "  access=" << np::util::FormatDouble(h.access_ms, 2)
+              << "ms\n";
+  }
+
+  // Latency sanity: LAN vs same-PoP vs cross-PoP distributions.
+  std::vector<double> lan;
+  std::vector<double> same_pop;
+  std::vector<double> cross_pop;
+  np::util::Rng sample_rng(seed + 1);
+  const auto n = static_cast<std::size_t>(topology.hosts().size());
+  for (int s = 0; s < 20000; ++s) {
+    const auto a = static_cast<NodeId>(sample_rng.Index(n));
+    const auto b = static_cast<NodeId>(sample_rng.Index(n));
+    if (a == b) {
+      continue;
+    }
+    const auto& ha = topology.host(a);
+    const auto& hb = topology.host(b);
+    const double lat = topology.LatencyBetween(a, b);
+    if (ha.endnet_id >= 0 && ha.endnet_id == hb.endnet_id) {
+      lan.push_back(lat);
+    } else if (ha.pop_id == hb.pop_id) {
+      same_pop.push_back(lat);
+    } else {
+      cross_pop.push_back(lat);
+    }
+  }
+  const auto show = [](const char* name, std::vector<double> v) {
+    if (v.empty()) {
+      return;
+    }
+    const auto s = np::util::Summary::Of(std::move(v));
+    std::cout << "  " << name << ": median "
+              << np::util::FormatDouble(s.median, 2) << " ms  [p5 "
+              << np::util::FormatDouble(s.p5, 2) << ", p95 "
+              << np::util::FormatDouble(s.p95, 2) << "]  (" << s.count
+              << " samples)\n";
+  };
+  std::cout << "\nlatency gradation (the paper's premise):\n";
+  show("same end-network ", lan);
+  show("same PoP         ", same_pop);
+  show("cross PoP        ", cross_pop);
+
+  // --- Matrix world ---------------------------------------------------------
+  np::matrix::ClusteredConfig mconfig;
+  mconfig.num_clusters = 5;
+  mconfig.nets_per_cluster = 50;
+  np::util::Rng matrix_rng(seed + 2);
+  const auto world = np::matrix::GenerateClustered(mconfig, matrix_rng);
+  std::cout << "\n=== clustered matrix world ===\n";
+  std::cout << "peers: " << world.layout.peer_count() << " ("
+            << world.layout.cluster_count() << " clusters x "
+            << mconfig.nets_per_cluster << " nets x 2 peers)\n";
+  if (argc > 2) {
+    np::matrix::SaveMatrixToFile(world.matrix, argv[2]);
+    std::cout << "matrix written to " << argv[2] << "\n";
+  } else {
+    std::cout << "(pass an output path to export the latency matrix)\n";
+  }
+  return 0;
+}

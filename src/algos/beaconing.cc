@@ -1,0 +1,112 @@
+#include "algos/beaconing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace np::algos {
+
+BeaconingNearest::BeaconingNearest(BeaconingConfig config)
+    : config_(config) {
+  NP_ENSURE(config_.num_beacons >= 1, "need at least one beacon");
+  NP_ENSURE(config_.band_abs_ms >= 0.0 && config_.band_rel >= 0.0,
+            "bands must be non-negative");
+  NP_ENSURE(config_.quorum > 0.0 && config_.quorum <= 1.0,
+            "quorum must be in (0, 1]");
+  NP_ENSURE(config_.max_probe_candidates >= 1,
+            "must probe at least one candidate");
+}
+
+void BeaconingNearest::Build(const core::LatencySpace& space,
+                             std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "requires members");
+  members_ = std::move(members);
+
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.num_beacons), members_.size());
+  beacons_.clear();
+  for (std::size_t pick : rng.Sample(members_.size(), k)) {
+    beacons_.push_back(members_[pick]);
+  }
+
+  beacon_latency_.assign(beacons_.size(),
+                         std::vector<LatencyMs>(members_.size(), 0.0));
+  for (std::size_t b = 0; b < beacons_.size(); ++b) {
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      beacon_latency_[b][m] = space.Latency(beacons_[b], members_[m]);
+    }
+  }
+}
+
+core::QueryResult BeaconingNearest::FindNearest(
+    NodeId target, const core::MeteredSpace& metered, util::Rng& rng) {
+  (void)rng;
+  NP_ENSURE(!beacons_.empty(), "Build must run before FindNearest");
+  core::QueryResult result;
+
+  // Each beacon measures the target once.
+  std::vector<LatencyMs> beacon_to_target(beacons_.size());
+  for (std::size_t b = 0; b < beacons_.size(); ++b) {
+    beacon_to_target[b] = metered.Latency(beacons_[b], target);
+    ++result.probes;
+  }
+
+  // Nominations: members within the band of the target's latency at
+  // each beacon; rank candidates by triangulation score (max absolute
+  // deviation across beacons, lower = better estimate).
+  const int quorum_votes = std::max(
+      1, static_cast<int>(std::ceil(config_.quorum *
+                                    static_cast<double>(beacons_.size()))));
+  std::vector<std::pair<double, NodeId>> candidates;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (members_[m] == target) {
+      continue;
+    }
+    int votes = 0;
+    double worst_deviation = 0.0;
+    for (std::size_t b = 0; b < beacons_.size(); ++b) {
+      const double band = std::max(config_.band_abs_ms,
+                                   config_.band_rel * beacon_to_target[b]);
+      const double deviation =
+          std::abs(beacon_latency_[b][m] - beacon_to_target[b]);
+      worst_deviation = std::max(worst_deviation, deviation);
+      if (deviation <= band) {
+        ++votes;
+      }
+    }
+    if (votes >= quorum_votes) {
+      candidates.push_back({worst_deviation, members_[m]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (static_cast<int>(candidates.size()) > config_.max_probe_candidates) {
+    candidates.resize(
+        static_cast<std::size_t>(config_.max_probe_candidates));
+  }
+
+  for (const auto& [score, candidate] : candidates) {
+    const LatencyMs d = metered.Latency(candidate, target);
+    ++result.probes;
+    if (d < result.found_latency_ms ||
+        (d == result.found_latency_ms && candidate < result.found)) {
+      result.found_latency_ms = d;
+      result.found = candidate;
+    }
+  }
+
+  // No candidate survived the quorum: fall back to the best beacon.
+  if (result.found == kInvalidNode) {
+    for (std::size_t b = 0; b < beacons_.size(); ++b) {
+      if (beacon_to_target[b] < result.found_latency_ms ||
+          (beacon_to_target[b] == result.found_latency_ms &&
+           beacons_[b] < result.found)) {
+        result.found_latency_ms = beacon_to_target[b];
+        result.found = beacons_[b];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace np::algos

@@ -1,0 +1,56 @@
+// Beaconing (Kommareddy et al., ICNP'01; paper §6): a handful of
+// beacon servers remember their latency to every peer. A joining peer
+// is measured by each beacon; each beacon returns the peers at about
+// the same latency to itself as the joiner, and the joiner probes the
+// candidates (peers nominated by all — or most — beacons).
+//
+// §6 predicts failure under clustering: "most peers in the same
+// cluster but different end-networks [have] almost identical latencies
+// to all the beacon servers ... impossible to tell apart".
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+
+namespace np::algos {
+
+struct BeaconingConfig {
+  int num_beacons = 8;
+  /// A beacon nominates peer m for target t when
+  /// |lat(b,m) - lat(b,t)| <= max(band_abs_ms, band_rel * lat(b,t)).
+  double band_abs_ms = 1.0;
+  double band_rel = 0.1;
+  /// Require nominations from at least this fraction of beacons.
+  double quorum = 1.0;
+  /// Cap on candidates probed per query (closest-estimate first).
+  int max_probe_candidates = 64;
+};
+
+class BeaconingNearest final : public core::NearestPeerAlgorithm {
+ public:
+  explicit BeaconingNearest(BeaconingConfig config);
+
+  std::string name() const override { return "beaconing"; }
+
+  void Build(const core::LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  core::QueryResult FindNearest(NodeId target,
+                                const core::MeteredSpace& metered,
+                                util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+  const std::vector<NodeId>& beacons() const { return beacons_; }
+
+ private:
+  BeaconingConfig config_;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> beacons_;
+  /// beacon_latency_[b][m] = lat(beacons_[b], members_[m]).
+  std::vector<std::vector<LatencyMs>> beacon_latency_;
+};
+
+}  // namespace np::algos

@@ -1,0 +1,139 @@
+#include "algos/karger_ruhl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace np::algos {
+
+KargerRuhlNearest::KargerRuhlNearest(KargerRuhlConfig config)
+    : config_(config) {
+  NP_ENSURE(config_.alpha_ms > 0.0, "alpha must be positive");
+  NP_ENSURE(config_.growth > 1.0, "growth must exceed 1");
+  NP_ENSURE(config_.num_scales >= 1, "need at least one scale");
+  NP_ENSURE(config_.samples_per_scale >= 1, "need samples per scale");
+  NP_ENSURE(config_.scale_window >= 0, "scale window must be >= 0");
+  NP_ENSURE(config_.max_hops >= 1, "positive hop cap required");
+}
+
+int KargerRuhlNearest::ScaleFor(LatencyMs distance_ms) const {
+  if (distance_ms <= config_.alpha_ms) {
+    return 0;
+  }
+  const int scale = 1 + static_cast<int>(std::floor(
+                            std::log(distance_ms / config_.alpha_ms) /
+                            std::log(config_.growth)));
+  return std::min(scale, config_.num_scales - 1);
+}
+
+void KargerRuhlNearest::Build(const core::LatencySpace& space,
+                              std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "requires at least one member");
+  members_ = std::move(members);
+  index_.clear();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    index_[members_[i]] = i;
+  }
+
+  samples_.assign(members_.size(), {});
+  std::vector<std::vector<NodeId>> balls(
+      static_cast<std::size_t>(config_.num_scales));
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (auto& ball : balls) {
+      ball.clear();
+    }
+    // Bucket the other members by the smallest ball containing them;
+    // ball `s` then contains all buckets <= s.
+    for (const NodeId other : members_) {
+      if (other == members_[i]) {
+        continue;
+      }
+      const int scale = ScaleFor(space.Latency(members_[i], other));
+      balls[static_cast<std::size_t>(scale)].push_back(other);
+    }
+    samples_[i].resize(static_cast<std::size_t>(config_.num_scales));
+    std::vector<NodeId> cumulative;
+    for (int s = 0; s < config_.num_scales; ++s) {
+      cumulative.insert(cumulative.end(),
+                        balls[static_cast<std::size_t>(s)].begin(),
+                        balls[static_cast<std::size_t>(s)].end());
+      auto& chosen = samples_[i][static_cast<std::size_t>(s)];
+      const std::size_t k = std::min<std::size_t>(
+          static_cast<std::size_t>(config_.samples_per_scale),
+          cumulative.size());
+      if (k == cumulative.size()) {
+        chosen = cumulative;
+      } else {
+        for (std::size_t pick : rng.Sample(cumulative.size(), k)) {
+          chosen.push_back(cumulative[pick]);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<NodeId>& KargerRuhlNearest::SamplesOf(NodeId member,
+                                                        int scale) const {
+  const auto it = index_.find(member);
+  NP_ENSURE(it != index_.end(), "not a member");
+  NP_ENSURE(scale >= 0 && scale < config_.num_scales, "scale out of range");
+  return samples_[it->second][static_cast<std::size_t>(scale)];
+}
+
+core::QueryResult KargerRuhlNearest::FindNearest(
+    NodeId target, const core::MeteredSpace& metered, util::Rng& rng) {
+  NP_ENSURE(!members_.empty(), "Build must run before FindNearest");
+  core::QueryResult result;
+  std::unordered_set<NodeId> probed;
+  const auto probe = [&](NodeId node) {
+    const LatencyMs d = metered.Latency(node, target);
+    if (probed.insert(node).second) {
+      ++result.probes;
+    }
+    return d;
+  };
+
+  NodeId current = members_[rng.Index(members_.size())];
+  LatencyMs current_distance = probe(current);
+  result.found = current;
+  result.found_latency_ms = current_distance;
+
+  for (int hop = 0; hop < config_.max_hops; ++hop) {
+    const std::size_t pos = index_.at(current);
+    const int scale = ScaleFor(current_distance);
+    NodeId best = kInvalidNode;
+    LatencyMs best_distance = current_distance;
+    for (int s = std::max(0, scale - config_.scale_window);
+         s <= std::min(config_.num_scales - 1,
+                       scale + config_.scale_window);
+         ++s) {
+      for (const NodeId candidate :
+           samples_[pos][static_cast<std::size_t>(s)]) {
+        if (probed.count(candidate) > 0 && candidate != current) {
+          continue;
+        }
+        const LatencyMs d = probe(candidate);
+        if (d < result.found_latency_ms ||
+            (d == result.found_latency_ms && candidate < result.found)) {
+          result.found_latency_ms = d;
+          result.found = candidate;
+        }
+        if (d < best_distance) {
+          best_distance = d;
+          best = candidate;
+        }
+      }
+    }
+    if (best == kInvalidNode) {
+      break;  // no strictly closer sample: the zoom-in is stuck
+    }
+    current = best;
+    current_distance = best_distance;
+    ++result.hops;
+  }
+  return result;
+}
+
+}  // namespace np::algos

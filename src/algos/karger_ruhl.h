@@ -1,0 +1,59 @@
+// Karger-Ruhl-style distance-based sampling (STOC'02, as framed by the
+// paper's §6): each peer keeps random samples from balls of
+// geometrically growing radii; a query zooms in by probing the samples
+// at the scale of the current distance and moving to any closer peer.
+// Correct and efficient in growth-constrained metrics; degenerates to
+// random probing inside a cluster (§2.2).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+
+namespace np::algos {
+
+struct KargerRuhlConfig {
+  /// Innermost ball radius, ms.
+  double alpha_ms = 1.0;
+  /// Ball radius growth factor.
+  double growth = 2.0;
+  /// Number of ball scales.
+  int num_scales = 16;
+  /// Random samples kept per scale.
+  int samples_per_scale = 8;
+  /// Scales around the current distance probed per step (+- this).
+  int scale_window = 1;
+  /// Hop safety cap.
+  int max_hops = 64;
+};
+
+class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
+ public:
+  explicit KargerRuhlNearest(KargerRuhlConfig config);
+
+  std::string name() const override { return "karger-ruhl"; }
+
+  void Build(const core::LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  core::QueryResult FindNearest(NodeId target,
+                                const core::MeteredSpace& metered,
+                                util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+  /// Samples of one member at one scale (for tests).
+  const std::vector<NodeId>& SamplesOf(NodeId member, int scale) const;
+
+  int ScaleFor(LatencyMs distance_ms) const;
+
+ private:
+  KargerRuhlConfig config_;
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  /// samples_[member_pos][scale] -> sampled member ids.
+  std::vector<std::vector<std::vector<NodeId>>> samples_;
+};
+
+}  // namespace np::algos

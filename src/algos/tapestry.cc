@@ -1,0 +1,155 @@
+#include "algos/tapestry.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace np::algos {
+
+TapestryNearest::TapestryNearest(TapestryConfig config) : config_(config) {
+  NP_ENSURE(config_.num_digits >= 1 && config_.num_digits <= 8,
+            "digits must be in [1, 8] (32-bit ids)");
+  NP_ENSURE(config_.max_hops >= 1, "positive hop cap required");
+}
+
+int TapestryNearest::DigitAt(std::uint32_t id, int level, int num_digits) {
+  const int shift = 4 * (num_digits - 1 - level);
+  return static_cast<int>((id >> shift) & 0xF);
+}
+
+std::uint32_t TapestryNearest::IdOf(NodeId member) const {
+  const auto it = index_.find(member);
+  NP_ENSURE(it != index_.end(), "not a member");
+  return ids_[it->second];
+}
+
+void TapestryNearest::Build(const core::LatencySpace& space,
+                            std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "requires members");
+  members_ = std::move(members);
+  index_.clear();
+  ids_.resize(members_.size());
+  std::unordered_set<std::uint32_t> used;
+  const std::uint32_t id_mask =
+      config_.num_digits == 8
+          ? 0xFFFFFFFFu
+          : ((1u << (4 * config_.num_digits)) - 1);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    index_[members_[i]] = i;
+    std::uint32_t id = 0;
+    do {
+      id = static_cast<std::uint32_t>(rng()) & id_mask;
+    } while (!used.insert(id).second);
+    ids_[i] = id;
+  }
+
+  // For each node, level and digit: the closest member sharing the
+  // first `level` digits of the node's id with `digit` at position
+  // `level`.
+  const int levels = config_.num_digits;
+  tables_.assign(members_.size(),
+                 std::vector<std::int32_t>(
+                     static_cast<std::size_t>(levels) * 16, -1));
+  std::vector<double> best_latency(static_cast<std::size_t>(levels) * 16);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    std::fill(best_latency.begin(), best_latency.end(), kInfiniteLatency);
+    for (std::size_t j = 0; j < members_.size(); ++j) {
+      if (j == i) {
+        continue;
+      }
+      // Longest shared digit prefix between the ids.
+      int shared = 0;
+      while (shared < levels &&
+             DigitAt(ids_[i], shared, levels) ==
+                 DigitAt(ids_[j], shared, levels)) {
+        ++shared;
+      }
+      // j is eligible for the table at every level <= shared.
+      const double latency = space.Latency(members_[i], members_[j]);
+      for (int level = 0; level <= std::min(shared, levels - 1); ++level) {
+        const int digit = DigitAt(ids_[j], level, levels);
+        const std::size_t slot =
+            static_cast<std::size_t>(level) * 16 +
+            static_cast<std::size_t>(digit);
+        if (latency < best_latency[slot]) {
+          best_latency[slot] = latency;
+          tables_[i][slot] = static_cast<std::int32_t>(j);
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> TapestryNearest::TableOf(NodeId member, int level) const {
+  const auto it = index_.find(member);
+  NP_ENSURE(it != index_.end(), "not a member");
+  NP_ENSURE(level >= 0 && level < config_.num_digits, "level out of range");
+  std::vector<NodeId> out;
+  for (int digit = 0; digit < 16; ++digit) {
+    const std::int32_t pos =
+        tables_[it->second][static_cast<std::size_t>(level) * 16 +
+                            static_cast<std::size_t>(digit)];
+    if (pos >= 0) {
+      out.push_back(members_[static_cast<std::size_t>(pos)]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+core::QueryResult TapestryNearest::FindNearest(
+    NodeId target, const core::MeteredSpace& metered, util::Rng& rng) {
+  NP_ENSURE(!members_.empty(), "Build must run before FindNearest");
+  core::QueryResult result;
+  std::unordered_set<NodeId> probed;
+  const auto probe = [&](NodeId node) {
+    const LatencyMs d = metered.Latency(node, target);
+    if (probed.insert(node).second) {
+      ++result.probes;
+    }
+    return d;
+  };
+
+  std::size_t current = rng.Index(members_.size());
+  result.found = members_[current];
+  result.found_latency_ms = probe(members_[current]);
+
+  // Descend the levels: probe the whole level table, move to the
+  // closest entry (the iterative construction from §6), and continue
+  // from that node's next level.
+  for (int level = 0; level < config_.num_digits; ++level) {
+    if (result.hops >= config_.max_hops) {
+      break;
+    }
+    std::size_t best = current;
+    LatencyMs best_distance = kInfiniteLatency;
+    for (int digit = 0; digit < 16; ++digit) {
+      const std::int32_t pos =
+          tables_[current][static_cast<std::size_t>(level) * 16 +
+                           static_cast<std::size_t>(digit)];
+      if (pos < 0) {
+        continue;
+      }
+      const NodeId candidate = members_[static_cast<std::size_t>(pos)];
+      const LatencyMs d = probe(candidate);
+      if (d < result.found_latency_ms ||
+          (d == result.found_latency_ms && candidate < result.found)) {
+        result.found_latency_ms = d;
+        result.found = candidate;
+      }
+      if (d < best_distance) {
+        best_distance = d;
+        best = static_cast<std::size_t>(pos);
+      }
+    }
+    if (best != current) {
+      ++result.hops;
+      current = best;
+    }
+  }
+  return result;
+}
+
+}  // namespace np::algos

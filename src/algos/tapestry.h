@@ -1,0 +1,57 @@
+// Tapestry-style identifier-prefix sampling (Hildrum et al., SPAA'02;
+// the paper's "identifier-based sampling" family): members carry random
+// hex identifiers; each node's level-l table holds, for every hex
+// digit, the closest member agreeing with the node's own id on the
+// first l digits and having that digit at position l. A nearest-peer
+// search descends the levels, probing each level's table and moving to
+// the closest entry — the iterative closest-neighbor construction the
+// paper describes in §6.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+
+namespace np::algos {
+
+struct TapestryConfig {
+  /// Identifier digits (base-16); 8 digits = 32-bit ids.
+  int num_digits = 8;
+  /// Safety cap on level descents per query.
+  int max_hops = 64;
+};
+
+class TapestryNearest final : public core::NearestPeerAlgorithm {
+ public:
+  explicit TapestryNearest(TapestryConfig config);
+
+  std::string name() const override { return "tapestry"; }
+
+  void Build(const core::LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  core::QueryResult FindNearest(NodeId target,
+                                const core::MeteredSpace& metered,
+                                util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+  std::uint32_t IdOf(NodeId member) const;
+
+  /// Entries of a member's level-l routing table (deduped, for tests).
+  std::vector<NodeId> TableOf(NodeId member, int level) const;
+
+ private:
+  static int DigitAt(std::uint32_t id, int level, int num_digits);
+
+  TapestryConfig config_;
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  std::vector<std::uint32_t> ids_;
+  /// tables_[member_pos][level * 16 + digit] -> member position or -1.
+  std::vector<std::vector<std::int32_t>> tables_;
+};
+
+}  // namespace np::algos

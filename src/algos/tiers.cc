@@ -1,0 +1,139 @@
+#include "algos/tiers.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace np::algos {
+
+TiersNearest::TiersNearest(TiersConfig config) : config_(config) {
+  NP_ENSURE(config_.base_radius_ms > 0.0, "positive base radius required");
+  NP_ENSURE(config_.radius_growth > 1.0, "radius growth must exceed 1");
+  NP_ENSURE(config_.max_cluster_size >= 2, "clusters must hold >= 2");
+  NP_ENSURE(config_.top_cluster_max >= 1, "top cluster must hold >= 1");
+  NP_ENSURE(config_.max_levels >= 1, "need at least one level");
+}
+
+void TiersNearest::Build(const core::LatencySpace& space,
+                         std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "requires members");
+  space_ = &space;
+  members_ = std::move(members);
+  levels_.clear();
+
+  std::vector<NodeId> level_members = members_;
+  double radius = config_.base_radius_ms;
+  for (int level = 0; level < config_.max_levels; ++level) {
+    Level built;
+    std::vector<NodeId> reps;
+    // Greedy cover in random order: first member within `radius` of an
+    // existing representative joins it, otherwise it becomes one.
+    rng.Shuffle(level_members);
+    for (const NodeId m : level_members) {
+      NodeId best_rep = kInvalidNode;
+      LatencyMs best_distance = radius;
+      for (const NodeId rep : reps) {
+        if (static_cast<int>(built.clusters[rep].size()) >=
+            config_.max_cluster_size) {
+          continue;  // full cluster stops absorbing
+        }
+        const LatencyMs d = space.Latency(m, rep);
+        if (d <= best_distance) {
+          best_distance = d;
+          best_rep = rep;
+        }
+      }
+      if (best_rep == kInvalidNode) {
+        reps.push_back(m);
+        built.clusters[m].push_back(m);
+      } else {
+        built.clusters[best_rep].push_back(m);
+      }
+    }
+    levels_.push_back(std::move(built));
+    if (static_cast<int>(reps.size()) <= config_.top_cluster_max ||
+        reps.size() == level_members.size()) {
+      top_reps_ = std::move(reps);
+      return;
+    }
+    level_members = std::move(reps);
+    radius *= config_.radius_growth;
+  }
+  // Ran out of levels: whatever remains is the top cluster.
+  top_reps_.clear();
+  for (const auto& [rep, cluster] : levels_.back().clusters) {
+    top_reps_.push_back(rep);
+  }
+  std::sort(top_reps_.begin(), top_reps_.end());
+}
+
+const std::vector<NodeId>& TiersNearest::ClusterOf(int level,
+                                                   NodeId rep) const {
+  NP_ENSURE(level >= 0 && level < static_cast<int>(levels_.size()),
+            "level out of range");
+  const auto& clusters = levels_[static_cast<std::size_t>(level)].clusters;
+  const auto it = clusters.find(rep);
+  NP_ENSURE(it != clusters.end(), "not a representative at this level");
+  return it->second;
+}
+
+std::vector<NodeId> TiersNearest::LevelMembers(int level) const {
+  NP_ENSURE(level >= 0 && level < static_cast<int>(levels_.size()),
+            "level out of range");
+  std::vector<NodeId> out;
+  for (const auto& [rep, cluster] :
+       levels_[static_cast<std::size_t>(level)].clusters) {
+    out.insert(out.end(), cluster.begin(), cluster.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+core::QueryResult TiersNearest::FindNearest(NodeId target,
+                                            const core::MeteredSpace& metered,
+                                            util::Rng& rng) {
+  (void)rng;
+  NP_ENSURE(space_ != nullptr, "Build must run before FindNearest");
+  core::QueryResult result;
+  const auto probe = [&](NodeId node) {
+    ++result.probes;
+    return metered.Latency(node, target);
+  };
+
+  // Probe the top cluster, then descend through the chosen rep's
+  // clusters level by level.
+  std::vector<NodeId> candidates = top_reps_;
+  for (int level = static_cast<int>(levels_.size()) - 1; level >= 0;
+       --level) {
+    NodeId best = kInvalidNode;
+    LatencyMs best_distance = kInfiniteLatency;
+    for (const NodeId candidate : candidates) {
+      const LatencyMs d = probe(candidate);
+      if (d < best_distance ||
+          (d == best_distance && candidate < best)) {
+        best_distance = d;
+        best = candidate;
+      }
+    }
+    if (best_distance < result.found_latency_ms ||
+        (best_distance == result.found_latency_ms &&
+         best < result.found)) {
+      result.found_latency_ms = best_distance;
+      result.found = best;
+    }
+    ++result.hops;
+    candidates = ClusterOf(level, best);
+  }
+  // Bottom cluster: probe its members for the final answer.
+  for (const NodeId candidate : candidates) {
+    const LatencyMs d = probe(candidate);
+    if (d < result.found_latency_ms ||
+        (d == result.found_latency_ms && candidate < result.found)) {
+      result.found_latency_ms = d;
+      result.found = candidate;
+    }
+  }
+  return result;
+}
+
+}  // namespace np::algos

@@ -1,0 +1,70 @@
+// Tiers hierarchical nearest-peer scheme (Banerjee et al., Global
+// Internet'02; paper §6): peers are grouped into latency-bounded
+// clusters; each cluster elects a representative which joins the next
+// level, recursively, until a single top cluster remains. A joining
+// peer descends from the top, at each level probing the members of the
+// chosen representative's cluster and following the closest.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+
+namespace np::algos {
+
+struct TiersConfig {
+  /// Level-0 cluster radius, ms: members join a representative within
+  /// this latency.
+  double base_radius_ms = 2.0;
+  /// Radius multiplier per level.
+  double radius_growth = 4.0;
+  /// Maximum members per cluster: a full cluster stops absorbing and
+  /// forces a new representative. This is what keeps the probing cost
+  /// at each descent step bounded — and what makes the descent a
+  /// near-random choice under the clustering condition (§6).
+  int max_cluster_size = 16;
+  /// Stop promoting once a level has at most this many members.
+  int top_cluster_max = 16;
+  /// Hard cap on hierarchy height.
+  int max_levels = 12;
+};
+
+class TiersNearest final : public core::NearestPeerAlgorithm {
+ public:
+  explicit TiersNearest(TiersConfig config);
+
+  std::string name() const override { return "tiers"; }
+
+  void Build(const core::LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  core::QueryResult FindNearest(NodeId target,
+                                const core::MeteredSpace& metered,
+                                util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Cluster members led by `rep` at `level` (rep included).
+  const std::vector<NodeId>& ClusterOf(int level, NodeId rep) const;
+
+  /// Representatives forming the given level.
+  std::vector<NodeId> LevelMembers(int level) const;
+
+ private:
+  struct Level {
+    /// rep -> cluster members (each member of the level is in exactly
+    /// one cluster; the rep leads its own).
+    std::unordered_map<NodeId, std::vector<NodeId>> clusters;
+  };
+
+  TiersConfig config_;
+  const core::LatencySpace* space_ = nullptr;
+  std::vector<NodeId> members_;
+  std::vector<Level> levels_;  // levels_[0] = bottom
+  std::vector<NodeId> top_reps_;
+};
+
+}  // namespace np::algos

@@ -1,0 +1,163 @@
+#include "coord/landmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace np::coord {
+
+namespace {
+
+double Distance(const double* a, const double* b, int dims) {
+  double sq = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const double diff = a[d] - b[d];
+    sq += diff * diff;
+  }
+  return std::sqrt(sq);
+}
+
+/// One relaxation step pulling `self` toward satisfying |self-other| =
+/// rtt, with step size `step`.
+void Relax(double* self, const double* other, double rtt, int dims,
+           double step, util::Rng& rng) {
+  double dist = Distance(self, other, dims);
+  if (dist < 1e-9) {
+    // Coincident: nudge in a random direction.
+    for (int d = 0; d < dims; ++d) {
+      self[d] += step * rng.Gaussian();
+    }
+    return;
+  }
+  const double factor = step * (rtt - dist) / dist;
+  for (int d = 0; d < dims; ++d) {
+    self[d] += factor * (self[d] - other[d]);
+  }
+}
+
+}  // namespace
+
+LandmarkEmbedding::LandmarkEmbedding(LandmarkConfig config,
+                                     std::vector<NodeId> members)
+    : config_(config), members_(std::move(members)) {
+  NP_ENSURE(config_.dimensions >= 1, "need at least one dimension");
+  NP_ENSURE(config_.num_landmarks >= config_.dimensions + 1,
+            "need at least dims+1 landmarks for a stable embedding");
+  NP_ENSURE(!members_.empty(), "need members");
+  index_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    index_[members_[i]] = i;
+  }
+  coords_.assign(
+      members_.size() * static_cast<std::size_t>(config_.dimensions), 0.0);
+}
+
+std::size_t LandmarkEmbedding::IndexOf(NodeId member) const {
+  const auto it = index_.find(member);
+  NP_ENSURE(it != index_.end(), "not an embedded member");
+  return it->second;
+}
+
+LandmarkEmbedding LandmarkEmbedding::Train(const core::LatencySpace& space,
+                                           std::vector<NodeId> members,
+                                           const LandmarkConfig& config,
+                                           util::Rng& rng) {
+  NP_ENSURE(config.landmark_iterations >= 1 && config.node_iterations >= 1,
+            "invalid iteration counts");
+  LandmarkEmbedding embedding(config, std::move(members));
+  const int dims = config.dimensions;
+  const std::size_t n = embedding.members_.size();
+
+  // Pick landmarks uniformly (deployments use well-known servers).
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(config.num_landmarks), n);
+  std::vector<std::size_t> landmark_pos = rng.Sample(n, k);
+  for (std::size_t pos : landmark_pos) {
+    embedding.landmarks_.push_back(embedding.members_[pos]);
+  }
+
+  // Random init for the landmarks, then pairwise relaxation with a
+  // decaying step.
+  for (std::size_t pos : landmark_pos) {
+    for (int d = 0; d < dims; ++d) {
+      embedding.coords_[pos * static_cast<std::size_t>(dims) +
+                        static_cast<std::size_t>(d)] =
+          rng.Gaussian(0.0, 10.0);
+    }
+  }
+  for (int it = 0; it < config.landmark_iterations; ++it) {
+    const double step =
+        0.25 * (1.0 - 0.9 * static_cast<double>(it) /
+                          config.landmark_iterations);
+    const std::size_t a = landmark_pos[rng.Index(landmark_pos.size())];
+    std::size_t b = a;
+    while (b == a) {
+      b = landmark_pos[rng.Index(landmark_pos.size())];
+    }
+    const double rtt =
+        space.Latency(embedding.members_[a], embedding.members_[b]);
+    Relax(&embedding.coords_[a * static_cast<std::size_t>(dims)],
+          &embedding.coords_[b * static_cast<std::size_t>(dims)], rtt, dims,
+          step, rng);
+  }
+
+  // Every other node: measure the landmarks once, relax against them.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::find(landmark_pos.begin(), landmark_pos.end(), i) !=
+        landmark_pos.end()) {
+      continue;
+    }
+    std::vector<double> rtts;
+    rtts.reserve(landmark_pos.size());
+    for (std::size_t pos : landmark_pos) {
+      rtts.push_back(
+          space.Latency(embedding.members_[i], embedding.members_[pos]));
+    }
+    double* self = &embedding.coords_[i * static_cast<std::size_t>(dims)];
+    for (int d = 0; d < dims; ++d) {
+      self[d] = rng.Gaussian(0.0, 10.0);
+    }
+    for (int it = 0; it < config.node_iterations; ++it) {
+      const double step =
+          0.25 * (1.0 - 0.9 * static_cast<double>(it) /
+                            config.node_iterations);
+      for (std::size_t l = 0; l < landmark_pos.size(); ++l) {
+        Relax(self,
+              &embedding.coords_[landmark_pos[l] *
+                                 static_cast<std::size_t>(dims)],
+              rtts[l], dims, step, rng);
+      }
+    }
+  }
+  return embedding;
+}
+
+LatencyMs LandmarkEmbedding::PredictedLatency(NodeId a, NodeId b) const {
+  return Distance(
+      &coords_[IndexOf(a) * static_cast<std::size_t>(config_.dimensions)],
+      &coords_[IndexOf(b) * static_cast<std::size_t>(config_.dimensions)],
+      config_.dimensions);
+}
+
+double LandmarkEmbedding::MedianRelativeError(const core::LatencySpace& space,
+                                              int sample_pairs,
+                                              util::Rng& rng) const {
+  NP_ENSURE(sample_pairs >= 1 && members_.size() >= 2, "invalid evaluation");
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(sample_pairs));
+  for (int s = 0; s < sample_pairs; ++s) {
+    const std::size_t i = rng.Index(members_.size());
+    std::size_t j = rng.Index(members_.size() - 1);
+    if (j >= i) {
+      ++j;
+    }
+    const double actual = space.Latency(members_[i], members_[j]);
+    const double predicted = PredictedLatency(members_[i], members_[j]);
+    errors.push_back(std::abs(predicted - actual) / std::max(actual, 1e-6));
+  }
+  return util::Percentile(std::move(errors), 50.0);
+}
+
+}  // namespace np::coord

@@ -1,0 +1,58 @@
+// GNP-style landmark embedding (Ng & Zhang, INFOCOM'02; the family the
+// paper cites alongside Vivaldi): a small set of landmark nodes is
+// embedded first from their pairwise latencies, then every other node
+// positions itself against the landmarks only. Simpler deployment
+// model than Vivaldi (no all-pairs gossip) and the same §2.2 failure
+// mode under the clustering condition.
+//
+// We fit coordinates by iterated spring relaxation (robust, dependency
+// free) rather than the original's simplex search; the objective —
+// minimize relative error to the landmark distances — is the same.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/latency_space.h"
+#include "util/rng.h"
+
+namespace np::coord {
+
+struct LandmarkConfig {
+  int num_landmarks = 15;
+  int dimensions = 5;
+  /// Relaxation passes for the landmark set / per ordinary node.
+  int landmark_iterations = 400;
+  int node_iterations = 64;
+};
+
+class LandmarkEmbedding {
+ public:
+  static LandmarkEmbedding Train(const core::LatencySpace& space,
+                                 std::vector<NodeId> members,
+                                 const LandmarkConfig& config,
+                                 util::Rng& rng);
+
+  int dimensions() const { return config_.dimensions; }
+  const std::vector<NodeId>& members() const { return members_; }
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  LatencyMs PredictedLatency(NodeId a, NodeId b) const;
+
+  /// Median relative error over sampled member pairs.
+  double MedianRelativeError(const core::LatencySpace& space,
+                             int sample_pairs, util::Rng& rng) const;
+
+ private:
+  LandmarkEmbedding(LandmarkConfig config, std::vector<NodeId> members);
+
+  std::size_t IndexOf(NodeId member) const;
+
+  LandmarkConfig config_;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> landmarks_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  std::vector<double> coords_;  // row-major members x dimensions
+};
+
+}  // namespace np::coord

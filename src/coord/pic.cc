@@ -1,0 +1,124 @@
+#include "coord/pic.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace np::coord {
+
+PicNearest::PicNearest(PicConfig config) : config_(config) {
+  NP_ENSURE(config_.placement_samples >= 1, "need placement samples");
+  NP_ENSURE(config_.walk_neighbors >= 1, "need walk neighbors");
+  NP_ENSURE(config_.num_walks >= 1, "need at least one walk");
+  NP_ENSURE(config_.max_walk_hops >= 1, "need positive walk bound");
+}
+
+const VivaldiEmbedding& PicNearest::embedding() const {
+  NP_ENSURE(embedding_ != nullptr, "Build must run first");
+  return *embedding_;
+}
+
+void PicNearest::Build(const core::LatencySpace& space,
+                       std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "PIC requires members");
+  members_ = std::move(members);
+  embedding_ = std::make_unique<VivaldiEmbedding>(VivaldiEmbedding::Train(
+      space, members_, config_.vivaldi, rng));
+
+  // Coordinate-space kNN per member plus random escape links.
+  const std::size_t n = members_.size();
+  neighbors_.assign(n, {});
+  std::vector<std::pair<double, std::size_t>> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    scratch.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      scratch.push_back(
+          {embedding_->PredictedLatency(members_[i], members_[j]), j});
+    }
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.walk_neighbors), scratch.size());
+    std::partial_sort(scratch.begin(),
+                      scratch.begin() + static_cast<long>(k), scratch.end());
+    std::unordered_set<std::size_t> chosen;
+    for (std::size_t t = 0; t < k; ++t) {
+      chosen.insert(scratch[t].second);
+    }
+    for (int r = 0; r < config_.random_links && chosen.size() < n - 1; ++r) {
+      std::size_t candidate = rng.Index(n - 1);
+      if (candidate >= i) {
+        ++candidate;
+      }
+      chosen.insert(candidate);
+    }
+    neighbors_[i].assign(chosen.begin(), chosen.end());
+    std::sort(neighbors_[i].begin(), neighbors_[i].end());
+  }
+}
+
+core::QueryResult PicNearest::FindNearest(NodeId target,
+                                          const core::MeteredSpace& metered,
+                                          util::Rng& rng) {
+  NP_ENSURE(embedding_ != nullptr, "Build must run before FindNearest");
+  core::QueryResult result;
+
+  // Position the target from a handful of real probes.
+  std::uint64_t probes_before = metered.probes();
+  const std::vector<double> target_coord = embedding_->PlaceNode(
+      target, metered, config_.placement_samples, rng);
+
+  // Greedy walks on predicted distances (no probing while walking).
+  std::unordered_set<std::size_t> endpoints;
+  for (int walk = 0; walk < config_.num_walks; ++walk) {
+    std::size_t current = rng.Index(members_.size());
+    double current_predicted =
+        embedding_->DistanceFrom(target_coord, members_[current]);
+    for (int hop = 0; hop < config_.max_walk_hops; ++hop) {
+      std::size_t best = current;
+      double best_predicted = current_predicted;
+      for (std::size_t neighbor : neighbors_[current]) {
+        const double predicted =
+            embedding_->DistanceFrom(target_coord, members_[neighbor]);
+        if (predicted < best_predicted) {
+          best_predicted = predicted;
+          best = neighbor;
+        }
+      }
+      if (best == current) {
+        break;
+      }
+      current = best;
+      current_predicted = best_predicted;
+      ++result.hops;
+    }
+    endpoints.insert(current);
+  }
+
+  // Probe the walk endpoints plus their coordinate neighborhoods: the
+  // coordinates got us near the target, real measurements resolve what
+  // they cannot.
+  std::unordered_set<std::size_t> to_probe = endpoints;
+  for (std::size_t endpoint : endpoints) {
+    for (std::size_t neighbor : neighbors_[endpoint]) {
+      to_probe.insert(neighbor);
+    }
+  }
+  for (std::size_t candidate : to_probe) {
+    const LatencyMs d = metered.Latency(members_[candidate], target);
+    if (d < result.found_latency_ms ||
+        (d == result.found_latency_ms &&
+         members_[candidate] < result.found)) {
+      result.found_latency_ms = d;
+      result.found = members_[candidate];
+    }
+  }
+  result.probes = metered.probes() - probes_before;
+  return result;
+}
+
+}  // namespace np::coord

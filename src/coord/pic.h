@@ -1,0 +1,58 @@
+// PIC-style nearest-peer search (Costa et al., ICDCS'04): peers carry
+// network coordinates; a joining peer estimates its own coordinate from
+// a few probes and then launches greedy walks that hop to the neighbor
+// whose *coordinates* predict the smallest distance to the target,
+// probing actual latencies only at walk endpoints.
+//
+// §2.3 predicts this fails under the clustering condition: all cluster
+// peers collapse onto nearly identical coordinates, so the walk cannot
+// steer into the right end-network.
+#pragma once
+
+#include <memory>
+
+#include "coord/vivaldi.h"
+#include "core/nearest_algorithm.h"
+
+namespace np::coord {
+
+struct PicConfig {
+  VivaldiConfig vivaldi;
+  /// Members probed to position the target's coordinate.
+  int placement_samples = 16;
+  /// Coordinate-space nearest neighbors kept per member.
+  int walk_neighbors = 8;
+  /// Extra random links per member (escape local minima).
+  int random_links = 4;
+  /// Independent greedy walks per query.
+  int num_walks = 4;
+  /// Cap on walk length.
+  int max_walk_hops = 64;
+};
+
+class PicNearest final : public core::NearestPeerAlgorithm {
+ public:
+  explicit PicNearest(PicConfig config);
+
+  std::string name() const override { return "pic"; }
+
+  void Build(const core::LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  core::QueryResult FindNearest(NodeId target,
+                                const core::MeteredSpace& metered,
+                                util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+  const VivaldiEmbedding& embedding() const;
+
+ private:
+  PicConfig config_;
+  std::vector<NodeId> members_;
+  std::unique_ptr<VivaldiEmbedding> embedding_;
+  /// Per member (by position in members_): neighbor positions.
+  std::vector<std::vector<std::size_t>> neighbors_;
+};
+
+}  // namespace np::coord

@@ -1,0 +1,285 @@
+#include "coord/vivaldi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace np::coord {
+
+VivaldiEmbedding::VivaldiEmbedding(VivaldiConfig config,
+                                   std::vector<NodeId> members)
+    : config_(config), members_(std::move(members)) {
+  NP_ENSURE(config_.dimensions >= 1, "need at least one dimension");
+  NP_ENSURE(!members_.empty(), "need at least one member");
+  index_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    index_[members_[i]] = i;
+  }
+  coords_.assign(members_.size() *
+                     static_cast<std::size_t>(config_.dimensions),
+                 0.0);
+}
+
+std::size_t VivaldiEmbedding::IndexOf(NodeId member) const {
+  const auto it = index_.find(member);
+  NP_ENSURE(it != index_.end(), "not an embedded member");
+  return it->second;
+}
+
+double VivaldiEmbedding::Distance(const double* a, const double* b,
+                                  int dims) {
+  double sq = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const double diff = a[d] - b[d];
+    sq += diff * diff;
+  }
+  return std::sqrt(sq);
+}
+
+namespace {
+
+/// One Vivaldi spring update of `self` toward/away from a neighbor at
+/// measured RTT. Adjusts self's coordinate and error in place.
+void SpringUpdate(double* self, double& self_error, const double* other,
+                  double other_error, double rtt, int dims, double ce,
+                  double cc, util::Rng& rng) {
+  double dist = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const double diff = self[d] - other[d];
+    dist += diff * diff;
+  }
+  dist = std::sqrt(dist);
+
+  // Unit vector from other to self; random direction when coincident.
+  std::vector<double> unit(static_cast<std::size_t>(dims));
+  if (dist < 1e-9) {
+    double norm = 0.0;
+    for (int d = 0; d < dims; ++d) {
+      unit[static_cast<std::size_t>(d)] = rng.Gaussian();
+      norm += unit[static_cast<std::size_t>(d)] *
+              unit[static_cast<std::size_t>(d)];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (int d = 0; d < dims; ++d) {
+      unit[static_cast<std::size_t>(d)] /= norm;
+    }
+  } else {
+    for (int d = 0; d < dims; ++d) {
+      unit[static_cast<std::size_t>(d)] = (self[d] - other[d]) / dist;
+    }
+  }
+
+  const double w = self_error / std::max(self_error + other_error, 1e-9);
+  const double relative_error = std::abs(dist - rtt) / std::max(rtt, 1e-6);
+  self_error = relative_error * cc * w + self_error * (1.0 - cc * w);
+  self_error = std::clamp(self_error, 0.01, 2.0);
+  const double delta = ce * w;
+  for (int d = 0; d < dims; ++d) {
+    self[d] += delta * (rtt - dist) * unit[static_cast<std::size_t>(d)];
+  }
+}
+
+}  // namespace
+
+VivaldiEmbedding VivaldiEmbedding::Train(const core::LatencySpace& space,
+                                         std::vector<NodeId> members,
+                                         const VivaldiConfig& config,
+                                         util::Rng& rng) {
+  NP_ENSURE(config.rounds >= 1 && config.neighbors >= 1,
+            "invalid Vivaldi schedule");
+  VivaldiEmbedding embedding(config, std::move(members));
+  const auto n = embedding.members_.size();
+  const int dims = config.dimensions;
+
+  // Small random init breaks symmetry.
+  for (double& c : embedding.coords_) {
+    c = rng.Gaussian(0.0, 1.0);
+  }
+  std::vector<double> error(n, 1.0);
+
+  // Fixed neighbor sets (random graph), as deployed Vivaldi uses.
+  std::vector<std::vector<std::size_t>> neighbor_sets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k =
+        std::min<std::size_t>(static_cast<std::size_t>(config.neighbors),
+                              n - 1);
+    auto sample = rng.Sample(n - 1, k);
+    for (std::size_t s : sample) {
+      neighbor_sets[i].push_back(s >= i ? s + 1 : s);
+    }
+  }
+
+  const auto run_rounds = [&](int rounds, double ce_start, double ce_end) {
+    for (int round = 0; round < rounds; ++round) {
+      const double t =
+          rounds <= 1 ? 0.0
+                      : static_cast<double>(round) / (rounds - 1);
+      const double ce = ce_start + t * (ce_end - ce_start);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (neighbor_sets[i].empty()) {
+          continue;
+        }
+        const std::size_t j =
+            neighbor_sets[i][rng.Index(neighbor_sets[i].size())];
+        const double rtt =
+            space.Latency(embedding.members_[i], embedding.members_[j]);
+        SpringUpdate(
+            &embedding.coords_[i * static_cast<std::size_t>(dims)],
+            error[i],
+            &embedding.coords_[j * static_cast<std::size_t>(dims)],
+            error[j], rtt, dims, ce, config.cc, rng);
+      }
+    }
+  };
+
+  // Phase 1: coarse placement over random neighbors.
+  run_rounds(config.rounds, config.ce, config.ce * 0.4);
+
+  // Phase 2: polish. The Vivaldi paper observes that mixing in *close*
+  // neighbors sharpens local accuracy — exactly what nearest-peer
+  // selection needs. Rebuild each node's neighbor set as half
+  // coordinate-nearest, half random, and relax with a decaying
+  // timestep.
+  if (n > 2) {
+    std::vector<std::pair<double, std::size_t>> scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.clear();
+      scratch.reserve(n - 1);
+      const double* ci = &embedding.coords_[i * static_cast<std::size_t>(dims)];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) {
+          continue;
+        }
+        scratch.push_back(
+            {Distance(ci,
+                      &embedding.coords_[j * static_cast<std::size_t>(dims)],
+                      dims),
+             j});
+      }
+      const std::size_t half = std::min<std::size_t>(
+          static_cast<std::size_t>(std::max(config.neighbors / 2, 1)),
+          scratch.size());
+      std::partial_sort(scratch.begin(),
+                        scratch.begin() + static_cast<long>(half),
+                        scratch.end());
+      auto& set = neighbor_sets[i];
+      // Replace the first half with coordinate-nearest nodes.
+      for (std::size_t t = 0; t < half && t < set.size(); ++t) {
+        set[t] = scratch[t].second;
+      }
+    }
+    run_rounds(config.rounds / 2 + 1, config.ce * 0.4, config.ce * 0.05);
+  }
+  return embedding;
+}
+
+const double* VivaldiEmbedding::CoordinateOf(NodeId member) const {
+  return &coords_[IndexOf(member) *
+                  static_cast<std::size_t>(config_.dimensions)];
+}
+
+LatencyMs VivaldiEmbedding::PredictedLatency(NodeId a, NodeId b) const {
+  return Distance(CoordinateOf(a), CoordinateOf(b), config_.dimensions);
+}
+
+LatencyMs VivaldiEmbedding::DistanceFrom(const std::vector<double>& coordinate,
+                                         NodeId member) const {
+  NP_ENSURE(static_cast<int>(coordinate.size()) == config_.dimensions,
+            "coordinate dimensionality mismatch");
+  return Distance(coordinate.data(), CoordinateOf(member),
+                  config_.dimensions);
+}
+
+std::vector<double> VivaldiEmbedding::PlaceNode(
+    NodeId node, const core::MeteredSpace& metered, int samples,
+    util::Rng& rng) const {
+  NP_ENSURE(samples >= 1, "need at least one placement sample");
+  const int dims = config_.dimensions;
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(samples), members_.size());
+  const auto chosen = rng.Sample(members_.size(), k);
+
+  // Measure once, then relax the fresh coordinate over several passes.
+  std::vector<std::pair<std::size_t, double>> measured;
+  measured.reserve(k);
+  for (std::size_t idx : chosen) {
+    measured.push_back({idx, metered.Latency(node, members_[idx])});
+  }
+  std::vector<double> coordinate(static_cast<std::size_t>(dims));
+  for (double& c : coordinate) {
+    c = rng.Gaussian(0.0, 1.0);
+  }
+  double error = 1.0;
+  constexpr int kPasses = 48;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    // Decaying timestep: coarse approach first, fine settling last.
+    const double ce =
+        config_.ce * (1.0 - 0.9 * static_cast<double>(pass) / kPasses);
+    for (const auto& [idx, rtt] : measured) {
+      SpringUpdate(coordinate.data(), error,
+                   &coords_[idx * static_cast<std::size_t>(dims)],
+                   /*other_error=*/0.2, rtt, dims, ce, config_.cc, rng);
+    }
+  }
+  return coordinate;
+}
+
+double VivaldiEmbedding::MedianRelativeError(const core::LatencySpace& space,
+                                             int sample_pairs,
+                                             util::Rng& rng) const {
+  NP_ENSURE(sample_pairs >= 1, "need at least one sample pair");
+  NP_ENSURE(members_.size() >= 2, "need at least two members");
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(sample_pairs));
+  for (int s = 0; s < sample_pairs; ++s) {
+    const std::size_t i = rng.Index(members_.size());
+    std::size_t j = rng.Index(members_.size() - 1);
+    if (j >= i) {
+      ++j;
+    }
+    const double actual = space.Latency(members_[i], members_[j]);
+    const double predicted = PredictedLatency(members_[i], members_[j]);
+    errors.push_back(std::abs(predicted - actual) / std::max(actual, 1e-6));
+  }
+  return util::Percentile(std::move(errors), 50.0);
+}
+
+std::vector<EmbeddingErrorReport> EmbeddingErrorByDimension(
+    const core::LatencySpace& space, const std::vector<NodeId>& members,
+    const std::vector<int>& dimension_choices, const VivaldiConfig& base,
+    int sample_pairs, util::Rng& rng) {
+  std::vector<EmbeddingErrorReport> out;
+  for (int dims : dimension_choices) {
+    VivaldiConfig config = base;
+    config.dimensions = dims;
+    util::Rng train_rng = rng.Fork(static_cast<std::uint64_t>(dims));
+    const VivaldiEmbedding embedding =
+        VivaldiEmbedding::Train(space, members, config, train_rng);
+    std::vector<double> errors;
+    errors.reserve(static_cast<std::size_t>(sample_pairs));
+    util::Rng eval_rng = rng.Fork(static_cast<std::uint64_t>(dims) + 1000);
+    for (int s = 0; s < sample_pairs; ++s) {
+      const std::size_t i = eval_rng.Index(members.size());
+      std::size_t j = eval_rng.Index(members.size() - 1);
+      if (j >= i) {
+        ++j;
+      }
+      const double actual = space.Latency(members[i], members[j]);
+      const double predicted =
+          embedding.PredictedLatency(members[i], members[j]);
+      errors.push_back(std::abs(predicted - actual) /
+                       std::max(actual, 1e-6));
+    }
+    EmbeddingErrorReport report;
+    report.dimensions = dims;
+    std::sort(errors.begin(), errors.end());
+    report.median_rel_error = util::PercentileSorted(errors, 50.0);
+    report.p90_rel_error = util::PercentileSorted(errors, 90.0);
+    out.push_back(report);
+  }
+  return out;
+}
+
+}  // namespace np::coord

@@ -1,0 +1,92 @@
+// Vivaldi network coordinates (Dabek et al., SIGCOMM'04) — the
+// coordinate substrate for the paper's "low dimensionality" discussion
+// (§2.2) and for the PIC-style greedy-walk baseline. Includes the
+// embedding-error-by-dimension analysis that demonstrates §2.2's claim:
+// under the clustering condition no small number of dimensions embeds
+// the cluster accurately.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/latency_space.h"
+#include "util/rng.h"
+
+namespace np::coord {
+
+struct VivaldiConfig {
+  int dimensions = 3;
+  /// Adaptive timestep constant (paper value 0.25).
+  double ce = 0.25;
+  /// Error-adaptation constant (paper value 0.25).
+  double cc = 0.25;
+  /// Update rounds; each round updates every node against one sampled
+  /// neighbor.
+  int rounds = 64;
+  /// Neighbor candidates per node.
+  int neighbors = 16;
+};
+
+class VivaldiEmbedding {
+ public:
+  /// Runs the spring relaxation over the members (build-time
+  /// measurements are unmetered, matching how coordinate systems
+  /// piggyback on background traffic).
+  static VivaldiEmbedding Train(const core::LatencySpace& space,
+                                std::vector<NodeId> members,
+                                const VivaldiConfig& config, util::Rng& rng);
+
+  int dimensions() const { return config_.dimensions; }
+  const std::vector<NodeId>& members() const { return members_; }
+
+  /// Coordinate of a member (dimension-sized span into the store).
+  const double* CoordinateOf(NodeId member) const;
+
+  /// Predicted RTT between two members.
+  LatencyMs PredictedLatency(NodeId a, NodeId b) const;
+
+  /// Distance from an arbitrary coordinate to a member.
+  LatencyMs DistanceFrom(const std::vector<double>& coordinate,
+                         NodeId member) const;
+
+  /// Positions a non-member node: probes `samples` random members
+  /// through the metered space and relaxes a fresh coordinate against
+  /// the measurements. Returns the coordinate.
+  std::vector<double> PlaceNode(NodeId node,
+                                const core::MeteredSpace& metered,
+                                int samples, util::Rng& rng) const;
+
+  /// Median over sampled member pairs of
+  /// |predicted - actual| / actual.
+  double MedianRelativeError(const core::LatencySpace& space,
+                             int sample_pairs, util::Rng& rng) const;
+
+ private:
+  VivaldiEmbedding(VivaldiConfig config, std::vector<NodeId> members);
+
+  std::size_t IndexOf(NodeId member) const;
+  static double Distance(const double* a, const double* b, int dims);
+
+  VivaldiConfig config_;
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  /// Row-major members x dimensions.
+  std::vector<double> coords_;
+};
+
+struct EmbeddingErrorReport {
+  int dimensions = 0;
+  double median_rel_error = 0.0;
+  double p90_rel_error = 0.0;
+};
+
+/// §2.2's low-dimensionality check: embedding error as a function of
+/// the dimension count. Under the clustering condition the error stays
+/// high regardless of dimensions; in a true low-dimensional space it
+/// collapses once the dimension matches.
+std::vector<EmbeddingErrorReport> EmbeddingErrorByDimension(
+    const core::LatencySpace& space, const std::vector<NodeId>& members,
+    const std::vector<int>& dimension_choices, const VivaldiConfig& base,
+    int sample_pairs, util::Rng& rng);
+
+}  // namespace np::coord

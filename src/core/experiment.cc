@@ -1,0 +1,233 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace np::core {
+
+OverlaySplit SplitOverlay(NodeId space_size, NodeId overlay_size,
+                          util::Rng& rng) {
+  NP_ENSURE(overlay_size >= 1, "overlay must be non-empty");
+  NP_ENSURE(overlay_size < space_size,
+            "need at least one node left over as a target");
+  std::vector<NodeId> all(static_cast<std::size_t>(space_size));
+  for (NodeId i = 0; i < space_size; ++i) {
+    all[static_cast<std::size_t>(i)] = i;
+  }
+  rng.Shuffle(all);
+  OverlaySplit split;
+  split.members.assign(all.begin(), all.begin() + overlay_size);
+  split.targets.assign(all.begin() + overlay_size, all.end());
+  return split;
+}
+
+ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
+                                        NearestPeerAlgorithm& algo,
+                                        const ExperimentConfig& config,
+                                        util::Rng& rng) {
+  const MatrixSpace space(world.matrix);
+  const matrix::ClusterLayout& layout = world.layout;
+  OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
+  // Build-time measurements carry the same noise as query probes: no
+  // real overlay gets to memorize exact latencies (this matters for
+  // triangulation schemes like Beaconing). The space must outlive the
+  // algorithm, which may hold a pointer through its lifetime.
+  const NoisySpace build_noisy(space, config.measurement_noise_frac, rng(),
+                               config.measurement_noise_floor_ms);
+  algo.Build(build_noisy, split.members, rng);
+
+  const NoisySpace noisy(space, config.measurement_noise_frac, rng(),
+                         config.measurement_noise_floor_ms);
+  const MeteredSpace metered(noisy);
+  ClusteredMetrics metrics;
+  metrics.num_queries = config.num_queries;
+
+  int exact = 0;
+  int correct_cluster = 0;
+  int same_net = 0;
+  double total_latency = 0.0;
+  double total_hops = 0.0;
+  std::uint64_t total_probes = 0;
+  std::vector<double> wrong_hub_latencies;
+  wrong_hub_latencies.reserve(static_cast<std::size_t>(config.num_queries));
+
+  for (int q = 0; q < config.num_queries; ++q) {
+    const NodeId target = split.targets[rng.Index(split.targets.size())];
+    const NodeId truth = TrueClosestMember(space, split.members, target);
+    const LatencyMs truth_latency = space.Latency(truth, target);
+
+    metered.ResetProbes();
+    const QueryResult result = algo.FindNearest(target, metered, rng);
+    NP_ENSURE(result.found != kInvalidNode, "algorithm returned no peer");
+
+    total_probes += metered.probes();
+    total_hops += result.hops;
+    // Score with the true (noise-free) latency of the returned peer.
+    const LatencyMs found_latency = space.Latency(result.found, target);
+    total_latency += found_latency;
+
+    const bool is_exact =
+        found_latency <= truth_latency + config.tie_epsilon_ms;
+    if (is_exact) {
+      ++exact;
+    } else {
+      wrong_hub_latencies.push_back(layout.HubLatencyOfPeer(result.found));
+    }
+    if (layout.SameCluster(result.found, target)) {
+      ++correct_cluster;
+    }
+    if (layout.SameNet(result.found, target)) {
+      ++same_net;
+    }
+  }
+
+  const double n = static_cast<double>(config.num_queries);
+  metrics.p_exact_closest = exact / n;
+  metrics.p_correct_cluster = correct_cluster / n;
+  metrics.p_same_net = same_net / n;
+  metrics.mean_found_latency_ms = total_latency / n;
+  metrics.mean_probes = static_cast<double>(total_probes) / n;
+  metrics.mean_hops = total_hops / n;
+  metrics.median_wrong_hub_latency_ms =
+      wrong_hub_latencies.empty()
+          ? 0.0
+          : util::Percentile(std::move(wrong_hub_latencies), 50.0);
+  return metrics;
+}
+
+GenericMetrics RunGenericExperiment(const LatencySpace& space,
+                                    NearestPeerAlgorithm& algo,
+                                    const ExperimentConfig& config,
+                                    util::Rng& rng) {
+  OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
+  const NoisySpace build_noisy(space, config.measurement_noise_frac, rng(),
+                               config.measurement_noise_floor_ms);
+  algo.Build(build_noisy, split.members, rng);
+
+  const NoisySpace noisy(space, config.measurement_noise_frac, rng(),
+                         config.measurement_noise_floor_ms);
+  const MeteredSpace metered(noisy);
+  GenericMetrics metrics;
+  metrics.num_queries = config.num_queries;
+
+  int exact = 0;
+  double total_stretch = 0.0;
+  double total_abs_error = 0.0;
+  double total_hops = 0.0;
+  std::uint64_t total_probes = 0;
+
+  for (int q = 0; q < config.num_queries; ++q) {
+    const NodeId target = split.targets[rng.Index(split.targets.size())];
+    const NodeId truth = TrueClosestMember(space, split.members, target);
+    const LatencyMs truth_latency = space.Latency(truth, target);
+
+    metered.ResetProbes();
+    const QueryResult result = algo.FindNearest(target, metered, rng);
+    NP_ENSURE(result.found != kInvalidNode, "algorithm returned no peer");
+
+    total_probes += metered.probes();
+    total_hops += result.hops;
+
+    const LatencyMs found_latency = space.Latency(result.found, target);
+    if (found_latency <= truth_latency + config.tie_epsilon_ms) {
+      ++exact;
+    }
+    total_abs_error += found_latency - truth_latency;
+    // Stretch is undefined when the optimum is ~0; floor the
+    // denominator at 1 us.
+    total_stretch += found_latency / std::max(truth_latency, 1e-3);
+  }
+
+  const double n = static_cast<double>(config.num_queries);
+  metrics.p_exact_closest = exact / n;
+  metrics.mean_stretch = total_stretch / n;
+  metrics.mean_abs_error_ms = total_abs_error / n;
+  metrics.mean_probes = static_cast<double>(total_probes) / n;
+  metrics.mean_hops = total_hops / n;
+  return metrics;
+}
+
+namespace {
+
+/// P(exact closest) of `algo` over `queries` random targets drawn from
+/// the non-member pool.
+double MeasureExactRate(const LatencySpace& space,
+                        NearestPeerAlgorithm& algo,
+                        const std::vector<NodeId>& members,
+                        const std::vector<NodeId>& pool, int queries,
+                        LatencyMs tie_epsilon_ms, util::Rng& rng) {
+  NP_ENSURE(!pool.empty(), "no targets left outside the overlay");
+  const MeteredSpace metered(space);
+  int exact = 0;
+  for (int q = 0; q < queries; ++q) {
+    const NodeId target = pool[rng.Index(pool.size())];
+    const NodeId truth = TrueClosestMember(space, members, target);
+    const QueryResult result = algo.FindNearest(target, metered, rng);
+    NP_ENSURE(result.found != kInvalidNode, "algorithm returned no peer");
+    if (space.Latency(result.found, target) <=
+        space.Latency(truth, target) + tie_epsilon_ms) {
+      ++exact;
+    }
+  }
+  return static_cast<double>(exact) / queries;
+}
+
+}  // namespace
+
+ChurnMetrics RunChurnExperiment(const LatencySpace& space,
+                                NearestPeerAlgorithm& algo,
+                                NearestPeerAlgorithm& fresh,
+                                const ChurnConfig& config, util::Rng& rng) {
+  NP_ENSURE(algo.SupportsChurn(), "algorithm does not support churn");
+  NP_ENSURE(config.waves >= 1 && config.events >= config.waves,
+            "invalid wave schedule");
+  NP_ENSURE(config.join_fraction >= 0.0 && config.join_fraction <= 1.0,
+            "join fraction must be a probability");
+
+  OverlaySplit split =
+      SplitOverlay(space.size(), config.initial_overlay, rng);
+  algo.Build(space, split.members, rng);
+  std::vector<NodeId> members = split.members;
+  std::vector<NodeId> pool = split.targets;  // joinable + targets
+
+  ChurnMetrics metrics;
+  const int per_wave = config.events / config.waves;
+  for (int wave = 0; wave < config.waves; ++wave) {
+    for (int e = 0; e < per_wave; ++e) {
+      const bool join = rng.Bernoulli(config.join_fraction);
+      if (join && pool.size() > 1) {
+        const std::size_t pick = rng.Index(pool.size());
+        const NodeId node = pool[pick];
+        pool[pick] = pool.back();
+        pool.pop_back();
+        algo.AddMember(node, rng);
+        members.push_back(node);
+      } else if (!join && members.size() > 2) {
+        const std::size_t pick = rng.Index(members.size());
+        const NodeId node = members[pick];
+        members[pick] = members.back();
+        members.pop_back();
+        algo.RemoveMember(node);
+        pool.push_back(node);
+      }
+    }
+    util::Rng wave_rng = rng.Fork(static_cast<std::uint64_t>(wave));
+    metrics.p_exact_per_wave.push_back(
+        MeasureExactRate(space, algo, members, pool,
+                         config.queries_per_wave, config.tie_epsilon_ms,
+                         wave_rng));
+  }
+
+  // Rebuild comparison on the final membership, same query seed stream.
+  fresh.Build(space, members, rng);
+  util::Rng rebuild_rng = rng.Fork(0xFE5);
+  metrics.p_exact_rebuilt = MeasureExactRate(
+      space, fresh, members, pool, config.queries_per_wave,
+      config.tie_epsilon_ms, rebuild_rng);
+  metrics.final_members = static_cast<int>(members.size());
+  return metrics;
+}
+
+}  // namespace np::core

@@ -1,0 +1,128 @@
+// Experiment runner for the §4-style simulations.
+//
+// Mirrors the paper's methodology: from ~2500 peers, ~2400 randomly
+// chosen peers form the overlay and the remaining ~100 are targets;
+// 5000 closest-peer queries are launched at randomly chosen targets.
+// Metrics follow Figs 8-9: probability the found peer is the exact
+// closest member, probability it is at least in the target's cluster,
+// and — for wrong answers — the latency from the found peer's
+// end-network to its cluster-hub (the load-concentration effect the
+// paper discusses for large delta).
+#pragma once
+
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+#include "matrix/generators.h"
+#include "util/rng.h"
+
+namespace np::core {
+
+struct ExperimentConfig {
+  /// Number of peers placed in the overlay; the rest become targets.
+  NodeId overlay_size = 2400;
+  /// Closest-peer queries to launch (targets drawn with replacement).
+  int num_queries = 5000;
+  /// Found counts as exact-closest if its latency to the target is
+  /// within this of the true closest member's latency (tie handling).
+  LatencyMs tie_epsilon_ms = 1e-9;
+  /// Multiplicative jitter applied to every query-time probe (0 =
+  /// noise-free, the paper's §4 simulator setting). Scoring always
+  /// uses true latencies.
+  double measurement_noise_frac = 0.0;
+  /// Absolute (distance-independent) probe noise, ms.
+  double measurement_noise_floor_ms = 0.0;
+};
+
+struct ClusteredMetrics {
+  int num_queries = 0;
+  /// P(found peer is the correct closest peer) — Fig 8 left axis,
+  /// Fig 9 left axis.
+  double p_exact_closest = 0.0;
+  /// P(found peer in the same cluster as the target) — Fig 8 right.
+  double p_correct_cluster = 0.0;
+  /// P(found peer in the same end-network as the target).
+  double p_same_net = 0.0;
+  /// Median latency from the found peer to its cluster-hub, over
+  /// queries that did NOT find the exact closest — Fig 9 right axis.
+  double median_wrong_hub_latency_ms = 0.0;
+  /// Mean latency target -> found peer.
+  double mean_found_latency_ms = 0.0;
+  /// Mean query-time probe count and overlay hops.
+  double mean_probes = 0.0;
+  double mean_hops = 0.0;
+};
+
+/// Runs `algo` over a clustered world. The algorithm is Build()-ed on a
+/// fresh random overlay; rng drives overlay choice, target choice and
+/// the algorithm's own randomness.
+ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
+                                        NearestPeerAlgorithm& algo,
+                                        const ExperimentConfig& config,
+                                        util::Rng& rng);
+
+struct GenericMetrics {
+  int num_queries = 0;
+  double p_exact_closest = 0.0;
+  /// Mean of found_latency / true_closest_latency (>= 1; 1 == perfect).
+  double mean_stretch = 0.0;
+  /// Mean absolute error vs the true closest latency, ms.
+  double mean_abs_error_ms = 0.0;
+  double mean_probes = 0.0;
+  double mean_hops = 0.0;
+};
+
+/// Same protocol on an arbitrary space (no cluster labels) — used for
+/// the Euclidean control experiments.
+GenericMetrics RunGenericExperiment(const LatencySpace& space,
+                                    NearestPeerAlgorithm& algo,
+                                    const ExperimentConfig& config,
+                                    util::Rng& rng);
+
+/// Splits [0, space_size) into a random overlay of `overlay_size`
+/// members plus the remaining targets.
+struct OverlaySplit {
+  std::vector<NodeId> members;
+  std::vector<NodeId> targets;
+};
+OverlaySplit SplitOverlay(NodeId space_size, NodeId overlay_size,
+                          util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Churn: the paper's systems run under continuous joins/leaves; this
+// runner drives an algorithm's incremental maintenance (AddMember /
+// RemoveMember) through churn waves and measures accuracy after each,
+// then compares against an overlay rebuilt from scratch on the final
+// membership (the maintenance quality bound).
+
+struct ChurnConfig {
+  /// Initial overlay size (members drawn from the space; the rest are
+  /// the join pool / query targets).
+  NodeId initial_overlay = 600;
+  /// Total join/leave events, processed in `waves` equal chunks.
+  int events = 400;
+  /// Probability an event is a join (the rest are leaves).
+  double join_fraction = 0.5;
+  int waves = 4;
+  /// Queries evaluated after each wave.
+  int queries_per_wave = 200;
+  LatencyMs tie_epsilon_ms = 1e-9;
+};
+
+struct ChurnMetrics {
+  /// P(exact closest) measured after each wave, under incremental
+  /// maintenance.
+  std::vector<double> p_exact_per_wave;
+  /// Same queries against `fresh` rebuilt on the final membership.
+  double p_exact_rebuilt = 0.0;
+  int final_members = 0;
+};
+
+/// `algo` must support churn; `fresh` is an equivalent, unbuilt
+/// instance used for the end-state rebuild comparison.
+ChurnMetrics RunChurnExperiment(const LatencySpace& space,
+                                NearestPeerAlgorithm& algo,
+                                NearestPeerAlgorithm& fresh,
+                                const ChurnConfig& config, util::Rng& rng);
+
+}  // namespace np::core

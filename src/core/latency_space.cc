@@ -1,0 +1,5 @@
+#include "core/latency_space.h"
+
+// Interfaces are header-only; this TU pins the vtables.
+
+namespace np::core {}  // namespace np::core

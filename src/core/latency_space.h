@@ -1,0 +1,107 @@
+// The latency-space abstraction every nearest-peer algorithm runs on.
+//
+// A LatencySpace answers "what is the RTT between node a and node b".
+// Implementations are matrix-backed (the §4 simulations) or
+// topology-backed (the §3/§5 synthetic Internet). MeteredSpace wraps a
+// space and counts probes, which is how the experiment runner accounts
+// for the paper's "number of latency probes performed" lower bound.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "matrix/latency_matrix.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace np::core {
+
+class LatencySpace {
+ public:
+  virtual ~LatencySpace() = default;
+
+  /// Number of nodes; valid ids are [0, size).
+  virtual NodeId size() const = 0;
+
+  /// Round-trip latency in ms between two nodes; 0 for a == b.
+  virtual LatencyMs Latency(NodeId a, NodeId b) const = 0;
+};
+
+/// Non-owning view over a LatencyMatrix. The matrix must outlive the
+/// space (the experiment runner owns both).
+class MatrixSpace final : public LatencySpace {
+ public:
+  explicit MatrixSpace(const matrix::LatencyMatrix& m) : m_(&m) {}
+
+  NodeId size() const override { return m_->size(); }
+  LatencyMs Latency(NodeId a, NodeId b) const override { return m_->At(a, b); }
+
+ private:
+  const matrix::LatencyMatrix* m_;
+};
+
+/// Measurement-noise decorator: each probe returns the true latency
+/// with fresh multiplicative Gaussian jitter. This models the paper's
+/// premise that algorithms "cannot reliably use the differences between
+/// these latencies" — without it, a noise-free matrix lets triangulation
+/// schemes (e.g. Beaconing) distinguish equidistant peers by exact
+/// arithmetic, which no real deployment can.
+class NoisySpace final : public LatencySpace {
+ public:
+  /// jitter_frac scales with the RTT (path-length effects);
+  /// floor_ms is the absolute component every real measurement carries
+  /// (queueing, kernel scheduling) regardless of distance.
+  NoisySpace(const LatencySpace& inner, double jitter_frac,
+             std::uint64_t seed, double floor_ms = 0.0)
+      : inner_(&inner),
+        jitter_frac_(jitter_frac),
+        floor_ms_(floor_ms),
+        rng_(seed) {}
+
+  NodeId size() const override { return inner_->size(); }
+
+  LatencyMs Latency(NodeId a, NodeId b) const override {
+    const LatencyMs true_ms = inner_->Latency(a, b);
+    if (a == b || (jitter_frac_ <= 0.0 && floor_ms_ <= 0.0)) {
+      return true_ms;
+    }
+    double noisy = true_ms;
+    if (jitter_frac_ > 0.0) {
+      noisy += true_ms * rng_.Gaussian(0.0, jitter_frac_);
+    }
+    if (floor_ms_ > 0.0) {
+      noisy += rng_.Gaussian(0.0, floor_ms_);
+    }
+    return std::max(noisy, 0.001);
+  }
+
+ private:
+  const LatencySpace* inner_;
+  double jitter_frac_;
+  double floor_ms_;
+  mutable util::Rng rng_;
+};
+
+/// Probe-counting decorator. Algorithms receive a MeteredSpace so that
+/// every latency measurement they perform is accounted; reads of the
+/// same pair are counted each time (a real system pays for each probe).
+class MeteredSpace final : public LatencySpace {
+ public:
+  explicit MeteredSpace(const LatencySpace& inner) : inner_(&inner) {}
+
+  NodeId size() const override { return inner_->size(); }
+
+  LatencyMs Latency(NodeId a, NodeId b) const override {
+    ++probes_;
+    return inner_->Latency(a, b);
+  }
+
+  std::uint64_t probes() const { return probes_; }
+  void ResetProbes() const { probes_ = 0; }
+
+ private:
+  const LatencySpace* inner_;
+  mutable std::uint64_t probes_ = 0;
+};
+
+}  // namespace np::core

@@ -1,0 +1,85 @@
+#include "core/nearest_algorithm.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace np::core {
+
+void NearestPeerAlgorithm::AddMember(NodeId node, util::Rng& rng) {
+  (void)node;
+  (void)rng;
+  NP_ENSURE(false, "this algorithm does not support churn; rebuild instead");
+}
+
+void NearestPeerAlgorithm::RemoveMember(NodeId node) {
+  (void)node;
+  NP_ENSURE(false, "this algorithm does not support churn; rebuild instead");
+}
+
+void OracleNearest::Build(const LatencySpace& space,
+                          std::vector<NodeId> members, util::Rng& rng) {
+  (void)rng;
+  NP_ENSURE(!members.empty(), "oracle requires at least one member");
+  space_ = &space;
+  members_ = std::move(members);
+}
+
+QueryResult OracleNearest::FindNearest(NodeId target,
+                                       const MeteredSpace& metered,
+                                       util::Rng& rng) {
+  (void)rng;
+  NP_ENSURE(space_ != nullptr, "Build must be called before FindNearest");
+  QueryResult result;
+  for (NodeId member : members_) {
+    const LatencyMs latency = metered.Latency(member, target);
+    ++result.probes;
+    if (latency < result.found_latency_ms ||
+        (latency == result.found_latency_ms && member < result.found)) {
+      result.found_latency_ms = latency;
+      result.found = member;
+    }
+  }
+  result.hops = 0;
+  return result;
+}
+
+void RandomNearest::Build(const LatencySpace& space,
+                          std::vector<NodeId> members, util::Rng& rng) {
+  (void)space;
+  (void)rng;
+  NP_ENSURE(!members.empty(), "random requires at least one member");
+  members_ = std::move(members);
+}
+
+QueryResult RandomNearest::FindNearest(NodeId target,
+                                       const MeteredSpace& metered,
+                                       util::Rng& rng) {
+  QueryResult result;
+  result.found = members_[rng.Index(members_.size())];
+  result.found_latency_ms = metered.Latency(result.found, target);
+  result.probes = 1;
+  result.hops = 0;
+  return result;
+}
+
+NodeId TrueClosestMember(const LatencySpace& space,
+                         const std::vector<NodeId>& members, NodeId target) {
+  NP_ENSURE(!members.empty(), "no members");
+  NodeId best = kInvalidNode;
+  LatencyMs best_latency = kInfiniteLatency;
+  for (NodeId member : members) {
+    if (member == target) {
+      continue;
+    }
+    const LatencyMs latency = space.Latency(member, target);
+    if (latency < best_latency ||
+        (latency == best_latency && member < best)) {
+      best_latency = latency;
+      best = member;
+    }
+  }
+  return best;
+}
+
+}  // namespace np::core

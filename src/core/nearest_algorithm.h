@@ -1,0 +1,106 @@
+// Common interface implemented by every nearest-peer scheme in this
+// repository (Meridian, Karger-Ruhl, Tapestry-style, Tiers, Beaconing,
+// PIC-style coordinate walks, and the §5 hybrids), mirroring the
+// paper's framing: "A search for the closest peer ... starts off from a
+// random peer, selects among the neighbors of those peers to find
+// closer peers, recursing until it discovers (ideally) the desired
+// closest peer."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/latency_space.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace np::core {
+
+/// Outcome of a single closest-peer query.
+struct QueryResult {
+  /// The overlay member the algorithm returned (kInvalidNode if the
+  /// algorithm failed to return anything — never expected).
+  NodeId found = kInvalidNode;
+  /// Latency from the target to `found`, ms.
+  LatencyMs found_latency_ms = kInfiniteLatency;
+  /// Overlay forwarding hops the query traversed.
+  int hops = 0;
+  /// Latency probes issued while resolving this query.
+  std::uint64_t probes = 0;
+};
+
+class NearestPeerAlgorithm {
+ public:
+  virtual ~NearestPeerAlgorithm() = default;
+
+  /// Incremental membership (churn). Algorithms that maintain overlay
+  /// state under joins/leaves override these; the default refuses, and
+  /// callers can test support with SupportsChurn().
+  virtual bool SupportsChurn() const { return false; }
+  virtual void AddMember(NodeId node, util::Rng& rng);
+  virtual void RemoveMember(NodeId node);
+
+  /// Short identifier used in bench output.
+  virtual std::string name() const = 0;
+
+  /// Builds overlay state over `members` (ids into `space`). The space
+  /// must outlive the algorithm. Build-time probing is not metered —
+  /// the paper's cost argument concerns query-time probes against a
+  /// *new* target whose latencies cannot have been measured before.
+  virtual void Build(const LatencySpace& space, std::vector<NodeId> members,
+                     util::Rng& rng) = 0;
+
+  /// Finds the member closest to `target`. `target` is usually not a
+  /// member (the paper keeps 100 targets out of the overlay). Probes
+  /// issued against the target must go through `metered` so they are
+  /// charged to the query.
+  virtual QueryResult FindNearest(NodeId target, const MeteredSpace& metered,
+                                  util::Rng& rng) = 0;
+
+  /// Members the overlay was built over.
+  virtual const std::vector<NodeId>& members() const = 0;
+};
+
+/// Brute-force oracle: probes every member. Defines ground truth and
+/// the upper bound on achievable accuracy.
+class OracleNearest final : public NearestPeerAlgorithm {
+ public:
+  std::string name() const override { return "oracle"; }
+
+  void Build(const LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  QueryResult FindNearest(NodeId target, const MeteredSpace& metered,
+                          util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+ private:
+  const LatencySpace* space_ = nullptr;
+  std::vector<NodeId> members_;
+};
+
+/// Uniform random member — the floor every algorithm must beat.
+class RandomNearest final : public NearestPeerAlgorithm {
+ public:
+  std::string name() const override { return "random"; }
+
+  void Build(const LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  QueryResult FindNearest(NodeId target, const MeteredSpace& metered,
+                          util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+ private:
+  std::vector<NodeId> members_;
+};
+
+/// True closest member to `target` by exhaustive scan (unmetered).
+/// Ties broken by lower id.
+NodeId TrueClosestMember(const LatencySpace& space,
+                         const std::vector<NodeId>& members, NodeId target);
+
+}  // namespace np::core

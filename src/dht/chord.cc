@@ -1,0 +1,152 @@
+#include "dht/chord.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace np::dht {
+
+ChordKey HashToRing(std::uint64_t raw) { return util::Mix64(raw); }
+
+bool ChordRing::InInterval(ChordKey x, ChordKey from, ChordKey to) {
+  // Half-open (from, to] on the ring.
+  if (from < to) {
+    return x > from && x <= to;
+  }
+  if (from > to) {
+    return x > from || x <= to;
+  }
+  return true;  // from == to: the interval is the whole ring
+}
+
+ChordRing::ChordRing(std::vector<NodeId> nodes, const ChordConfig& config)
+    : config_(config), nodes_(std::move(nodes)) {
+  NP_ENSURE(!nodes_.empty(), "Chord ring requires at least one node");
+  ring_.reserve(nodes_.size());
+  for (NodeId node : nodes_) {
+    RingNode rn;
+    rn.id = util::Mix64(static_cast<std::uint64_t>(node) ^ config_.id_salt);
+    rn.node = node;
+    ring_.push_back(std::move(rn));
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingNode& a, const RingNode& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < ring_.size(); ++i) {
+    NP_ENSURE(ring_[i].id != ring_[i - 1].id,
+              "Chord id collision; change the id salt");
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    node_to_ring_[ring_[i].node] = i;
+  }
+  // Fully converged finger tables: finger[i] = successor(id + 2^i).
+  for (RingNode& rn : ring_) {
+    rn.fingers.resize(64);
+    for (int i = 0; i < 64; ++i) {
+      const ChordKey target = rn.id + (ChordKey{1} << i);
+      rn.fingers[static_cast<std::size_t>(i)] =
+          static_cast<std::uint32_t>(SuccessorIndex(target));
+    }
+  }
+}
+
+std::size_t ChordRing::SuccessorIndex(ChordKey key) const {
+  // First ring node with id >= key, wrapping.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const RingNode& rn, ChordKey k) { return rn.id < k; });
+  if (it == ring_.end()) {
+    return 0;
+  }
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+ChordKey ChordRing::IdOf(NodeId node) const {
+  const auto it = node_to_ring_.find(node);
+  NP_ENSURE(it != node_to_ring_.end(), "node not in the ring");
+  return ring_[it->second].id;
+}
+
+NodeId ChordRing::OwnerOf(ChordKey key) const {
+  return ring_[SuccessorIndex(key)].node;
+}
+
+ChordRing::LookupResult ChordRing::Lookup(ChordKey key, NodeId start) const {
+  const auto it = node_to_ring_.find(start);
+  NP_ENSURE(it != node_to_ring_.end(), "lookup must start at a member");
+  std::size_t current = it->second;
+  LookupResult result;
+
+  // Iterative routing: while the key is not owned by current's
+  // successor, jump to the closest preceding finger.
+  const std::size_t max_hops = 2 * 64 + ring_.size();
+  for (std::size_t guard = 0; guard < max_hops; ++guard) {
+    const RingNode& cur = ring_[current];
+    const std::size_t successor = (current + 1) % ring_.size();
+    if (cur.node == OwnerOf(key)) {
+      result.owner = cur.node;
+      return result;
+    }
+    if (InInterval(key, cur.id, ring_[successor].id)) {
+      result.owner = ring_[successor].node;
+      ++result.hops;
+      return result;
+    }
+    // Closest preceding finger of key.
+    std::size_t next = successor;
+    for (int i = 63; i >= 0; --i) {
+      const std::size_t f = cur.fingers[static_cast<std::size_t>(i)];
+      if (f != current && InInterval(ring_[f].id, cur.id, key - 1)) {
+        next = f;
+        break;
+      }
+    }
+    current = next;
+    ++result.hops;
+  }
+  NP_ENSURE(false, "Chord lookup failed to converge");
+  return result;
+}
+
+ChordRing::LookupResult ChordRing::Lookup(ChordKey key,
+                                          util::Rng& rng) const {
+  return Lookup(key, nodes_[rng.Index(nodes_.size())]);
+}
+
+ChordRing::LookupResult ChordRing::Put(ChordKey key, ChordValue value,
+                                       util::Rng& rng) {
+  const LookupResult route = Lookup(key, rng);
+  storage_[route.owner][key].push_back(value);
+  ++total_stored_;
+  return route;
+}
+
+std::vector<ChordValue> ChordRing::Get(ChordKey key, util::Rng& rng,
+                                       LookupResult* route_out) const {
+  const LookupResult route = Lookup(key, rng);
+  if (route_out != nullptr) {
+    *route_out = route;
+  }
+  const auto node_it = storage_.find(route.owner);
+  if (node_it == storage_.end()) {
+    return {};
+  }
+  const auto key_it = node_it->second.find(key);
+  if (key_it == node_it->second.end()) {
+    return {};
+  }
+  return key_it->second;
+}
+
+std::size_t ChordRing::StoredAt(NodeId node) const {
+  const auto it = storage_.find(node);
+  if (it == storage_.end()) {
+    return 0;
+  }
+  std::size_t count = 0;
+  for (const auto& [key, values] : it->second) {
+    count += values.size();
+  }
+  return count;
+}
+
+}  // namespace np::dht

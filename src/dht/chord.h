@@ -1,0 +1,102 @@
+// Chord distributed hash table (Stoica et al., SIGCOMM'01), the
+// key-value substrate §5 proposes for the UCL / IP-prefix mappings:
+// "The participant peers can themselves host the key-value maps
+// required above, using one of several distributed hash table designs
+// available (Chord, CAN, Pastry...). Many DHTs assume that keys are
+// uniformly distributed, which may not be the case with IP addresses.
+// In such scenarios, the IP addresses can be hashed."
+//
+// This is a simulation-grade Chord: a 64-bit identifier ring with
+// finger tables and iterative lookups that count routing hops; the
+// multimap store lives at each key's successor node.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace np::dht {
+
+using ChordKey = std::uint64_t;
+using ChordValue = std::uint64_t;
+
+/// Uniformly hashes an arbitrary 64-bit key (e.g. an IP prefix or a
+/// router id) onto the ring, as §5 prescribes for non-uniform keys.
+ChordKey HashToRing(std::uint64_t raw);
+
+struct ChordConfig {
+  /// Salt mixed into node identifiers (lets tests build distinct rings
+  /// from the same node set).
+  std::uint64_t id_salt = 0x5eed;
+};
+
+class ChordRing {
+ public:
+  /// Builds a ring over the given nodes (ids are arbitrary but
+  /// distinct). Finger tables are built fully converged.
+  ChordRing(std::vector<NodeId> nodes, const ChordConfig& config);
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// The Chord identifier of a node.
+  ChordKey IdOf(NodeId node) const;
+
+  /// Ground truth: the node whose identifier is the successor of the
+  /// key on the ring.
+  NodeId OwnerOf(ChordKey key) const;
+
+  struct LookupResult {
+    NodeId owner = kInvalidNode;
+    /// Routing hops taken (0 when the start node already owns the key).
+    int hops = 0;
+  };
+
+  /// Iterative lookup from `start` using finger tables. The returned
+  /// owner always equals OwnerOf(key).
+  LookupResult Lookup(ChordKey key, NodeId start) const;
+
+  /// Lookup from a random member.
+  LookupResult Lookup(ChordKey key, util::Rng& rng) const;
+
+  /// Routed store/retrieve: routes to the owner (counting hops), then
+  /// appends / reads the multimap at the owner.
+  LookupResult Put(ChordKey key, ChordValue value, util::Rng& rng);
+  std::vector<ChordValue> Get(ChordKey key, util::Rng& rng,
+                              LookupResult* route = nullptr) const;
+
+  /// Number of stored (key, value) entries at one node — load metric.
+  std::size_t StoredAt(NodeId node) const;
+
+  /// Total values stored.
+  std::size_t total_stored() const { return total_stored_; }
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+ private:
+  /// Index into ring_ of the successor of `key`.
+  std::size_t SuccessorIndex(ChordKey key) const;
+
+  /// True iff x is in the half-open ring interval (from, to].
+  static bool InInterval(ChordKey x, ChordKey from, ChordKey to);
+
+  struct RingNode {
+    ChordKey id = 0;
+    NodeId node = kInvalidNode;
+    /// finger[i] = index (into ring_) of successor(id + 2^i).
+    std::vector<std::uint32_t> fingers;
+  };
+
+  ChordConfig config_;
+  std::vector<NodeId> nodes_;
+  std::vector<RingNode> ring_;  // sorted by id
+  std::unordered_map<NodeId, std::size_t> node_to_ring_;
+  std::unordered_map<NodeId,
+                     std::unordered_map<ChordKey, std::vector<ChordValue>>>
+      storage_;
+  std::size_t total_stored_ = 0;
+};
+
+}  // namespace np::dht

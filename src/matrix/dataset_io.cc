@@ -1,0 +1,153 @@
+#include "matrix/dataset_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace np::matrix {
+
+namespace {
+
+double ToMilliseconds(double value, LatencyUnit unit) {
+  return unit == LatencyUnit::kMicroseconds ? value / 1000.0 : value;
+}
+
+/// Replaces non-positive entries with the median of the row's positive
+/// entries (the MIT King file marks unreachable pairs with 0/-1).
+void PatchRow(LatencyMatrix& m, NodeId row) {
+  std::vector<double> positive;
+  for (NodeId j = 0; j < m.size(); ++j) {
+    if (j != row && m.At(row, j) > 0.0) {
+      positive.push_back(m.At(row, j));
+    }
+  }
+  if (positive.empty()) {
+    return;  // fully isolated row: leave zeros, caller's problem
+  }
+  const double median = util::Percentile(std::move(positive), 50.0);
+  for (NodeId j = 0; j < m.size(); ++j) {
+    if (j != row && m.At(row, j) <= 0.0) {
+      m.Set(row, j, median);
+    }
+  }
+}
+
+}  // namespace
+
+LatencyMatrix LoadDenseMatrix(std::istream& is, LatencyUnit unit) {
+  NodeId n = 0;
+  is >> n;
+  if (!is.good() || n < 1) {
+    throw util::Error("dense matrix: missing or invalid size header");
+  }
+  LatencyMatrix m(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      double value = 0.0;
+      is >> value;
+      if (is.fail()) {
+        std::ostringstream err;
+        err << "dense matrix: truncated at row " << i << " col " << j;
+        throw util::Error(err.str());
+      }
+      if (i == j) {
+        continue;
+      }
+      const double ms = ToMilliseconds(value, unit);
+      if (i < j) {
+        m.Set(i, j, std::max(ms, 0.0));
+      } else {
+        // Average with the transposed entry (King files are noisy and
+        // mildly asymmetric; latency spaces here are symmetric).
+        const double other = m.At(i, j);
+        if (other > 0.0 && ms > 0.0) {
+          m.Set(i, j, 0.5 * (other + ms));
+        } else if (ms > 0.0) {
+          m.Set(i, j, ms);
+        }
+      }
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    PatchRow(m, i);
+  }
+  return m;
+}
+
+LatencyMatrix LoadDenseMatrixFromFile(const std::string& path,
+                                      LatencyUnit unit) {
+  std::ifstream is(path);
+  NP_ENSURE(is.good(), "cannot open dataset file: " + path);
+  return LoadDenseMatrix(is, unit);
+}
+
+LatencyMatrix LoadTripleList(std::istream& is) {
+  struct Accumulator {
+    double sum = 0.0;
+    int count = 0;
+  };
+  std::map<std::pair<long, long>, Accumulator> pairs;
+  long min_id = std::numeric_limits<long>::max();
+  long max_id = std::numeric_limits<long>::min();
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    long a = 0;
+    long b = 0;
+    double rtt = 0.0;
+    if (!(ls >> a >> b >> rtt)) {
+      throw util::Error("triple list: malformed line: " + line);
+    }
+    if (a == b || rtt <= 0.0) {
+      continue;
+    }
+    min_id = std::min({min_id, a, b});
+    max_id = std::max({max_id, a, b});
+    auto key = std::minmax(a, b);
+    auto& acc = pairs[{key.first, key.second}];
+    acc.sum += rtt;
+    acc.count += 1;
+  }
+  if (pairs.empty()) {
+    throw util::Error("triple list: no valid entries");
+  }
+  NP_ENSURE(min_id >= 0, "triple list: negative node id");
+  const auto n = static_cast<NodeId>(max_id - min_id + 1);
+  LatencyMatrix m(n);
+  std::vector<double> all;
+  all.reserve(pairs.size());
+  for (const auto& [key, acc] : pairs) {
+    const double mean = acc.sum / acc.count;
+    m.Set(static_cast<NodeId>(key.first - min_id),
+          static_cast<NodeId>(key.second - min_id), mean);
+    all.push_back(mean);
+  }
+  // Patch missing pairs with the global median so the matrix is fully
+  // usable as a latency space.
+  const double median = util::Percentile(std::move(all), 50.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (m.At(i, j) <= 0.0) {
+        m.Set(i, j, median);
+      }
+    }
+  }
+  return m;
+}
+
+LatencyMatrix LoadTripleListFromFile(const std::string& path) {
+  std::ifstream is(path);
+  NP_ENSURE(is.good(), "cannot open dataset file: " + path);
+  return LoadTripleList(is);
+}
+
+}  // namespace np::matrix

@@ -1,0 +1,38 @@
+// Loaders for the public latency datasets this reproduction's
+// synthetic King-like generator stands in for. If you have the real
+// files, load them here and pass the matrix anywhere a hub base /
+// latency space is accepted (e.g. GenerateClustered's hub_base).
+//
+// Supported formats:
+//  * Dense matrix (p2psim / MIT King style): first line `n`, then n
+//    rows of n numbers; units selectable (the MIT file is microsecond
+//    RTTs). Unreachable entries (<= 0) are patched to the row median.
+//  * Triple list (Meridian / PlanetLab style): lines of `a b rtt`
+//    with 0-based or 1-based ids, rtt in milliseconds; missing pairs
+//    patched to the global median; asymmetric entries averaged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/latency_matrix.h"
+
+namespace np::matrix {
+
+enum class LatencyUnit {
+  kMicroseconds,
+  kMilliseconds,
+};
+
+/// Parses a dense n x n matrix. Throws np::util::Error on malformed
+/// input (missing header, short rows, non-numeric cells).
+LatencyMatrix LoadDenseMatrix(std::istream& is, LatencyUnit unit);
+LatencyMatrix LoadDenseMatrixFromFile(const std::string& path,
+                                      LatencyUnit unit);
+
+/// Parses `a b rtt_ms` triples; node ids may start at 0 or 1 (detected
+/// from the minimum id). Lines starting with '#' are comments.
+LatencyMatrix LoadTripleList(std::istream& is);
+LatencyMatrix LoadTripleListFromFile(const std::string& path);
+
+}  // namespace np::matrix

@@ -1,0 +1,118 @@
+#include "matrix/latency_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace np::matrix {
+
+LatencyMatrix::LatencyMatrix(NodeId n, LatencyMs fill) : n_(n) {
+  NP_ENSURE(n >= 1, "LatencyMatrix requires n >= 1");
+  const std::size_t entries =
+      static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) - 1) / 2;
+  store_.assign(entries, fill);
+}
+
+void LatencyMatrix::Set(NodeId a, NodeId b, LatencyMs value) {
+  CheckNode(a);
+  CheckNode(b);
+  NP_ENSURE(a != b, "cannot set the diagonal");
+  NP_ENSURE(value >= 0.0, "latency must be non-negative");
+  store_[TriIndex(a, b)] = value;
+}
+
+bool LatencyMatrix::IsValid() const {
+  for (LatencyMs v : store_) {
+    if (!(v >= 0.0) || !std::isfinite(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double LatencyMatrix::MaxTriangleViolation() const {
+  double worst = 1.0;
+  for (NodeId i = 0; i < n_; ++i) {
+    for (NodeId j = i + 1; j < n_; ++j) {
+      const LatencyMs direct = At(i, j);
+      if (direct == 0.0) {
+        continue;
+      }
+      for (NodeId k = 0; k < n_; ++k) {
+        if (k == i || k == j) {
+          continue;
+        }
+        const LatencyMs detour = At(i, k) + At(k, j);
+        if (detour > 0.0) {
+          worst = std::max(worst, direct / detour);
+        }
+      }
+    }
+  }
+  return worst - 1.0;
+}
+
+void LatencyMatrix::MetricRepair() {
+  // Floyd-Warshall over the symmetric matrix; afterwards At(i,j) is the
+  // shortest path, which always satisfies the triangle inequality.
+  for (NodeId k = 0; k < n_; ++k) {
+    for (NodeId i = 0; i < n_; ++i) {
+      if (i == k) {
+        continue;
+      }
+      const LatencyMs d_ik = At(i, k);
+      for (NodeId j = i + 1; j < n_; ++j) {
+        if (j == k) {
+          continue;
+        }
+        const LatencyMs through = d_ik + At(k, j);
+        if (through < At(i, j)) {
+          Set(i, j, through);
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> LatencyMatrix::NearestTo(NodeId from,
+                                             std::size_t count) const {
+  CheckNode(from);
+  std::vector<NodeId> others;
+  others.reserve(static_cast<std::size_t>(n_) - 1);
+  for (NodeId i = 0; i < n_; ++i) {
+    if (i != from) {
+      others.push_back(i);
+    }
+  }
+  const std::size_t k = std::min(count, others.size());
+  std::partial_sort(others.begin(), others.begin() + static_cast<long>(k),
+                    others.end(), [&](NodeId a, NodeId b) {
+                      const LatencyMs la = At(from, a);
+                      const LatencyMs lb = At(from, b);
+                      if (la != lb) {
+                        return la < lb;
+                      }
+                      return a < b;
+                    });
+  others.resize(k);
+  return others;
+}
+
+NodeId LatencyMatrix::ClosestTo(NodeId from) const {
+  CheckNode(from);
+  NodeId best = kInvalidNode;
+  LatencyMs best_latency = kInfiniteLatency;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (i == from) {
+      continue;
+    }
+    const LatencyMs l = At(from, i);
+    if (l < best_latency) {
+      best_latency = l;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace np::matrix

@@ -1,0 +1,76 @@
+// Dense symmetric latency matrix.
+//
+// The Meridian-style simulations (paper §4) run on inter-peer latency
+// matrices of a few thousand nodes; a dense lower-triangular store keeps
+// lookups O(1) and the full Fig 8 sweep in tens of MB.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+#include "util/types.h"
+
+namespace np::matrix {
+
+class LatencyMatrix {
+ public:
+  /// Creates an n x n matrix with zero diagonal and `fill` elsewhere.
+  explicit LatencyMatrix(NodeId n, LatencyMs fill = 0.0);
+
+  NodeId size() const { return n_; }
+
+  /// Latency between a and b; 0 for a == b.
+  LatencyMs At(NodeId a, NodeId b) const {
+    CheckNode(a);
+    CheckNode(b);
+    if (a == b) {
+      return 0.0;
+    }
+    return store_[TriIndex(a, b)];
+  }
+
+  /// Sets the symmetric entry (a, b). a != b; latency >= 0.
+  void Set(NodeId a, NodeId b, LatencyMs value);
+
+  /// True if every entry is finite, non-negative, and the diagonal zero.
+  bool IsValid() const;
+
+  /// Largest triangle-inequality violation ratio:
+  ///   max over (i,j,k) of At(i,j) / (At(i,k) + At(k,j)), minus 1.
+  /// 0 means a proper metric. O(n^3); intended for tests and small n.
+  double MaxTriangleViolation() const;
+
+  /// Enforces the triangle inequality by repeatedly relaxing each entry
+  /// to the shortest path through any intermediate node
+  /// (Floyd-Warshall). After repair the matrix is a metric. O(n^3).
+  void MetricRepair();
+
+  /// The n nearest nodes to `from`, ascending by latency, excluding
+  /// `from` itself.
+  std::vector<NodeId> NearestTo(NodeId from, std::size_t count) const;
+
+  /// Exact closest node to `from` (ties broken by lower id);
+  /// kInvalidNode when n == 1.
+  NodeId ClosestTo(NodeId from) const;
+
+ private:
+  void CheckNode(NodeId a) const {
+    NP_ENSURE(a >= 0 && a < n_, "node id out of range");
+  }
+
+  // Lower-triangular packed index for a != b.
+  std::size_t TriIndex(NodeId a, NodeId b) const {
+    if (a < b) {
+      std::swap(a, b);
+    }
+    return static_cast<std::size_t>(a) * (static_cast<std::size_t>(a) - 1) /
+               2 +
+           static_cast<std::size_t>(b);
+  }
+
+  NodeId n_;
+  std::vector<LatencyMs> store_;
+};
+
+}  // namespace np::matrix

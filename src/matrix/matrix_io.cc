@@ -1,0 +1,65 @@
+#include "matrix/matrix_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace np::matrix {
+
+void SaveMatrix(const LatencyMatrix& m, std::ostream& os) {
+  os << "np-latency-matrix v1 " << m.size() << '\n';
+  os << std::setprecision(9);
+  for (NodeId i = 1; i < m.size(); ++i) {
+    for (NodeId j = 0; j < i; ++j) {
+      if (j > 0) {
+        os << ' ';
+      }
+      os << m.At(i, j);
+    }
+    os << '\n';
+  }
+}
+
+void SaveMatrixToFile(const LatencyMatrix& m, const std::string& path) {
+  std::ofstream os(path);
+  NP_ENSURE(os.good(), "cannot open matrix file for writing: " + path);
+  SaveMatrix(m, os);
+  NP_ENSURE(os.good(), "write failed: " + path);
+}
+
+LatencyMatrix LoadMatrix(std::istream& is) {
+  std::string magic;
+  std::string version;
+  NodeId n = 0;
+  is >> magic >> version >> n;
+  if (!is.good() || magic != "np-latency-matrix" || version != "v1" || n < 1) {
+    throw util::Error("malformed latency matrix header");
+  }
+  LatencyMatrix m(n);
+  for (NodeId i = 1; i < n; ++i) {
+    for (NodeId j = 0; j < i; ++j) {
+      LatencyMs v = 0.0;
+      is >> v;
+      if (is.fail()) {
+        std::ostringstream err;
+        err << "truncated latency matrix at row " << i;
+        throw util::Error(err.str());
+      }
+      if (v < 0.0) {
+        throw util::Error("negative latency in matrix file");
+      }
+      m.Set(i, j, v);
+    }
+  }
+  return m;
+}
+
+LatencyMatrix LoadMatrixFromFile(const std::string& path) {
+  std::ifstream is(path);
+  NP_ENSURE(is.good(), "cannot open matrix file for reading: " + path);
+  return LoadMatrix(is);
+}
+
+}  // namespace np::matrix

@@ -1,0 +1,24 @@
+// Text serialization for latency matrices, so generated worlds can be
+// saved, diffed, and reloaded by external tooling.
+//
+// Format:
+//   line 1: "np-latency-matrix v1 <n>"
+//   then one line per row i in [1, n): the i entries At(i, 0..i-1),
+//   space-separated, in milliseconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/latency_matrix.h"
+
+namespace np::matrix {
+
+void SaveMatrix(const LatencyMatrix& m, std::ostream& os);
+void SaveMatrixToFile(const LatencyMatrix& m, const std::string& path);
+
+/// Throws np::util::Error on malformed input.
+LatencyMatrix LoadMatrix(std::istream& is);
+LatencyMatrix LoadMatrixFromFile(const std::string& path);
+
+}  // namespace np::matrix

@@ -1,0 +1,169 @@
+#include "measure/path_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace np::measure {
+
+namespace {
+/// RTT differences can come out slightly negative under jitter; clamp
+/// to a small positive weight so Dijkstra stays valid.
+constexpr double kMinEdgeWeight = 0.01;
+}  // namespace
+
+std::int32_t PathGraph::NodeForPeer(NodeId peer) {
+  const auto it = peer_to_node_.find(peer);
+  if (it != peer_to_node_.end()) {
+    return it->second;
+  }
+  const auto node = static_cast<std::int32_t>(adjacency_.size());
+  peer_to_node_.emplace(peer, node);
+  adjacency_.emplace_back();
+  node_peer_.push_back(peer);
+  node_is_router_.push_back(false);
+  peers_.push_back(peer);
+  return node;
+}
+
+std::int32_t PathGraph::NodeForRouter(RouterId router) {
+  const auto it = router_to_node_.find(router);
+  if (it != router_to_node_.end()) {
+    return it->second;
+  }
+  const auto node = static_cast<std::int32_t>(adjacency_.size());
+  router_to_node_.emplace(router, node);
+  adjacency_.emplace_back();
+  node_peer_.push_back(kInvalidNode);
+  node_is_router_.push_back(true);
+  return node;
+}
+
+void PathGraph::AddEdge(std::int32_t u, std::int32_t v, double weight) {
+  weight = std::max(weight, kMinEdgeWeight);
+  // Aggregate repeated observations of an edge by their mean: RTT
+  // differences are unbiased but noisy, and taking the minimum instead
+  // would systematically underestimate short links observed many
+  // times.
+  for (Edge& e : adjacency_[static_cast<std::size_t>(u)]) {
+    if (e.to == v) {
+      e.observations += 1;
+      e.weight += (weight - e.weight) / e.observations;
+      for (Edge& back : adjacency_[static_cast<std::size_t>(v)]) {
+        if (back.to == u) {
+          back.observations = e.observations;
+          back.weight = e.weight;
+          break;
+        }
+      }
+      return;
+    }
+  }
+  adjacency_[static_cast<std::size_t>(u)].push_back(Edge{v, weight, 1});
+  adjacency_[static_cast<std::size_t>(v)].push_back(Edge{u, weight, 1});
+  ++edge_count_;
+}
+
+PathGraph PathGraph::Build(const net::Topology& topology, net::Tools& tools,
+                           const std::vector<NodeId>& peers) {
+  PathGraph graph;
+  const auto& vantages = topology.vantage_hosts();
+  NP_ENSURE(!vantages.empty(), "no vantage points");
+
+  for (NodeId peer : peers) {
+    // Keep only peers that yield a valid latency (TCP ping or
+    // traceroute destination RTT) from at least one vantage point.
+    bool retained = false;
+    for (NodeId vantage : vantages) {
+      const auto trace = tools.Traceroute(vantage, peer);
+      const auto tcp = tools.TcpPing(vantage, peer);
+
+      // Valid hop sequence: consecutive responding entries become
+      // edges weighted by the RTT difference.
+      std::int32_t prev_node = -1;
+      double prev_rtt = 0.0;
+      for (const auto& hop : trace.hops) {
+        if (!hop.responded) {
+          continue;
+        }
+        const std::int32_t node = graph.NodeForRouter(hop.router);
+        if (prev_node >= 0 && node != prev_node) {
+          graph.AddEdge(prev_node, node, hop.rtt_ms - prev_rtt);
+        }
+        prev_node = node;
+        prev_rtt = hop.rtt_ms;
+      }
+
+      std::optional<LatencyMs> peer_rtt = tcp;
+      if (!peer_rtt.has_value() && trace.dest_responded) {
+        peer_rtt = trace.dest_rtt_ms;
+      }
+      if (peer_rtt.has_value() && prev_node >= 0) {
+        const std::int32_t peer_node = graph.NodeForPeer(peer);
+        graph.AddEdge(prev_node, peer_node, *peer_rtt - prev_rtt);
+        retained = true;
+      }
+    }
+    (void)retained;
+  }
+  return graph;
+}
+
+std::vector<PathGraph::Reach> PathGraph::ClosePeers(NodeId peer,
+                                                    double max_ms) const {
+  std::vector<Reach> out;
+  const auto it = peer_to_node_.find(peer);
+  if (it == peer_to_node_.end()) {
+    return out;
+  }
+  const std::int32_t source = it->second;
+
+  // Bounded Dijkstra with parent tracking for router-hop counts.
+  std::unordered_map<std::int32_t, double> dist;
+  std::unordered_map<std::int32_t, std::int32_t> parent;
+  using Item = std::pair<double, std::int32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    const auto du = dist.find(u);
+    if (du == dist.end() || d > du->second) {
+      continue;
+    }
+    if (u != source && !node_is_router_[static_cast<std::size_t>(u)]) {
+      // A peer node within range: count routers on the path.
+      int hops = 0;
+      std::int32_t walk = u;
+      while (walk != source) {
+        walk = parent.at(walk);
+        if (node_is_router_[static_cast<std::size_t>(walk)]) {
+          ++hops;
+        }
+      }
+      out.push_back(
+          Reach{node_peer_[static_cast<std::size_t>(u)], d, hops});
+    }
+    for (const Edge& e : adjacency_[static_cast<std::size_t>(u)]) {
+      const double nd = d + e.weight;
+      if (nd > max_ms) {
+        continue;
+      }
+      const auto existing = dist.find(e.to);
+      if (existing == dist.end() || nd < existing->second) {
+        dist[e.to] = nd;
+        parent[e.to] = u;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Reach& a, const Reach& b) {
+    return a.latency_ms < b.latency_ms;
+  });
+  return out;
+}
+
+}  // namespace np::measure

@@ -1,0 +1,71 @@
+// Traceroute-derived adjacency graph + Dijkstra (§5 evaluation
+// substrate): "We track the latencies along traceroutes from the
+// Planetlab vantage points to the different peers to get an approximate
+// adjacency matrix ... We run the Dijkstra algorithm over this
+// adjacency matrix to obtain a set of closest peers for each peer."
+//
+// Nodes are peers and routers that reported valid latencies; an edge
+// connects consecutive valid hops with weight = RTT difference. Used
+// for Fig 10 (router hops vs latency) and Fig 11 (prefix FP/FN rates).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/tools.h"
+
+namespace np::measure {
+
+class PathGraph {
+ public:
+  /// Builds the graph from traceroutes vantage -> each peer.
+  /// Peers that respond to neither TCP pings nor traceroutes are kept
+  /// out of the graph (the paper retains 22,796 of 156k).
+  static PathGraph Build(const net::Topology& topology, net::Tools& tools,
+                         const std::vector<NodeId>& peers);
+
+  struct Reach {
+    NodeId peer = kInvalidNode;
+    LatencyMs latency_ms = 0.0;
+    /// Routers on the shortest path between the two peers.
+    int router_hops = 0;
+  };
+
+  /// All peers within max_ms of `peer` (by graph shortest path),
+  /// excluding itself. Bounded Dijkstra.
+  std::vector<Reach> ClosePeers(NodeId peer, double max_ms) const;
+
+  /// Peers that made it into the graph.
+  const std::vector<NodeId>& peers() const { return peers_; }
+
+  bool ContainsPeer(NodeId peer) const {
+    return peer_to_node_.count(peer) > 0;
+  }
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+ private:
+  struct Edge {
+    std::int32_t to = -1;
+    /// Running mean of observed RTT differences.
+    double weight = 0.0;
+    int observations = 0;
+  };
+
+  void AddEdge(std::int32_t u, std::int32_t v, double weight);
+  std::int32_t NodeForPeer(NodeId peer);
+  std::int32_t NodeForRouter(RouterId router);
+
+  std::vector<NodeId> peers_;
+  std::unordered_map<NodeId, std::int32_t> peer_to_node_;
+  std::unordered_map<RouterId, std::int32_t> router_to_node_;
+  /// node index -> peer id, or kInvalidNode for router nodes.
+  std::vector<NodeId> node_peer_;
+  /// node index -> true when the node is a router.
+  std::vector<bool> node_is_router_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace np::measure

@@ -1,0 +1,54 @@
+#include "measure/pop_inference.h"
+
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace np::measure {
+
+std::optional<InferredPop> ClosestUpstreamPop(
+    const net::TracerouteResult& trace) {
+  for (auto it = trace.hops.rbegin(); it != trace.hops.rend(); ++it) {
+    if (it->responded) {
+      return InferredPop{it->annotated_as, it->annotated_city};
+    }
+  }
+  return std::nullopt;
+}
+
+int DeepestHopOfPop(const net::TracerouteResult& trace,
+                    const InferredPop& pop) {
+  for (int i = static_cast<int>(trace.hops.size()) - 1; i >= 0; --i) {
+    const auto& hop = trace.hops[static_cast<std::size_t>(i)];
+    if (hop.responded && hop.annotated_as == pop.as_id &&
+        hop.annotated_city == pop.city_id) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+RouterId DeepestCommonRouter(const net::TracerouteResult& a,
+                             const net::TracerouteResult& b) {
+  std::unordered_set<RouterId> b_routers;
+  for (const auto& hop : b.hops) {
+    if (hop.responded) {
+      b_routers.insert(hop.router);
+    }
+  }
+  for (auto it = a.hops.rbegin(); it != a.hops.rend(); ++it) {
+    if (it->responded && b_routers.count(it->router) > 0) {
+      return it->router;
+    }
+  }
+  return kInvalidRouter;
+}
+
+int HopsFromDestination(const net::TracerouteResult& trace, int hop_index) {
+  NP_ENSURE(hop_index >= 0 &&
+                hop_index < static_cast<int>(trace.hops.size()),
+            "hop index out of range");
+  return static_cast<int>(trace.hops.size()) - hop_index;
+}
+
+}  // namespace np::measure

@@ -1,0 +1,49 @@
+// PoP inference from rockettrace output (§3.1): "We assume that routers
+// annotated with the same AS and city reside in the same ISP PoP", and
+// each destination is mapped to its closest upstream PoP — the
+// (AS, city) annotation of the last responding hop of the trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/tools.h"
+
+namespace np::measure {
+
+/// An inferred PoP: the (annotated AS, annotated city) pair.
+struct InferredPop {
+  int as_id = -1;
+  int city_id = -1;
+
+  bool operator==(const InferredPop& other) const = default;
+
+  /// Hashable key for grouping.
+  std::uint64_t Key() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(as_id))
+            << 32) |
+           static_cast<std::uint32_t>(city_id);
+  }
+};
+
+/// The destination's closest upstream PoP, from the deepest responding
+/// annotated hop. nullopt when no hop responded.
+std::optional<InferredPop> ClosestUpstreamPop(
+    const net::TracerouteResult& trace);
+
+/// Index (into trace.hops) of the deepest responding hop annotated with
+/// `pop`, or -1 if none.
+int DeepestHopOfPop(const net::TracerouteResult& trace,
+                    const InferredPop& pop);
+
+/// The deepest router id responding on BOTH traces, or kInvalidRouter.
+/// "Deepest" = latest position on trace `a`. This is the paper's
+/// "closer router than the PoP" candidate for latency prediction.
+RouterId DeepestCommonRouter(const net::TracerouteResult& a,
+                             const net::TracerouteResult& b);
+
+/// Number of hops between the destination and the hop at `hop_index`
+/// on the trace (the destination itself counts as one hop).
+int HopsFromDestination(const net::TracerouteResult& trace, int hop_index);
+
+}  // namespace np::measure

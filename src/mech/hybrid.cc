@@ -1,0 +1,172 @@
+#include "mech/hybrid.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace np::mech {
+
+const char* MechanismName(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kUcl:
+      return "ucl";
+    case Mechanism::kPrefix:
+      return "prefix";
+    case Mechanism::kMulticast:
+      return "multicast";
+    case Mechanism::kRegistry:
+      return "registry";
+  }
+  return "unknown";
+}
+
+HybridNearest::HybridNearest(
+    const net::Topology& topology, const HybridConfig& config,
+    std::unique_ptr<core::NearestPeerAlgorithm> fallback)
+    : topology_(&topology),
+      config_(config),
+      fallback_(std::move(fallback)) {
+  NP_ENSURE(config_.accept_threshold_ms > 0.0,
+            "accept threshold must be positive");
+  NP_ENSURE(config_.max_probe_candidates >= 1,
+            "must probe at least one candidate");
+}
+
+std::string HybridNearest::name() const {
+  std::string n = std::string("hybrid-") + MechanismName(config_.mechanism);
+  if (fallback_ != nullptr) {
+    n += "+" + fallback_->name();
+  }
+  return n;
+}
+
+void HybridNearest::Build(const core::LatencySpace& space,
+                          std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "hybrid requires members");
+  members_ = std::move(members);
+  queries_ = 0;
+  mechanism_hits_ = 0;
+
+  if (config_.use_chord_map) {
+    map_ = std::make_unique<ChordMap>(members_, /*id_salt=*/0xC0FFEE);
+  } else {
+    map_ = std::make_unique<PerfectMap>();
+  }
+
+  ucl_.reset();
+  prefix_.reset();
+  multicast_.reset();
+  registry_.reset();
+  switch (config_.mechanism) {
+    case Mechanism::kUcl:
+      ucl_ = std::make_unique<UclDirectory>(*map_, config_.ucl);
+      for (NodeId peer : members_) {
+        ucl_->RegisterPeer(*topology_, peer, rng);
+      }
+      break;
+    case Mechanism::kPrefix:
+      prefix_ = std::make_unique<PrefixDirectory>(*map_, config_.prefix_bits);
+      for (NodeId peer : members_) {
+        prefix_->RegisterPeer(*topology_, peer, rng);
+      }
+      break;
+    case Mechanism::kMulticast:
+      multicast_ = std::make_unique<MulticastBootstrap>(*topology_);
+      for (NodeId peer : members_) {
+        multicast_->RegisterPeer(peer);
+      }
+      break;
+    case Mechanism::kRegistry:
+      registry_ = std::make_unique<EndNetworkRegistry>(
+          *topology_, config_.registry_deploy_prob,
+          config_.registry_large_network_hosts, rng);
+      for (NodeId peer : members_) {
+        registry_->RegisterPeer(peer);
+      }
+      break;
+  }
+
+  if (fallback_ != nullptr) {
+    fallback_->Build(space, members_, rng);
+  }
+}
+
+core::QueryResult HybridNearest::FindNearest(NodeId target,
+                                             const core::MeteredSpace& metered,
+                                             util::Rng& rng) {
+  ++queries_;
+
+  // Collect mechanism candidates, cheapest-estimate first for UCL.
+  std::vector<NodeId> candidates;
+  switch (config_.mechanism) {
+    case Mechanism::kUcl: {
+      NP_ENSURE(ucl_ != nullptr, "Build must run before FindNearest");
+      for (const auto& c : ucl_->Candidates(*topology_, target, rng,
+                                            config_.ucl_max_estimate_ms)) {
+        candidates.push_back(c.peer);
+      }
+      break;
+    }
+    case Mechanism::kPrefix:
+      NP_ENSURE(prefix_ != nullptr, "Build must run before FindNearest");
+      candidates = prefix_->Candidates(*topology_, target, rng);
+      break;
+    case Mechanism::kMulticast:
+      NP_ENSURE(multicast_ != nullptr, "Build must run before FindNearest");
+      candidates = multicast_->Search(target);
+      break;
+    case Mechanism::kRegistry:
+      NP_ENSURE(registry_ != nullptr, "Build must run before FindNearest");
+      candidates = registry_->Query(target);
+      break;
+  }
+  if (static_cast<int>(candidates.size()) > config_.max_probe_candidates) {
+    candidates.resize(static_cast<std::size_t>(config_.max_probe_candidates));
+  }
+
+  core::QueryResult result;
+  for (NodeId candidate : candidates) {
+    const LatencyMs d = metered.Latency(candidate, target);
+    ++result.probes;
+    if (d < result.found_latency_ms ||
+        (d == result.found_latency_ms && candidate < result.found)) {
+      result.found_latency_ms = d;
+      result.found = candidate;
+    }
+  }
+
+  if (result.found != kInvalidNode &&
+      result.found_latency_ms <= config_.accept_threshold_ms) {
+    ++mechanism_hits_;
+    return result;
+  }
+
+  if (fallback_ == nullptr) {
+    if (result.found == kInvalidNode) {
+      // Mechanism produced nothing: return a random member so the
+      // query still has an answer (probing it once).
+      result.found = members_[rng.Index(members_.size())];
+      result.found_latency_ms = metered.Latency(result.found, target);
+      ++result.probes;
+    }
+    return result;
+  }
+
+  core::QueryResult fb = fallback_->FindNearest(target, metered, rng);
+  fb.probes += result.probes;
+  if (result.found != kInvalidNode &&
+      result.found_latency_ms < fb.found_latency_ms) {
+    fb.found = result.found;
+    fb.found_latency_ms = result.found_latency_ms;
+  }
+  return fb;
+}
+
+double HybridNearest::mechanism_hit_rate() const {
+  return queries_ == 0
+             ? 0.0
+             : static_cast<double>(mechanism_hits_) /
+                   static_cast<double>(queries_);
+}
+
+}  // namespace np::mech

@@ -1,0 +1,89 @@
+// Composition of a §5 mechanism with a classic nearest-peer algorithm:
+// "the three approaches listed above would be used in conjunction with
+// existing near-peer finding algorithms (and with one another) to
+// obtain maximum accuracy". The mechanism proposes topology-informed
+// candidates which the joiner probes; if none is an extreme-nearby
+// peer, the query falls back to the inner algorithm (e.g. Meridian)
+// and the better of the two answers wins.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/nearest_algorithm.h"
+#include "mech/key_value_map.h"
+#include "mech/local_search.h"
+#include "mech/prefix_dir.h"
+#include "mech/topology_space.h"
+#include "mech/ucl.h"
+
+namespace np::mech {
+
+enum class Mechanism {
+  kUcl,
+  kPrefix,
+  kMulticast,
+  kRegistry,
+};
+
+const char* MechanismName(Mechanism mechanism);
+
+struct HybridConfig {
+  Mechanism mechanism = Mechanism::kUcl;
+  /// Stop (skip the fallback) once a candidate at most this far is
+  /// found — "the closest peer is in the same end-network" territory.
+  LatencyMs accept_threshold_ms = 1.0;
+  /// Probe at most this many mechanism candidates per query.
+  int max_probe_candidates = 64;
+  /// UCL-only: discard candidates whose embedded-latency estimate
+  /// exceeds this (the paper's false-positive filter).
+  LatencyMs ucl_max_estimate_ms = 20.0;
+  UclOptions ucl;
+  /// Prefix-only: the fixed prefix length.
+  int prefix_bits = 24;
+  /// Registry-only: deployment model.
+  double registry_deploy_prob = 0.5;
+  int registry_large_network_hosts = 8;
+  /// Back the directories with Chord instead of the perfect map.
+  bool use_chord_map = false;
+};
+
+class HybridNearest final : public core::NearestPeerAlgorithm {
+ public:
+  /// `fallback` may be null: mechanism-only operation (used to measure
+  /// a mechanism's own hit rate).
+  HybridNearest(const net::Topology& topology, const HybridConfig& config,
+                std::unique_ptr<core::NearestPeerAlgorithm> fallback);
+
+  std::string name() const override;
+
+  void Build(const core::LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  core::QueryResult FindNearest(NodeId target,
+                                const core::MeteredSpace& metered,
+                                util::Rng& rng) override;
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+  /// Fraction of queries answered by the mechanism alone (no fallback).
+  double mechanism_hit_rate() const;
+
+  /// Map hop accounting (Chord backend).
+  const KeyValueMap& map() const { return *map_; }
+
+ private:
+  const net::Topology* topology_;
+  HybridConfig config_;
+  std::unique_ptr<core::NearestPeerAlgorithm> fallback_;
+  std::unique_ptr<KeyValueMap> map_;
+  std::unique_ptr<UclDirectory> ucl_;
+  std::unique_ptr<PrefixDirectory> prefix_;
+  std::unique_ptr<MulticastBootstrap> multicast_;
+  std::unique_ptr<EndNetworkRegistry> registry_;
+  std::vector<NodeId> members_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t mechanism_hits_ = 0;
+};
+
+}  // namespace np::mech

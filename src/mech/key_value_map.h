@@ -1,0 +1,82 @@
+// The key-value mapping infrastructure §5's decentralized hints rely
+// on. Two backends: a perfect in-memory map (the paper's evaluation
+// "assume[s] a perfect key-value map here for both approaches") and a
+// Chord-backed map that accounts DHT routing hops (Ablation E).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/chord.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace np::mech {
+
+/// Packs a (peer, latency) pair into a 64-bit map value: latency in
+/// 10 us units (saturating) in the high 32 bits, peer id in the low 32.
+std::uint64_t EncodePeerLatency(NodeId peer, LatencyMs latency_ms);
+NodeId DecodePeer(std::uint64_t value);
+LatencyMs DecodeLatency(std::uint64_t value);
+
+class KeyValueMap {
+ public:
+  virtual ~KeyValueMap() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Appends a value under the key (multimap semantics).
+  virtual void Put(std::uint64_t key, std::uint64_t value,
+                   util::Rng& rng) = 0;
+
+  /// All values stored under the key.
+  virtual std::vector<std::uint64_t> Get(std::uint64_t key,
+                                         util::Rng& rng) const = 0;
+
+  /// Cumulative routing hops spent on Put/Get (0 for the perfect map).
+  virtual std::uint64_t total_hops() const = 0;
+  virtual std::uint64_t operation_count() const = 0;
+};
+
+/// Idealized map: exactly what §5's preliminary evaluation assumes.
+class PerfectMap final : public KeyValueMap {
+ public:
+  std::string name() const override { return "perfect"; }
+  void Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) override;
+  std::vector<std::uint64_t> Get(std::uint64_t key,
+                                 util::Rng& rng) const override;
+  std::uint64_t total_hops() const override { return 0; }
+  std::uint64_t operation_count() const override { return operations_; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> store_;
+  mutable std::uint64_t operations_ = 0;
+};
+
+/// Chord-backed map: keys are hashed onto the ring (§5's prescription
+/// for non-uniform keys such as IP prefixes), and every operation pays
+/// O(log n) routing hops.
+class ChordMap final : public KeyValueMap {
+ public:
+  /// The ring is hosted by the given peers.
+  ChordMap(std::vector<NodeId> ring_members, std::uint64_t id_salt);
+
+  std::string name() const override { return "chord"; }
+  void Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) override;
+  std::vector<std::uint64_t> Get(std::uint64_t key,
+                                 util::Rng& rng) const override;
+  std::uint64_t total_hops() const override { return hops_; }
+  std::uint64_t operation_count() const override { return operations_; }
+
+  const dht::ChordRing& ring() const { return ring_; }
+
+ private:
+  dht::ChordRing ring_;
+  mutable std::uint64_t hops_ = 0;
+  mutable std::uint64_t operations_ = 0;
+};
+
+}  // namespace np::mech

@@ -1,0 +1,95 @@
+#include "mech/local_search.h"
+
+#include <algorithm>
+
+namespace np::mech {
+
+bool MulticastBootstrap::RegisterPeer(NodeId peer) {
+  const net::Host& h = topology_->host(peer);
+  if (h.endnet_id < 0) {
+    return false;
+  }
+  by_endnet_[h.endnet_id].push_back(peer);
+  ++registered_;
+  return true;
+}
+
+std::vector<NodeId> MulticastBootstrap::Search(NodeId joiner) const {
+  const net::Host& h = topology_->host(joiner);
+  if (h.endnet_id < 0) {
+    return {};
+  }
+  const net::EndNetwork& net =
+      topology_->endnets()[static_cast<std::size_t>(h.endnet_id)];
+  if (!net.multicast_enabled) {
+    return {};
+  }
+  const auto it = by_endnet_.find(h.endnet_id);
+  if (it == by_endnet_.end()) {
+    return {};
+  }
+  std::vector<NodeId> out;
+  for (NodeId peer : it->second) {
+    if (peer != joiner) {
+      out.push_back(peer);
+    }
+  }
+  return out;
+}
+
+EndNetworkRegistry::EndNetworkRegistry(const net::Topology& topology,
+                                       double deploy_prob,
+                                       int large_network_hosts,
+                                       util::Rng& rng)
+    : topology_(&topology) {
+  // Count hosts per end-network to bias deployment toward large sites.
+  std::unordered_map<int, int> host_count;
+  for (const net::Host& h : topology.hosts()) {
+    if (h.endnet_id >= 0) {
+      ++host_count[h.endnet_id];
+    }
+  }
+  for (const net::EndNetwork& net : topology.endnets()) {
+    double p = deploy_prob;
+    const auto it = host_count.find(net.id);
+    if (it != host_count.end() && it->second >= large_network_hosts) {
+      p = std::min(1.0, 2.0 * p);
+    }
+    if (rng.Bernoulli(p)) {
+      deployed_.insert(net.id);
+    }
+  }
+}
+
+bool EndNetworkRegistry::HasRegistry(int endnet_id) const {
+  return deployed_.count(endnet_id) > 0;
+}
+
+bool EndNetworkRegistry::RegisterPeer(NodeId peer) {
+  const net::Host& h = topology_->host(peer);
+  if (h.endnet_id < 0 || !HasRegistry(h.endnet_id)) {
+    return false;
+  }
+  members_[h.endnet_id].push_back(peer);
+  return true;
+}
+
+std::vector<NodeId> EndNetworkRegistry::Query(NodeId joiner) const {
+  const net::Host& h = topology_->host(joiner);
+  if (h.endnet_id < 0 || !HasRegistry(h.endnet_id)) {
+    return {};
+  }
+  const auto it = members_.find(h.endnet_id);
+  if (it == members_.end()) {
+    return {};
+  }
+  std::vector<NodeId> out;
+  for (NodeId peer : it->second) {
+    if (peer != joiner) {
+      out.push_back(peer);
+    }
+  }
+  return out;
+}
+
+}  // namespace np::mech

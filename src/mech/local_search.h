@@ -1,0 +1,72 @@
+// §5's first two approaches:
+//
+//  * Expanding multicast search inside the end-network — works only
+//    where site multicast is enabled and only finds peers in the
+//    joiner's own end-network (home users have no end-network at all).
+//
+//  * A membership-tracking registry server per end-network — needs a
+//    deployed server, which only large networks justify; we model
+//    deployment as a per-network Bernoulli weighted by network size.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace np::mech {
+
+class MulticastBootstrap {
+ public:
+  explicit MulticastBootstrap(const net::Topology& topology)
+      : topology_(&topology) {}
+
+  /// A peer starts answering expanding-ring searches in its network.
+  /// No-op for home users (nothing to multicast into) — returns false.
+  bool RegisterPeer(NodeId peer);
+
+  /// All registered peers reachable by an expanding multicast search
+  /// from the joiner: members of the joiner's end-network, if that
+  /// network has multicast enabled. Empty otherwise.
+  std::vector<NodeId> Search(NodeId joiner) const;
+
+  int registered_peers() const { return registered_; }
+
+ private:
+  const net::Topology* topology_;
+  std::unordered_map<int, std::vector<NodeId>> by_endnet_;
+  int registered_ = 0;
+};
+
+class EndNetworkRegistry {
+ public:
+  /// Decides which end-networks run a registry server: probability
+  /// deploy_prob, doubled (capped at 1) for networks that already host
+  /// `large_network_hosts`+ hosts — "it needs a sufficiently large
+  /// number of peers within each end-network to justify the setup".
+  EndNetworkRegistry(const net::Topology& topology, double deploy_prob,
+                     int large_network_hosts, util::Rng& rng);
+
+  bool HasRegistry(int endnet_id) const;
+
+  /// Registers the peer with its network's server; false if the peer
+  /// has no end-network or the network runs no registry.
+  bool RegisterPeer(NodeId peer);
+
+  /// Peers registered in the joiner's end-network (empty without a
+  /// registry).
+  std::vector<NodeId> Query(NodeId joiner) const;
+
+  int deployed_count() const {
+    return static_cast<int>(deployed_.size());
+  }
+
+ private:
+  const net::Topology* topology_;
+  std::unordered_set<int> deployed_;
+  std::unordered_map<int, std::vector<NodeId>> members_;
+};
+
+}  // namespace np::mech

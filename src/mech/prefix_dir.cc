@@ -1,0 +1,42 @@
+#include "mech/prefix_dir.h"
+
+#include <algorithm>
+
+#include "net/ip.h"
+#include "util/error.h"
+
+namespace np::mech {
+
+PrefixDirectory::PrefixDirectory(KeyValueMap& map, int prefix_bits)
+    : map_(&map), prefix_bits_(prefix_bits) {
+  NP_ENSURE(prefix_bits >= 1 && prefix_bits <= 32,
+            "prefix length must be in [1, 32]");
+}
+
+void PrefixDirectory::RegisterPeer(const net::Topology& topology, NodeId peer,
+                                   util::Rng& rng) {
+  const std::uint64_t key =
+      net::PrefixOf(topology.host(peer).ip, prefix_bits_);
+  map_->Put(key, static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)),
+            rng);
+  ++registered_;
+}
+
+std::vector<NodeId> PrefixDirectory::Candidates(const net::Topology& topology,
+                                                NodeId joiner,
+                                                util::Rng& rng) const {
+  const std::uint64_t key =
+      net::PrefixOf(topology.host(joiner).ip, prefix_bits_);
+  std::vector<NodeId> out;
+  for (std::uint64_t value : map_->Get(key, rng)) {
+    const NodeId peer = static_cast<NodeId>(value & 0xffffffffu);
+    if (peer != joiner) {
+      out.push_back(peer);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace np::mech

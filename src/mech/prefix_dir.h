@@ -1,0 +1,37 @@
+// The IP-prefix mechanism (§5): "the key used to store the mapping is
+// a fixed-length prefix (e.g., the /24 prefix) of the peer's IP
+// address". Joining peers retrieve everyone sharing their prefix and
+// probe them. Unlike the UCL variant there is no embedded latency, so
+// false positives must be probed away (Fig 11's trade-off).
+#pragma once
+
+#include <vector>
+
+#include "mech/key_value_map.h"
+#include "net/topology.h"
+
+namespace np::mech {
+
+class PrefixDirectory {
+ public:
+  /// The map is borrowed and must outlive the directory.
+  PrefixDirectory(KeyValueMap& map, int prefix_bits);
+
+  int prefix_bits() const { return prefix_bits_; }
+
+  void RegisterPeer(const net::Topology& topology, NodeId peer,
+                    util::Rng& rng);
+
+  /// Peers sharing the joiner's /prefix_bits, ascending by id.
+  std::vector<NodeId> Candidates(const net::Topology& topology,
+                                 NodeId joiner, util::Rng& rng) const;
+
+  int registered_peers() const { return registered_; }
+
+ private:
+  KeyValueMap* map_;
+  int prefix_bits_;
+  int registered_ = 0;
+};
+
+}  // namespace np::mech

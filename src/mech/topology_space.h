@@ -1,0 +1,30 @@
+// Adapter exposing a synthetic-Internet topology as a LatencySpace, so
+// the §5 mechanisms and the classic nearest-peer algorithms can run on
+// the same host population the measurement studies use.
+#pragma once
+
+#include "core/latency_space.h"
+#include "net/topology.h"
+
+namespace np::mech {
+
+class TopologySpace final : public core::LatencySpace {
+ public:
+  explicit TopologySpace(const net::Topology& topology)
+      : topology_(&topology) {}
+
+  NodeId size() const override {
+    return static_cast<NodeId>(topology_->hosts().size());
+  }
+
+  LatencyMs Latency(NodeId a, NodeId b) const override {
+    return topology_->LatencyBetween(a, b);
+  }
+
+  const net::Topology& topology() const { return *topology_; }
+
+ private:
+  const net::Topology* topology_;
+};
+
+}  // namespace np::mech

@@ -1,0 +1,69 @@
+// The UCL (Upstream Connectivity List) mechanism (§5, third approach):
+// each peer learns the routers within a few hops upstream by running
+// traceroutes, publishes (router -> peer, latency-to-router) mappings
+// into the key-value map, and a newly joining peer retrieves the peers
+// it shares upstream routers with. Embedded latencies let it discard
+// candidates whose estimated distance (sum of the two router legs) is
+// too large without probing — the false-positive immunity the paper
+// highlights over the IP-prefix variant.
+#pragma once
+
+#include <vector>
+
+#include "mech/key_value_map.h"
+#include "net/topology.h"
+
+namespace np::mech {
+
+struct UclOptions {
+  /// Upstream routers tracked per peer ("a fixed number of hops, say
+  /// 5, or closer from the peer").
+  int max_routers = 5;
+};
+
+struct UclEntry {
+  RouterId router = kInvalidRouter;
+  /// RTT from the peer to this router, ms.
+  LatencyMs latency_ms = 0.0;
+};
+
+/// The peer's UCL: its up-chain routers that answer traceroute probes
+/// (a peer can only learn routers that respond), nearest first, capped
+/// at max_routers.
+std::vector<UclEntry> BuildUcl(const net::Topology& topology, NodeId host,
+                               const UclOptions& options);
+
+class UclDirectory {
+ public:
+  /// The map is borrowed and must outlive the directory.
+  UclDirectory(KeyValueMap& map, const UclOptions& options);
+
+  /// Publishes the peer's UCL mappings.
+  void RegisterPeer(const net::Topology& topology, NodeId peer,
+                    util::Rng& rng);
+
+  struct Candidate {
+    NodeId peer = kInvalidNode;
+    /// Estimated RTT: joiner leg + candidate leg through the shared
+    /// router (an upper bound on the true RTT in tree routing).
+    LatencyMs estimated_ms = 0.0;
+    RouterId shared_router = kInvalidRouter;
+  };
+
+  /// Peers sharing at least one UCL router with the joiner, deduped to
+  /// their best estimate, sorted ascending by estimate, and filtered
+  /// to estimates <= max_estimate_ms (pass kInfiniteLatency to keep
+  /// all).
+  std::vector<Candidate> Candidates(const net::Topology& topology,
+                                    NodeId joiner, util::Rng& rng,
+                                    LatencyMs max_estimate_ms) const;
+
+  int registered_peers() const { return registered_; }
+
+ private:
+  KeyValueMap* map_;
+  UclOptions options_;
+  int registered_ = 0;
+};
+
+}  // namespace np::mech

@@ -1,0 +1,383 @@
+#include "meridian/meridian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace np::meridian {
+
+MeridianOverlay::MeridianOverlay(MeridianConfig config)
+    : config_(config) {
+  NP_ENSURE(config_.alpha_ms > 0.0, "alpha must be positive");
+  NP_ENSURE(config_.s > 1.0, "ring growth factor must exceed 1");
+  NP_ENSURE(config_.num_rings >= 1, "need at least one ring");
+  NP_ENSURE(config_.ring_size >= 1, "ring size must be positive");
+  NP_ENSURE(config_.beta > 0.0 && config_.beta < 1.0,
+            "beta must be in (0, 1)");
+  NP_ENSURE(config_.max_hops >= 1, "max hops must be positive");
+}
+
+int MeridianOverlay::RingIndexFor(LatencyMs latency_ms) const {
+  if (latency_ms < config_.alpha_ms) {
+    return 0;
+  }
+  const int ring =
+      1 + static_cast<int>(
+              std::floor(std::log(latency_ms / config_.alpha_ms) /
+                         std::log(config_.s)));
+  return std::min(ring, config_.num_rings - 1);
+}
+
+std::vector<RingEntry> MeridianOverlay::SelectRingMembers(
+    std::vector<RingEntry> candidates, util::Rng& rng) const {
+  const auto k = static_cast<std::size_t>(config_.ring_size);
+  if (candidates.size() <= k) {
+    return candidates;
+  }
+  switch (config_.selection) {
+    case RingSelectionPolicy::kRandom: {
+      rng.Shuffle(candidates);
+      candidates.resize(k);
+      return candidates;
+    }
+    case RingSelectionPolicy::kSumDistance:
+    case RingSelectionPolicy::kMaxMin: {
+      // Greedy diversity selection: seed with a random candidate, then
+      // repeatedly add the candidate that maximizes its distance score
+      // to the already-selected set (min-distance for kMaxMin — the
+      // k-center rule — or sum-distance). `score[i]` carries the
+      // incremental state so each round is O(|candidates|).
+      const bool use_min = config_.selection == RingSelectionPolicy::kMaxMin;
+      std::vector<RingEntry> selected;
+      selected.reserve(k);
+      std::vector<bool> taken(candidates.size(), false);
+      std::vector<double> score(
+          candidates.size(),
+          use_min ? std::numeric_limits<double>::infinity() : 0.0);
+      std::size_t seed = rng.Index(candidates.size());
+      while (selected.size() < k) {
+        taken[seed] = true;
+        selected.push_back(candidates[seed]);
+        if (selected.size() == k) {
+          break;
+        }
+        const NodeId just_added = candidates[seed].member;
+        double best_score = -1.0;
+        std::size_t best_index = candidates.size();
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (taken[i]) {
+            continue;
+          }
+          const double d =
+              space_->Latency(candidates[i].member, just_added);
+          score[i] = use_min ? std::min(score[i], d) : score[i] + d;
+          if (score[i] > best_score) {
+            best_score = score[i];
+            best_index = i;
+          }
+        }
+        NP_ENSURE(best_index < candidates.size(),
+                  "ring selection ran out of candidates");
+        seed = best_index;
+      }
+      return selected;
+    }
+  }
+  NP_ENSURE(false, "unknown ring selection policy");
+  return {};
+}
+
+void MeridianOverlay::Build(const core::LatencySpace& space,
+                            std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "meridian requires at least one member");
+  space_ = &space;
+  members_ = std::move(members);
+  member_index_.clear();
+  member_index_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    member_index_[members_[i]] = i;
+  }
+  rings_.assign(members_.size(), {});
+  if (config_.full_knowledge) {
+    BuildFullKnowledge(space, rng);
+  } else {
+    BuildByGossip(space, rng);
+  }
+}
+
+void MeridianOverlay::BuildFullKnowledge(const core::LatencySpace& space,
+                                         util::Rng& rng) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const NodeId owner = members_[i];
+    std::vector<std::vector<RingEntry>> buckets(
+        static_cast<std::size_t>(config_.num_rings));
+    for (const NodeId other : members_) {
+      if (other == owner) {
+        continue;
+      }
+      const LatencyMs d = space.Latency(owner, other);
+      buckets[static_cast<std::size_t>(RingIndexFor(d))].push_back(
+          RingEntry{other, d});
+    }
+    rings_[i].resize(buckets.size());
+    for (std::size_t r = 0; r < buckets.size(); ++r) {
+      rings_[i][r] = SelectRingMembers(std::move(buckets[r]), rng);
+    }
+  }
+}
+
+void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
+                                    util::Rng& rng) {
+  NP_ENSURE(config_.gossip_bootstrap_contacts >= 1,
+            "gossip needs at least one bootstrap contact");
+  NP_ENSURE(config_.gossip_rounds >= 1, "gossip needs at least one round");
+  const std::size_t n = members_.size();
+
+  // Known-candidate sets per node (ring buckets, unbounded during
+  // discovery; selection prunes at the end of every round).
+  std::vector<std::vector<std::vector<RingEntry>>> buckets(
+      n, std::vector<std::vector<RingEntry>>(
+             static_cast<std::size_t>(config_.num_rings)));
+  // Membership bitmaps to avoid duplicate learning.
+  std::vector<std::vector<bool>> knows(n, std::vector<bool>(n, false));
+
+  const auto learn = [&](std::size_t owner, std::size_t other) {
+    if (owner == other || knows[owner][other]) {
+      return;
+    }
+    knows[owner][other] = true;
+    const LatencyMs d = space.Latency(members_[owner], members_[other]);
+    buckets[owner][static_cast<std::size_t>(RingIndexFor(d))].push_back(
+        RingEntry{members_[other], d});
+  };
+
+  // Bootstrap: a few random contacts each (the join server's seed
+  // list), symmetric so the gossip graph starts connected.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.gossip_bootstrap_contacts), n - 1);
+    for (std::size_t pick : rng.Sample(n - 1, k)) {
+      const std::size_t j = pick >= i ? pick + 1 : pick;
+      learn(i, j);
+      learn(j, i);
+    }
+  }
+
+  for (int round = 0; round < config_.gossip_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Pick a random known contact and import its ring members.
+      std::vector<std::size_t> contacts;
+      for (const auto& ring : buckets[i]) {
+        for (const RingEntry& entry : ring) {
+          contacts.push_back(member_index_.at(entry.member));
+        }
+      }
+      if (contacts.empty()) {
+        continue;
+      }
+      const std::size_t peer = contacts[rng.Index(contacts.size())];
+      for (const auto& ring : buckets[peer]) {
+        for (const RingEntry& entry : ring) {
+          learn(i, member_index_.at(entry.member));
+        }
+      }
+      // Prune every bucket back to capacity so gossip messages stay
+      // bounded (this is also what keeps ring diversity working).
+      for (auto& ring : buckets[i]) {
+        if (ring.size() >
+            static_cast<std::size_t>(config_.ring_size)) {
+          ring = SelectRingMembers(std::move(ring), rng);
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    rings_[i].resize(buckets[i].size());
+    for (std::size_t r = 0; r < buckets[i].size(); ++r) {
+      rings_[i][r] = SelectRingMembers(std::move(buckets[i][r]), rng);
+    }
+  }
+}
+
+void MeridianOverlay::AddMember(NodeId node, util::Rng& rng) {
+  NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
+  NP_ENSURE(member_index_.count(node) == 0, "node is already a member");
+
+  const std::size_t position = members_.size();
+  members_.push_back(node);
+  member_index_[node] = position;
+  rings_.emplace_back(static_cast<std::size_t>(config_.num_rings));
+
+  // Join protocol: learn candidates from a few random contacts and
+  // their ring members.
+  std::vector<std::size_t> candidates;
+  const std::size_t contacts = std::min<std::size_t>(
+      static_cast<std::size_t>(
+          std::max(config_.gossip_bootstrap_contacts, 1)),
+      position);
+  if (contacts > 0) {
+    std::vector<bool> seen(members_.size(), false);
+    seen[position] = true;
+    for (std::size_t pick : rng.Sample(position, contacts)) {
+      if (!seen[pick]) {
+        seen[pick] = true;
+        candidates.push_back(pick);
+      }
+      for (const auto& ring : rings_[pick]) {
+        for (const RingEntry& entry : ring) {
+          const std::size_t other = member_index_.at(entry.member);
+          if (!seen[other]) {
+            seen[other] = true;
+            candidates.push_back(other);
+          }
+        }
+      }
+    }
+  }
+
+  // Fill the joiner's rings from the learned candidates.
+  std::vector<std::vector<RingEntry>> buckets(
+      static_cast<std::size_t>(config_.num_rings));
+  for (std::size_t other : candidates) {
+    const LatencyMs d = space_->Latency(node, members_[other]);
+    buckets[static_cast<std::size_t>(RingIndexFor(d))].push_back(
+        RingEntry{members_[other], d});
+  }
+  for (std::size_t r = 0; r < buckets.size(); ++r) {
+    rings_[position][r] = SelectRingMembers(std::move(buckets[r]), rng);
+  }
+
+  // The contacts (and their ring members) learn about the joiner too.
+  for (std::size_t other : candidates) {
+    const LatencyMs d = space_->Latency(members_[other], node);
+    auto& ring =
+        rings_[other][static_cast<std::size_t>(RingIndexFor(d))];
+    ring.push_back(RingEntry{node, d});
+    if (ring.size() > static_cast<std::size_t>(config_.ring_size)) {
+      ring = SelectRingMembers(std::move(ring), rng);
+    }
+  }
+}
+
+void MeridianOverlay::RemoveMember(NodeId node) {
+  const auto it = member_index_.find(node);
+  NP_ENSURE(it != member_index_.end(), "not a member");
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  const std::size_t position = it->second;
+
+  // Swap-with-last keeps positions dense.
+  const std::size_t last = members_.size() - 1;
+  if (position != last) {
+    members_[position] = members_[last];
+    rings_[position] = std::move(rings_[last]);
+    member_index_[members_[position]] = position;
+  }
+  members_.pop_back();
+  rings_.pop_back();
+  member_index_.erase(node);
+
+  // Purge the leaver from every remaining ring.
+  for (auto& member_rings : rings_) {
+    for (auto& ring : member_rings) {
+      ring.erase(std::remove_if(ring.begin(), ring.end(),
+                                [node](const RingEntry& entry) {
+                                  return entry.member == node;
+                                }),
+                 ring.end());
+    }
+  }
+}
+
+const std::vector<std::vector<RingEntry>>& MeridianOverlay::RingsOf(
+    NodeId member) const {
+  const auto it = member_index_.find(member);
+  NP_ENSURE(it != member_index_.end(), "not an overlay member");
+  return rings_[it->second];
+}
+
+core::QueryResult MeridianOverlay::FindNearest(
+    NodeId target, const core::MeteredSpace& metered, util::Rng& rng) {
+  return FindNearestTraced(target, metered, rng).result;
+}
+
+TracedResult MeridianOverlay::FindNearestTraced(
+    NodeId target, const core::MeteredSpace& metered, util::Rng& rng) {
+  NP_ENSURE(space_ != nullptr, "Build must be called before FindNearest");
+  TracedResult traced;
+  core::QueryResult& result = traced.result;
+
+  // Per-query probe cache: a real Meridian query carries measured
+  // results along, so each node measures the target at most once.
+  std::unordered_map<NodeId, LatencyMs> probed;
+  const auto probe = [&](NodeId node) -> LatencyMs {
+    const auto it = probed.find(node);
+    if (it != probed.end()) {
+      return it->second;
+    }
+    const LatencyMs d = metered.Latency(node, target);
+    probed.emplace(node, d);
+    ++result.probes;
+    return d;
+  };
+
+  NodeId current = members_[rng.Index(members_.size())];
+  LatencyMs current_distance = probe(current);
+
+  NodeId best = current;
+  LatencyMs best_distance = current_distance;
+
+  for (int hop = 0; hop < config_.max_hops; ++hop) {
+    const auto& rings = rings_[member_index_.at(current)];
+    const LatencyMs band_lo = (1.0 - config_.beta) * current_distance;
+    const LatencyMs band_hi = (1.0 + config_.beta) * current_distance;
+
+    HopRecord record;
+    record.node = current;
+    record.distance_to_target_ms = current_distance;
+
+    NodeId next = kInvalidNode;
+    LatencyMs next_distance = kInfiniteLatency;
+    for (const auto& ring : rings) {
+      for (const RingEntry& entry : ring) {
+        if (entry.latency_ms < band_lo || entry.latency_ms > band_hi) {
+          continue;
+        }
+        const LatencyMs d = probe(entry.member);
+        ++record.candidates_probed;
+        if (d < best_distance ||
+            (d == best_distance && entry.member < best)) {
+          best_distance = d;
+          best = entry.member;
+        }
+        if (d < next_distance) {
+          next_distance = d;
+          next = entry.member;
+        }
+      }
+    }
+    traced.hops.push_back(record);
+
+    // The beta gate: continue only on a significant improvement.
+    if (next == kInvalidNode ||
+        next_distance >= config_.beta * current_distance) {
+      break;
+    }
+    current = next;
+    current_distance = next_distance;
+    ++result.hops;
+  }
+
+  if (config_.return_policy == ReturnPolicy::kBestProbed) {
+    result.found = best;
+    result.found_latency_ms = best_distance;
+  } else {
+    result.found = current;
+    result.found_latency_ms = current_distance;
+  }
+  return traced;
+}
+
+}  // namespace np::meridian

@@ -1,0 +1,151 @@
+// Meridian closest-node discovery (Wong, Slivkins, Sirer, SIGCOMM'05),
+// reimplemented as the paper's §4 simulation subject.
+//
+// Each overlay node keeps concentric latency rings with exponentially
+// growing radii; each ring holds at most `ring_size` members chosen for
+// geographic diversity (the original maximizes the hypervolume of the
+// member polytope; we provide greedy max-min distance — a standard
+// k-center approximation — plus sum-distance and random policies for
+// ablation). A closest-node query at a node with latency d to the
+// target probes ring members whose latency to the node lies within
+// [(1-beta)d, (1+beta)d]; it forwards to the best candidate only if
+// that candidate improved the distance by at least the beta gate
+// (d_next < beta * d), otherwise the query stops.
+//
+// The paper runs this with beta = 0.5 and 16 nodes per ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace np::meridian {
+
+/// How a full ring chooses which members to keep.
+enum class RingSelectionPolicy {
+  kRandom,       // uniform subset
+  kSumDistance,  // greedy, maximize sum of pairwise latencies
+  kMaxMin,       // greedy k-center, maximize minimum pairwise latency
+};
+
+/// What the query returns when routing stops.
+enum class ReturnPolicy {
+  /// The lowest-latency node probed anywhere during the query
+  /// (Meridian tracks probe results, so this is what a deployment
+  /// would report).
+  kBestProbed,
+  /// The node the query stopped at — a stricter reading of "the query
+  /// terminates when the current node can find no closer node"; used
+  /// as an ablation.
+  kCurrentNode,
+};
+
+struct MeridianConfig {
+  /// Innermost ring radius, ms: ring 0 holds members closer than alpha.
+  double alpha_ms = 1.0;
+  /// Ring radius growth factor: ring i (i >= 1) spans
+  /// [alpha * s^(i-1), alpha * s^i).
+  double s = 2.0;
+  /// Number of rings; the outermost is open-ended.
+  int num_rings = 16;
+  /// Maximum members kept per ring (the paper uses 16).
+  int ring_size = 16;
+  /// Acceptance gate: forward only if the best candidate is closer to
+  /// the target than beta * (current distance). The paper uses 0.5.
+  double beta = 0.5;
+  RingSelectionPolicy selection = RingSelectionPolicy::kMaxMin;
+  ReturnPolicy return_policy = ReturnPolicy::kBestProbed;
+  /// Safety cap on forwarding hops.
+  int max_hops = 64;
+
+  /// Build mode. Full knowledge = every node considers every member
+  /// for its rings, i.e. a fully converged deployment (what the
+  /// paper's simulator assumes). With gossip, each node starts from a
+  /// few bootstrap contacts and learns candidates by exchanging ring
+  /// contents for `gossip_rounds` rounds — the real protocol's
+  /// discovery path.
+  bool full_knowledge = true;
+  int gossip_bootstrap_contacts = 8;
+  int gossip_rounds = 24;
+};
+
+/// One ring entry: a member and the (build-time measured) latency from
+/// the ring owner to it.
+struct RingEntry {
+  NodeId member = kInvalidNode;
+  LatencyMs latency_ms = 0.0;
+};
+
+/// Per-hop trace record for diagnosis and tests.
+struct HopRecord {
+  NodeId node = kInvalidNode;
+  LatencyMs distance_to_target_ms = 0.0;
+  int candidates_probed = 0;
+};
+
+struct TracedResult {
+  core::QueryResult result;
+  std::vector<HopRecord> hops;
+};
+
+class MeridianOverlay final : public core::NearestPeerAlgorithm {
+ public:
+  explicit MeridianOverlay(MeridianConfig config);
+
+  std::string name() const override { return "meridian"; }
+
+  void Build(const core::LatencySpace& space, std::vector<NodeId> members,
+             util::Rng& rng) override;
+
+  /// Incremental membership: a joiner bootstraps its rings from a few
+  /// random contacts (and their ring members), and existing members
+  /// consider the joiner for their own rings; a leaver is purged from
+  /// every ring.
+  bool SupportsChurn() const override { return true; }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
+
+  core::QueryResult FindNearest(NodeId target,
+                                const core::MeteredSpace& metered,
+                                util::Rng& rng) override;
+
+  /// FindNearest plus the per-hop trace.
+  TracedResult FindNearestTraced(NodeId target,
+                                 const core::MeteredSpace& metered,
+                                 util::Rng& rng);
+
+  const std::vector<NodeId>& members() const override { return members_; }
+
+  const MeridianConfig& config() const { return config_; }
+
+  /// Ring index that a member at the given latency falls into.
+  int RingIndexFor(LatencyMs latency_ms) const;
+
+  /// The rings of one member (indexed by its position in members()).
+  const std::vector<std::vector<RingEntry>>& RingsOf(NodeId member) const;
+
+ private:
+  /// Reduces `candidates` to at most `ring_size` per the policy.
+  std::vector<RingEntry> SelectRingMembers(std::vector<RingEntry> candidates,
+                                           util::Rng& rng) const;
+
+  /// Converged build: every member considered for every ring.
+  void BuildFullKnowledge(const core::LatencySpace& space, util::Rng& rng);
+
+  /// Gossip build: bootstrap contacts + ring-exchange rounds.
+  void BuildByGossip(const core::LatencySpace& space, util::Rng& rng);
+
+  MeridianConfig config_;
+  const core::LatencySpace* space_ = nullptr;
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, std::size_t> member_index_;
+  /// rings_[member_pos][ring] -> selected entries.
+  std::vector<std::vector<std::vector<RingEntry>>> rings_;
+};
+
+}  // namespace np::meridian

@@ -1,0 +1,62 @@
+#include "net/ip.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace np::net {
+
+std::uint32_t PrefixOf(Ipv4 ip, int bits) {
+  NP_ENSURE(bits >= 0 && bits <= 32, "prefix length must be in [0, 32]");
+  if (bits == 0) {
+    return 0;
+  }
+  return ip >> (32 - bits);
+}
+
+bool SamePrefix(Ipv4 a, Ipv4 b, int bits) {
+  return PrefixOf(a, bits) == PrefixOf(b, bits);
+}
+
+std::string FormatIpv4(Ipv4 ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return os.str();
+}
+
+Ipv4 ParseIpv4(const std::string& text) {
+  std::istringstream is(text);
+  Ipv4 result = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    long value = -1;
+    is >> value;
+    if (is.fail() || value < 0 || value > 255) {
+      throw util::Error("malformed IPv4 address: " + text);
+    }
+    result = (result << 8) | static_cast<Ipv4>(value);
+    if (octet < 3) {
+      char dot = 0;
+      is >> dot;
+      if (dot != '.') {
+        throw util::Error("malformed IPv4 address: " + text);
+      }
+    }
+  }
+  char trailing = 0;
+  if (is >> trailing) {
+    throw util::Error("trailing characters in IPv4 address: " + text);
+  }
+  return result;
+}
+
+Ipv4 BlockBase(Ipv4 ip, int bits) {
+  NP_ENSURE(bits >= 0 && bits <= 32, "prefix length must be in [0, 32]");
+  if (bits == 0) {
+    return 0;
+  }
+  const Ipv4 mask = bits == 32 ? ~Ipv4{0} : ~((Ipv4{1} << (32 - bits)) - 1);
+  return ip & mask;
+}
+
+}  // namespace np::net

@@ -1,0 +1,29 @@
+// IPv4 helpers for the §5 IP-prefix heuristic: prefix extraction,
+// formatting, and block arithmetic used by the topology's address
+// allocator.
+#pragma once
+
+#include <string>
+
+#include "util/types.h"
+
+namespace np::net {
+
+/// The top `bits` bits of `ip`, right-aligned — two addresses share a
+/// /bits prefix iff PrefixOf(a, bits) == PrefixOf(b, bits).
+/// bits must be in [0, 32]; bits == 0 maps everything to prefix 0.
+std::uint32_t PrefixOf(Ipv4 ip, int bits);
+
+/// True iff the two addresses agree in their top `bits` bits.
+bool SamePrefix(Ipv4 a, Ipv4 b, int bits);
+
+/// Dotted-quad rendering ("10.1.2.3").
+std::string FormatIpv4(Ipv4 ip);
+
+/// Parses a dotted quad; throws np::util::Error on malformed input.
+Ipv4 ParseIpv4(const std::string& text);
+
+/// First address of the size-2^(32-bits) block containing `ip`.
+Ipv4 BlockBase(Ipv4 ip, int bits);
+
+}  // namespace np::net

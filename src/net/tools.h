@@ -1,0 +1,120 @@
+// Simulated measurement tools over the synthetic topology.
+//
+// Each tool returns what its real counterpart would: noisy RTTs,
+// partially responding traceroute hops with name-derived AS/city
+// annotations (rockettrace), and King estimates between recursive DNS
+// servers — including both bias sources the paper identifies in §3.1:
+// server processing lag inflating small measurements and alternate
+// paths deflating large ones.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace np::net {
+
+struct NoiseConfig {
+  /// Multiplicative Gaussian jitter applied to ping RTTs and to a
+  /// traceroute as a whole (tools take the min of several probes, so
+  /// the residual error is small).
+  double rtt_jitter_frac = 0.004;
+  /// Extra per-hop jitter within one traceroute. Hops of the same
+  /// trace share the path and its congestion, so their RTTs are
+  /// strongly correlated; only this small residual is independent.
+  double trace_hop_jitter_frac = 0.004;
+  /// Minimum reportable RTT, ms.
+  double rtt_floor_ms = 0.02;
+  /// Mean of the extra SYN-handling lag in a TCP ping (exponential).
+  double tcp_syn_lag_mean_ms = 0.4;
+  /// Chance a responding router answers one particular traceroute
+  /// probe. Per-trace silence is what makes the same peer's last valid
+  /// hop differ across vantage points — the paper's unique-upstream
+  /// filter drops most responsive peers because of exactly this.
+  double trace_per_probe_respond = 0.87;
+
+  /// King measurement failure probability (lost recursion, rate
+  /// limiting, ...).
+  double king_fail_prob = 0.06;
+  /// Occasional load spikes at the recursive servers: an extra
+  /// exponential lag added with this probability (busy resolvers
+  /// answer King queries late, inflating small measurements).
+  double king_lag_spike_prob = 0.25;
+  double king_lag_spike_mean_ms = 8.0;
+  double king_jitter_frac = 0.09;
+  /// Alternate-path shortcut model: some pairs see a shorter path
+  /// than the common-router route (peering links, multihomed
+  /// networks); the probability has a floor at every distance and
+  /// grows with the path latency. DNS servers are well connected, so
+  /// the effect is strong at large latencies (paper §3.1).
+  double king_shortcut_base_prob = 0.3;
+  double king_shortcut_base_ms = 15.0;
+  double king_shortcut_scale_ms = 160.0;
+  double king_shortcut_max_prob = 0.6;
+  double king_shortcut_factor_lo = 0.2;
+  double king_shortcut_factor_hi = 0.8;
+};
+
+struct TracerouteHop {
+  RouterId router = kInvalidRouter;
+  /// False renders as "* * *": no RTT, no annotation.
+  bool responded = false;
+  LatencyMs rtt_ms = 0.0;
+  /// rockettrace's name-derived annotation (may be misconfigured).
+  int annotated_as = -1;
+  int annotated_city = -1;
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  bool dest_responded = false;
+  LatencyMs dest_rtt_ms = 0.0;
+
+  /// Index of the last responding hop, or -1 if none.
+  int LastValidHop() const;
+};
+
+/// Merges repeated traces of the same path (rockettrace probes every
+/// hop several times): a hop responds if it responded in either trace,
+/// keeping the earlier measurement. Traces must cover the same router
+/// sequence.
+TracerouteResult MergeTraceroutes(const TracerouteResult& a,
+                                  const TracerouteResult& b);
+
+/// Stateful tool bundle; owns its noise RNG so measurement streams are
+/// reproducible independently of topology generation.
+class Tools {
+ public:
+  Tools(const Topology& topology, const NoiseConfig& noise, util::Rng rng);
+
+  /// ICMP ping host -> host. Fails when the destination does not
+  /// respond to probes.
+  std::optional<LatencyMs> Ping(NodeId from, NodeId to);
+
+  /// Ping host -> router. Fails for routers that never respond.
+  std::optional<LatencyMs> PingRouter(NodeId from, RouterId router);
+
+  /// TCP connect latency to the Azureus port (the paper's "TCP-ping").
+  std::optional<LatencyMs> TcpPing(NodeId from, NodeId to);
+
+  /// rockettrace: hop list with annotations.
+  TracerouteResult Traceroute(NodeId from, NodeId to);
+
+  /// King estimate of the RTT between two recursive DNS servers.
+  /// Fails for same-domain pairs (the recursion is never forwarded)
+  /// and sporadically otherwise.
+  std::optional<LatencyMs> King(NodeId server_a, NodeId server_b);
+
+  const Topology& topology() const { return *topology_; }
+
+ private:
+  LatencyMs Jitter(LatencyMs true_ms, double frac);
+
+  const Topology* topology_;
+  NoiseConfig noise_;
+  util::Rng rng_;
+};
+
+}  // namespace np::net

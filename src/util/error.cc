@@ -1,0 +1,17 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace np::util {
+
+void ThrowEnsureFailure(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  std::ostringstream os;
+  os << "NP_ENSURE failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace np::util

@@ -1,0 +1,31 @@
+// Error handling helpers: a project exception type for configuration /
+// construction failures, and NP_ENSURE for invariant checks that must
+// stay on in release builds (experiments run RelWithDebInfo).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace np::util {
+
+/// Thrown on invalid configuration or misuse of a public API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Implementation helper for NP_ENSURE; throws np::util::Error.
+[[noreturn]] void ThrowEnsureFailure(const char* expr, const char* file,
+                                     int line, const std::string& message);
+
+}  // namespace np::util
+
+/// Invariant check that is active in all build types. Use for conditions
+/// that indicate a caller bug or a corrupted internal state; prefer
+/// returning errors for recoverable situations.
+#define NP_ENSURE(expr, message)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::np::util::ThrowEnsureFailure(#expr, __FILE__, __LINE__, message); \
+    }                                                                     \
+  } while (false)

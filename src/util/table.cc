@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace np::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NP_ENSURE(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  NP_ENSURE(cells.size() == headers_.size(),
+            "row arity must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddNumericRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) {
+    row.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(row));
+}
+
+std::string Table::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "hdr: ";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+       << headers_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << "row: ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace np::util

@@ -1,0 +1,36 @@
+// Minimal ASCII table renderer: every bench binary prints the rows /
+// series of the paper figure it regenerates through this, so output is
+// uniform and grep-able (`row:` prefix per data row).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace np::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision. (Named
+  /// distinctly — a brace list of string literals would otherwise match
+  /// vector<double>'s iterator-pair constructor and become ambiguous.)
+  void AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders with aligned columns; each data line starts with "row: ".
+  std::string Render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for mixed rows).
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace np::util

@@ -1,0 +1,36 @@
+// Common vocabulary types shared by every nearestpeer library.
+//
+// All latencies in this codebase are double milliseconds (`LatencyMs`);
+// the paper mixes microseconds (intra-LAN, 100us = 0.1 ms) and
+// milliseconds (everything else), so a single unit avoids conversion
+// bugs at module boundaries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace np {
+
+/// Latency in milliseconds. 100 microseconds == 0.1.
+using LatencyMs = double;
+
+/// Index of a node (peer, host, DNS server...) inside one latency space
+/// or topology. Always dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Sentinel for "unreachable / unmeasured" latency.
+inline constexpr LatencyMs kInfiniteLatency =
+    std::numeric_limits<LatencyMs>::infinity();
+
+/// IPv4 address as a host-order 32-bit integer.
+using Ipv4 = std::uint32_t;
+
+/// Identifier of a router inside a topology (distinct from host NodeId).
+using RouterId = std::int32_t;
+
+inline constexpr RouterId kInvalidRouter = -1;
+
+}  // namespace np

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "algos/beaconing.h"
+#include "algos/karger_ruhl.h"
+#include "algos/tapestry.h"
+#include "algos/tiers.h"
+#include "core/experiment.h"
+#include "matrix/generators.h"
+
+namespace np::algos {
+namespace {
+
+using core::ExperimentConfig;
+using core::MatrixSpace;
+
+std::vector<NodeId> FirstN(NodeId n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) {
+    v.push_back(i);
+  }
+  return v;
+}
+
+matrix::EuclideanWorld ControlWorld(std::uint64_t seed, NodeId n = 400) {
+  util::Rng rng(seed);
+  matrix::EuclideanConfig config;
+  config.dimensions = 3;
+  return matrix::GenerateEuclidean(n, config, rng);
+}
+
+matrix::ClusteredWorld ClusterWorld(std::uint64_t seed) {
+  util::Rng rng(seed);
+  matrix::ClusteredConfig config;
+  config.num_clusters = 4;
+  config.nets_per_cluster = 50;
+  return matrix::GenerateClustered(config, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Karger-Ruhl
+
+TEST(KargerRuhl, SamplesRespectBallMembership) {
+  const auto world = ControlWorld(1, 200);
+  const MatrixSpace space(world.matrix);
+  KargerRuhlNearest algo{KargerRuhlConfig{}};
+  util::Rng rng(2);
+  algo.Build(space, FirstN(200), rng);
+  const KargerRuhlConfig config;
+  for (NodeId member : {NodeId{0}, NodeId{50}}) {
+    for (int scale = 0; scale < config.num_scales; ++scale) {
+      const double radius =
+          config.alpha_ms * std::pow(config.growth, scale);
+      for (NodeId sample : algo.SamplesOf(member, scale)) {
+        // Ball scale s contains members whose own scale is <= s; the
+        // radius bound below allows for the bucketing granularity.
+        EXPECT_LE(space.Latency(member, sample),
+                  radius * config.growth + 1e-9);
+        EXPECT_NE(sample, member);
+      }
+      EXPECT_LE(algo.SamplesOf(member, scale).size(),
+                static_cast<std::size_t>(config.samples_per_scale));
+    }
+  }
+}
+
+TEST(KargerRuhl, NearOptimalOnControlSpace) {
+  const auto world = ControlWorld(3);
+  const MatrixSpace space(world.matrix);
+  KargerRuhlNearest algo{KargerRuhlConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = 360;
+  config.num_queries = 200;
+  util::Rng rng(4);
+  const auto metrics = core::RunGenericExperiment(space, algo, config, rng);
+  EXPECT_LT(metrics.mean_stretch, 1.6);
+  EXPECT_LT(metrics.mean_probes, 150.0);
+}
+
+TEST(KargerRuhl, DegradesUnderClustering) {
+  const auto world = ClusterWorld(5);
+  KargerRuhlNearest algo{KargerRuhlConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 40;
+  config.num_queries = 300;
+  util::Rng rng(6);
+  const auto metrics = core::RunClusteredExperiment(world, algo, config, rng);
+  EXPECT_LT(metrics.p_exact_closest, 0.5);
+  EXPECT_GT(metrics.p_correct_cluster, metrics.p_exact_closest);
+}
+
+// ---------------------------------------------------------------------------
+// Tapestry
+
+TEST(Tapestry, IdsAreUniqueAndTablesPrefixConsistent) {
+  const auto world = ControlWorld(7, 300);
+  const MatrixSpace space(world.matrix);
+  TapestryNearest algo{TapestryConfig{}};
+  util::Rng rng(8);
+  algo.Build(space, FirstN(300), rng);
+  std::set<std::uint32_t> ids;
+  for (NodeId m = 0; m < 300; ++m) {
+    ids.insert(algo.IdOf(m));
+  }
+  EXPECT_EQ(ids.size(), 300u);
+  // Level-1 table entries share the first digit with the owner.
+  for (NodeId m = 0; m < 20; ++m) {
+    const auto table = algo.TableOf(m, 1);
+    for (NodeId entry : table) {
+      EXPECT_EQ(algo.IdOf(entry) >> 28, algo.IdOf(m) >> 28);
+    }
+  }
+}
+
+TEST(Tapestry, Level0HoldsClosePerDigitEntries) {
+  const auto world = ControlWorld(9, 300);
+  const MatrixSpace space(world.matrix);
+  TapestryNearest algo{TapestryConfig{}};
+  util::Rng rng(10);
+  algo.Build(space, FirstN(300), rng);
+  // Level-0 tables hold up to 16 members (one per digit), each the
+  // closest member with that leading digit.
+  const auto table = algo.TableOf(5, 0);
+  EXPECT_GE(table.size(), 8u);
+  EXPECT_LE(table.size(), 16u);
+}
+
+TEST(Tapestry, ReasonableOnControlSpace) {
+  const auto world = ControlWorld(11);
+  const MatrixSpace space(world.matrix);
+  TapestryNearest algo{TapestryConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = 360;
+  config.num_queries = 200;
+  util::Rng rng(12);
+  const auto metrics = core::RunGenericExperiment(space, algo, config, rng);
+  // The level-descent is a weaker searcher than Meridian but must beat
+  // random selection (stretch ~8+ here) by a wide margin.
+  EXPECT_LT(metrics.mean_stretch, 4.5);
+}
+
+TEST(Tapestry, RarelyFindsLanPeerUnderClustering) {
+  const auto world = ClusterWorld(13);
+  TapestryNearest algo{TapestryConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 40;
+  config.num_queries = 300;
+  util::Rng rng(14);
+  const auto metrics = core::RunClusteredExperiment(world, algo, config, rng);
+  EXPECT_LT(metrics.p_same_net, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Tiers
+
+TEST(Tiers, HierarchyCoversAllMembersAtLevelZero) {
+  const auto world = ControlWorld(15, 300);
+  const MatrixSpace space(world.matrix);
+  TiersNearest algo{TiersConfig{}};
+  util::Rng rng(16);
+  algo.Build(space, FirstN(300), rng);
+  ASSERT_GE(algo.num_levels(), 1);
+  const auto bottom = algo.LevelMembers(0);
+  EXPECT_EQ(bottom.size(), 300u);
+  EXPECT_EQ(bottom, FirstN(300));
+}
+
+TEST(Tiers, ClusterMembersNearTheirRepresentative) {
+  const auto world = ControlWorld(17, 300);
+  const MatrixSpace space(world.matrix);
+  TiersConfig tconfig;
+  tconfig.base_radius_ms = 5.0;
+  TiersNearest algo{tconfig};
+  util::Rng rng(18);
+  algo.Build(space, FirstN(300), rng);
+  double radius = tconfig.base_radius_ms;
+  for (int level = 0; level < algo.num_levels(); ++level) {
+    for (NodeId rep : algo.LevelMembers(level)) {
+      // Not all level members are reps; guard via exception-free path:
+      // reps are exactly the keys of the cluster map, so query through
+      // LevelMembers of the level above instead. Simplest check: every
+      // member of a rep's cluster is within the level radius.
+      // (ClusterOf throws for non-reps; skip those.)
+      try {
+        for (NodeId member : algo.ClusterOf(level, rep)) {
+          EXPECT_LE(space.Latency(rep, member), radius + 1e-9);
+        }
+      } catch (const util::Error&) {
+        // not a rep at this level
+      }
+    }
+    radius *= tconfig.radius_growth;
+  }
+}
+
+TEST(Tiers, LevelsShrinkGoingUp) {
+  const auto world = ControlWorld(19, 300);
+  const MatrixSpace space(world.matrix);
+  TiersNearest algo{TiersConfig{}};
+  util::Rng rng(20);
+  algo.Build(space, FirstN(300), rng);
+  for (int level = 1; level < algo.num_levels(); ++level) {
+    EXPECT_LT(algo.LevelMembers(level).size(),
+              algo.LevelMembers(level - 1).size());
+  }
+}
+
+TEST(Tiers, NearOptimalOnControlSpace) {
+  const auto world = ControlWorld(21);
+  const MatrixSpace space(world.matrix);
+  TiersNearest algo{TiersConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = 360;
+  config.num_queries = 200;
+  util::Rng rng(22);
+  const auto metrics = core::RunGenericExperiment(space, algo, config, rng);
+  EXPECT_LT(metrics.mean_stretch, 2.5);
+}
+
+TEST(Tiers, DescendsToWrongEndNetworkUnderClustering) {
+  const auto world = ClusterWorld(23);
+  TiersNearest algo{TiersConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 40;
+  config.num_queries = 300;
+  util::Rng rng(24);
+  const auto metrics = core::RunClusteredExperiment(world, algo, config, rng);
+  EXPECT_LT(metrics.p_exact_closest, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Beaconing
+
+TEST(Beaconing, BeaconsAreMembersAndDistinct) {
+  const auto world = ControlWorld(25, 200);
+  const MatrixSpace space(world.matrix);
+  BeaconingNearest algo{BeaconingConfig{}};
+  util::Rng rng(26);
+  algo.Build(space, FirstN(200), rng);
+  std::set<NodeId> beacons(algo.beacons().begin(), algo.beacons().end());
+  EXPECT_EQ(beacons.size(), 8u);
+  for (NodeId b : beacons) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 200);
+  }
+}
+
+TEST(Beaconing, ReasonableOnControlSpace) {
+  const auto world = ControlWorld(27);
+  const MatrixSpace space(world.matrix);
+  BeaconingNearest algo{BeaconingConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = 360;
+  config.num_queries = 200;
+  util::Rng rng(28);
+  const auto metrics = core::RunGenericExperiment(space, algo, config, rng);
+  EXPECT_LT(metrics.mean_stretch, 2.5);
+}
+
+TEST(Beaconing, CannotTellClusterPeersApartUnderRealNoise) {
+  // §6: under clustering every cluster peer has nearly the same
+  // latency to every beacon, so the candidate set is a blur of the
+  // whole cluster. On a noise-free matrix exact triangulation
+  // arithmetic would cheat its way to the LAN mate; with realistic
+  // measurement jitter (which is the paper's premise — latencies
+  // "close enough that the algorithm cannot reliably use the
+  // differences") the mate no longer stands out.
+  util::Rng world_rng(29);
+  matrix::ClusteredConfig cconfig;
+  cconfig.num_clusters = 3;
+  cconfig.nets_per_cluster = 80;
+  const auto world = matrix::GenerateClustered(cconfig, world_rng);
+  BeaconingConfig bconfig;
+  bconfig.max_probe_candidates = 32;  // a realistic probing budget
+  BeaconingNearest algo{bconfig};
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 40;
+  config.num_queries = 300;
+  config.measurement_noise_frac = 0.02;
+  config.measurement_noise_floor_ms = 0.5;
+  util::Rng rng(30);
+  const auto metrics = core::RunClusteredExperiment(world, algo, config, rng);
+  EXPECT_GT(metrics.p_correct_cluster, 0.3);
+  // With ~160 indistinguishable cluster peers and a budget of 32
+  // probes, accuracy collapses toward budget / cluster-size.
+  EXPECT_LT(metrics.p_exact_closest, 0.5);
+  // ... and the probing cost is brute-force scale.
+  EXPECT_GT(metrics.mean_probes, 25.0);
+}
+
+TEST(Beaconing, NoiseFreeMatrixLetsTriangulationCheat) {
+  // Control for the test above: with exact measurements the deviation
+  // ranking puts the LAN mate first, which no real network allows.
+  const auto world = ClusterWorld(29);
+  BeaconingNearest algo{BeaconingConfig{}};
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 40;
+  config.num_queries = 200;
+  util::Rng rng(31);
+  const auto metrics = core::RunClusteredExperiment(world, algo, config, rng);
+  EXPECT_GT(metrics.p_exact_closest, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-algorithm invariants
+
+template <typename Algo>
+void CheckReturnsValidMember(Algo algo, std::uint64_t seed) {
+  const auto world = ControlWorld(seed, 150);
+  const MatrixSpace space(world.matrix);
+  std::vector<NodeId> members = FirstN(140);
+  util::Rng rng(seed + 1);
+  algo.Build(space, members, rng);
+  const core::MeteredSpace metered(space);
+  const std::set<NodeId> member_set(members.begin(), members.end());
+  for (NodeId target = 140; target < 150; ++target) {
+    const auto result = algo.FindNearest(target, metered, rng);
+    EXPECT_EQ(member_set.count(result.found), 1u);
+    EXPECT_DOUBLE_EQ(result.found_latency_ms,
+                     space.Latency(result.found, target));
+    EXPECT_GT(result.probes, 0u);
+  }
+}
+
+TEST(AllAlgos, ReturnValidMembers) {
+  CheckReturnsValidMember(KargerRuhlNearest{KargerRuhlConfig{}}, 31);
+  CheckReturnsValidMember(TapestryNearest{TapestryConfig{}}, 33);
+  CheckReturnsValidMember(TiersNearest{TiersConfig{}}, 35);
+  CheckReturnsValidMember(BeaconingNearest{BeaconingConfig{}}, 37);
+}
+
+TEST(AllAlgos, InvalidConfigsThrow) {
+  KargerRuhlConfig kr;
+  kr.growth = 1.0;
+  EXPECT_THROW(KargerRuhlNearest{kr}, util::Error);
+  TapestryConfig tap;
+  tap.num_digits = 9;
+  EXPECT_THROW(TapestryNearest{tap}, util::Error);
+  TiersConfig tiers;
+  tiers.base_radius_ms = 0.0;
+  EXPECT_THROW(TiersNearest{tiers}, util::Error);
+  BeaconingConfig beacon;
+  beacon.quorum = 0.0;
+  EXPECT_THROW(BeaconingNearest{beacon}, util::Error);
+}
+
+}  // namespace
+}  // namespace np::algos

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "coord/pic.h"
+
+#include "util/stats.h"
+#include "coord/vivaldi.h"
+#include "core/experiment.h"
+#include "matrix/generators.h"
+
+namespace np::coord {
+namespace {
+
+using core::MatrixSpace;
+
+std::vector<NodeId> FirstN(NodeId n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) {
+    v.push_back(i);
+  }
+  return v;
+}
+
+TEST(Vivaldi, EmbedsEuclideanSpaceAccurately) {
+  util::Rng world_rng(1);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 2;
+  const auto world = matrix::GenerateEuclidean(300, econfig, world_rng);
+  const MatrixSpace space(world.matrix);
+  VivaldiConfig config;
+  config.dimensions = 3;
+  config.rounds = 128;
+  util::Rng rng(2);
+  const auto embedding =
+      VivaldiEmbedding::Train(space, FirstN(300), config, rng);
+  util::Rng eval_rng(3);
+  // Vanilla Vivaldi lands at ~10-25% median relative error; the exact
+  // value matters less than the contrast with the clustered space
+  // below.
+  EXPECT_LT(embedding.MedianRelativeError(space, 2000, eval_rng), 0.25);
+}
+
+TEST(Vivaldi, ClusteredSpaceEmbedsPoorlyAtLanScale) {
+  // §2.2: coordinates cannot separate peers inside a cluster. The
+  // median relative error over LAN-scale pairs is enormous because
+  // every cluster peer collapses to nearly the same coordinate.
+  matrix::ClusteredConfig cconfig;
+  cconfig.num_clusters = 4;
+  cconfig.nets_per_cluster = 40;
+  util::Rng world_rng(4);
+  const auto world = matrix::GenerateClustered(cconfig, world_rng);
+  const MatrixSpace space(world.matrix);
+  VivaldiConfig config;
+  config.dimensions = 5;
+  config.rounds = 128;
+  util::Rng rng(5);
+  const auto embedding = VivaldiEmbedding::Train(
+      space, FirstN(world.layout.peer_count()), config, rng);
+  // Check specifically LAN pairs: predicted distances are cluster-scale
+  // (ms), actual are 0.1 ms.
+  std::vector<double> lan_errors;
+  for (NodeId p = 0; p < world.layout.peer_count(); ++p) {
+    for (NodeId mate : world.layout.NetMates(p)) {
+      if (mate > p) {
+        const double predicted = embedding.PredictedLatency(p, mate);
+        lan_errors.push_back(std::abs(predicted - 0.1) / 0.1);
+      }
+    }
+  }
+  ASSERT_FALSE(lan_errors.empty());
+  EXPECT_GT(util::Percentile(std::move(lan_errors), 50.0), 3.0);
+}
+
+TEST(Vivaldi, PlaceNodePositionsNearTrueNeighborhood) {
+  util::Rng world_rng(6);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 2;
+  const auto world = matrix::GenerateEuclidean(300, econfig, world_rng);
+  const MatrixSpace space(world.matrix);
+  VivaldiConfig config;
+  config.dimensions = 2;
+  config.rounds = 128;
+  util::Rng rng(7);
+  const auto embedding =
+      VivaldiEmbedding::Train(space, FirstN(280), config, rng);
+  const core::MeteredSpace metered(space);
+  int good = 0;
+  int total = 0;
+  for (NodeId target = 280; target < 300; ++target) {
+    const auto coord = embedding.PlaceNode(target, metered, 16, rng);
+    // Coordinate distance to a random member should approximate the
+    // true latency within a factor ~2 most of the time.
+    for (NodeId member = 0; member < 30; ++member) {
+      const double predicted = embedding.DistanceFrom(coord, member);
+      const double actual = space.Latency(target, member);
+      ++total;
+      if (predicted > 0.4 * actual && predicted < 2.5 * actual + 5.0) {
+        ++good;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(good) / total, 0.7);
+  EXPECT_GT(metered.probes(), 0u);
+}
+
+TEST(Vivaldi, EmbeddingErrorDropsWithDimensionsOnEuclidean) {
+  util::Rng world_rng(8);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 3;
+  const auto world = matrix::GenerateEuclidean(250, econfig, world_rng);
+  const MatrixSpace space(world.matrix);
+  VivaldiConfig base;
+  base.rounds = 96;
+  util::Rng rng(9);
+  const auto reports = EmbeddingErrorByDimension(space, FirstN(250),
+                                                 {1, 3, 5}, base, 800, rng);
+  ASSERT_EQ(reports.size(), 3u);
+  // 1-D cannot represent a 3-D space; 3-D and 5-D can.
+  EXPECT_GT(reports[0].median_rel_error,
+            reports[1].median_rel_error * 1.5);
+  EXPECT_LT(reports[2].median_rel_error, 0.3);
+}
+
+TEST(Vivaldi, ClusteredSpaceStaysBadAtAnyDimension) {
+  matrix::ClusteredConfig cconfig;
+  cconfig.num_clusters = 3;
+  cconfig.nets_per_cluster = 40;
+  util::Rng world_rng(10);
+  const auto world = matrix::GenerateClustered(cconfig, world_rng);
+  const MatrixSpace space(world.matrix);
+  VivaldiConfig base;
+  base.rounds = 96;
+  util::Rng rng(11);
+  // Evaluate error restricted to intra-cluster pairs via the general
+  // metric: overall medians stay noticeably worse than Euclidean's.
+  const auto reports = EmbeddingErrorByDimension(
+      space, FirstN(world.layout.peer_count()), {2, 5, 8}, base, 800, rng);
+  for (const auto& r : reports) {
+    EXPECT_GT(r.p90_rel_error, 0.3) << "dims=" << r.dimensions;
+  }
+}
+
+TEST(Pic, FindsNearOptimalOnEuclidean) {
+  util::Rng world_rng(12);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 3;
+  const auto world = matrix::GenerateEuclidean(400, econfig, world_rng);
+  const MatrixSpace space(world.matrix);
+  PicNearest pic{PicConfig{}};
+  core::ExperimentConfig config;
+  config.overlay_size = 360;
+  config.num_queries = 150;
+  util::Rng rng(13);
+  const auto metrics = core::RunGenericExperiment(space, pic, config, rng);
+  // Coordinates resolve the neighborhood, not the exact winner: PIC is
+  // a usable-but-weaker baseline here (the paper's contrast is that it
+  // collapses entirely under clustering, below).
+  EXPECT_LT(metrics.mean_stretch, 4.0);
+  EXPECT_GT(metrics.p_exact_closest, 0.05);
+  // And it must clearly beat random selection.
+  core::RandomNearest random_algo;
+  util::Rng rng2(14);
+  const auto random_metrics =
+      core::RunGenericExperiment(space, random_algo, config, rng2);
+  EXPECT_LT(metrics.mean_stretch, 0.6 * random_metrics.mean_stretch);
+}
+
+TEST(Pic, FailsToFindLanPeerUnderClustering) {
+  // §2.3's PIC prediction: the walk cannot enter the right end-network.
+  matrix::ClusteredConfig cconfig;
+  cconfig.num_clusters = 4;
+  cconfig.nets_per_cluster = 50;
+  util::Rng world_rng(14);
+  const auto world = matrix::GenerateClustered(cconfig, world_rng);
+  PicNearest pic{PicConfig{}};
+  core::ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 40;
+  config.num_queries = 300;
+  util::Rng rng(15);
+  const auto metrics = core::RunClusteredExperiment(world, pic, config, rng);
+  EXPECT_LT(metrics.p_exact_closest, 0.30);
+}
+
+TEST(Pic, QueryAccountsProbes) {
+  util::Rng world_rng(16);
+  const auto world = matrix::GenerateEuclidean(200, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  PicNearest pic{PicConfig{}};
+  std::vector<NodeId> members = FirstN(180);
+  util::Rng rng(17);
+  pic.Build(space, members, rng);
+  const core::MeteredSpace metered(space);
+  for (NodeId target = 180; target < 200; ++target) {
+    metered.ResetProbes();
+    const auto result = pic.FindNearest(target, metered, rng);
+    EXPECT_EQ(result.probes, metered.probes());
+    EXPECT_NE(result.found, kInvalidNode);
+    // PIC's whole point: far fewer probes than the overlay size
+    // (placement samples + endpoint neighborhoods only).
+    EXPECT_LT(result.probes, 100u);
+  }
+}
+
+TEST(Pic, InvalidConfigThrows) {
+  PicConfig bad;
+  bad.num_walks = 0;
+  EXPECT_THROW(PicNearest{bad}, util::Error);
+  bad = PicConfig{};
+  bad.placement_samples = 0;
+  EXPECT_THROW(PicNearest{bad}, util::Error);
+}
+
+}  // namespace
+}  // namespace np::coord

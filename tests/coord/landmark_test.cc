@@ -1,0 +1,158 @@
+// Tests for the GNP-style landmark embedding.
+#include <gtest/gtest.h>
+
+#include "coord/landmark.h"
+#include "matrix/generators.h"
+#include "util/stats.h"
+
+namespace np::coord {
+namespace {
+
+using core::MatrixSpace;
+
+std::vector<NodeId> FirstN(NodeId n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) {
+    v.push_back(i);
+  }
+  return v;
+}
+
+TEST(Landmark, EmbedsEuclideanSpaceReasonably) {
+  util::Rng world_rng(1);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 3;
+  const auto world = matrix::GenerateEuclidean(300, econfig, world_rng);
+  const MatrixSpace space(world.matrix);
+  util::Rng rng(2);
+  const auto embedding =
+      LandmarkEmbedding::Train(space, FirstN(300), LandmarkConfig{}, rng);
+  util::Rng eval_rng(3);
+  // Landmark schemes are coarser than Vivaldi; the bar is usefulness,
+  // not precision.
+  EXPECT_LT(embedding.MedianRelativeError(space, 1500, eval_rng), 0.45);
+}
+
+TEST(Landmark, LandmarksAreMembers) {
+  util::Rng world_rng(4);
+  const auto world = matrix::GenerateEuclidean(100, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  util::Rng rng(5);
+  LandmarkConfig config;
+  config.num_landmarks = 10;
+  config.dimensions = 4;
+  const auto embedding =
+      LandmarkEmbedding::Train(space, FirstN(100), config, rng);
+  EXPECT_EQ(embedding.landmarks().size(), 10u);
+  for (NodeId l : embedding.landmarks()) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 100);
+  }
+}
+
+TEST(Landmark, CannotDiscriminateClusterPeers) {
+  // §2.2 / §6: cluster peers have identical latencies to every
+  // landmark, so they collapse onto (nearly) identical coordinates.
+  // The failure is one of *discrimination*: ranking members by
+  // predicted distance picks the LAN mate no better than chance,
+  // whereas on a Euclidean space the coordinate-nearest member is the
+  // true nearest far more often.
+  // Landmark RTTs are *measured*, and real measurements carry an
+  // absolute noise floor; without it, sub-millisecond leg differences
+  // would leak into the coordinates and discriminate peers no real
+  // deployment could tell apart (the paper's premise).
+  matrix::ClusteredConfig cconfig;
+  cconfig.num_clusters = 4;
+  cconfig.nets_per_cluster = 40;
+  util::Rng world_rng(6);
+  const auto clustered = matrix::GenerateClustered(cconfig, world_rng);
+  const MatrixSpace clustered_space(clustered.matrix);
+  const core::NoisySpace clustered_noisy(clustered_space, 0.02, 1234, 0.5);
+  util::Rng rng(7);
+  const auto clustered_embedding = LandmarkEmbedding::Train(
+      clustered_noisy, FirstN(clustered.layout.peer_count()),
+      LandmarkConfig{}, rng);
+
+  const auto coordinate_nearest_hit_rate =
+      [](const LandmarkEmbedding& embedding, const MatrixSpace& space,
+         NodeId count) {
+        int hits = 0;
+        for (NodeId p = 0; p < count; ++p) {
+          NodeId best = kInvalidNode;
+          double best_predicted = 1e18;
+          NodeId truth = kInvalidNode;
+          double truth_distance = 1e18;
+          for (NodeId q = 0; q < space.size(); ++q) {
+            if (q == p) {
+              continue;
+            }
+            const double predicted = embedding.PredictedLatency(p, q);
+            if (predicted < best_predicted) {
+              best_predicted = predicted;
+              best = q;
+            }
+            const double actual = space.Latency(p, q);
+            if (actual < truth_distance) {
+              truth_distance = actual;
+              truth = q;
+            }
+          }
+          if (best == truth) {
+            ++hits;
+          }
+        }
+        return static_cast<double>(hits) / count;
+      };
+
+  const double clustered_hits =
+      coordinate_nearest_hit_rate(clustered_embedding, clustered_space, 100);
+  // Chance level would be ~1/80 within the cluster; allow generous
+  // headroom but far below usable.
+  EXPECT_LT(clustered_hits, 0.2);
+
+  // Euclidean control: same scheme, same budget, useful ranking.
+  util::Rng world_rng2(8);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 3;
+  const auto euclid = matrix::GenerateEuclidean(
+      clustered.layout.peer_count(), econfig, world_rng2);
+  const MatrixSpace euclid_space(euclid.matrix);
+  const core::NoisySpace euclid_noisy(euclid_space, 0.02, 5678, 0.5);
+  util::Rng rng2(9);
+  const auto euclid_embedding = LandmarkEmbedding::Train(
+      euclid_noisy, FirstN(clustered.layout.peer_count()), LandmarkConfig{},
+      rng2);
+  const double euclid_hits =
+      coordinate_nearest_hit_rate(euclid_embedding, euclid_space, 100);
+  EXPECT_GT(euclid_hits, clustered_hits * 2.0);
+}
+
+TEST(Landmark, PredictionIsSymmetric) {
+  util::Rng world_rng(8);
+  const auto world = matrix::GenerateEuclidean(60, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  util::Rng rng(9);
+  const auto embedding =
+      LandmarkEmbedding::Train(space, FirstN(60), LandmarkConfig{}, rng);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 10; b < 20; ++b) {
+      EXPECT_DOUBLE_EQ(embedding.PredictedLatency(a, b),
+                       embedding.PredictedLatency(b, a));
+    }
+  }
+}
+
+TEST(Landmark, InvalidConfigThrows) {
+  util::Rng world_rng(10);
+  const auto world = matrix::GenerateEuclidean(50, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  util::Rng rng(11);
+  LandmarkConfig bad;
+  bad.num_landmarks = 3;
+  bad.dimensions = 5;  // needs dims+1 landmarks
+  EXPECT_THROW(LandmarkEmbedding::Train(space, FirstN(50), bad, rng),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace np::coord

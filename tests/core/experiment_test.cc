@@ -1,0 +1,176 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/nearest_algorithm.h"
+#include "matrix/generators.h"
+
+namespace np::core {
+namespace {
+
+matrix::ClusteredWorld SmallWorld(std::uint64_t seed) {
+  matrix::ClusteredConfig config;
+  config.num_clusters = 4;
+  config.nets_per_cluster = 8;
+  config.peers_per_net = 2;
+  util::Rng rng(seed);
+  return matrix::GenerateClustered(config, rng);
+}
+
+TEST(SplitOverlayFn, PartitionsAllNodes) {
+  util::Rng rng(1);
+  const auto split = SplitOverlay(100, 80, rng);
+  EXPECT_EQ(split.members.size(), 80u);
+  EXPECT_EQ(split.targets.size(), 20u);
+  std::set<NodeId> all(split.members.begin(), split.members.end());
+  all.insert(split.targets.begin(), split.targets.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitOverlayFn, RequiresRoomForTargets) {
+  util::Rng rng(2);
+  EXPECT_THROW(SplitOverlay(10, 10, rng), util::Error);
+  EXPECT_THROW(SplitOverlay(10, 0, rng), util::Error);
+}
+
+TEST(TrueClosest, MatchesBruteForce) {
+  util::Rng rng(3);
+  const auto world = matrix::GenerateEuclidean(50, {}, rng);
+  const MatrixSpace space(world.matrix);
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < 40; ++i) {
+    members.push_back(i);
+  }
+  for (NodeId target = 40; target < 50; ++target) {
+    const NodeId truth = TrueClosestMember(space, members, target);
+    for (NodeId member : members) {
+      EXPECT_LE(space.Latency(truth, target), space.Latency(member, target));
+    }
+  }
+}
+
+TEST(OracleAlgorithm, AlwaysFindsExactClosest) {
+  const auto world = SmallWorld(4);
+  OracleNearest oracle;
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 8;
+  config.num_queries = 200;
+  util::Rng rng(5);
+  const auto metrics = RunClusteredExperiment(world, oracle, config, rng);
+  EXPECT_DOUBLE_EQ(metrics.p_exact_closest, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.p_correct_cluster, 1.0);
+  // Oracle probes every member exactly once per query.
+  EXPECT_DOUBLE_EQ(metrics.mean_probes,
+                   static_cast<double>(config.overlay_size));
+}
+
+TEST(OracleAlgorithm, FindsLanMateWhenPresent) {
+  // For every target whose LAN mate is in the overlay, the oracle must
+  // return exactly that mate (0.1 ms beats every inter-network
+  // latency by construction).
+  const auto world = SmallWorld(6);
+  const MatrixSpace space(world.matrix);
+  util::Rng split_rng(7);
+  const auto split =
+      SplitOverlay(space.size(), world.layout.peer_count() - 4, split_rng);
+  OracleNearest oracle;
+  util::Rng build_rng(8);
+  oracle.Build(space, split.members, build_rng);
+  const MeteredSpace metered(space);
+  util::Rng query_rng(9);
+  const std::set<NodeId> member_set(split.members.begin(),
+                                    split.members.end());
+  int targets_with_mate = 0;
+  for (NodeId target : split.targets) {
+    const auto mates = world.layout.NetMates(target);
+    ASSERT_EQ(mates.size(), 1u);
+    if (member_set.count(mates[0]) == 0) {
+      continue;  // mate also held out; nothing to assert
+    }
+    ++targets_with_mate;
+    const auto result = oracle.FindNearest(target, metered, query_rng);
+    EXPECT_EQ(result.found, mates[0]);
+    EXPECT_DOUBLE_EQ(result.found_latency_ms, 0.1);
+  }
+  EXPECT_GT(targets_with_mate, 0);
+}
+
+TEST(RandomAlgorithm, RarelyFindsClosestUnderClustering) {
+  const auto world = SmallWorld(8);
+  RandomNearest random_algo;
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 8;
+  config.num_queries = 400;
+  util::Rng rng(9);
+  const auto metrics = RunClusteredExperiment(world, random_algo, config, rng);
+  EXPECT_LT(metrics.p_exact_closest, 0.15);
+  EXPECT_DOUBLE_EQ(metrics.mean_probes, 1.0);
+  // Random picks the correct cluster roughly 1/num_clusters of the
+  // time.
+  EXPECT_GT(metrics.p_correct_cluster, 0.05);
+  EXPECT_LT(metrics.p_correct_cluster, 0.60);
+}
+
+TEST(ClusteredExperimentRun, WrongAnswersCarryHubLatency) {
+  const auto world = SmallWorld(10);
+  RandomNearest random_algo;
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 8;
+  config.num_queries = 200;
+  util::Rng rng(11);
+  const auto metrics = RunClusteredExperiment(world, random_algo, config, rng);
+  // Hub legs are drawn from [4 * 0.8, 6 * 1.2] ms.
+  EXPECT_GE(metrics.median_wrong_hub_latency_ms, 3.2);
+  EXPECT_LE(metrics.median_wrong_hub_latency_ms, 7.2);
+}
+
+TEST(ClusteredExperimentRun, DeterministicGivenSeed) {
+  const auto world = SmallWorld(12);
+  ExperimentConfig config;
+  config.overlay_size = world.layout.peer_count() - 8;
+  config.num_queries = 100;
+  RandomNearest algo_a;
+  RandomNearest algo_b;
+  util::Rng rng_a(13);
+  util::Rng rng_b(13);
+  const auto a = RunClusteredExperiment(world, algo_a, config, rng_a);
+  const auto b = RunClusteredExperiment(world, algo_b, config, rng_b);
+  EXPECT_DOUBLE_EQ(a.p_exact_closest, b.p_exact_closest);
+  EXPECT_DOUBLE_EQ(a.p_correct_cluster, b.p_correct_cluster);
+  EXPECT_DOUBLE_EQ(a.mean_found_latency_ms, b.mean_found_latency_ms);
+}
+
+TEST(GenericExperimentRun, OracleHasUnitStretch) {
+  util::Rng world_rng(14);
+  const auto world = matrix::GenerateEuclidean(120, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  OracleNearest oracle;
+  ExperimentConfig config;
+  config.overlay_size = 100;
+  config.num_queries = 100;
+  util::Rng rng(15);
+  const auto metrics = RunGenericExperiment(space, oracle, config, rng);
+  EXPECT_DOUBLE_EQ(metrics.p_exact_closest, 1.0);
+  EXPECT_NEAR(metrics.mean_stretch, 1.0, 1e-9);
+  EXPECT_NEAR(metrics.mean_abs_error_ms, 0.0, 1e-9);
+}
+
+TEST(GenericExperimentRun, RandomHasStretchAboveOne) {
+  util::Rng world_rng(16);
+  const auto world = matrix::GenerateEuclidean(120, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  RandomNearest algo;
+  ExperimentConfig config;
+  config.overlay_size = 100;
+  config.num_queries = 200;
+  util::Rng rng(17);
+  const auto metrics = RunGenericExperiment(space, algo, config, rng);
+  EXPECT_LT(metrics.p_exact_closest, 0.2);
+  EXPECT_GT(metrics.mean_stretch, 1.5);
+}
+
+}  // namespace
+}  // namespace np::core

@@ -1,0 +1,56 @@
+#include "core/latency_space.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+
+namespace np::core {
+namespace {
+
+TEST(MatrixSpace, DelegatesToMatrix) {
+  matrix::LatencyMatrix m(3);
+  m.Set(0, 1, 5.0);
+  m.Set(0, 2, 7.0);
+  m.Set(1, 2, 9.0);
+  const MatrixSpace space(m);
+  EXPECT_EQ(space.size(), 3);
+  EXPECT_DOUBLE_EQ(space.Latency(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(space.Latency(2, 1), 9.0);
+  EXPECT_DOUBLE_EQ(space.Latency(2, 2), 0.0);
+}
+
+TEST(MeteredSpace, CountsEveryProbe) {
+  matrix::LatencyMatrix m(3, 1.0);
+  const MatrixSpace space(m);
+  const MeteredSpace metered(space);
+  EXPECT_EQ(metered.probes(), 0u);
+  metered.Latency(0, 1);
+  metered.Latency(0, 1);  // repeated probes are charged again
+  metered.Latency(1, 2);
+  EXPECT_EQ(metered.probes(), 3u);
+}
+
+TEST(MeteredSpace, ResetClearsCounter) {
+  matrix::LatencyMatrix m(2, 1.0);
+  const MatrixSpace space(m);
+  const MeteredSpace metered(space);
+  metered.Latency(0, 1);
+  metered.ResetProbes();
+  EXPECT_EQ(metered.probes(), 0u);
+}
+
+TEST(MeteredSpace, ReturnsInnerValues) {
+  util::Rng rng(1);
+  const auto world = matrix::GenerateEuclidean(10, {}, rng);
+  const MatrixSpace space(world.matrix);
+  const MeteredSpace metered(space);
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(metered.Latency(i, j), space.Latency(i, j));
+    }
+  }
+  EXPECT_EQ(metered.probes(), 100u);
+}
+
+}  // namespace
+}  // namespace np::core

@@ -1,0 +1,167 @@
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace np::dht {
+namespace {
+
+std::vector<NodeId> MakeNodes(int n) {
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < n; ++i) {
+    nodes.push_back(i * 3 + 1);  // arbitrary non-contiguous ids
+  }
+  return nodes;
+}
+
+TEST(Chord, RingIdsAreDistinctAndStable) {
+  const ChordRing ring(MakeNodes(200), ChordConfig{});
+  std::set<ChordKey> ids;
+  for (NodeId node : ring.nodes()) {
+    ids.insert(ring.IdOf(node));
+  }
+  EXPECT_EQ(ids.size(), 200u);
+  const ChordRing again(MakeNodes(200), ChordConfig{});
+  for (NodeId node : ring.nodes()) {
+    EXPECT_EQ(ring.IdOf(node), again.IdOf(node));
+  }
+}
+
+TEST(Chord, LookupAgreesWithOwnerFromEveryStart) {
+  const ChordRing ring(MakeNodes(64), ChordConfig{});
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ChordKey key = rng();
+    const NodeId owner = ring.OwnerOf(key);
+    for (int s = 0; s < 5; ++s) {
+      const NodeId start =
+          ring.nodes()[rng.Index(ring.nodes().size())];
+      const auto result = ring.Lookup(key, start);
+      EXPECT_EQ(result.owner, owner);
+    }
+  }
+}
+
+TEST(Chord, SingleNodeOwnsEverything) {
+  const ChordRing ring({42}, ChordConfig{});
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result = ring.Lookup(rng(), 42);
+    EXPECT_EQ(result.owner, 42);
+    EXPECT_EQ(result.hops, 0);
+  }
+}
+
+TEST(Chord, LookupHopsAreLogarithmic) {
+  util::Rng rng(3);
+  for (const int n : {64, 256, 1024, 4096}) {
+    const ChordRing ring(MakeNodes(n), ChordConfig{});
+    double total_hops = 0.0;
+    const int queries = 300;
+    for (int q = 0; q < queries; ++q) {
+      total_hops += ring.Lookup(rng(), rng).hops;
+    }
+    const double mean = total_hops / queries;
+    // Theory: ~0.5 * log2(n) expected, log2(n) + small worst-ish case.
+    EXPECT_LE(mean, std::log2(n) + 2.0) << "n=" << n;
+    EXPECT_GE(mean, 0.25 * std::log2(n) - 1.0) << "n=" << n;
+  }
+}
+
+TEST(Chord, HopsGrowWithRingSize) {
+  util::Rng rng(4);
+  double prev_mean = 0.0;
+  for (const int n : {32, 512, 8192}) {
+    const ChordRing ring(MakeNodes(n), ChordConfig{});
+    double total = 0.0;
+    for (int q = 0; q < 200; ++q) {
+      total += ring.Lookup(rng(), rng).hops;
+    }
+    const double mean = total / 200.0;
+    EXPECT_GT(mean, prev_mean);
+    prev_mean = mean;
+  }
+}
+
+TEST(Chord, PutGetRoundTripsMultimap) {
+  ChordRing ring(MakeNodes(128), ChordConfig{});
+  util::Rng rng(5);
+  const ChordKey key = HashToRing(777);
+  ring.Put(key, 100, rng);
+  ring.Put(key, 200, rng);
+  ring.Put(key, 300, rng);
+  const auto values = ring.Get(key, rng);
+  EXPECT_EQ(values, (std::vector<ChordValue>{100, 200, 300}));
+  EXPECT_EQ(ring.total_stored(), 3u);
+}
+
+TEST(Chord, GetMissingKeyIsEmpty) {
+  ChordRing ring(MakeNodes(32), ChordConfig{});
+  util::Rng rng(6);
+  EXPECT_TRUE(ring.Get(HashToRing(1), rng).empty());
+}
+
+TEST(Chord, StorageLandsAtTheOwner) {
+  ChordRing ring(MakeNodes(64), ChordConfig{});
+  util::Rng rng(7);
+  for (std::uint64_t raw = 0; raw < 50; ++raw) {
+    const ChordKey key = HashToRing(raw);
+    ring.Put(key, raw, rng);
+    EXPECT_GE(ring.StoredAt(ring.OwnerOf(key)), 1u);
+  }
+  // Total across nodes equals total stored.
+  std::size_t sum = 0;
+  for (NodeId node : ring.nodes()) {
+    sum += ring.StoredAt(node);
+  }
+  EXPECT_EQ(sum, ring.total_stored());
+}
+
+TEST(Chord, HashToRingSpreadsKeys) {
+  // Sequential raw keys (like IP prefixes) must spread over the ring —
+  // §5's rationale for hashing.
+  const int n = 1024;
+  std::vector<ChordKey> hashed;
+  for (std::uint64_t raw = 0; raw < static_cast<std::uint64_t>(n); ++raw) {
+    hashed.push_back(HashToRing(raw));
+  }
+  std::sort(hashed.begin(), hashed.end());
+  // No huge clumps: max gap should be well below n * average gap.
+  ChordKey max_gap = hashed.front() + (~ChordKey{0} - hashed.back());
+  for (std::size_t i = 1; i < hashed.size(); ++i) {
+    max_gap = std::max(max_gap, hashed[i] - hashed[i - 1]);
+  }
+  const double avg_gap = std::pow(2.0, 64) / n;
+  EXPECT_LT(static_cast<double>(max_gap), 20.0 * avg_gap);
+}
+
+TEST(Chord, LoadIsBalancedAcrossNodes) {
+  ChordRing ring(MakeNodes(64), ChordConfig{});
+  util::Rng rng(8);
+  const int items = 6400;
+  for (std::uint64_t raw = 0; raw < static_cast<std::uint64_t>(items);
+       ++raw) {
+    ring.Put(HashToRing(raw), raw, rng);
+  }
+  std::size_t max_load = 0;
+  for (NodeId node : ring.nodes()) {
+    max_load = std::max(max_load, ring.StoredAt(node));
+  }
+  // Perfect balance would be 100 per node; allow generous imbalance
+  // (consistent hashing without virtual nodes is uneven).
+  EXPECT_LT(max_load, 800u);
+}
+
+TEST(Chord, EmptyRingThrows) {
+  EXPECT_THROW(ChordRing({}, ChordConfig{}), util::Error);
+}
+
+TEST(Chord, LookupFromNonMemberThrows) {
+  const ChordRing ring(MakeNodes(8), ChordConfig{});
+  EXPECT_THROW(ring.Lookup(123, NodeId{9999}), util::Error);
+}
+
+}  // namespace
+}  // namespace np::dht

@@ -1,0 +1,239 @@
+// Integration tests: miniature versions of every paper figure,
+// asserting the qualitative shape end-to-end across modules (topology
+// -> tools -> studies, matrix -> meridian -> runner). These are the
+// fast regression guards for what the full-scale benches regenerate.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "matrix/generators.h"
+#include "measure/azureus_study.h"
+#include "measure/dns_study.h"
+#include "measure/heuristic_eval.h"
+#include "meridian/meridian.h"
+#include "net/tools.h"
+
+namespace np {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figs 3-5 (DNS prediction study) at 1/10 scale.
+
+struct DnsWorld {
+  DnsWorld()
+      : world_rng(101),
+        topology(MakeTopology(world_rng)),
+        tools(topology, net::NoiseConfig{}, util::Rng(102)) {}
+
+  static net::Topology MakeTopology(util::Rng& rng) {
+    net::TopologyConfig config = net::DnsStudyConfig();
+    config.dns_recursive_hosts = 2500;
+    return net::Topology::Generate(config, rng);
+  }
+
+  util::Rng world_rng;
+  net::Topology topology;
+  net::Tools tools;
+};
+
+TEST(ReproFig3, MajorityOfPredictionsWithinFactorTwo) {
+  DnsWorld w;
+  util::Rng rng(103);
+  const auto result = measure::RunDnsStudy(
+      w.topology, w.tools, measure::DnsStudyOptions{}, rng);
+  ASSERT_GT(result.IncludedRatios().size(), 1000u);
+  const double frac = result.FractionWithin(0.5, 2.0);
+  // Paper: ~0.65. Shape requirement: a clear majority, but with
+  // substantial outliers on both sides.
+  EXPECT_GT(frac, 0.55);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(ReproFig4, RatioRisesWithPredictedLatency) {
+  DnsWorld w;
+  util::Rng rng(104);
+  const auto result = measure::RunDnsStudy(
+      w.topology, w.tools, measure::DnsStudyOptions{}, rng);
+  const auto bins = result.RatioVsPredicted(10).Bins();
+  ASSERT_GE(bins.size(), 4u);
+  // First populated bin's median below the last's.
+  EXPECT_LT(bins.front().median, bins.back().median);
+  // Low-latency medians below 1 (lag inflates measurements).
+  EXPECT_LT(bins.front().median, 1.0);
+}
+
+TEST(ReproFig5, IntraDomainOrderOfMagnitudeBelowInterDomain) {
+  DnsWorld w;
+  util::Rng rng(105);
+  const auto result = measure::RunDnsStudy(
+      w.topology, w.tools, measure::DnsStudyOptions{}, rng);
+  const auto intra = result.IntraDomainLatencies(10);
+  const auto inter = result.InterDomainMeasured();
+  ASSERT_GT(intra.size(), 10u);
+  ASSERT_GT(inter.size(), 500u);
+  EXPECT_LT(util::Percentile(intra, 50.0) * 4.0,
+            util::Percentile(inter, 50.0));
+  // Predicted inter-domain tracks measured within a factor ~2.
+  const auto predicted = result.InterDomainPredicted();
+  EXPECT_LT(util::Percentile(predicted, 50.0),
+            2.0 * util::Percentile(inter, 50.0));
+  EXPECT_GT(util::Percentile(predicted, 50.0),
+            0.4 * util::Percentile(inter, 50.0));
+}
+
+// ---------------------------------------------------------------------------
+// Figs 6-7 (Azureus clustering) at 1/10 scale.
+
+struct AzureusWorld {
+  AzureusWorld()
+      : world_rng(201),
+        topology(MakeTopology(world_rng)),
+        tools(topology, net::NoiseConfig{}, util::Rng(202)) {}
+
+  static net::Topology MakeTopology(util::Rng& rng) {
+    net::TopologyConfig config = net::AzureusStudyConfig();
+    config.azureus_hosts = 15000;
+    return net::Topology::Generate(config, rng);
+  }
+
+  util::Rng world_rng;
+  net::Topology topology;
+  net::Tools tools;
+};
+
+TEST(ReproFig6, FiltersAndClusterTail) {
+  AzureusWorld w;
+  const auto result = measure::RunAzureusStudy(
+      w.topology, w.tools, measure::AzureusStudyOptions{});
+  // The pipeline's funnel: responsive < total; unique-upstream <
+  // responsive (vantage disagreement drops most).
+  EXPECT_LT(result.responsive, result.total_ips / 2);
+  EXPECT_LT(result.unique_upstream, result.responsive);
+  EXPECT_GT(result.unique_upstream, result.total_ips / 100);
+  // A heavy tail exists: some pruned cluster with >= 15 members, and a
+  // nontrivial fraction of peers in pruned clusters >= 10.
+  const auto pruned = result.PrunedSizes();
+  ASSERT_FALSE(pruned.empty());
+  EXPECT_GE(pruned.front(), 15);
+  EXPECT_GT(result.FractionInPrunedClustersAtLeast(10), 0.05);
+}
+
+TEST(ReproFig7, LargestClustersHaveSimilarHubLatencies) {
+  AzureusWorld w;
+  const auto result = measure::RunAzureusStudy(
+      w.topology, w.tools, measure::AzureusStudyOptions{});
+  int checked = 0;
+  for (const auto* cluster : result.LargestPruned(5)) {
+    if (cluster->pruned_latencies.size() < 5) {
+      continue;
+    }
+    const auto s = util::Summary::Of(cluster->pruned_latencies);
+    EXPECT_LE(s.max, 1.5 * s.min + 1e-9);
+    // Hub latencies at access-network scale (several ms+), i.e. the
+    // members sit in different end-networks: the clustering condition.
+    EXPECT_GT(s.median, 1.0);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Figs 8-9 (Meridian under clustering) at reduced query count.
+
+TEST(ReproFig8, PhaseTransitionInClusterSize) {
+  const int kTotalNets = 480;
+  double exact_at[3] = {0, 0, 0};
+  double cluster_at[3] = {0, 0, 0};
+  const int sizes[3] = {6, 24, 120};
+  for (int k = 0; k < 3; ++k) {
+    matrix::ClusteredConfig config;
+    config.nets_per_cluster = sizes[k];
+    config.num_clusters = kTotalNets / sizes[k];
+    util::Rng world_rng(301 + static_cast<std::uint64_t>(k));
+    const auto world = matrix::GenerateClustered(config, world_rng);
+    meridian::MeridianOverlay algo{meridian::MeridianConfig{}};
+    core::ExperimentConfig run;
+    run.overlay_size = world.layout.peer_count() - 60;
+    run.num_queries = 600;
+    util::Rng rng(302);
+    const auto metrics =
+        core::RunClusteredExperiment(world, algo, run, rng);
+    exact_at[k] = metrics.p_exact_closest;
+    cluster_at[k] = metrics.p_correct_cluster;
+  }
+  // Non-monotone exact-closest: peak in the middle.
+  EXPECT_GT(exact_at[1], exact_at[0]);
+  EXPECT_GT(exact_at[1], exact_at[2]);
+  // Monotone correct-cluster.
+  EXPECT_LE(cluster_at[0], cluster_at[1] + 0.05);
+  EXPECT_LE(cluster_at[1], cluster_at[2] + 0.05);
+}
+
+TEST(ReproFig9, DeltaWeakensTheCondition) {
+  double exact_low = 0.0;
+  double exact_high = 0.0;
+  double hub_low = 0.0;
+  double hub_high = 0.0;
+  for (const double delta : {0.05, 0.95}) {
+    matrix::ClusteredConfig config;
+    config.nets_per_cluster = 100;
+    config.num_clusters = 5;
+    config.delta = delta;
+    util::Rng world_rng(401);
+    const auto world = matrix::GenerateClustered(config, world_rng);
+    meridian::MeridianOverlay algo{meridian::MeridianConfig{}};
+    core::ExperimentConfig run;
+    run.overlay_size = world.layout.peer_count() - 60;
+    run.num_queries = 800;
+    util::Rng rng(402);
+    const auto metrics =
+        core::RunClusteredExperiment(world, algo, run, rng);
+    if (delta < 0.5) {
+      exact_low = metrics.p_exact_closest;
+      hub_low = metrics.median_wrong_hub_latency_ms;
+    } else {
+      exact_high = metrics.p_exact_closest;
+      hub_high = metrics.median_wrong_hub_latency_ms;
+    }
+  }
+  EXPECT_GT(exact_high, exact_low + 0.05);
+  EXPECT_LT(hub_high, hub_low);
+}
+
+// ---------------------------------------------------------------------------
+// Figs 10-11 (the §5 evaluation) at 1/10 scale.
+
+TEST(ReproFig10And11, HeuristicShapes) {
+  AzureusWorld w;
+  const auto peers = w.topology.HostsOfKind(net::HostKind::kAzureusPeer);
+  const auto graph = measure::PathGraph::Build(w.topology, w.tools, peers);
+  const auto sets =
+      measure::ComputeCloseSets(graph, measure::HeuristicEvalOptions{});
+  ASSERT_GT(sets.PopulationSize(), 100);
+
+  // Fig 10: hop-length grows with latency.
+  const auto bins = measure::HopLengthVsLatency(sets).Bins();
+  ASSERT_GE(bins.size(), 3u);
+  EXPECT_LT(bins.front().median, bins.back().median + 1e-9);
+  // Close pairs (< 5 ms) are discoverable by tracking a handful of
+  // routers: median hop-length there stays small.
+  for (const auto& bin : bins) {
+    if (bin.x_representative < 5.0) {
+      EXPECT_LE(bin.median, 6.0);
+    }
+  }
+
+  // Fig 11: FP falls, FN rises, both strictly ordered at the ends.
+  const auto rates =
+      measure::EvaluatePrefixHeuristic(w.topology, sets, 8, 24);
+  ASSERT_EQ(rates.size(), 17u);
+  EXPECT_GT(rates.front().median_false_positive,
+            rates.back().median_false_positive);
+  EXPECT_LT(rates.front().median_false_negative,
+            rates.back().median_false_negative);
+  EXPECT_GT(rates.back().median_false_negative, 0.5);
+  // Probing cost at short prefixes is prohibitive (paper: >= ~250).
+  EXPECT_GT(rates.front().mean_candidates, 100.0);
+}
+
+}  // namespace
+}  // namespace np

@@ -1,0 +1,146 @@
+#include "matrix/dataset_io.h"
+
+#include "matrix/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace np::matrix {
+namespace {
+
+TEST(DenseDataset, ParsesMicrosecondMatrix) {
+  // MIT-King style: microsecond RTTs, dense, with a size header.
+  std::stringstream ss(
+      "3\n"
+      "0 15000 30000\n"
+      "15000 0 45000\n"
+      "30000 45000 0\n");
+  const auto m = LoadDenseMatrix(ss, LatencyUnit::kMicroseconds);
+  ASSERT_EQ(m.size(), 3);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 30.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 45.0);
+}
+
+TEST(DenseDataset, AveragesAsymmetricEntries) {
+  std::stringstream ss(
+      "2\n"
+      "0 10\n"
+      "20 0\n");
+  const auto m = LoadDenseMatrix(ss, LatencyUnit::kMilliseconds);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 15.0);
+}
+
+TEST(DenseDataset, PatchesUnreachableEntriesWithRowMedian) {
+  std::stringstream ss(
+      "4\n"
+      "0 10 0 30\n"
+      "10 0 20 40\n"
+      "0 20 0 50\n"
+      "30 40 50 0\n");
+  const auto m = LoadDenseMatrix(ss, LatencyUnit::kMilliseconds);
+  // (0,2) was 0 in both directions: patched from row stats, positive.
+  EXPECT_GT(m.At(0, 2), 0.0);
+  // Untouched entries survive.
+  EXPECT_DOUBLE_EQ(m.At(1, 3), 40.0);
+}
+
+TEST(DenseDataset, MalformedInputsThrow) {
+  {
+    std::stringstream ss("not-a-number\n");
+    EXPECT_THROW(LoadDenseMatrix(ss, LatencyUnit::kMilliseconds),
+                 util::Error);
+  }
+  {
+    std::stringstream ss("3\n0 1 2\n1 0\n");  // truncated
+    EXPECT_THROW(LoadDenseMatrix(ss, LatencyUnit::kMilliseconds),
+                 util::Error);
+  }
+  {
+    std::stringstream ss("0\n");
+    EXPECT_THROW(LoadDenseMatrix(ss, LatencyUnit::kMilliseconds),
+                 util::Error);
+  }
+}
+
+TEST(TripleDataset, ParsesAndAveragesDuplicates) {
+  std::stringstream ss(
+      "# meridian-style triples\n"
+      "0 1 10.0\n"
+      "1 0 14.0\n"
+      "0 2 30.0\n"
+      "1 2 20.0\n");
+  const auto m = LoadTripleList(ss);
+  ASSERT_EQ(m.size(), 3);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 12.0);  // (10 + 14) / 2
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 30.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 20.0);
+}
+
+TEST(TripleDataset, HandlesOneBasedIds) {
+  std::stringstream ss(
+      "1 2 5.0\n"
+      "2 3 6.0\n"
+      "1 3 7.0\n");
+  const auto m = LoadTripleList(ss);
+  ASSERT_EQ(m.size(), 3);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+}
+
+TEST(TripleDataset, PatchesMissingPairsWithGlobalMedian) {
+  std::stringstream ss(
+      "0 1 10.0\n"
+      "2 3 20.0\n");
+  const auto m = LoadTripleList(ss);
+  ASSERT_EQ(m.size(), 4);
+  // (0,2) never measured: patched with the median of {10, 20} = 15.
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 15.0);
+}
+
+TEST(TripleDataset, SkipsSelfLoopsAndNonPositive) {
+  std::stringstream ss(
+      "0 0 99.0\n"
+      "0 1 -5.0\n"
+      "0 1 8.0\n");
+  const auto m = LoadTripleList(ss);
+  ASSERT_EQ(m.size(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 8.0);
+}
+
+TEST(TripleDataset, MalformedInputsThrow) {
+  {
+    std::stringstream ss("0 1\n");
+    EXPECT_THROW(LoadTripleList(ss), util::Error);
+  }
+  {
+    std::stringstream ss("# only comments\n");
+    EXPECT_THROW(LoadTripleList(ss), util::Error);
+  }
+}
+
+TEST(Datasets, LoadedMatrixWorksAsHubBase) {
+  // End-to-end: a loaded dataset drives the §4 world exactly like the
+  // synthetic King-like base.
+  std::stringstream ss(
+      "0 1 60.0\n"
+      "0 2 70.0\n"
+      "0 3 80.0\n"
+      "1 2 65.0\n"
+      "1 3 75.0\n"
+      "2 3 62.0\n");
+  const auto base = LoadTripleList(ss);
+  ClusteredConfig config;
+  config.num_clusters = 3;
+  config.nets_per_cluster = 5;
+  util::Rng rng(1);
+  const auto world = GenerateClustered(config, base, rng);
+  EXPECT_EQ(world.layout.peer_count(), 30);
+  EXPECT_TRUE(world.matrix.IsValid());
+}
+
+}  // namespace
+}  // namespace np::matrix

@@ -1,0 +1,152 @@
+#include "matrix/latency_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace np::matrix {
+namespace {
+
+TEST(LatencyMatrix, DiagonalIsZero) {
+  LatencyMatrix m(4, 1.0);
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(m.At(i, i), 0.0);
+  }
+}
+
+TEST(LatencyMatrix, SetIsSymmetric) {
+  LatencyMatrix m(5);
+  m.Set(1, 3, 12.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 3), 12.5);
+  EXPECT_DOUBLE_EQ(m.At(3, 1), 12.5);
+}
+
+TEST(LatencyMatrix, FillValueAppliesOffDiagonal) {
+  LatencyMatrix m(3, 9.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 9.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 9.0);
+}
+
+TEST(LatencyMatrix, InvalidAccessThrows) {
+  LatencyMatrix m(3);
+  EXPECT_THROW(m.At(-1, 0), util::Error);
+  EXPECT_THROW(m.At(0, 3), util::Error);
+  EXPECT_THROW(m.Set(0, 0, 1.0), util::Error);
+  EXPECT_THROW(m.Set(0, 1, -1.0), util::Error);
+  EXPECT_THROW(LatencyMatrix(0), util::Error);
+}
+
+TEST(LatencyMatrix, SingleNodeMatrixIsValid) {
+  LatencyMatrix m(1);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_TRUE(m.IsValid());
+  EXPECT_EQ(m.ClosestTo(0), kInvalidNode);
+}
+
+TEST(LatencyMatrix, ValidityDetectsInfinities) {
+  LatencyMatrix m(3, 1.0);
+  EXPECT_TRUE(m.IsValid());
+  m.Set(0, 1, kInfiniteLatency);
+  EXPECT_FALSE(m.IsValid());
+}
+
+TEST(LatencyMatrix, TriangleViolationZeroForMetric) {
+  // A path metric: points on a line at 0, 1, 3.
+  LatencyMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(1, 2, 2.0);
+  m.Set(0, 2, 3.0);
+  EXPECT_NEAR(m.MaxTriangleViolation(), 0.0, 1e-12);
+}
+
+TEST(LatencyMatrix, TriangleViolationDetected) {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(1, 2, 1.0);
+  m.Set(0, 2, 4.0);  // violates: direct 4 > 1 + 1
+  EXPECT_NEAR(m.MaxTriangleViolation(), 1.0, 1e-12);
+}
+
+TEST(LatencyMatrix, MetricRepairShortensViolatingEdges) {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(1, 2, 1.0);
+  m.Set(0, 2, 4.0);
+  m.MetricRepair();
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+  EXPECT_NEAR(m.MaxTriangleViolation(), 0.0, 1e-12);
+}
+
+TEST(LatencyMatrix, MetricRepairPreservesMetricMatrices) {
+  LatencyMatrix m(4);
+  m.Set(0, 1, 1.0);
+  m.Set(0, 2, 2.0);
+  m.Set(0, 3, 3.0);
+  m.Set(1, 2, 1.5);
+  m.Set(1, 3, 2.5);
+  m.Set(2, 3, 1.2);
+  const LatencyMatrix before = m;
+  m.MetricRepair();
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), before.At(i, j));
+    }
+  }
+}
+
+TEST(LatencyMatrix, NearestToOrdersByLatency) {
+  LatencyMatrix m(4);
+  m.Set(0, 1, 5.0);
+  m.Set(0, 2, 1.0);
+  m.Set(0, 3, 3.0);
+  m.Set(1, 2, 1.0);
+  m.Set(1, 3, 1.0);
+  m.Set(2, 3, 1.0);
+  const auto nearest = m.NearestTo(0, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0], 2);
+  EXPECT_EQ(nearest[1], 3);
+  EXPECT_EQ(nearest[2], 1);
+}
+
+TEST(LatencyMatrix, NearestToClampsCount) {
+  LatencyMatrix m(3, 1.0);
+  EXPECT_EQ(m.NearestTo(0, 100).size(), 2u);
+}
+
+TEST(LatencyMatrix, NearestToBreaksTiesById) {
+  LatencyMatrix m(4, 2.0);
+  const auto nearest = m.NearestTo(2, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0], 0);
+  EXPECT_EQ(nearest[1], 1);
+  EXPECT_EQ(nearest[2], 3);
+}
+
+TEST(LatencyMatrix, ClosestToFindsMinimum) {
+  LatencyMatrix m(4, 10.0);
+  m.Set(2, 1, 0.5);
+  EXPECT_EQ(m.ClosestTo(2), 1);
+  EXPECT_EQ(m.ClosestTo(1), 2);
+  EXPECT_EQ(m.ClosestTo(0), 1);  // tie at 10.0 -> lowest id
+}
+
+TEST(LatencyMatrix, LargeMatrixPackedIndexingConsistent) {
+  const NodeId n = 200;
+  LatencyMatrix m(n);
+  // Give every pair a unique value and read it back.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      m.Set(i, j, static_cast<double>(i) * 1000.0 + j);
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(m.At(j, i), static_cast<double>(i) * 1000.0 + j);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace np::matrix

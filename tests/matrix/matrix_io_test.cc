@@ -1,0 +1,86 @@
+#include "matrix/matrix_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/generators.h"
+#include "util/error.h"
+
+namespace np::matrix {
+namespace {
+
+TEST(MatrixIo, RoundTripsSmallMatrix) {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 1.5);
+  m.Set(0, 2, 2.25);
+  m.Set(1, 2, 0.125);
+  std::stringstream ss;
+  SaveMatrix(m, ss);
+  const LatencyMatrix loaded = LoadMatrix(ss);
+  ASSERT_EQ(loaded.size(), 3);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(loaded.At(i, j), m.At(i, j));
+    }
+  }
+}
+
+TEST(MatrixIo, RoundTripsGeneratedMatrix) {
+  util::Rng rng(1);
+  const auto m = GenerateKingLike(25, KingLikeConfig{}, rng);
+  std::stringstream ss;
+  SaveMatrix(m, ss);
+  const LatencyMatrix loaded = LoadMatrix(ss);
+  ASSERT_EQ(loaded.size(), 25);
+  for (NodeId i = 0; i < 25; ++i) {
+    for (NodeId j = 0; j < 25; ++j) {
+      EXPECT_NEAR(loaded.At(i, j), m.At(i, j), 1e-6);
+    }
+  }
+}
+
+TEST(MatrixIo, SingleNodeMatrix) {
+  LatencyMatrix m(1);
+  std::stringstream ss;
+  SaveMatrix(m, ss);
+  const LatencyMatrix loaded = LoadMatrix(ss);
+  EXPECT_EQ(loaded.size(), 1);
+}
+
+TEST(MatrixIo, RejectsBadMagic) {
+  std::stringstream ss("bogus v1 3\n1 2 3\n");
+  EXPECT_THROW(LoadMatrix(ss), util::Error);
+}
+
+TEST(MatrixIo, RejectsBadVersion) {
+  std::stringstream ss("np-latency-matrix v9 2\n1\n");
+  EXPECT_THROW(LoadMatrix(ss), util::Error);
+}
+
+TEST(MatrixIo, RejectsTruncatedBody) {
+  std::stringstream ss("np-latency-matrix v1 3\n1.0\n");
+  EXPECT_THROW(LoadMatrix(ss), util::Error);
+}
+
+TEST(MatrixIo, RejectsNegativeLatency) {
+  std::stringstream ss("np-latency-matrix v1 2\n-5.0\n");
+  EXPECT_THROW(LoadMatrix(ss), util::Error);
+}
+
+TEST(MatrixIo, FileRoundTrip) {
+  util::Rng rng(2);
+  const auto m = GenerateKingLike(10, KingLikeConfig{}, rng);
+  const std::string path = ::testing::TempDir() + "/np_matrix_io_test.txt";
+  SaveMatrixToFile(m, path);
+  const LatencyMatrix loaded = LoadMatrixFromFile(path);
+  EXPECT_EQ(loaded.size(), 10);
+  EXPECT_NEAR(loaded.At(3, 7), m.At(3, 7), 1e-6);
+}
+
+TEST(MatrixIo, MissingFileThrows) {
+  EXPECT_THROW(LoadMatrixFromFile("/nonexistent/np_matrix.txt"), util::Error);
+}
+
+}  // namespace
+}  // namespace np::matrix

@@ -1,0 +1,165 @@
+#include "measure/dns_study.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace np::measure {
+namespace {
+
+struct StudyFixture {
+  explicit StudyFixture(std::uint64_t seed, int servers = 400)
+      : rng(seed),
+        topology(MakeTopology(servers, rng)),
+        tools(topology, net::NoiseConfig{}, util::Rng(seed ^ 0x5EED)) {}
+
+  static net::Topology MakeTopology(int servers, util::Rng& rng) {
+    net::TopologyConfig config = net::SmallTestConfig();
+    config.azureus_hosts = 0;
+    config.dns_recursive_hosts = servers;
+    return net::Topology::Generate(config, rng);
+  }
+
+  util::Rng rng;
+  net::Topology topology;
+  net::Tools tools;
+};
+
+TEST(DnsStudy, ProducesPairsAndClusters) {
+  StudyFixture f(1);
+  util::Rng rng(2);
+  const auto result = RunDnsStudy(f.topology, f.tools, DnsStudyOptions{}, rng);
+  EXPECT_GT(result.num_servers_traced, 300);
+  EXPECT_GT(result.num_clusters, 2);
+  EXPECT_GT(result.pairs.size(), 100u);
+  EXPECT_FALSE(result.IncludedRatios().empty());
+}
+
+TEST(DnsStudy, EachServerInAboutConfiguredPairs) {
+  StudyFixture f(3);
+  util::Rng rng(4);
+  DnsStudyOptions options;
+  options.pairs_per_server = 4;
+  const auto result = RunDnsStudy(f.topology, f.tools, options, rng);
+  std::map<NodeId, int> degree;
+  for (const auto& p : result.pairs) {
+    degree[p.server_a]++;
+    degree[p.server_b]++;
+  }
+  double mean = 0.0;
+  for (const auto& [server, d] : degree) {
+    mean += d;
+    // "About 4": pairing rounds plus same-domain extras bound this.
+    EXPECT_LE(d, options.pairs_per_server + 2);
+  }
+  mean /= static_cast<double>(degree.size());
+  EXPECT_GT(mean, 1.5);
+  EXPECT_LE(mean, options.pairs_per_server + 1.0);
+}
+
+TEST(DnsStudy, MostPredictionsNearTruth) {
+  // The central §3.1 claim: the common-router prediction tracks the
+  // King measurement — most included pairs within [0.5, 2].
+  StudyFixture f(5);
+  util::Rng rng(6);
+  const auto result = RunDnsStudy(f.topology, f.tools, DnsStudyOptions{}, rng);
+  ASSERT_GT(result.IncludedRatios().size(), 50u);
+  EXPECT_GT(result.FractionWithin(0.5, 2.0), 0.5);
+}
+
+TEST(DnsStudy, SameDomainPairsExcludedFromRatios) {
+  StudyFixture f(7);
+  util::Rng rng(8);
+  const auto result = RunDnsStudy(f.topology, f.tools, DnsStudyOptions{}, rng);
+  int same_domain = 0;
+  for (const auto& p : result.pairs) {
+    const bool same = f.topology.host(p.server_a).domain_id ==
+                      f.topology.host(p.server_b).domain_id;
+    if (same) {
+      ++same_domain;
+      EXPECT_NE(p.exclusion, PairExclusion::kIncluded);
+      EXPECT_DOUBLE_EQ(p.measured_ms, 0.0);
+    }
+  }
+  EXPECT_GT(same_domain, 0);
+}
+
+TEST(DnsStudy, IntraDomainLatenciesAreOrderOfMagnitudeSmaller) {
+  // Fig 5's headline: intra-domain (mostly same end-network) latencies
+  // sit well below inter-domain ones. Needs a reasonably large server
+  // population: the intra-domain estimate is noisy (invisible gateways
+  // force the prediction through the attachment router, and some
+  // same-domain pairs are genuinely split across cities — the paper
+  // observed both).
+  // Full study geometry (deep aggregation trees, many end-networks per
+  // PoP), scaled down in server count only: in toy worlds the few
+  // shallow end-networks blur the contrast.
+  util::Rng world_rng(9);
+  net::TopologyConfig config = net::DnsStudyConfig();
+  config.dns_recursive_hosts = 4000;
+  const auto topology = net::Topology::Generate(config, world_rng);
+  net::Tools tools(topology, net::NoiseConfig{}, util::Rng(99));
+  util::Rng rng(10);
+  const auto result = RunDnsStudy(topology, tools, DnsStudyOptions{}, rng);
+  const auto intra = result.IntraDomainLatencies(10);
+  const auto inter = result.InterDomainMeasured();
+  ASSERT_GT(intra.size(), 15u);
+  ASSERT_GT(inter.size(), 100u);
+  const double intra_median = util::Percentile(intra, 50.0);
+  const double inter_median = util::Percentile(inter, 50.0);
+  EXPECT_LT(intra_median * 3.0, inter_median);
+}
+
+TEST(DnsStudy, PredictedTracksMeasuredForInterDomain) {
+  // Fig 5's secondary observation: the inter-domain predicted
+  // distribution matches the measured one reasonably well.
+  StudyFixture f(11);
+  util::Rng rng(12);
+  const auto result = RunDnsStudy(f.topology, f.tools, DnsStudyOptions{}, rng);
+  const auto measured = result.InterDomainMeasured();
+  const auto predicted = result.InterDomainPredicted();
+  ASSERT_EQ(measured.size(), predicted.size());
+  ASSERT_GT(measured.size(), 30u);
+  const double measured_median = util::Percentile(measured, 50.0);
+  const double predicted_median = util::Percentile(predicted, 50.0);
+  EXPECT_LT(std::abs(predicted_median - measured_median),
+            0.6 * measured_median);
+}
+
+TEST(DnsStudy, HopFilterExcludesDistantPairs) {
+  StudyFixture f(13);
+  util::Rng rng(14);
+  DnsStudyOptions options;
+  options.max_hops_from_common = 1;  // extreme: nearly all excluded
+  const auto strict = RunDnsStudy(f.topology, f.tools, options, rng);
+  int excluded = 0;
+  for (const auto& p : strict.pairs) {
+    if (p.exclusion == PairExclusion::kTooManyHops) {
+      ++excluded;
+    }
+  }
+  EXPECT_GT(excluded, 0);
+}
+
+TEST(DnsStudy, RatioVsPredictedBinsCoverIncludedPairs) {
+  StudyFixture f(15);
+  util::Rng rng(16);
+  const auto result = RunDnsStudy(f.topology, f.tools, DnsStudyOptions{}, rng);
+  const auto scatter = result.RatioVsPredicted();
+  EXPECT_EQ(scatter.sample_count(), result.IncludedRatios().size());
+  EXPECT_FALSE(scatter.Bins().empty());
+}
+
+TEST(DnsStudy, DeterministicGivenSeeds) {
+  StudyFixture f1(17);
+  StudyFixture f2(17);
+  util::Rng rng1(18);
+  util::Rng rng2(18);
+  const auto a = RunDnsStudy(f1.topology, f1.tools, DnsStudyOptions{}, rng1);
+  const auto b = RunDnsStudy(f2.topology, f2.tools, DnsStudyOptions{}, rng2);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  EXPECT_DOUBLE_EQ(a.FractionWithin(0.5, 2.0), b.FractionWithin(0.5, 2.0));
+}
+
+}  // namespace
+}  // namespace np::measure

@@ -1,0 +1,95 @@
+#include "measure/pop_inference.h"
+
+#include <gtest/gtest.h>
+
+namespace np::measure {
+namespace {
+
+net::TracerouteHop Hop(RouterId router, bool responded, int as, int city) {
+  net::TracerouteHop hop;
+  hop.router = router;
+  hop.responded = responded;
+  if (responded) {
+    hop.annotated_as = as;
+    hop.annotated_city = city;
+  }
+  return hop;
+}
+
+TEST(PopInference, PicksDeepestRespondingHop) {
+  net::TracerouteResult trace;
+  trace.hops = {Hop(1, true, 10, 20), Hop(2, true, 11, 21),
+                Hop(3, false, -1, -1)};
+  const auto pop = ClosestUpstreamPop(trace);
+  ASSERT_TRUE(pop.has_value());
+  EXPECT_EQ(pop->as_id, 11);
+  EXPECT_EQ(pop->city_id, 21);
+}
+
+TEST(PopInference, NoRespondingHopsYieldsNothing) {
+  net::TracerouteResult trace;
+  trace.hops = {Hop(1, false, -1, -1), Hop(2, false, -1, -1)};
+  EXPECT_FALSE(ClosestUpstreamPop(trace).has_value());
+  EXPECT_FALSE(ClosestUpstreamPop(net::TracerouteResult{}).has_value());
+}
+
+TEST(PopInference, KeyDistinguishesPops) {
+  const InferredPop a{1, 2};
+  const InferredPop b{1, 3};
+  const InferredPop c{2, 2};
+  const InferredPop a2{1, 2};
+  EXPECT_EQ(a.Key(), a2.Key());
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+  EXPECT_EQ(a, a2);
+}
+
+TEST(PopInference, DeepestHopOfPopFindsLatestMatch) {
+  net::TracerouteResult trace;
+  trace.hops = {Hop(1, true, 5, 6), Hop(2, true, 5, 6), Hop(3, true, 9, 9)};
+  EXPECT_EQ(DeepestHopOfPop(trace, InferredPop{5, 6}), 1);
+  EXPECT_EQ(DeepestHopOfPop(trace, InferredPop{9, 9}), 2);
+  EXPECT_EQ(DeepestHopOfPop(trace, InferredPop{7, 7}), -1);
+}
+
+TEST(PopInference, DeepestHopIgnoresSilentMatches) {
+  net::TracerouteResult trace;
+  trace.hops = {Hop(1, true, 5, 6), Hop(2, false, 5, 6)};
+  EXPECT_EQ(DeepestHopOfPop(trace, InferredPop{5, 6}), 0);
+}
+
+TEST(CommonRouter, FindsDeepestShared) {
+  net::TracerouteResult a;
+  a.hops = {Hop(1, true, 0, 0), Hop(2, true, 0, 0), Hop(3, true, 0, 0)};
+  net::TracerouteResult b;
+  b.hops = {Hop(1, true, 0, 0), Hop(2, true, 0, 0), Hop(9, true, 0, 0)};
+  EXPECT_EQ(DeepestCommonRouter(a, b), 2);
+}
+
+TEST(CommonRouter, SkipsSilentHops) {
+  net::TracerouteResult a;
+  a.hops = {Hop(1, true, 0, 0), Hop(2, false, 0, 0)};
+  net::TracerouteResult b;
+  b.hops = {Hop(1, true, 0, 0), Hop(2, true, 0, 0)};
+  EXPECT_EQ(DeepestCommonRouter(a, b), 1);
+}
+
+TEST(CommonRouter, NoOverlapYieldsInvalid) {
+  net::TracerouteResult a;
+  a.hops = {Hop(1, true, 0, 0)};
+  net::TracerouteResult b;
+  b.hops = {Hop(2, true, 0, 0)};
+  EXPECT_EQ(DeepestCommonRouter(a, b), kInvalidRouter);
+}
+
+TEST(HopCounting, CountsFromDestination) {
+  net::TracerouteResult trace;
+  trace.hops = {Hop(1, true, 0, 0), Hop(2, true, 0, 0), Hop(3, true, 0, 0)};
+  EXPECT_EQ(HopsFromDestination(trace, 2), 1);
+  EXPECT_EQ(HopsFromDestination(trace, 0), 3);
+  EXPECT_THROW(HopsFromDestination(trace, 3), util::Error);
+  EXPECT_THROW(HopsFromDestination(trace, -1), util::Error);
+}
+
+}  // namespace
+}  // namespace np::measure

@@ -1,0 +1,133 @@
+// Tests for Meridian's gossip-based discovery build mode.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "matrix/generators.h"
+#include "meridian/meridian.h"
+
+namespace np::meridian {
+namespace {
+
+using core::ExperimentConfig;
+using core::MatrixSpace;
+
+TEST(MeridianGossip, RingsRespectCapAndBands) {
+  util::Rng world_rng(1);
+  const auto world = matrix::GenerateEuclidean(300, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  MeridianConfig config;
+  config.full_knowledge = false;
+  config.gossip_rounds = 12;
+  MeridianOverlay overlay{config};
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < 300; ++i) {
+    members.push_back(i);
+  }
+  util::Rng rng(2);
+  overlay.Build(space, members, rng);
+  for (NodeId owner : {NodeId{0}, NodeId{150}, NodeId{299}}) {
+    const auto& rings = overlay.RingsOf(owner);
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+      EXPECT_LE(rings[r].size(),
+                static_cast<std::size_t>(config.ring_size));
+      for (const RingEntry& entry : rings[r]) {
+        EXPECT_EQ(overlay.RingIndexFor(entry.latency_ms),
+                  static_cast<int>(r));
+        EXPECT_DOUBLE_EQ(entry.latency_ms,
+                         space.Latency(owner, entry.member));
+      }
+    }
+  }
+}
+
+TEST(MeridianGossip, DiscoveryImprovesWithRounds) {
+  util::Rng world_rng(3);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 3;
+  const auto world = matrix::GenerateEuclidean(400, econfig, world_rng);
+  const MatrixSpace space(world.matrix);
+
+  double few_rounds_exact = 0.0;
+  double many_rounds_exact = 0.0;
+  for (const int rounds : {2, 24}) {
+    MeridianConfig config;
+    config.full_knowledge = false;
+    config.gossip_rounds = rounds;
+    config.gossip_bootstrap_contacts = 4;
+    MeridianOverlay overlay{config};
+    ExperimentConfig run;
+    run.overlay_size = 360;
+    run.num_queries = 200;
+    util::Rng rng(4);
+    const auto metrics =
+        core::RunGenericExperiment(space, overlay, run, rng);
+    (rounds == 2 ? few_rounds_exact : many_rounds_exact) =
+        metrics.p_exact_closest;
+  }
+  EXPECT_GT(many_rounds_exact, few_rounds_exact);
+}
+
+TEST(MeridianGossip, ConvergesTowardFullKnowledgeAccuracy) {
+  util::Rng world_rng(5);
+  matrix::EuclideanConfig econfig;
+  econfig.dimensions = 3;
+  const auto world = matrix::GenerateEuclidean(400, econfig, world_rng);
+  const MatrixSpace space(world.matrix);
+
+  ExperimentConfig run;
+  run.overlay_size = 360;
+  run.num_queries = 300;
+
+  MeridianConfig full_config;
+  MeridianOverlay full{full_config};
+  util::Rng rng_a(6);
+  const auto full_metrics =
+      core::RunGenericExperiment(space, full, run, rng_a);
+
+  MeridianConfig gossip_config;
+  gossip_config.full_knowledge = false;
+  gossip_config.gossip_rounds = 24;
+  MeridianOverlay gossip{gossip_config};
+  util::Rng rng_b(6);
+  const auto gossip_metrics =
+      core::RunGenericExperiment(space, gossip, run, rng_b);
+
+  // Gossip discovery should reach a large fraction of the converged
+  // build's accuracy.
+  EXPECT_GT(gossip_metrics.p_exact_closest,
+            0.6 * full_metrics.p_exact_closest);
+}
+
+TEST(MeridianGossip, StillFailsUnderClustering) {
+  // Partial knowledge does not change the §2 argument.
+  matrix::ClusteredConfig cconfig;
+  cconfig.num_clusters = 4;
+  cconfig.nets_per_cluster = 60;
+  util::Rng world_rng(7);
+  const auto world = matrix::GenerateClustered(cconfig, world_rng);
+  MeridianConfig config;
+  config.full_knowledge = false;
+  MeridianOverlay overlay{config};
+  ExperimentConfig run;
+  run.overlay_size = world.layout.peer_count() - 40;
+  run.num_queries = 300;
+  util::Rng rng(8);
+  const auto metrics =
+      core::RunClusteredExperiment(world, overlay, run, rng);
+  EXPECT_LT(metrics.p_exact_closest, 0.5);
+}
+
+TEST(MeridianGossip, InvalidConfigThrows) {
+  MeridianConfig config;
+  config.full_knowledge = false;
+  config.gossip_rounds = 0;
+  MeridianOverlay overlay{config};
+  util::Rng world_rng(9);
+  const auto world = matrix::GenerateEuclidean(20, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  util::Rng rng(10);
+  EXPECT_THROW(overlay.Build(space, {0, 1, 2}, rng), util::Error);
+}
+
+}  // namespace
+}  // namespace np::meridian

@@ -1,0 +1,59 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace np::net {
+namespace {
+
+TEST(IpPrefix, ExtractsTopBits) {
+  const Ipv4 ip = ParseIpv4("10.20.30.40");
+  EXPECT_EQ(PrefixOf(ip, 8), 10u);
+  EXPECT_EQ(PrefixOf(ip, 16), (10u << 8) | 20u);
+  EXPECT_EQ(PrefixOf(ip, 32), ip);
+  EXPECT_EQ(PrefixOf(ip, 0), 0u);
+}
+
+TEST(IpPrefix, SamePrefixComparisons) {
+  const Ipv4 a = ParseIpv4("10.20.30.40");
+  const Ipv4 b = ParseIpv4("10.20.99.1");
+  const Ipv4 c = ParseIpv4("10.21.30.40");
+  EXPECT_TRUE(SamePrefix(a, b, 16));
+  EXPECT_FALSE(SamePrefix(a, b, 24));
+  EXPECT_TRUE(SamePrefix(a, c, 15));
+  EXPECT_FALSE(SamePrefix(a, c, 16));
+  EXPECT_TRUE(SamePrefix(a, c, 0));
+}
+
+TEST(IpPrefix, InvalidBitsThrow) {
+  EXPECT_THROW(PrefixOf(0, -1), util::Error);
+  EXPECT_THROW(PrefixOf(0, 33), util::Error);
+}
+
+TEST(IpFormat, RoundTrips) {
+  for (const char* text :
+       {"0.0.0.0", "255.255.255.255", "11.0.0.1", "192.168.1.77"}) {
+    EXPECT_EQ(FormatIpv4(ParseIpv4(text)), text);
+  }
+}
+
+TEST(IpFormat, RejectsMalformed) {
+  EXPECT_THROW(ParseIpv4("1.2.3"), util::Error);
+  EXPECT_THROW(ParseIpv4("1.2.3.256"), util::Error);
+  EXPECT_THROW(ParseIpv4("a.b.c.d"), util::Error);
+  EXPECT_THROW(ParseIpv4("1.2.3.4.5"), util::Error);
+  EXPECT_THROW(ParseIpv4(""), util::Error);
+}
+
+TEST(IpBlock, BlockBaseMasksHostBits) {
+  const Ipv4 ip = ParseIpv4("10.20.30.40");
+  EXPECT_EQ(FormatIpv4(BlockBase(ip, 24)), "10.20.30.0");
+  EXPECT_EQ(FormatIpv4(BlockBase(ip, 16)), "10.20.0.0");
+  EXPECT_EQ(FormatIpv4(BlockBase(ip, 8)), "10.0.0.0");
+  EXPECT_EQ(BlockBase(ip, 32), ip);
+  EXPECT_EQ(BlockBase(ip, 0), 0u);
+}
+
+}  // namespace
+}  // namespace np::net

@@ -1,0 +1,210 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace np::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child_a = parent1.Fork(1);
+  Rng child_b = parent2.Fork(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a(), child_b());
+  }
+  Rng parent3(7);
+  Rng other_tag = parent3.Fork(2);
+  Rng parent4(7);
+  Rng base_tag = parent4.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (other_tag() == base_tag()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-2.5, 7.25);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Uniform(4.0, 6.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.01);
+}
+
+TEST(Rng, NextUint64CoversAllResidues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.NextUint64(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LogNormalMedianIsExpMu) {
+  Rng rng(9);
+  std::vector<double> samples;
+  const int n = 100001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(rng.LogNormal(std::log(65.0), 0.5));
+  }
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], 65.0, 1.5);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequencyMatches) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SampleReturnsDistinctIndicesInRange) {
+  Rng rng(13);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    const auto sample = rng.Sample(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (auto idx : sample) {
+      EXPECT_LT(idx, 100u);
+    }
+  }
+}
+
+TEST(Rng, SampleFullRangeIsPermutation) {
+  Rng rng(14);
+  const auto sample = rng.Sample(20, 20);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(16);
+  EXPECT_THROW(rng.Uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.NextUint64(0), Error);
+  EXPECT_THROW(rng.Exponential(0.0), Error);
+  EXPECT_THROW(rng.Index(0), Error);
+  EXPECT_THROW(rng.Sample(3, 4), Error);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+}  // namespace
+}  // namespace np::util

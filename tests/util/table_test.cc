@@ -1,0 +1,42 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace np::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"10", "20"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("hdr: "), std::string::npos);
+  EXPECT_NE(out.find("row: "), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, DoubleRowsUsePrecision) {
+  Table t({"v"});
+  t.AddNumericRow({1.23456789}, 3);
+  EXPECT_NE(t.Render().find("1.235"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(FormatDoubleHelper, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace np::util
