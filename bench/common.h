@@ -11,6 +11,7 @@
 // default regenerates at paper scale.
 #pragma once
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -18,6 +19,26 @@
 #include "util/table.h"
 
 namespace np::bench {
+
+/// Monotonic wall-clock timing for bench phases. Always steady_clock:
+/// system_clock can jump (NTP) mid-run and must never be used for
+/// durations. Pair with Reporter (bench/reporter.h) to persist
+/// per-phase breakdowns instead of one lump figure.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds since construction or the last Reset().
+  double ElapsedMs() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline bool QuickScale() {
   const char* scale = std::getenv("NP_BENCH_SCALE");

@@ -10,9 +10,11 @@
 // Expected shape: P(exact closest) rises to a peak at ~25 end-networks
 // per cluster and falls off beyond it (the clustering-condition phase
 // transition); P(correct cluster) rises monotonically.
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "bench/reporter.h"
 #include "core/experiment.h"
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
@@ -78,12 +80,18 @@ int main() {
   const int num_queries = quick ? 500 : 5000;
   const int num_seeds = 3;
 
+  np::bench::Reporter reporter("fig8_meridian_cluster_size");
   np::util::Table table(
       {"nets_per_cluster", "clusters", "p_exact_med", "p_exact_min",
        "p_exact_max", "p_cluster_med", "p_cluster_min", "p_cluster_max",
        "mean_probes"});
   for (const int nets : {5, 25, 50, 125, 250}) {
+    auto phase = reporter.Phase("sweep_nets_" + std::to_string(nets),
+                                static_cast<double>(num_queries) * num_seeds);
     const Row row = RunPoint(nets, num_queries, num_seeds);
+    phase.Stop();
+    reporter.Derive("p_exact_med_nets_" + std::to_string(nets),
+                    row.exact.median);
     table.AddNumericRow(
         {static_cast<double>(nets),
          static_cast<double>(kTotalNets / nets), row.exact.median,
@@ -92,6 +100,7 @@ int main() {
         3);
   }
   np::bench::PrintTable(table);
+  reporter.Write();
   np::bench::PrintNote(
       "exact-closest = returned peer ties the true closest overlay "
       "member; correct-cluster = returned peer shares the target's "

@@ -9,9 +9,11 @@
 // (the condition weakens); the median latency-to-hub of the peers
 // found on *wrong* answers falls with delta (Meridian preferentially
 // picks hub-near peers, concentrating load on them).
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "bench/reporter.h"
 #include "core/experiment.h"
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
@@ -29,11 +31,15 @@ int main() {
   const int num_queries = quick ? 500 : 5000;
   const int num_seeds = 3;
 
+  np::bench::Reporter reporter("fig9_meridian_delta");
   np::util::Table table({"delta", "p_exact_med", "p_exact_min",
                          "p_exact_max", "wrong_hub_latency_med_ms",
                          "mean_probes"});
   for (const double delta :
        {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto phase =
+        reporter.Phase("sweep_delta_" + std::to_string(delta).substr(0, 3),
+                       static_cast<double>(num_queries) * num_seeds);
     std::vector<double> exact_runs;
     std::vector<double> hub_runs;
     double probes = 0.0;
@@ -58,6 +64,7 @@ int main() {
       hub_runs.push_back(metrics.median_wrong_hub_latency_ms);
       probes += metrics.mean_probes;
     }
+    phase.Stop();
     const auto exact = np::util::RunSpread::Of(exact_runs);
     const auto hub = np::util::RunSpread::Of(hub_runs);
     table.AddNumericRow({delta, exact.median, exact.min, exact.max,
@@ -65,6 +72,7 @@ int main() {
                         3);
   }
   np::bench::PrintTable(table);
+  reporter.Write();
   np::bench::PrintNote(
       "wrong_hub_latency = median latency from the found peer's "
       "end-network to its cluster-hub over queries that missed the "

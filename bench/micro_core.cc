@@ -1,147 +1,394 @@
-// google-benchmark micro-benchmarks: the building blocks' raw costs
-// (matrix generation, Meridian build/query, Chord lookups, Vivaldi
-// training, topology latency queries, bounded Dijkstra).
-#include <benchmark/benchmark.h>
+// Core micro-benchmarks with machine-readable output (BENCH_core.json):
+// the hot building blocks of the §4 simulation pipeline — Floyd-Warshall
+// metric repair (serial reference vs blocked/parallel), the triangle
+//-violation scan, allocation-free nearest-neighbour queries, Meridian
+// build/query, and the full clustered experiment serial vs parallel.
+//
+// The derived speedup_* metrics are the acceptance numbers for the
+// parallel simulation core: on an N-core box, metric_repair and the
+// clustered experiment should both approach Nx, and every *_match /
+// *_agreement metric must be 1 — matches are bitwise (parallel vs the
+// same code path on one thread); metric_repair_serial_agreement
+// compares blocked vs the serial triple loop within rounding, since
+// the tile schedule associates float sums differently.
+//
+// NP_BENCH_SCALE=quick shrinks every workload (CI smoke); the default
+// runs at paper scale (n = 2000 repair, ~2500-peer world, 5000
+// queries).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "bench/common.h"
+#include "bench/reporter.h"
 #include "coord/vivaldi.h"
 #include "core/experiment.h"
 #include "dht/chord.h"
 #include "matrix/generators.h"
+#include "matrix/latency_matrix.h"
 #include "measure/path_graph.h"
 #include "meridian/meridian.h"
 #include "net/tools.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 
 namespace {
 
+using np::LatencyMs;
 using np::NodeId;
 
-void BM_GenerateClustered(benchmark::State& state) {
-  np::matrix::ClusteredConfig config;
-  config.nets_per_cluster = static_cast<int>(state.range(0));
-  config.num_clusters = 1250 / config.nets_per_cluster;
-  for (auto _ : state) {
-    np::util::Rng rng(1);
-    auto world = np::matrix::GenerateClustered(config, rng);
-    benchmark::DoNotOptimize(world.matrix.At(0, 1));
-  }
-}
-BENCHMARK(BM_GenerateClustered)->Arg(25)->Arg(125);
-
-void BM_MeridianBuild(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  np::util::Rng world_rng(2);
-  np::matrix::EuclideanConfig config;
-  const auto world = np::matrix::GenerateEuclidean(n, config, world_rng);
-  const np::core::MatrixSpace space(world.matrix);
-  std::vector<NodeId> members;
+np::matrix::LatencyMatrix RandomMatrix(NodeId n, std::uint64_t seed) {
+  np::matrix::LatencyMatrix m(n);
+  np::util::Rng rng(seed);
   for (NodeId i = 0; i < n; ++i) {
-    members.push_back(i);
+    for (NodeId j = i + 1; j < n; ++j) {
+      m.Set(i, j, rng.Uniform(0.1, 250.0));
+    }
   }
-  for (auto _ : state) {
-    np::meridian::MeridianOverlay overlay{np::meridian::MeridianConfig{}};
-    np::util::Rng rng(3);
-    overlay.Build(space, members, rng);
-    benchmark::DoNotOptimize(overlay.members().size());
-  }
+  return m;
 }
-BENCHMARK(BM_MeridianBuild)->Arg(500)->Arg(1000)->Arg(2400)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_MeridianQuery(benchmark::State& state) {
-  const NodeId n = 2400;
+bool SameMatrix(const np::matrix::LatencyMatrix& a,
+                const np::matrix::LatencyMatrix& b) {
+  for (NodeId i = 0; i < a.size(); ++i) {
+    for (NodeId j = 0; j < a.size(); ++j) {
+      if (a.At(i, j) != b.At(i, j)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double MaxRelDiff(const np::matrix::LatencyMatrix& a,
+                  const np::matrix::LatencyMatrix& b) {
+  double worst = 0.0;
+  for (NodeId i = 0; i < a.size(); ++i) {
+    for (NodeId j = 0; j < a.size(); ++j) {
+      const double denom = std::max(std::abs(a.At(i, j)), 1e-12);
+      worst = std::max(worst, std::abs(a.At(i, j) - b.At(i, j)) / denom);
+    }
+  }
+  return worst;
+}
+
+bool SameMetrics(const np::core::ClusteredMetrics& a,
+                 const np::core::ClusteredMetrics& b) {
+  return a.p_exact_closest == b.p_exact_closest &&
+         a.p_correct_cluster == b.p_correct_cluster &&
+         a.p_same_net == b.p_same_net &&
+         a.median_wrong_hub_latency_ms == b.median_wrong_hub_latency_ms &&
+         a.mean_found_latency_ms == b.mean_found_latency_ms &&
+         a.mean_probes == b.mean_probes && a.mean_hops == b.mean_hops;
+}
+
+void BenchMetricRepair(np::bench::Reporter& reporter, NodeId n) {
+  const auto base = RandomMatrix(n, 1);
+  const double relaxations =
+      static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
+
+  auto serial = base;
+  {
+    auto phase = reporter.Phase("metric_repair_serial", relaxations);
+    serial.MetricRepairSerial();
+  }
+  auto blocked1 = base;
+  {
+    auto phase = reporter.Phase("metric_repair_blocked_1t", relaxations);
+    blocked1.MetricRepair(1);
+  }
+  auto blockedN = base;
+  {
+    auto phase = reporter.Phase("metric_repair_blocked_all", relaxations);
+    blockedN.MetricRepair(0);
+  }
+  reporter.Derive("speedup_metric_repair_blocked_1t",
+                  reporter.PhaseMs("metric_repair_serial") /
+                      reporter.PhaseMs("metric_repair_blocked_1t"));
+  reporter.Derive("speedup_metric_repair_blocked_all",
+                  reporter.PhaseMs("metric_repair_serial") /
+                      reporter.PhaseMs("metric_repair_blocked_all"));
+  // Thread invariance is exact; agreement with the serial loop is to
+  // rounding only (the tile schedule associates float sums
+  // differently), so it gets a tolerance, not a bitwise check.
+  reporter.Derive("metric_repair_match_threads",
+                  SameMatrix(blocked1, blockedN) ? 1.0 : 0.0);
+  reporter.Derive("metric_repair_serial_agreement",
+                  MaxRelDiff(serial, blocked1) <= 1e-9 ? 1.0 : 0.0);
+
+  // Triangle-violation scan on the repaired metric (smaller n: the
+  // scan is a strict O(n^3) with no early exit).
+  const NodeId vn = std::min<NodeId>(n, 600);
+  auto repaired = RandomMatrix(vn, 2);
+  repaired.MetricRepair(0);
+  const double checks = static_cast<double>(vn) * static_cast<double>(vn) *
+                        static_cast<double>(vn);
+  double v1 = 0.0;
+  double vall = 0.0;
+  {
+    auto phase = reporter.Phase("triangle_violation_1t", checks);
+    v1 = repaired.MaxTriangleViolation(1);
+  }
+  {
+    auto phase = reporter.Phase("triangle_violation_all", checks);
+    vall = repaired.MaxTriangleViolation(0);
+  }
+  reporter.Derive("speedup_triangle_violation",
+                  reporter.PhaseMs("triangle_violation_1t") /
+                      reporter.PhaseMs("triangle_violation_all"));
+  reporter.Derive("triangle_violation_match", v1 == vall ? 1.0 : 0.0);
+}
+
+void BenchNearestQueries(np::bench::Reporter& reporter, NodeId n,
+                         int rounds) {
+  const auto m = RandomMatrix(n, 3);
+  const int k = 16;
+  {
+    auto phase = reporter.Phase("nearest_to_alloc",
+                                static_cast<double>(rounds) * n);
+    for (int r = 0; r < rounds; ++r) {
+      for (NodeId from = 0; from < n; ++from) {
+        const auto nearest = m.NearestTo(from, k);
+        if (nearest.empty()) {
+          return;
+        }
+      }
+    }
+  }
+  {
+    std::vector<NodeId> scratch;
+    auto phase = reporter.Phase("nearest_to_scratch",
+                                static_cast<double>(rounds) * n);
+    for (int r = 0; r < rounds; ++r) {
+      for (NodeId from = 0; from < n; ++from) {
+        m.NearestTo(from, k, scratch);
+        if (scratch.empty()) {
+          return;
+        }
+      }
+    }
+  }
+  reporter.Derive("speedup_nearest_to_scratch",
+                  reporter.PhaseMs("nearest_to_alloc") /
+                      reporter.PhaseMs("nearest_to_scratch"));
+}
+
+void BenchClusteredExperiment(np::bench::Reporter& reporter, bool quick) {
+  np::matrix::ClusteredConfig config;
+  config.nets_per_cluster = 25;
+  config.num_clusters = quick ? 8 : 50;  // full: 1250 nets -> 2500 peers
+  config.peers_per_net = 2;
   np::util::Rng world_rng(4);
+  const auto world = np::matrix::GenerateClustered(config, world_rng);
+
+  np::core::ExperimentConfig econfig;
+  econfig.overlay_size = world.layout.peer_count() - 100;
+  econfig.num_queries = quick ? 300 : 5000;
+
+  // Reference phase: the serial overlay Build that RunClusteredExperiment
+  // performs internally before its (parallel) query loop. Timed
+  // standalone so the query-loop speedup can be estimated — the total
+  // experiment speedup is Amdahl-capped by this serial prefix.
+  {
+    const np::core::MatrixSpace space(world.matrix);
+    std::vector<NodeId> members;
+    for (NodeId i = 0; i < econfig.overlay_size; ++i) {
+      members.push_back(i);
+    }
+    np::meridian::MeridianOverlay algo{np::meridian::MeridianConfig{}};
+    np::util::Rng rng(5);
+    auto phase = reporter.Phase("clustered_build_reference",
+                                econfig.overlay_size);
+    algo.Build(space, members, rng);
+  }
+
+  np::core::ClusteredMetrics serial_metrics;
+  np::core::ClusteredMetrics parallel_metrics;
+  {
+    np::meridian::MeridianOverlay algo{np::meridian::MeridianConfig{}};
+    econfig.num_threads = 1;
+    np::util::Rng rng(5);
+    auto phase = reporter.Phase("clustered_experiment_serial",
+                                econfig.num_queries);
+    serial_metrics =
+        np::core::RunClusteredExperiment(world, algo, econfig, rng);
+  }
+  {
+    np::meridian::MeridianOverlay algo{np::meridian::MeridianConfig{}};
+    econfig.num_threads = 0;
+    np::util::Rng rng(5);
+    auto phase = reporter.Phase("clustered_experiment_parallel",
+                                econfig.num_queries);
+    parallel_metrics =
+        np::core::RunClusteredExperiment(world, algo, econfig, rng);
+  }
+  reporter.Derive("speedup_clustered_experiment",
+                  reporter.PhaseMs("clustered_experiment_serial") /
+                      reporter.PhaseMs("clustered_experiment_parallel"));
+  // Query-loop-only estimate: subtract the serial build prefix from
+  // both sides (clamped to stay meaningful on coarse clocks).
+  const double build_ms = reporter.PhaseMs("clustered_build_reference");
+  const double serial_q = std::max(
+      reporter.PhaseMs("clustered_experiment_serial") - build_ms, 1e-3);
+  const double parallel_q = std::max(
+      reporter.PhaseMs("clustered_experiment_parallel") - build_ms, 1e-3);
+  reporter.Derive("speedup_clustered_queries_est", serial_q / parallel_q);
+  reporter.Derive("clustered_experiment_match",
+                  SameMetrics(serial_metrics, parallel_metrics) ? 1.0 : 0.0);
+  reporter.Derive("clustered_p_exact_closest",
+                  parallel_metrics.p_exact_closest);
+}
+
+void BenchMeridian(np::bench::Reporter& reporter, NodeId n, int queries) {
+  np::util::Rng world_rng(6);
   np::matrix::EuclideanConfig config;
-  const auto world = np::matrix::GenerateEuclidean(n + 100, config,
-                                                   world_rng);
+  const auto world =
+      np::matrix::GenerateEuclidean(n + 100, config, world_rng);
   const np::core::MatrixSpace space(world.matrix);
   std::vector<NodeId> members;
   for (NodeId i = 0; i < n; ++i) {
     members.push_back(i);
   }
   np::meridian::MeridianOverlay overlay{np::meridian::MeridianConfig{}};
-  np::util::Rng build_rng(5);
-  overlay.Build(space, members, build_rng);
-  const np::core::MeteredSpace metered(space);
-  np::util::Rng rng(6);
-  NodeId target = n;
-  for (auto _ : state) {
-    auto result = overlay.FindNearest(target, metered, rng);
-    benchmark::DoNotOptimize(result.found);
-    target = n + (target - n + 1) % 100;
+  {
+    np::util::Rng rng(7);
+    auto phase = reporter.Phase("meridian_build", n);
+    overlay.Build(space, members, rng);
+  }
+  {
+    const np::core::MeteredSpace metered(space);
+    np::util::Rng rng(8);
+    auto phase = reporter.Phase("meridian_query", queries);
+    for (int q = 0; q < queries; ++q) {
+      const NodeId target = n + static_cast<NodeId>(q % 100);
+      const auto result = overlay.FindNearest(target, metered, rng);
+      if (result.found == np::kInvalidNode) {
+        return;
+      }
+    }
   }
 }
-BENCHMARK(BM_MeridianQuery)->Unit(benchmark::kMicrosecond);
 
-void BM_ChordLookup(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
-  std::vector<NodeId> nodes;
-  for (NodeId i = 0; i < n; ++i) {
-    nodes.push_back(i);
-  }
-  const np::dht::ChordRing ring(nodes, np::dht::ChordConfig{});
-  np::util::Rng rng(7);
-  for (auto _ : state) {
-    auto result = ring.Lookup(rng(), rng);
-    benchmark::DoNotOptimize(result.owner);
-  }
-}
-BENCHMARK(BM_ChordLookup)->Arg(1024)->Arg(16384);
-
-void BM_VivaldiTrain(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  np::util::Rng world_rng(8);
-  np::matrix::EuclideanConfig config;
-  const auto world = np::matrix::GenerateEuclidean(n, config, world_rng);
-  const np::core::MatrixSpace space(world.matrix);
-  std::vector<NodeId> members;
-  for (NodeId i = 0; i < n; ++i) {
-    members.push_back(i);
-  }
-  np::coord::VivaldiConfig vconfig;
-  for (auto _ : state) {
+// Raw costs of the remaining building blocks (kept from the original
+// micro suite so their perf trajectory stays tracked): clustered world
+// generation, Chord lookups, Vivaldi training, topology latency
+// queries, path-graph close-peer scans.
+void BenchBuildingBlocks(np::bench::Reporter& reporter, bool quick) {
+  {
+    np::matrix::ClusteredConfig config;
+    config.nets_per_cluster = 25;
+    config.num_clusters = quick ? 10 : 50;
     np::util::Rng rng(9);
-    auto embedding =
+    auto phase = reporter.Phase("generate_clustered",
+                                config.num_clusters * 25 * 2);
+    const auto world = np::matrix::GenerateClustered(config, rng);
+    if (world.matrix.size() == 0) {
+      return;
+    }
+  }
+  {
+    const int n = quick ? 1024 : 16384;
+    std::vector<NodeId> nodes;
+    for (NodeId i = 0; i < n; ++i) {
+      nodes.push_back(i);
+    }
+    const np::dht::ChordRing ring(nodes, np::dht::ChordConfig{});
+    np::util::Rng rng(10);
+    const int lookups = quick ? 2000 : 50000;
+    auto phase = reporter.Phase("chord_lookup", lookups);
+    for (int i = 0; i < lookups; ++i) {
+      const auto result = ring.Lookup(rng(), rng);
+      if (result.owner == np::kInvalidNode) {
+        return;
+      }
+    }
+  }
+  {
+    const NodeId n = quick ? 200 : 500;
+    np::util::Rng world_rng(11);
+    np::matrix::EuclideanConfig config;
+    const auto world = np::matrix::GenerateEuclidean(n, config, world_rng);
+    const np::core::MatrixSpace space(world.matrix);
+    std::vector<NodeId> members;
+    for (NodeId i = 0; i < n; ++i) {
+      members.push_back(i);
+    }
+    np::coord::VivaldiConfig vconfig;
+    np::util::Rng rng(12);
+    auto phase = reporter.Phase("vivaldi_train", n);
+    const auto embedding =
         np::coord::VivaldiEmbedding::Train(space, members, vconfig, rng);
-    benchmark::DoNotOptimize(embedding.dimensions());
+    if (embedding.dimensions() == 0) {
+      return;
+    }
+  }
+  {
+    np::net::TopologyConfig config = np::net::SmallTestConfig();
+    config.azureus_hosts = quick ? 1000 : 3000;
+    np::util::Rng world_rng(13);
+    const auto topology = np::net::Topology::Generate(config, world_rng);
+    const auto n = static_cast<NodeId>(topology.hosts().size());
+    np::util::Rng rng(14);
+    const int probes = quick ? 20000 : 200000;
+    {
+      auto phase = reporter.Phase("topology_latency", probes);
+      double sink = 0.0;
+      for (int i = 0; i < probes; ++i) {
+        const auto a = static_cast<NodeId>(rng.Index(
+            static_cast<std::size_t>(n)));
+        const auto b = static_cast<NodeId>(rng.Index(
+            static_cast<std::size_t>(n)));
+        sink += topology.LatencyBetween(a, b);
+      }
+      if (sink < 0.0) {
+        return;
+      }
+    }
+    np::net::Tools tools(topology, np::net::NoiseConfig{},
+                         np::util::Rng(15));
+    const auto graph = np::measure::PathGraph::Build(
+        topology, tools,
+        topology.HostsOfKind(np::net::HostKind::kAzureusPeer));
+    const int scans = quick ? 200 : 2000;
+    auto phase = reporter.Phase("path_graph_close_peers", scans);
+    for (int i = 0; i < scans; ++i) {
+      const auto close = graph.ClosePeers(
+          graph.peers()[static_cast<std::size_t>(i) % graph.peers().size()],
+          10.0);
+      if (close.size() > graph.peers().size()) {
+        return;
+      }
+    }
   }
 }
-BENCHMARK(BM_VivaldiTrain)->Arg(500)->Unit(benchmark::kMillisecond);
-
-void BM_TopologyLatency(benchmark::State& state) {
-  np::net::TopologyConfig config = np::net::SmallTestConfig();
-  config.azureus_hosts = 2000;
-  np::util::Rng world_rng(10);
-  const auto topology = np::net::Topology::Generate(config, world_rng);
-  const auto n = static_cast<NodeId>(topology.hosts().size());
-  np::util::Rng rng(11);
-  for (auto _ : state) {
-    const NodeId a = static_cast<NodeId>(rng.Index(
-        static_cast<std::size_t>(n)));
-    const NodeId b = static_cast<NodeId>(rng.Index(
-        static_cast<std::size_t>(n)));
-    benchmark::DoNotOptimize(topology.LatencyBetween(a, b));
-  }
-}
-BENCHMARK(BM_TopologyLatency);
-
-void BM_PathGraphClosePeers(benchmark::State& state) {
-  np::net::TopologyConfig config = np::net::SmallTestConfig();
-  config.azureus_hosts = 3000;
-  np::util::Rng world_rng(12);
-  const auto topology = np::net::Topology::Generate(config, world_rng);
-  np::net::Tools tools(topology, np::net::NoiseConfig{}, np::util::Rng(13));
-  const auto graph = np::measure::PathGraph::Build(
-      topology, tools, topology.HostsOfKind(np::net::HostKind::kAzureusPeer));
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const auto close =
-        graph.ClosePeers(graph.peers()[i % graph.peers().size()], 10.0);
-    benchmark::DoNotOptimize(close.size());
-    ++i;
-  }
-}
-BENCHMARK(BM_PathGraphClosePeers)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  np::bench::PrintHeader(
+      "micro_core",
+      "raw costs of the simulation core: blocked/parallel Floyd-Warshall "
+      "vs serial, triangle scan, allocation-free nearest queries, "
+      "Meridian build/query, clustered experiment serial vs parallel.");
+  const bool quick = np::bench::QuickScale();
+
+  np::bench::Reporter reporter("core");
+  np::bench::Stopwatch total;
+
+  BenchMetricRepair(reporter, quick ? 512 : 2000);
+  BenchNearestQueries(reporter, quick ? 256 : 1024, quick ? 3 : 10);
+  BenchClusteredExperiment(reporter, quick);
+  BenchMeridian(reporter, quick ? 400 : 2400, quick ? 200 : 1000);
+  BenchBuildingBlocks(reporter, quick);
+
+  reporter.Derive("total_wall_ms", total.ElapsedMs());
+  reporter.Derive("query_loop_threads",
+                  np::util::ResolveThreadCount(0));
+  reporter.Write();
+  np::bench::PrintNote(
+      "speedup_* compare the serial reference against the blocked/"
+      "parallel paths; *_match = 1 means bit-identical across thread "
+      "counts, *_agreement = 1 means within rounding of serial.");
+  return 0;
+}

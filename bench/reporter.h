@@ -1,0 +1,96 @@
+// Machine-readable bench reporting: per-phase steady_clock timing and
+// a BENCH_<name>.json artifact, so the perf trajectory of the
+// simulation core is tracked run over run (the ROADMAP's "as fast as
+// the hardware allows" needs numbers, not impressions).
+//
+// Usage:
+//   np::bench::Reporter reporter("core");
+//   {
+//     auto phase = reporter.Phase("metric_repair_blocked", /*ops=*/n3);
+//     matrix.MetricRepair();
+//   }  // phase records wall time on destruction
+//   reporter.Derive("speedup_metric_repair", serial_ms / blocked_ms);
+//   reporter.Write();  // BENCH_core.json (or $NP_BENCH_JSON_DIR/...)
+//
+// JSON schema (stable; consumed by CI and the README's workflow):
+//   {
+//     "bench": "<name>",
+//     "scale": "quick" | "full",
+//     "hardware_threads": <int>,
+//     "phases": [
+//       {"name": "...", "wall_ms": <double>,
+//        "ops": <double or 0>, "ops_per_sec": <double or 0>}
+//     ],
+//     "derived": {"<metric>": <double>, ...}
+//   }
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace np::bench {
+
+class Reporter;
+
+/// RAII phase timer; measures from construction to destruction (or
+/// Stop()) on std::chrono::steady_clock.
+class PhaseTimer {
+ public:
+  PhaseTimer(Reporter& reporter, std::string name, double ops);
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  PhaseTimer(PhaseTimer&& other) noexcept;
+  ~PhaseTimer();
+
+  /// Ends the phase early and reports the wall time in ms.
+  double Stop();
+
+ private:
+  Reporter* reporter_;
+  std::string name_;
+  double ops_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+class Reporter {
+ public:
+  /// `name` becomes BENCH_<name>.json.
+  explicit Reporter(std::string name);
+
+  /// Starts a timed phase. `ops` is the work quantum the phase
+  /// performs (relaxations, queries, ...); 0 = unspecified, omits the
+  /// throughput field.
+  PhaseTimer Phase(std::string name, double ops = 0.0);
+
+  /// Records an already-measured phase.
+  void RecordPhase(const std::string& name, double wall_ms, double ops);
+
+  /// Records a derived scalar (speedups, ratios) under "derived".
+  void Derive(const std::string& metric, double value);
+
+  /// Wall time of a recorded phase, ms; throws if unknown.
+  double PhaseMs(const std::string& name) const;
+
+  /// Serializes the report (the schema above).
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into $NP_BENCH_JSON_DIR (default: the
+  /// working directory) and prints a per-phase breakdown to stdout.
+  void Write() const;
+
+ private:
+  struct PhaseRecord {
+    std::string name;
+    double wall_ms = 0.0;
+    double ops = 0.0;
+  };
+
+  std::string name_;
+  std::vector<PhaseRecord> phases_;
+  std::vector<std::pair<std::string, double>> derived_;
+};
+
+}  // namespace np::bench

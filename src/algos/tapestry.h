@@ -32,6 +32,10 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Query path audited read-only over overlay state: safe for the
+  /// runner's concurrent per-query threads.
+  bool ParallelQuerySafe() const override { return true; }
+
   core::QueryResult FindNearest(NodeId target,
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;

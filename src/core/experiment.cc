@@ -2,10 +2,75 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace np::core {
+
+namespace {
+
+/// Per-query record filled by the (possibly parallel) query loop and
+/// reduced serially in query order, so aggregate metrics do not depend
+/// on the thread count.
+struct QueryOutcome {
+  LatencyMs found_latency = 0.0;
+  LatencyMs hub_latency = 0.0;
+  std::uint64_t probes = 0;
+  int hops = 0;
+  bool exact = false;
+  bool correct_cluster = false;
+  bool same_net = false;
+};
+
+/// Thread count for the query loop: the config knob, clamped to 1 for
+/// algorithms whose FindNearest mutates state.
+int QueryThreads(const ExperimentConfig& config,
+                 const NearestPeerAlgorithm& algo) {
+  return algo.ParallelQuerySafe() ? util::ResolveThreadCount(
+                                        config.num_threads)
+                                  : 1;
+}
+
+/// The shared per-query scaffolding of both runners: query q draws its
+/// RNG and its noise from seeds `base ^ q`, so a query's outcome is a
+/// pure function of the runner seed and q — the loop parallelizes with
+/// bit-identical results for any thread count, and callers reduce the
+/// returned outcomes in query order. `score(out, target, truth,
+/// result)` fills the runner-specific fields; probes/hops are filled
+/// here.
+template <typename Outcome, typename Score>
+std::vector<Outcome> RunQueryLoop(const LatencySpace& space,
+                                  NearestPeerAlgorithm& algo,
+                                  const ExperimentConfig& config,
+                                  const OverlaySplit& split, util::Rng& rng,
+                                  const Score& score) {
+  const std::uint64_t noise_base = rng();
+  const std::uint64_t query_base = rng();
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(config.num_queries));
+  util::ParallelFor(
+      0, outcomes.size(), QueryThreads(config, algo), [&](std::size_t q) {
+        util::Rng qrng(query_base ^ static_cast<std::uint64_t>(q));
+        const NoisySpace noisy(space, config.measurement_noise_frac,
+                               noise_base ^ static_cast<std::uint64_t>(q),
+                               config.measurement_noise_floor_ms);
+        const MeteredSpace metered(noisy);
+        const NodeId target = split.targets[qrng.Index(split.targets.size())];
+        const NodeId truth = TrueClosestMember(space, split.members, target);
+
+        const QueryResult result = algo.FindNearest(target, metered, qrng);
+        NP_ENSURE(result.found != kInvalidNode, "algorithm returned no peer");
+
+        Outcome& out = outcomes[q];
+        out.probes = metered.probes();
+        out.hops = result.hops;
+        score(out, target, truth, result);
+      });
+  return outcomes;
+}
+
+}  // namespace
 
 OverlaySplit SplitOverlay(NodeId space_size, NodeId overlay_size,
                           util::Rng& rng) {
@@ -27,6 +92,7 @@ ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
                                         NearestPeerAlgorithm& algo,
                                         const ExperimentConfig& config,
                                         util::Rng& rng) {
+  NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
   const MatrixSpace space(world.matrix);
   const matrix::ClusterLayout& layout = world.layout;
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
@@ -38,11 +104,23 @@ ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
                                config.measurement_noise_floor_ms);
   algo.Build(build_noisy, split.members, rng);
 
-  const NoisySpace noisy(space, config.measurement_noise_frac, rng(),
-                         config.measurement_noise_floor_ms);
-  const MeteredSpace metered(noisy);
   ClusteredMetrics metrics;
   metrics.num_queries = config.num_queries;
+
+  const auto outcomes = RunQueryLoop<QueryOutcome>(
+      space, algo, config, split, rng,
+      [&](QueryOutcome& out, NodeId target, NodeId truth,
+          const QueryResult& result) {
+        // Score with the true (noise-free) latency of the returned peer.
+        const LatencyMs truth_latency = space.Latency(truth, target);
+        out.found_latency = space.Latency(result.found, target);
+        out.exact = out.found_latency <= truth_latency + config.tie_epsilon_ms;
+        if (!out.exact) {
+          out.hub_latency = layout.HubLatencyOfPeer(result.found);
+        }
+        out.correct_cluster = layout.SameCluster(result.found, target);
+        out.same_net = layout.SameNet(result.found, target);
+      });
 
   int exact = 0;
   int correct_cluster = 0;
@@ -51,36 +129,18 @@ ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
   double total_hops = 0.0;
   std::uint64_t total_probes = 0;
   std::vector<double> wrong_hub_latencies;
-  wrong_hub_latencies.reserve(static_cast<std::size_t>(config.num_queries));
-
-  for (int q = 0; q < config.num_queries; ++q) {
-    const NodeId target = split.targets[rng.Index(split.targets.size())];
-    const NodeId truth = TrueClosestMember(space, split.members, target);
-    const LatencyMs truth_latency = space.Latency(truth, target);
-
-    metered.ResetProbes();
-    const QueryResult result = algo.FindNearest(target, metered, rng);
-    NP_ENSURE(result.found != kInvalidNode, "algorithm returned no peer");
-
-    total_probes += metered.probes();
-    total_hops += result.hops;
-    // Score with the true (noise-free) latency of the returned peer.
-    const LatencyMs found_latency = space.Latency(result.found, target);
-    total_latency += found_latency;
-
-    const bool is_exact =
-        found_latency <= truth_latency + config.tie_epsilon_ms;
-    if (is_exact) {
+  wrong_hub_latencies.reserve(outcomes.size());
+  for (const QueryOutcome& out : outcomes) {
+    total_probes += out.probes;
+    total_hops += out.hops;
+    total_latency += out.found_latency;
+    if (out.exact) {
       ++exact;
     } else {
-      wrong_hub_latencies.push_back(layout.HubLatencyOfPeer(result.found));
+      wrong_hub_latencies.push_back(out.hub_latency);
     }
-    if (layout.SameCluster(result.found, target)) {
-      ++correct_cluster;
-    }
-    if (layout.SameNet(result.found, target)) {
-      ++same_net;
-    }
+    correct_cluster += out.correct_cluster ? 1 : 0;
+    same_net += out.same_net ? 1 : 0;
   }
 
   const double n = static_cast<double>(config.num_queries);
@@ -101,43 +161,47 @@ GenericMetrics RunGenericExperiment(const LatencySpace& space,
                                     NearestPeerAlgorithm& algo,
                                     const ExperimentConfig& config,
                                     util::Rng& rng) {
+  NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
   const NoisySpace build_noisy(space, config.measurement_noise_frac, rng(),
                                config.measurement_noise_floor_ms);
   algo.Build(build_noisy, split.members, rng);
 
-  const NoisySpace noisy(space, config.measurement_noise_frac, rng(),
-                         config.measurement_noise_floor_ms);
-  const MeteredSpace metered(noisy);
   GenericMetrics metrics;
   metrics.num_queries = config.num_queries;
+
+  struct GenericOutcome {
+    LatencyMs found_latency = 0.0;
+    LatencyMs truth_latency = 0.0;
+    std::uint64_t probes = 0;
+    int hops = 0;
+    bool exact = false;
+  };
+  const auto outcomes = RunQueryLoop<GenericOutcome>(
+      space, algo, config, split, rng,
+      [&](GenericOutcome& out, NodeId target, NodeId truth,
+          const QueryResult& result) {
+        out.truth_latency = space.Latency(truth, target);
+        out.found_latency = space.Latency(result.found, target);
+        out.exact =
+            out.found_latency <= out.truth_latency + config.tie_epsilon_ms;
+      });
 
   int exact = 0;
   double total_stretch = 0.0;
   double total_abs_error = 0.0;
   double total_hops = 0.0;
   std::uint64_t total_probes = 0;
-
-  for (int q = 0; q < config.num_queries; ++q) {
-    const NodeId target = split.targets[rng.Index(split.targets.size())];
-    const NodeId truth = TrueClosestMember(space, split.members, target);
-    const LatencyMs truth_latency = space.Latency(truth, target);
-
-    metered.ResetProbes();
-    const QueryResult result = algo.FindNearest(target, metered, rng);
-    NP_ENSURE(result.found != kInvalidNode, "algorithm returned no peer");
-
-    total_probes += metered.probes();
-    total_hops += result.hops;
-
-    const LatencyMs found_latency = space.Latency(result.found, target);
-    if (found_latency <= truth_latency + config.tie_epsilon_ms) {
+  for (const GenericOutcome& out : outcomes) {
+    total_probes += out.probes;
+    total_hops += out.hops;
+    if (out.exact) {
       ++exact;
     }
-    total_abs_error += found_latency - truth_latency;
+    total_abs_error += out.found_latency - out.truth_latency;
     // Stretch is undefined when the optimum is ~0; floor the
     // denominator at 1 us.
-    total_stretch += found_latency / std::max(truth_latency, 1e-3);
+    total_stretch += out.found_latency / std::max(out.truth_latency, 1e-3);
   }
 
   const double n = static_cast<double>(config.num_queries);

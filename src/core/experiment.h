@@ -32,6 +32,13 @@ struct ExperimentConfig {
   double measurement_noise_frac = 0.0;
   /// Absolute (distance-independent) probe noise, ms.
   double measurement_noise_floor_ms = 0.0;
+  /// Worker threads for the query loop: 0 = hardware_concurrency, 1 =
+  /// serial. Every query derives its own RNG and noise stream from the
+  /// runner seed and the query index, and metrics are reduced in query
+  /// order, so results are bit-identical for every thread count. An
+  /// algorithm whose ParallelQuerySafe() is false runs on one thread
+  /// regardless.
+  int num_threads = 0;
 };
 
 struct ClusteredMetrics {

@@ -44,6 +44,16 @@ class NearestPeerAlgorithm {
   /// Short identifier used in bench output.
   virtual std::string name() const = 0;
 
+  /// True when FindNearest only reads overlay state, so the experiment
+  /// runner may issue queries from multiple threads concurrently (each
+  /// with its own Rng and MeteredSpace). Safe-by-default is the wrong
+  /// default for data races, so this is opt-IN: the base returns
+  /// false (the runner then clamps to one thread) and an algorithm
+  /// declares itself parallel-safe only after auditing its query path
+  /// for shared-state mutation (e.g. HybridNearest's mechanism-hit
+  /// counters must stay serial).
+  virtual bool ParallelQuerySafe() const { return false; }
+
   /// Builds overlay state over `members` (ids into `space`). The space
   /// must outlive the algorithm. Build-time probing is not metered —
   /// the paper's cost argument concerns query-time probes against a
@@ -68,6 +78,9 @@ class OracleNearest final : public NearestPeerAlgorithm {
  public:
   std::string name() const override { return "oracle"; }
 
+  /// Pure scan over members_; no query-time state.
+  bool ParallelQuerySafe() const override { return true; }
+
   void Build(const LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
@@ -85,6 +98,9 @@ class OracleNearest final : public NearestPeerAlgorithm {
 class RandomNearest final : public NearestPeerAlgorithm {
  public:
   std::string name() const override { return "random"; }
+
+  /// Only touches the per-query Rng and members_.
+  bool ParallelQuerySafe() const override { return true; }
 
   void Build(const LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;

@@ -64,6 +64,10 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;
 
+  /// Queries bump the mechanism-hit counters (and the Chord map's hop
+  /// accounting), so concurrent queries would race.
+  bool ParallelQuerySafe() const override { return false; }
+
   const std::vector<NodeId>& members() const override { return members_; }
 
   /// Fraction of queries answered by the mechanism alone (no fallback).

@@ -110,6 +110,10 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
   void AddMember(NodeId node, util::Rng& rng) override;
   void RemoveMember(NodeId node) override;
 
+  /// Query path audited read-only over overlay state: safe for the
+  /// runner's concurrent per-query threads.
+  bool ParallelQuerySafe() const override { return true; }
+
   core::QueryResult FindNearest(NodeId target,
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;

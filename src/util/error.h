@@ -29,3 +29,16 @@ class Error : public std::runtime_error {
       ::np::util::ThrowEnsureFailure(#expr, __FILE__, __LINE__, message); \
     }                                                                     \
   } while (false)
+
+/// Debug-only invariant check for hot paths (e.g. per-element matrix
+/// accessors) where a branch per call is measurable. Compiles to
+/// nothing under NDEBUG (Release / RelWithDebInfo); behaves like
+/// NP_ENSURE otherwise. Public mutators and anything that validates
+/// external input must keep using NP_ENSURE.
+#ifdef NDEBUG
+#define NP_DCHECK(expr, message) \
+  do {                           \
+  } while (false)
+#else
+#define NP_DCHECK(expr, message) NP_ENSURE(expr, message)
+#endif

@@ -7,6 +7,7 @@
 
 #include "core/nearest_algorithm.h"
 #include "matrix/generators.h"
+#include "meridian/meridian.h"
 
 namespace np::core {
 namespace {
@@ -141,6 +142,64 @@ TEST(ClusteredExperimentRun, DeterministicGivenSeed) {
   EXPECT_DOUBLE_EQ(a.p_exact_closest, b.p_exact_closest);
   EXPECT_DOUBLE_EQ(a.p_correct_cluster, b.p_correct_cluster);
   EXPECT_DOUBLE_EQ(a.mean_found_latency_ms, b.mean_found_latency_ms);
+}
+
+TEST(ClusteredExperimentRun, ThreadCountInvariant) {
+  // The tentpole determinism guarantee: the parallel query loop
+  // produces bit-identical metrics for every thread count, with and
+  // without measurement noise (per-query noise streams).
+  const auto world = SmallWorld(20);
+  for (const double noise : {0.0, 0.1}) {
+    ClusteredMetrics baseline;
+    for (const int threads : {1, 2, 8}) {
+      meridian::MeridianOverlay algo{meridian::MeridianConfig{}};
+      ExperimentConfig config;
+      config.overlay_size = world.layout.peer_count() - 8;
+      config.num_queries = 150;
+      config.measurement_noise_frac = noise;
+      config.num_threads = threads;
+      util::Rng rng(21);
+      const auto metrics = RunClusteredExperiment(world, algo, config, rng);
+      if (threads == 1) {
+        baseline = metrics;
+        continue;
+      }
+      EXPECT_EQ(metrics.p_exact_closest, baseline.p_exact_closest);
+      EXPECT_EQ(metrics.p_correct_cluster, baseline.p_correct_cluster);
+      EXPECT_EQ(metrics.p_same_net, baseline.p_same_net);
+      EXPECT_EQ(metrics.mean_found_latency_ms,
+                baseline.mean_found_latency_ms);
+      EXPECT_EQ(metrics.median_wrong_hub_latency_ms,
+                baseline.median_wrong_hub_latency_ms);
+      EXPECT_EQ(metrics.mean_probes, baseline.mean_probes);
+      EXPECT_EQ(metrics.mean_hops, baseline.mean_hops);
+    }
+  }
+}
+
+TEST(GenericExperimentRun, ThreadCountInvariant) {
+  util::Rng world_rng(22);
+  const auto world = matrix::GenerateEuclidean(150, {}, world_rng);
+  const MatrixSpace space(world.matrix);
+  GenericMetrics baseline;
+  for (const int threads : {1, 2, 8}) {
+    meridian::MeridianOverlay algo{meridian::MeridianConfig{}};
+    ExperimentConfig config;
+    config.overlay_size = 120;
+    config.num_queries = 150;
+    config.num_threads = threads;
+    util::Rng rng(23);
+    const auto metrics = RunGenericExperiment(space, algo, config, rng);
+    if (threads == 1) {
+      baseline = metrics;
+      continue;
+    }
+    EXPECT_EQ(metrics.p_exact_closest, baseline.p_exact_closest);
+    EXPECT_EQ(metrics.mean_stretch, baseline.mean_stretch);
+    EXPECT_EQ(metrics.mean_abs_error_ms, baseline.mean_abs_error_ms);
+    EXPECT_EQ(metrics.mean_probes, baseline.mean_probes);
+    EXPECT_EQ(metrics.mean_hops, baseline.mean_hops);
+  }
 }
 
 TEST(GenericExperimentRun, OracleHasUnitStretch) {
