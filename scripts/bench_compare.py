@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json report against a committed baseline.
+
+Fails (exit 1) when any watched phase's wall_ms regressed by more than
+the threshold versus the baseline. Used by CI after `bench_smoke` so a
+perf regression in the simulation core fails the pull request, not a
+reader of next month's numbers.
+
+Usage:
+  scripts/bench_compare.py BASELINE CURRENT [--threshold 0.20]
+                           [--phases metric_repair] [--update]
+
+--phases takes comma-separated name prefixes; default watches the
+metric_repair phases (the core hot path). --update rewrites BASELINE
+from CURRENT instead of comparing (for refreshing the committed
+numbers after an intentional change; commit the result).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def phases_by_name(report):
+    return {phase["name"]: phase for phase in report.get("phases", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed relative wall_ms regression (default 0.20 = +20%%)",
+    )
+    parser.add_argument(
+        "--phases",
+        default="metric_repair",
+        help="comma-separated phase-name prefixes to watch",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BASELINE from CURRENT instead of comparing",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"bench_compare: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    baseline = load(args.baseline)
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"bench_compare: scale mismatch (baseline "
+            f"{baseline.get('scale')!r} vs current {current.get('scale')!r});"
+            f" regenerate the baseline at the same NP_BENCH_SCALE",
+            file=sys.stderr,
+        )
+        return 2
+
+    prefixes = [p for p in args.phases.split(",") if p]
+    base_phases = phases_by_name(baseline)
+    cur_phases = phases_by_name(current)
+
+    watched = sorted(
+        name
+        for name in base_phases
+        if any(name.startswith(prefix) for prefix in prefixes)
+    )
+    if not watched:
+        print(
+            f"bench_compare: no baseline phase matches prefixes {prefixes}",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = []
+    width = max(len(name) for name in watched)
+    print(f"bench_compare: threshold +{args.threshold:.0%}, "
+          f"{len(watched)} watched phase(s)")
+    for name in watched:
+        base_ms = base_phases[name]["wall_ms"]
+        cur = cur_phases.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current report")
+            print(f"  {name:<{width}}  baseline {base_ms:10.1f} ms  MISSING")
+            continue
+        cur_ms = cur["wall_ms"]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {base_ms:.1f} ms -> {cur_ms:.1f} ms "
+                f"({ratio - 1.0:+.1%})"
+            )
+        print(
+            f"  {name:<{width}}  baseline {base_ms:10.1f} ms  "
+            f"current {cur_ms:10.1f} ms  ({ratio - 1.0:+6.1%})  {verdict}"
+        )
+
+    if failures:
+        print("bench_compare: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench_compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ BeaconingNearest::BeaconingNearest(BeaconingConfig config)
 void BeaconingNearest::Build(const core::LatencySpace& space,
                              std::vector<NodeId> members, util::Rng& rng) {
   NP_ENSURE(!members.empty(), "requires members");
+  space_ = &space;
   members_ = std::move(members);
 
   const std::size_t k = std::min<std::size_t>(
@@ -37,6 +38,70 @@ void BeaconingNearest::Build(const core::LatencySpace& space,
       beacon_latency_[b][m] = space.Latency(beacons_[b], members_[m]);
     }
   }
+}
+
+void BeaconingNearest::MeasureBeaconRow(std::size_t b) {
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    beacon_latency_[b][m] = space_->Latency(beacons_[b], members_[m]);
+  }
+}
+
+void BeaconingNearest::AddMember(NodeId node, util::Rng& rng) {
+  (void)rng;
+  NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
+  NP_ENSURE(std::find(members_.begin(), members_.end(), node) ==
+                members_.end(),
+            "node is already a member");
+  members_.push_back(node);
+  // The join protocol: every beacon measures the joiner once.
+  for (std::size_t b = 0; b < beacons_.size(); ++b) {
+    beacon_latency_[b].push_back(space_->Latency(beacons_[b], node));
+  }
+}
+
+void BeaconingNearest::RemoveMember(NodeId node) {
+  const auto it = std::find(members_.begin(), members_.end(), node);
+  NP_ENSURE(it != members_.end(), "not a member");
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  const std::size_t position =
+      static_cast<std::size_t>(it - members_.begin());
+
+  // Drop the leaver's column (swap-with-last, matching members_).
+  members_[position] = members_.back();
+  members_.pop_back();
+  for (auto& row : beacon_latency_) {
+    row[position] = row.back();
+    row.pop_back();
+  }
+
+  // A departing beacon takes its whole latency map with it. Promote
+  // the lowest-id member that is not already a beacon and have it
+  // measure everyone — the expensive path. With no candidate left the
+  // beacon set just shrinks.
+  const auto beacon_it = std::find(beacons_.begin(), beacons_.end(), node);
+  if (beacon_it == beacons_.end()) {
+    return;
+  }
+  const std::size_t beacon_pos =
+      static_cast<std::size_t>(beacon_it - beacons_.begin());
+  NodeId replacement = kInvalidNode;
+  for (const NodeId candidate : members_) {
+    if (std::find(beacons_.begin(), beacons_.end(), candidate) !=
+        beacons_.end()) {
+      continue;
+    }
+    if (replacement == kInvalidNode || candidate < replacement) {
+      replacement = candidate;
+    }
+  }
+  if (replacement == kInvalidNode) {
+    beacons_.erase(beacon_it);
+    beacon_latency_.erase(beacon_latency_.begin() +
+                          static_cast<std::ptrdiff_t>(beacon_pos));
+    return;
+  }
+  beacons_[beacon_pos] = replacement;
+  MeasureBeaconRow(beacon_pos);
 }
 
 core::QueryResult BeaconingNearest::FindNearest(

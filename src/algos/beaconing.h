@@ -37,6 +37,15 @@ class BeaconingNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Incremental membership: a joiner is measured once by every beacon
+  /// (the scheme's join protocol); a leaver's column is dropped. A
+  /// departing *beacon* is replaced by the lowest-id non-beacon member,
+  /// which must measure its latency to the whole membership — the
+  /// scheme's structural weak point under churn.
+  bool SupportsChurn() const override { return true; }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
+
   /// Query path audited read-only over overlay state: safe for the
   /// runner's concurrent per-query threads.
   bool ParallelQuerySafe() const override { return true; }
@@ -50,7 +59,11 @@ class BeaconingNearest final : public core::NearestPeerAlgorithm {
   const std::vector<NodeId>& beacons() const { return beacons_; }
 
  private:
+  /// Re-measures beacon `b`'s full latency row (beacon replacement).
+  void MeasureBeaconRow(std::size_t b);
+
   BeaconingConfig config_;
+  const core::LatencySpace* space_ = nullptr;
   std::vector<NodeId> members_;
   std::vector<NodeId> beacons_;
   /// beacon_latency_[b][m] = lat(beacons_[b], members_[m]).

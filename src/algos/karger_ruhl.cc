@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "util/error.h"
 
@@ -31,6 +32,7 @@ int KargerRuhlNearest::ScaleFor(LatencyMs distance_ms) const {
 void KargerRuhlNearest::Build(const core::LatencySpace& space,
                               std::vector<NodeId> members, util::Rng& rng) {
   NP_ENSURE(!members.empty(), "requires at least one member");
+  space_ = &space;
   members_ = std::move(members);
   index_.clear();
   for (std::size_t i = 0; i < members_.size(); ++i) {
@@ -70,6 +72,91 @@ void KargerRuhlNearest::Build(const core::LatencySpace& space,
           chosen.push_back(cumulative[pick]);
         }
       }
+    }
+  }
+}
+
+void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
+  NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
+  NP_ENSURE(index_.count(node) == 0, "node is already a member");
+  const std::size_t existing = members_.size();
+  const std::size_t position = existing;
+  index_[node] = position;
+  members_.push_back(node);
+  samples_.emplace_back(static_cast<std::size_t>(config_.num_scales));
+
+  // The joiner probes a bounded random subset of the overlay — enough
+  // to fill every scale in expectation, far less than a full scan.
+  const std::size_t budget = std::min<std::size_t>(
+      existing, static_cast<std::size_t>(config_.samples_per_scale) *
+                    static_cast<std::size_t>(config_.num_scales));
+  std::vector<std::pair<int, NodeId>> probed;  // (scale, member)
+  probed.reserve(budget);
+  for (std::size_t pick : rng.Sample(existing, budget)) {
+    const NodeId other = members_[pick];
+    const LatencyMs d = space_->Latency(node, other);
+    probed.push_back({ScaleFor(d), other});
+
+    // The probed member learns about the joiner from the same
+    // handshake: keep it when the scale has room, otherwise replace a
+    // random entry (membership refresh keeps samples live under
+    // churn).
+    auto& theirs =
+        samples_[pick][static_cast<std::size_t>(ScaleFor(d))];
+    if (theirs.size() <
+        static_cast<std::size_t>(config_.samples_per_scale)) {
+      theirs.push_back(node);
+    } else {
+      theirs[rng.Index(theirs.size())] = node;
+    }
+  }
+
+  // Cumulative-ball semantics (as in Build): a member whose smallest
+  // containing ball is s is eligible for every scale >= s.
+  std::sort(probed.begin(), probed.end());
+  std::vector<NodeId> cumulative;
+  cumulative.reserve(probed.size());
+  std::size_t consumed = 0;
+  for (int s = 0; s < config_.num_scales; ++s) {
+    while (consumed < probed.size() && probed[consumed].first <= s) {
+      cumulative.push_back(probed[consumed].second);
+      ++consumed;
+    }
+    auto& chosen = samples_[position][static_cast<std::size_t>(s)];
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.samples_per_scale),
+        cumulative.size());
+    if (k == cumulative.size()) {
+      chosen = cumulative;
+    } else {
+      chosen.clear();
+      for (std::size_t pick : rng.Sample(cumulative.size(), k)) {
+        chosen.push_back(cumulative[pick]);
+      }
+    }
+  }
+}
+
+void KargerRuhlNearest::RemoveMember(NodeId node) {
+  const auto it = index_.find(node);
+  NP_ENSURE(it != index_.end(), "not a member");
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  const std::size_t position = it->second;
+  const std::size_t last = members_.size() - 1;
+  if (position != last) {
+    members_[position] = members_[last];
+    samples_[position] = std::move(samples_[last]);
+    index_[members_[position]] = position;
+  }
+  members_.pop_back();
+  samples_.pop_back();
+  index_.erase(node);
+
+  // Purge the leaver from every sample list (failure detection); the
+  // thinned lists refill as future joiners announce themselves.
+  for (auto& scales : samples_) {
+    for (auto& list : scales) {
+      list.erase(std::remove(list.begin(), list.end(), node), list.end());
     }
   }
 }

@@ -37,6 +37,17 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Incremental membership: a joiner probes a bounded random subset
+  /// of the overlay to fill its per-scale samples, and each probed
+  /// member considers the joiner for its own samples (random
+  /// replacement when full — the classic membership-refresh rule). A
+  /// leaver is purged from every sample list; thinned lists are only
+  /// repaired opportunistically by later joins, which is exactly the
+  /// staleness a real sampling overlay carries under churn.
+  bool SupportsChurn() const override { return true; }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
+
   /// Query path audited read-only over overlay state: safe for the
   /// runner's concurrent per-query threads.
   bool ParallelQuerySafe() const override { return true; }
@@ -54,6 +65,7 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
 
  private:
   KargerRuhlConfig config_;
+  const core::LatencySpace* space_ = nullptr;
   std::vector<NodeId> members_;
   std::unordered_map<NodeId, std::size_t> index_;
   /// samples_[member_pos][scale] -> sampled member ids.

@@ -24,24 +24,39 @@ std::uint32_t TapestryNearest::IdOf(NodeId member) const {
   return ids_[it->second];
 }
 
-void TapestryNearest::Build(const core::LatencySpace& space,
-                            std::vector<NodeId> members, util::Rng& rng) {
-  NP_ENSURE(!members.empty(), "requires members");
-  members_ = std::move(members);
-  index_.clear();
-  ids_.resize(members_.size());
-  std::unordered_set<std::uint32_t> used;
+int TapestryNearest::SharedPrefix(std::uint32_t a, std::uint32_t b) const {
+  int shared = 0;
+  while (shared < config_.num_digits &&
+         DigitAt(a, shared, config_.num_digits) ==
+             DigitAt(b, shared, config_.num_digits)) {
+    ++shared;
+  }
+  return shared;
+}
+
+std::uint32_t TapestryNearest::DrawFreshId(util::Rng& rng) {
   const std::uint32_t id_mask =
       config_.num_digits == 8
           ? 0xFFFFFFFFu
           : ((1u << (4 * config_.num_digits)) - 1);
+  std::uint32_t id = 0;
+  do {
+    id = static_cast<std::uint32_t>(rng()) & id_mask;
+  } while (!used_ids_.insert(id).second);
+  return id;
+}
+
+void TapestryNearest::Build(const core::LatencySpace& space,
+                            std::vector<NodeId> members, util::Rng& rng) {
+  NP_ENSURE(!members.empty(), "requires members");
+  space_ = &space;
+  members_ = std::move(members);
+  index_.clear();
+  ids_.resize(members_.size());
+  used_ids_.clear();
   for (std::size_t i = 0; i < members_.size(); ++i) {
     index_[members_[i]] = i;
-    std::uint32_t id = 0;
-    do {
-      id = static_cast<std::uint32_t>(rng()) & id_mask;
-    } while (!used.insert(id).second);
-    ids_[i] = id;
+    ids_[i] = DrawFreshId(rng);
   }
 
   // For each node, level and digit: the closest member sharing the
@@ -51,20 +66,16 @@ void TapestryNearest::Build(const core::LatencySpace& space,
   tables_.assign(members_.size(),
                  std::vector<std::int32_t>(
                      static_cast<std::size_t>(levels) * 16, -1));
-  std::vector<double> best_latency(static_cast<std::size_t>(levels) * 16);
+  table_latency_.assign(
+      members_.size(),
+      std::vector<LatencyMs>(static_cast<std::size_t>(levels) * 16,
+                             kInfiniteLatency));
   for (std::size_t i = 0; i < members_.size(); ++i) {
-    std::fill(best_latency.begin(), best_latency.end(), kInfiniteLatency);
     for (std::size_t j = 0; j < members_.size(); ++j) {
       if (j == i) {
         continue;
       }
-      // Longest shared digit prefix between the ids.
-      int shared = 0;
-      while (shared < levels &&
-             DigitAt(ids_[i], shared, levels) ==
-                 DigitAt(ids_[j], shared, levels)) {
-        ++shared;
-      }
+      const int shared = SharedPrefix(ids_[i], ids_[j]);
       // j is eligible for the table at every level <= shared.
       const double latency = space.Latency(members_[i], members_[j]);
       for (int level = 0; level <= std::min(shared, levels - 1); ++level) {
@@ -72,12 +83,129 @@ void TapestryNearest::Build(const core::LatencySpace& space,
         const std::size_t slot =
             static_cast<std::size_t>(level) * 16 +
             static_cast<std::size_t>(digit);
-        if (latency < best_latency[slot]) {
-          best_latency[slot] = latency;
+        if (latency < table_latency_[i][slot]) {
+          table_latency_[i][slot] = latency;
           tables_[i][slot] = static_cast<std::int32_t>(j);
         }
       }
     }
+  }
+}
+
+void TapestryNearest::AddMember(NodeId node, util::Rng& rng) {
+  NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
+  NP_ENSURE(index_.count(node) == 0, "node is already a member");
+  const int levels = config_.num_digits;
+  const std::size_t position = members_.size();
+  const std::uint32_t id = DrawFreshId(rng);
+  index_[node] = position;
+  members_.push_back(node);
+  ids_.push_back(id);
+  tables_.emplace_back(static_cast<std::size_t>(levels) * 16, -1);
+  table_latency_.emplace_back(static_cast<std::size_t>(levels) * 16,
+                              kInfiniteLatency);
+
+  // One measurement per existing member serves both directions (an RTT
+  // handshake): it fills the joiner's tables and lets each member
+  // consider the joiner for its own.
+  for (std::size_t j = 0; j < position; ++j) {
+    const int shared = SharedPrefix(id, ids_[j]);
+    const double latency = space_->Latency(node, members_[j]);
+    for (int level = 0; level <= std::min(shared, levels - 1); ++level) {
+      const std::size_t joiner_slot =
+          static_cast<std::size_t>(level) * 16 +
+          static_cast<std::size_t>(DigitAt(ids_[j], level, levels));
+      if (latency < table_latency_[position][joiner_slot]) {
+        table_latency_[position][joiner_slot] = latency;
+        tables_[position][joiner_slot] = static_cast<std::int32_t>(j);
+      }
+      const std::size_t member_slot =
+          static_cast<std::size_t>(level) * 16 +
+          static_cast<std::size_t>(DigitAt(id, level, levels));
+      if (latency < table_latency_[j][member_slot]) {
+        table_latency_[j][member_slot] = latency;
+        tables_[j][member_slot] = static_cast<std::int32_t>(position);
+      }
+    }
+  }
+}
+
+void TapestryNearest::RemoveMember(NodeId node) {
+  const auto it = index_.find(node);
+  NP_ENSURE(it != index_.end(), "not a member");
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  const std::size_t position = it->second;
+  const std::size_t last = members_.size() - 1;
+  const int levels = config_.num_digits;
+  const std::size_t slots = static_cast<std::size_t>(levels) * 16;
+
+  // Pass 1 over every surviving table: evict the leaver (those slots
+  // become repair work) and pre-remap references to the member about
+  // to move from `last` into `position`.
+  std::vector<std::pair<std::size_t, std::size_t>> orphans;  // (owner, slot)
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i == position) {
+      continue;  // the leaver's own table goes away wholesale
+    }
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const std::int32_t entry = tables_[i][slot];
+      if (entry == static_cast<std::int32_t>(position)) {
+        tables_[i][slot] = -1;
+        table_latency_[i][slot] = kInfiniteLatency;
+        orphans.push_back({i == last ? position : i, slot});
+      } else if (entry == static_cast<std::int32_t>(last)) {
+        tables_[i][slot] = static_cast<std::int32_t>(position);
+      }
+    }
+  }
+
+  used_ids_.erase(ids_[position]);
+  if (position != last) {
+    members_[position] = members_[last];
+    ids_[position] = ids_[last];
+    tables_[position] = std::move(tables_[last]);
+    table_latency_[position] = std::move(table_latency_[last]);
+    index_[members_[position]] = position;
+  }
+  members_.pop_back();
+  ids_.pop_back();
+  tables_.pop_back();
+  table_latency_.pop_back();
+  index_.erase(node);
+
+  // Pass 2 — prefix repair: each orphaned slot's owner re-scans the
+  // eligible members, measuring each candidate once per owner. This
+  // is the costly part of identifier-based sampling under churn.
+  std::size_t o = 0;
+  while (o < orphans.size()) {
+    const std::size_t owner = orphans[o].first;
+    std::size_t end = o;
+    while (end < orphans.size() && orphans[end].first == owner) {
+      ++end;
+    }
+    std::vector<LatencyMs> measured(members_.size(), kInfiniteLatency);
+    for (std::size_t j = 0; j < members_.size(); ++j) {
+      if (j == owner) {
+        continue;
+      }
+      const int shared = SharedPrefix(ids_[owner], ids_[j]);
+      for (std::size_t k = o; k < end; ++k) {
+        const std::size_t slot = orphans[k].second;
+        const int level = static_cast<int>(slot / 16);
+        const int digit = static_cast<int>(slot % 16);
+        if (shared < level || DigitAt(ids_[j], level, levels) != digit) {
+          continue;
+        }
+        if (measured[j] == kInfiniteLatency) {
+          measured[j] = space_->Latency(members_[owner], members_[j]);
+        }
+        if (measured[j] < table_latency_[owner][slot]) {
+          table_latency_[owner][slot] = measured[j];
+          tables_[owner][slot] = static_cast<std::int32_t>(j);
+        }
+      }
+    }
+    o = end;
   }
 }
 

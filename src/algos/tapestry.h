@@ -10,6 +10,7 @@
 
 #include <array>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/nearest_algorithm.h"
@@ -32,6 +33,17 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Incremental membership: a joiner draws a fresh id, measures every
+  /// member once (one RTT handshake serves both directions), builds
+  /// its own tables from those measurements, and is installed into any
+  /// table slot it wins. A leaver is evicted from every table; each
+  /// orphaned slot is repaired by re-scanning the eligible members —
+  /// the expensive prefix-repair path that makes identifier-based
+  /// sampling costly under churn.
+  bool SupportsChurn() const override { return true; }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
+
   /// Query path audited read-only over overlay state: safe for the
   /// runner's concurrent per-query threads.
   bool ParallelQuerySafe() const override { return true; }
@@ -50,12 +62,24 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
  private:
   static int DigitAt(std::uint32_t id, int level, int num_digits);
 
+  /// Longest shared digit prefix of two ids.
+  int SharedPrefix(std::uint32_t a, std::uint32_t b) const;
+
+  /// Draws an id not yet in use.
+  std::uint32_t DrawFreshId(util::Rng& rng);
+
   TapestryConfig config_;
+  const core::LatencySpace* space_ = nullptr;
   std::vector<NodeId> members_;
   std::unordered_map<NodeId, std::size_t> index_;
   std::vector<std::uint32_t> ids_;
+  std::unordered_set<std::uint32_t> used_ids_;
   /// tables_[member_pos][level * 16 + digit] -> member position or -1.
   std::vector<std::vector<std::int32_t>> tables_;
+  /// Measured latency to each table entry (kInfiniteLatency for empty
+  /// slots); churn repair consults it instead of re-probing pairs the
+  /// owner already knows.
+  std::vector<std::vector<LatencyMs>> table_latency_;
 };
 
 }  // namespace np::algos

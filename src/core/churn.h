@@ -1,0 +1,136 @@
+// Event-driven churn over a live overlay.
+//
+// The paper's §4 simulations are static snapshots; real overlays see
+// continuous joins and leaves, and fault-tolerant routing work treats
+// churn resilience as the axis separating deployable designs from
+// simulator toys. This layer generates join/leave event schedules
+// (Poisson arrivals with either a fixed join fraction or per-join
+// session lengths, or an explicit trace) and applies them to a live
+// membership set — incrementally for algorithms that support churn.
+//
+// Determinism contract (matches the PR-1 query loop): every event
+// resolves its randomness from an Rng seeded `Mix64(seed ^
+// event_index)`, so applying events [0, n) in one pass is bit-identical
+// to applying [0, k) and then resuming [k, n) — schedules are
+// resumable, and epoch-chunked application (the scenario engine) equals
+// straight-through application.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace np::core {
+
+enum class ChurnEventType { kJoin, kLeave };
+
+struct ChurnEvent {
+  double time_s = 0.0;
+  ChurnEventType type = ChurnEventType::kJoin;
+  /// Session-style leaves name the join event whose node departs
+  /// (index into the schedule); -1 means "a uniformly random live
+  /// member leaves".
+  std::int64_t join_of = -1;
+};
+
+struct ChurnScheduleConfig {
+  /// Simulated horizon, seconds.
+  double duration_s = 600.0;
+  /// Poisson arrival rate of events (session mode: of *joins*).
+  double events_per_s = 1.0;
+  /// Probability an event is a join. Ignored in session mode.
+  double join_fraction = 0.5;
+  /// > 0 switches to session mode: every arrival is a join whose node
+  /// stays for an Exponential(mean_session_s) session, after which a
+  /// leave for that exact node is scheduled (heavy-tailed session
+  /// distributions can be layered later; exponential matches the
+  /// classic churn models).
+  double mean_session_s = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// An immutable, time-sorted list of churn events.
+class ChurnSchedule {
+ public:
+  /// Poisson/session process per the config.
+  static ChurnSchedule Poisson(const ChurnScheduleConfig& config);
+
+  /// Explicit trace (replayed measurement traces, adversarial
+  /// scenarios like flash crowds). Events are stably sorted by time;
+  /// join_of indices refer to positions in the *sorted* schedule and
+  /// must point at earlier join events.
+  static ChurnSchedule FromTrace(std::vector<ChurnEvent> events);
+
+  const std::vector<ChurnEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  /// Horizon: configured duration (Poisson) or last event time (trace).
+  double duration_s() const { return duration_s_; }
+
+ private:
+  ChurnSchedule() = default;
+
+  std::vector<ChurnEvent> events_;
+  double duration_s_ = 0.0;
+};
+
+/// Tally of one application pass.
+struct ChurnStats {
+  int joins = 0;
+  int leaves = 0;
+  /// Events that resolved to no-ops: joins with an exhausted pool,
+  /// leaves at the membership floor, session leaves whose node already
+  /// left.
+  int skipped = 0;
+
+  ChurnStats& operator+=(const ChurnStats& other);
+};
+
+/// Applies a schedule's events, in order, to a membership/pool pair —
+/// and, when constructed with a churn-capable algorithm, to the
+/// algorithm's overlay state via AddMember/RemoveMember. The driver is
+/// resumable: ApplyUntil advances an internal cursor, and chunked
+/// application is bit-identical to one straight-through pass.
+class ChurnDriver {
+ public:
+  /// `algo` may be null: membership-only tracking (the scenario engine
+  /// uses this for algorithms that rebuild per epoch instead).
+  /// `members` and `pool` are disjoint; pool nodes are join candidates
+  /// and query targets. `seed` is the per-event randomness base.
+  ChurnDriver(NearestPeerAlgorithm* algo, std::vector<NodeId> members,
+              std::vector<NodeId> pool, std::uint64_t seed);
+
+  /// Applies every not-yet-applied event with time_s <= `time_s`.
+  ChurnStats ApplyUntil(const ChurnSchedule& schedule, double time_s);
+
+  /// Applies every remaining event.
+  ChurnStats ApplyAll(const ChurnSchedule& schedule);
+
+  const std::vector<NodeId>& members() const { return members_; }
+  const std::vector<NodeId>& pool() const { return pool_; }
+  /// Index of the next unapplied event.
+  std::size_t next_event() const { return next_; }
+
+ private:
+  void ApplyEvent(const ChurnEvent& event, std::size_t index,
+                  ChurnStats& stats);
+  void Join(NodeId node, util::Rng& rng);
+  void Leave(NodeId node);
+
+  NearestPeerAlgorithm* algo_;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> pool_;
+  /// node -> position, kept in sync with members_ (swap-with-last).
+  std::unordered_map<NodeId, std::size_t> member_pos_;
+  /// schedule index of a join event -> the node it admitted (session
+  /// leaves look their victim up here).
+  std::unordered_map<std::int64_t, NodeId> join_node_;
+  std::uint64_t seed_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace np::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/probe_counter.h"
 #include "util/error.h"
 
 namespace np::core {
@@ -15,6 +16,18 @@ void NearestPeerAlgorithm::AddMember(NodeId node, util::Rng& rng) {
 void NearestPeerAlgorithm::RemoveMember(NodeId node) {
   (void)node;
   NP_ENSURE(false, "this algorithm does not support churn; rebuild instead");
+}
+
+QueryResult NearestPeerAlgorithm::Query(NodeId target,
+                                        const MeteredSpace& metered,
+                                        util::Rng& rng) {
+  const std::uint64_t before = metered.probes();
+  QueryResult result = FindNearest(target, metered, rng);
+  if (probe_counter_ != nullptr) {
+    probe_counter_->AddQueries(1);
+    probe_counter_->AddQueryProbes(metered.probes() - before);
+  }
+  return result;
 }
 
 void OracleNearest::Build(const LatencySpace& space,
@@ -42,6 +55,46 @@ QueryResult OracleNearest::FindNearest(NodeId target,
   }
   result.hops = 0;
   return result;
+}
+
+namespace {
+
+/// Shared membership-only churn for the two baselines: append on join,
+/// swap-with-last on leave. No probes are issued — these define the
+/// zero-maintenance floor the structured overlays are compared against.
+void AddToMemberList(std::vector<NodeId>& members, NodeId node) {
+  NP_ENSURE(std::find(members.begin(), members.end(), node) == members.end(),
+            "node is already a member");
+  members.push_back(node);
+}
+
+void RemoveFromMemberList(std::vector<NodeId>& members, NodeId node) {
+  const auto it = std::find(members.begin(), members.end(), node);
+  NP_ENSURE(it != members.end(), "not a member");
+  NP_ENSURE(members.size() > 1, "cannot remove the last member");
+  *it = members.back();
+  members.pop_back();
+}
+
+}  // namespace
+
+void OracleNearest::AddMember(NodeId node, util::Rng& rng) {
+  (void)rng;
+  NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
+  AddToMemberList(members_, node);
+}
+
+void OracleNearest::RemoveMember(NodeId node) {
+  RemoveFromMemberList(members_, node);
+}
+
+void RandomNearest::AddMember(NodeId node, util::Rng& rng) {
+  (void)rng;
+  AddToMemberList(members_, node);
+}
+
+void RandomNearest::RemoveMember(NodeId node) {
+  RemoveFromMemberList(members_, node);
 }
 
 void RandomNearest::Build(const LatencySpace& space,

@@ -17,6 +17,8 @@
 
 namespace np::core {
 
+class ProbeCounter;
+
 /// Outcome of a single closest-peer query.
 struct QueryResult {
   /// The overlay member the algorithm returned (kInvalidNode if the
@@ -68,8 +70,25 @@ class NearestPeerAlgorithm {
   virtual QueryResult FindNearest(NodeId target, const MeteredSpace& metered,
                                   util::Rng& rng) = 0;
 
+  /// FindNearest plus probe accounting: the metered-probe delta of the
+  /// query (every message, including re-probes of the same pair) and
+  /// the query itself are charged to the attached ProbeCounter. All
+  /// experiment runners issue queries through this wrapper; algorithms
+  /// override FindNearest only.
+  QueryResult Query(NodeId target, const MeteredSpace& metered,
+                    util::Rng& rng);
+
+  /// Attaches (or detaches, with nullptr) the ledger charged by
+  /// Query(). The counter must outlive the algorithm or be detached
+  /// first; it is shared, thread-safe state owned by the caller.
+  void AttachProbeCounter(ProbeCounter* counter) { probe_counter_ = counter; }
+  ProbeCounter* probe_counter() const { return probe_counter_; }
+
   /// Members the overlay was built over.
   virtual const std::vector<NodeId>& members() const = 0;
+
+ private:
+  ProbeCounter* probe_counter_ = nullptr;
 };
 
 /// Brute-force oracle: probes every member. Defines ground truth and
@@ -80,6 +99,11 @@ class OracleNearest final : public NearestPeerAlgorithm {
 
   /// Pure scan over members_; no query-time state.
   bool ParallelQuerySafe() const override { return true; }
+
+  /// Membership is the only overlay state, so churn is free.
+  bool SupportsChurn() const override { return true; }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
 
   void Build(const LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
@@ -101,6 +125,11 @@ class RandomNearest final : public NearestPeerAlgorithm {
 
   /// Only touches the per-query Rng and members_.
   bool ParallelQuerySafe() const override { return true; }
+
+  /// Membership is the only overlay state, so churn is free.
+  bool SupportsChurn() const override { return true; }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
 
   void Build(const LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;

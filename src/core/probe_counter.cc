@@ -1,0 +1,58 @@
+#include "core/probe_counter.h"
+
+#include <limits>
+
+namespace np::core {
+
+double ProbeCounter::Snapshot::MessagesPerQuery() const {
+  if (queries == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(query_probes) / static_cast<double>(queries);
+}
+
+double ProbeCounter::Snapshot::MaintenancePerEvent() const {
+  if (churn_events == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(maintenance_probes) /
+         static_cast<double>(churn_events);
+}
+
+void ProbeCounter::SaturatingAdd(std::atomic<std::uint64_t>& counter,
+                                 std::uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t current = counter.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t next =
+        current > kMax - n ? kMax : current + n;
+    if (counter.compare_exchange_weak(current, next,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+ProbeCounter::Snapshot ProbeCounter::Read() const {
+  Snapshot snapshot;
+  snapshot.query_probes = query_probes_.load(std::memory_order_relaxed);
+  snapshot.queries = queries_.load(std::memory_order_relaxed);
+  snapshot.maintenance_probes =
+      maintenance_probes_.load(std::memory_order_relaxed);
+  snapshot.churn_events = churn_events_.load(std::memory_order_relaxed);
+  snapshot.build_probes = build_probes_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void ProbeCounter::Reset() {
+  query_probes_.store(0, std::memory_order_relaxed);
+  queries_.store(0, std::memory_order_relaxed);
+  maintenance_probes_.store(0, std::memory_order_relaxed);
+  churn_events_.store(0, std::memory_order_relaxed);
+  build_probes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace np::core

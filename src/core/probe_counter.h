@@ -1,0 +1,77 @@
+// Probe-cost ledger for the churn-and-cost scenario engine.
+//
+// The paper's load-concentration effect (Figs 8-9) is at bottom a
+// *traffic* problem: every latency probe is a message some peer must
+// answer, and maintenance traffic under churn competes with query
+// traffic for the same budget. A ProbeCounter aggregates both sides so
+// every experiment can report messages/query and maintenance
+// messages/churn-event alongside accuracy.
+//
+// Thread-safety: all mutators are lock-free atomic adds, so the
+// parallel query loop can charge probes from many worker threads.
+// Totals are sums of per-query deterministic quantities, which makes
+// them invariant under thread count and execution order.
+//
+// Overflow semantics: counters saturate at
+// std::numeric_limits<uint64_t>::max() instead of wrapping — a
+// saturated ledger reads as "astronomical", never as "cheap".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace np::core {
+
+class ProbeCounter {
+ public:
+  /// Plain-value copy of the ledger, safe to aggregate and serialize.
+  struct Snapshot {
+    /// Probes issued while resolving queries (query-time traffic).
+    std::uint64_t query_probes = 0;
+    /// Queries charged to this ledger.
+    std::uint64_t queries = 0;
+    /// Probes issued maintaining overlay state under churn (joins,
+    /// leaves, repairs, epoch rebuilds).
+    std::uint64_t maintenance_probes = 0;
+    /// Churn events (joins + leaves) charged to this ledger.
+    std::uint64_t churn_events = 0;
+    /// Probes issued by the initial Build (reported separately from
+    /// maintenance: every deployment pays it exactly once).
+    std::uint64_t build_probes = 0;
+
+    /// Mean messages per query; 0 when no query has been charged.
+    double MessagesPerQuery() const;
+    /// Mean maintenance messages per churn event; 0 when no event has
+    /// been charged.
+    double MaintenancePerEvent() const;
+  };
+
+  ProbeCounter() = default;
+  ProbeCounter(const ProbeCounter&) = delete;
+  ProbeCounter& operator=(const ProbeCounter&) = delete;
+
+  void AddQueryProbes(std::uint64_t n) { SaturatingAdd(query_probes_, n); }
+  void AddQueries(std::uint64_t n) { SaturatingAdd(queries_, n); }
+  void AddMaintenanceProbes(std::uint64_t n) {
+    SaturatingAdd(maintenance_probes_, n);
+  }
+  void AddChurnEvents(std::uint64_t n) { SaturatingAdd(churn_events_, n); }
+  void AddBuildProbes(std::uint64_t n) { SaturatingAdd(build_probes_, n); }
+
+  Snapshot Read() const;
+
+  /// Zeroes every counter (epoch boundaries, test setup).
+  void Reset();
+
+ private:
+  static void SaturatingAdd(std::atomic<std::uint64_t>& counter,
+                            std::uint64_t n);
+
+  std::atomic<std::uint64_t> query_probes_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> maintenance_probes_{0};
+  std::atomic<std::uint64_t> churn_events_{0};
+  std::atomic<std::uint64_t> build_probes_{0};
+};
+
+}  // namespace np::core

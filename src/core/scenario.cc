@@ -1,0 +1,215 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "core/experiment.h"
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace np::core {
+
+namespace {
+
+/// Per-query record, reduced serially in query order (thread-count
+/// invariance, as in the PR-1 experiment runners).
+struct ScenarioOutcome {
+  LatencyMs found_latency = 0.0;
+  std::uint64_t probes = 0;
+  int hops = 0;
+  bool exact = false;
+  bool correct_cluster = false;
+  bool same_net = false;
+};
+
+OverlaySplit SplitPopulation(const LatencySpace& space,
+                             const std::vector<NodeId>& population,
+                             NodeId initial_overlay, util::Rng& rng) {
+  if (population.empty()) {
+    return SplitOverlay(space.size(), initial_overlay, rng);
+  }
+  NP_ENSURE(initial_overlay >= 1, "overlay must be non-empty");
+  NP_ENSURE(static_cast<std::size_t>(initial_overlay) < population.size(),
+            "need at least one population node left over as a target");
+  std::vector<NodeId> nodes = population;
+  rng.Shuffle(nodes);
+  OverlaySplit split;
+  split.members.assign(nodes.begin(), nodes.begin() + initial_overlay);
+  split.targets.assign(nodes.begin() + initial_overlay, nodes.end());
+  return split;
+}
+
+/// Detaches the algorithm's probe counter on every exit path — the
+/// counter is a stack local here, and leaving it attached past a
+/// thrown NP_ENSURE would hand the caller an algorithm holding a
+/// dangling pointer.
+class ScopedProbeCounter {
+ public:
+  ScopedProbeCounter(NearestPeerAlgorithm& algo, ProbeCounter& counter)
+      : algo_(algo) {
+    algo_.AttachProbeCounter(&counter);
+  }
+  ~ScopedProbeCounter() { algo_.AttachProbeCounter(nullptr); }
+  ScopedProbeCounter(const ScopedProbeCounter&) = delete;
+  ScopedProbeCounter& operator=(const ScopedProbeCounter&) = delete;
+
+ private:
+  NearestPeerAlgorithm& algo_;
+};
+
+}  // namespace
+
+ScenarioReport RunScenario(const LatencySpace& space,
+                           const matrix::ClusterLayout* layout,
+                           NearestPeerAlgorithm& algo,
+                           const ChurnSchedule& schedule,
+                           const ScenarioConfig& config,
+                           const std::vector<NodeId>& population) {
+  NP_ENSURE(config.epochs >= 1, "need at least one epoch");
+  NP_ENSURE(config.queries_per_epoch >= 1, "need queries per epoch");
+
+  util::Rng rng(util::Mix64(config.seed));
+  OverlaySplit split =
+      SplitPopulation(space, population, config.initial_overlay, rng);
+
+  // Every maintenance-time measurement (build, joins, leaves, epoch
+  // rebuilds) flows through this metered, noisy view; the engine reads
+  // probe deltas off it to charge the ledger. Maintenance is applied
+  // serially, so the single meter is race-free; query probes go
+  // through per-query meters instead.
+  const NoisySpace maint_noisy(space, config.measurement_noise_frac, rng(),
+                               config.measurement_noise_floor_ms);
+  const MeteredSpace maint(maint_noisy);
+
+  ProbeCounter counter;
+  const ScopedProbeCounter attach(algo, counter);
+
+  ScenarioReport report;
+  report.algorithm = algo.name();
+  report.clustered = layout != nullptr;
+  report.initial_members = static_cast<int>(split.members.size());
+
+  algo.Build(maint, split.members, rng);
+  report.build_messages = maint.probes();
+  counter.AddBuildProbes(report.build_messages);
+
+  const bool incremental = algo.SupportsChurn();
+  ChurnDriver driver(incremental ? &algo : nullptr, split.members,
+                     split.targets, rng());
+  const std::uint64_t noise_root = rng();
+  const std::uint64_t query_root = rng();
+  const std::uint64_t rebuild_root = rng();
+
+  const int query_threads = algo.ParallelQuerySafe()
+                                ? util::ResolveThreadCount(config.num_threads)
+                                : 1;
+
+  std::uint64_t charged_maintenance = report.build_messages;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochReport er;
+    er.epoch = epoch;
+    er.time_s = schedule.duration_s() *
+                (static_cast<double>(epoch + 1) /
+                 static_cast<double>(config.epochs));
+
+    // --- Churn window -----------------------------------------------------
+    const ChurnStats stats = epoch + 1 == config.epochs
+                                 ? driver.ApplyAll(schedule)
+                                 : driver.ApplyUntil(schedule, er.time_s);
+    er.joins = stats.joins;
+    er.leaves = stats.leaves;
+    er.skipped_events = stats.skipped;
+
+    if (!incremental && stats.joins + stats.leaves > 0) {
+      // No incremental maintenance: pay for a full rebuild on the live
+      // membership. The per-epoch rebuild rng is independent of the
+      // churn streams so resumed and straight-through schedules agree.
+      util::Rng brng(
+          util::Mix64(rebuild_root ^ static_cast<std::uint64_t>(epoch)));
+      algo.Build(maint, driver.members(), brng);
+      er.rebuilt = true;
+    }
+    er.maintenance_messages = maint.probes() - charged_maintenance;
+    charged_maintenance = maint.probes();
+    counter.AddMaintenanceProbes(er.maintenance_messages);
+    counter.AddChurnEvents(
+        static_cast<std::uint64_t>(stats.joins + stats.leaves));
+    er.maintenance_per_event =
+        stats.joins + stats.leaves == 0
+            ? 0.0
+            : static_cast<double>(er.maintenance_messages) /
+                  static_cast<double>(stats.joins + stats.leaves);
+    er.live_members = static_cast<int>(driver.members().size());
+
+    // --- Measurement epoch ------------------------------------------------
+    const std::vector<NodeId>& members = driver.members();
+    const std::vector<NodeId>& pool = driver.pool();
+    NP_ENSURE(!pool.empty(), "no query targets left outside the overlay");
+    const std::uint64_t noise_base =
+        util::Mix64(noise_root ^ static_cast<std::uint64_t>(epoch));
+    const std::uint64_t query_base =
+        util::Mix64(query_root ^ static_cast<std::uint64_t>(epoch));
+
+    std::vector<ScenarioOutcome> outcomes(
+        static_cast<std::size_t>(config.queries_per_epoch));
+    util::ParallelFor(
+        0, outcomes.size(), query_threads, [&](std::size_t q) {
+          util::Rng qrng(query_base ^ static_cast<std::uint64_t>(q));
+          const NoisySpace noisy(space, config.measurement_noise_frac,
+                                 noise_base ^ static_cast<std::uint64_t>(q),
+                                 config.measurement_noise_floor_ms);
+          const MeteredSpace metered(noisy);
+          const NodeId target = pool[qrng.Index(pool.size())];
+          const NodeId truth = TrueClosestMember(space, members, target);
+
+          const QueryResult result = algo.Query(target, metered, qrng);
+          NP_ENSURE(result.found != kInvalidNode,
+                    "algorithm returned no peer");
+
+          ScenarioOutcome& out = outcomes[q];
+          out.probes = metered.probes();
+          out.hops = result.hops;
+          const LatencyMs truth_latency = space.Latency(truth, target);
+          out.found_latency = space.Latency(result.found, target);
+          out.exact =
+              out.found_latency <= truth_latency + config.tie_epsilon_ms;
+          if (layout != nullptr) {
+            out.correct_cluster = layout->SameCluster(result.found, target);
+            out.same_net = layout->SameNet(result.found, target);
+          }
+        });
+
+    int exact = 0;
+    int correct_cluster = 0;
+    int same_net = 0;
+    double total_latency = 0.0;
+    double total_hops = 0.0;
+    std::uint64_t total_probes = 0;
+    for (const ScenarioOutcome& out : outcomes) {
+      exact += out.exact ? 1 : 0;
+      correct_cluster += out.correct_cluster ? 1 : 0;
+      same_net += out.same_net ? 1 : 0;
+      total_latency += out.found_latency;
+      total_hops += out.hops;
+      total_probes += out.probes;
+    }
+    const double n = static_cast<double>(config.queries_per_epoch);
+    er.p_exact_closest = exact / n;
+    er.p_correct_cluster = correct_cluster / n;
+    er.p_same_net = same_net / n;
+    er.mean_found_latency_ms = total_latency / n;
+    er.mean_hops = total_hops / n;
+    er.messages_per_query = static_cast<double>(total_probes) / n;
+
+    report.epochs.push_back(er);
+  }
+
+  report.final_members = static_cast<int>(driver.members().size());
+  report.totals = counter.Read();
+  report.messages_per_query = report.totals.MessagesPerQuery();
+  report.maintenance_per_event = report.totals.MaintenancePerEvent();
+  return report;
+}
+
+}  // namespace np::core

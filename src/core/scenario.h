@@ -1,0 +1,115 @@
+// Dynamic-overlay scenario engine.
+//
+// Drives a churn schedule over a latency space, re-running
+// closest-peer queries against the *live* membership set at
+// configurable epochs, with full probe-cost accounting: every
+// experiment reports messages/query and maintenance messages per
+// churn event alongside the paper's accuracy metrics. This is the
+// repo's step from a static-figure reproducer to a workload simulator.
+//
+// Maintenance accounting: the engine builds (and, for churn-capable
+// algorithms, maintains) the overlay through a MeteredSpace, so every
+// latency measurement issued by Build/AddMember/RemoveMember is
+// counted as a maintenance message. Algorithms without incremental
+// churn support are rebuilt from scratch at every epoch whose window
+// saw churn — their (large) rebuild cost is charged as maintenance,
+// which is exactly the deployment economics the fault-tolerance
+// literature cares about.
+//
+// Determinism: epoch e's query q derives its RNG and noise streams
+// from per-epoch bases xor'ed with q (the PR-1 `base ^ index` idiom),
+// churn events use per-event streams (see churn.h), and metrics are
+// reduced in query order — results are bit-identical for every thread
+// count and for resumed vs straight-through schedules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/churn.h"
+#include "core/latency_space.h"
+#include "core/nearest_algorithm.h"
+#include "core/probe_counter.h"
+#include "matrix/generators.h"
+#include "util/types.h"
+
+namespace np::core {
+
+struct ScenarioConfig {
+  /// Initial overlay size drawn from the population; the remainder is
+  /// the join pool / query targets.
+  NodeId initial_overlay = 800;
+  /// Measurement epochs, evenly spaced over the schedule horizon.
+  int epochs = 4;
+  int queries_per_epoch = 500;
+  /// Query-loop workers: 0 = hardware_concurrency. Results are
+  /// bit-identical for every thread count (algorithms that are not
+  /// ParallelQuerySafe run on one thread regardless).
+  int num_threads = 1;
+  LatencyMs tie_epsilon_ms = 1e-9;
+  /// Probe noise (see ExperimentConfig); scoring uses true latencies.
+  double measurement_noise_frac = 0.0;
+  double measurement_noise_floor_ms = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Accuracy + cost for one measurement epoch.
+struct EpochReport {
+  int epoch = 0;
+  /// Simulated time of the epoch boundary, seconds.
+  double time_s = 0.0;
+  int live_members = 0;
+  /// Churn applied in this epoch's window.
+  int joins = 0;
+  int leaves = 0;
+  int skipped_events = 0;
+  /// True when the algorithm was rebuilt from scratch this epoch (the
+  /// no-incremental-churn path).
+  bool rebuilt = false;
+
+  double p_exact_closest = 0.0;
+  /// Clustered worlds only (0 otherwise).
+  double p_correct_cluster = 0.0;
+  double p_same_net = 0.0;
+  double mean_found_latency_ms = 0.0;
+  double mean_hops = 0.0;
+
+  /// Mean query-time messages per query in this epoch.
+  double messages_per_query = 0.0;
+  /// Maintenance messages spent in this epoch's window (churn
+  /// handling + rebuilds).
+  std::uint64_t maintenance_messages = 0;
+  /// maintenance_messages / (joins + leaves); 0 when no churn fired.
+  double maintenance_per_event = 0.0;
+};
+
+struct ScenarioReport {
+  std::string algorithm;
+  bool clustered = false;
+  /// Messages spent by the initial Build (paid once, reported apart
+  /// from steady-state maintenance).
+  std::uint64_t build_messages = 0;
+  int initial_members = 0;
+  int final_members = 0;
+  std::vector<EpochReport> epochs;
+  /// Whole-run ledger (build + maintenance + queries).
+  ProbeCounter::Snapshot totals;
+  /// Whole-run aggregates (same definitions as the epoch fields).
+  double messages_per_query = 0.0;
+  double maintenance_per_event = 0.0;
+};
+
+/// Runs `algo` through `schedule` over `space`. `layout` enables the
+/// clustered accuracy metrics and may be null (generic spaces).
+/// `population` restricts overlay/pool nodes to a subset of the space
+/// (e.g. the Azureus peers of a synthetic topology); empty means every
+/// node. The algorithm's probe counter is attached for the duration of
+/// the run and detached before returning.
+ScenarioReport RunScenario(const LatencySpace& space,
+                           const matrix::ClusterLayout* layout,
+                           NearestPeerAlgorithm& algo,
+                           const ChurnSchedule& schedule,
+                           const ScenarioConfig& config,
+                           const std::vector<NodeId>& population = {});
+
+}  // namespace np::core

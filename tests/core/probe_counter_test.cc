@@ -1,0 +1,104 @@
+// ProbeCounter: saturating-overflow and reset semantics, thread-safe
+// accumulation, and the derived per-query / per-event rates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "core/probe_counter.h"
+#include "util/parallel.h"
+
+namespace np::core {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+TEST(ProbeCounter, StartsZeroAndAccumulates) {
+  ProbeCounter counter;
+  auto snapshot = counter.Read();
+  EXPECT_EQ(snapshot.query_probes, 0u);
+  EXPECT_EQ(snapshot.queries, 0u);
+  EXPECT_EQ(snapshot.maintenance_probes, 0u);
+  EXPECT_EQ(snapshot.churn_events, 0u);
+  EXPECT_EQ(snapshot.build_probes, 0u);
+
+  counter.AddQueryProbes(10);
+  counter.AddQueryProbes(5);
+  counter.AddQueries(3);
+  counter.AddMaintenanceProbes(7);
+  counter.AddChurnEvents(2);
+  counter.AddBuildProbes(100);
+  snapshot = counter.Read();
+  EXPECT_EQ(snapshot.query_probes, 15u);
+  EXPECT_EQ(snapshot.queries, 3u);
+  EXPECT_EQ(snapshot.maintenance_probes, 7u);
+  EXPECT_EQ(snapshot.churn_events, 2u);
+  EXPECT_EQ(snapshot.build_probes, 100u);
+}
+
+TEST(ProbeCounter, OverflowSaturatesInsteadOfWrapping) {
+  ProbeCounter counter;
+  counter.AddQueryProbes(kMax - 1);
+  EXPECT_EQ(counter.Read().query_probes, kMax - 1);
+  // Would wrap to 8 under modular arithmetic; must pin to max.
+  counter.AddQueryProbes(10);
+  EXPECT_EQ(counter.Read().query_probes, kMax);
+  // Saturated counters stay saturated.
+  counter.AddQueryProbes(1);
+  EXPECT_EQ(counter.Read().query_probes, kMax);
+  counter.AddQueryProbes(kMax);
+  EXPECT_EQ(counter.Read().query_probes, kMax);
+  // Adding exactly to the boundary is not an overflow.
+  ProbeCounter exact;
+  exact.AddMaintenanceProbes(kMax);
+  EXPECT_EQ(exact.Read().maintenance_probes, kMax);
+}
+
+TEST(ProbeCounter, ResetZeroesEverything) {
+  ProbeCounter counter;
+  counter.AddQueryProbes(kMax);  // reset must clear even saturated state
+  counter.AddQueries(4);
+  counter.AddMaintenanceProbes(9);
+  counter.AddChurnEvents(1);
+  counter.AddBuildProbes(2);
+  counter.Reset();
+  const auto snapshot = counter.Read();
+  EXPECT_EQ(snapshot.query_probes, 0u);
+  EXPECT_EQ(snapshot.queries, 0u);
+  EXPECT_EQ(snapshot.maintenance_probes, 0u);
+  EXPECT_EQ(snapshot.churn_events, 0u);
+  EXPECT_EQ(snapshot.build_probes, 0u);
+  // And the counter is usable again after a reset.
+  counter.AddQueryProbes(3);
+  EXPECT_EQ(counter.Read().query_probes, 3u);
+}
+
+TEST(ProbeCounter, DerivedRatesGuardAgainstZeroDenominators) {
+  ProbeCounter counter;
+  EXPECT_EQ(counter.Read().MessagesPerQuery(), 0.0);
+  EXPECT_EQ(counter.Read().MaintenancePerEvent(), 0.0);
+  counter.AddQueryProbes(30);
+  counter.AddQueries(10);
+  counter.AddMaintenanceProbes(12);
+  counter.AddChurnEvents(4);
+  EXPECT_DOUBLE_EQ(counter.Read().MessagesPerQuery(), 3.0);
+  EXPECT_DOUBLE_EQ(counter.Read().MaintenancePerEvent(), 3.0);
+}
+
+TEST(ProbeCounter, ConcurrentChargesAreLossless) {
+  ProbeCounter counter;
+  constexpr std::size_t kCharges = 10000;
+  util::ParallelFor(0, kCharges, 8, [&](std::size_t i) {
+    counter.AddQueryProbes(i % 7 + 1);
+    counter.AddQueries(1);
+  });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kCharges; ++i) {
+    expected += i % 7 + 1;
+  }
+  EXPECT_EQ(counter.Read().query_probes, expected);
+  EXPECT_EQ(counter.Read().queries, kCharges);
+}
+
+}  // namespace
+}  // namespace np::core

@@ -3,6 +3,7 @@
 
 #include <set>
 
+#include "algos/tiers.h"
 #include "core/experiment.h"
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
@@ -107,9 +108,15 @@ TEST(MeridianChurn, ErrorsOnMisuse) {
   EXPECT_THROW(overlay.AddMember(5, rng), util::Error);     // already in
   EXPECT_THROW(overlay.RemoveMember(15), util::Error);      // not in
   EXPECT_TRUE(overlay.SupportsChurn());
+  // The baselines maintain membership only, so churn is free for them;
+  // Tiers keeps a hierarchy it cannot repair incrementally and must
+  // refuse (the scenario engine rebuilds it per epoch instead).
   core::OracleNearest oracle;
-  EXPECT_FALSE(oracle.SupportsChurn());
-  EXPECT_THROW(oracle.AddMember(1, rng), util::Error);
+  EXPECT_TRUE(oracle.SupportsChurn());
+  EXPECT_THROW(oracle.AddMember(1, rng), util::Error);  // Build not run
+  algos::TiersNearest tiers{algos::TiersConfig{}};
+  EXPECT_FALSE(tiers.SupportsChurn());
+  EXPECT_THROW(tiers.AddMember(1, rng), util::Error);
 }
 
 TEST(MeridianChurn, ChurnExperimentTracksRebuildAccuracy) {

@@ -1,0 +1,101 @@
+// Minimal JSON parser: grammar coverage, escapes, typed accessors and
+// loud failures on malformed specs.
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace np::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").IsNull());
+  EXPECT_TRUE(JsonValue::Parse("true").AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false").AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.25").AsDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-1e3").AsDouble(), -1000.0);
+  EXPECT_EQ(JsonValue::Parse("42").AsInt(), 42);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue doc = JsonValue::Parse(R"({
+    "name": "clustered_churn",
+    "world": {"type": "clustered", "delta": 0.9, "seed": 7},
+    "algorithms": ["meridian", "tiers"],
+    "flags": [true, false, null],
+    "empty_object": {},
+    "empty_array": []
+  })");
+  EXPECT_TRUE(doc.IsObject());
+  EXPECT_EQ(doc.at("name").AsString(), "clustered_churn");
+  EXPECT_EQ(doc.at("world").at("type").AsString(), "clustered");
+  EXPECT_DOUBLE_EQ(doc.at("world").at("delta").AsDouble(), 0.9);
+  EXPECT_EQ(doc.at("algorithms").size(), 2u);
+  EXPECT_EQ(doc.at("algorithms").at(1).AsString(), "tiers");
+  EXPECT_TRUE(doc.at("flags").at(2).IsNull());
+  EXPECT_EQ(doc.at("empty_object").entries().size(), 0u);
+  EXPECT_EQ(doc.at("empty_array").size(), 0u);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(JsonValue::Parse(R"("a\"b\\c\nd\te")").AsString(),
+            "a\"b\\c\nd\te");
+  // \u escape, including a surrogate pair (UTF-8 output).
+  EXPECT_EQ(JsonValue::Parse(R"("A")").AsString(), "A");
+  EXPECT_EQ(JsonValue::Parse(R"("é")").AsString(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::Parse(R"("😀")").AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, TypedLookupsWithDefaults) {
+  const JsonValue doc =
+      JsonValue::Parse(R"({"a": 2, "b": "x", "c": true, "d": 1.5})");
+  EXPECT_EQ(doc.GetInt("a", 9), 2);
+  EXPECT_EQ(doc.GetInt("missing", 9), 9);
+  EXPECT_EQ(doc.GetString("b", "y"), "x");
+  EXPECT_EQ(doc.GetString("missing", "y"), "y");
+  EXPECT_TRUE(doc.GetBool("c", false));
+  EXPECT_FALSE(doc.GetBool("missing", false));
+  EXPECT_DOUBLE_EQ(doc.GetDouble("d", 0.0), 1.5);
+  EXPECT_EQ(doc.GetUint64("a", 0), 2u);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  // A present key of the wrong type fails loudly, never defaults.
+  EXPECT_THROW(doc.GetInt("b", 9), Error);
+  EXPECT_THROW(doc.GetUint64("d", 0), Error);  // non-integer
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::Parse(""), Error);
+  EXPECT_THROW(JsonValue::Parse("{"), Error);
+  EXPECT_THROW(JsonValue::Parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(JsonValue::Parse("[1, 2,]"), Error);
+  EXPECT_THROW(JsonValue::Parse("tru"), Error);
+  EXPECT_THROW(JsonValue::Parse("\"unterminated"), Error);
+  EXPECT_THROW(JsonValue::Parse("1.2.3"), Error);
+  EXPECT_THROW(JsonValue::Parse("{} trailing"), Error);
+  EXPECT_THROW(JsonValue::Parse(R"("\q")"), Error);
+  EXPECT_THROW(JsonValue::Parse(R"("\ud83d")"), Error);  // lone surrogate
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    JsonValue::Parse("{\n  \"a\": }");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, AccessorsValidateTypes) {
+  const JsonValue doc = JsonValue::Parse(R"({"a": [1]})");
+  EXPECT_THROW(doc.AsBool(), Error);
+  EXPECT_THROW(doc.at("a").AsString(), Error);
+  EXPECT_THROW(doc.at("a").at(5), Error);
+  EXPECT_THROW(doc.at("b"), Error);
+  EXPECT_THROW(doc.at("a").entries(), Error);
+}
+
+}  // namespace
+}  // namespace np::util

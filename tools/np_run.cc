@@ -1,0 +1,428 @@
+// np_run — config-driven dynamic-overlay scenario runner.
+//
+//   np_run scenarios/clustered_churn.json [--out FILE] [--threads N]
+//
+// Reads a JSON scenario spec (world + churn schedule + engine
+// parameters + algorithm list), drives every algorithm through the
+// same churn schedule with the scenario engine, prints a per-epoch
+// table, and writes a machine-readable NP_RUN_<name>.json report with
+// accuracy *and* traffic metrics (messages/query, maintenance
+// messages/churn-event). See README "Churn scenarios" for the schema.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algos/beaconing.h"
+#include "algos/karger_ruhl.h"
+#include "algos/tapestry.h"
+#include "algos/tiers.h"
+#include "core/scenario.h"
+#include "matrix/generators.h"
+#include "mech/hybrid.h"
+#include "mech/topology_space.h"
+#include "meridian/meridian.h"
+#include "net/topology.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using np::NodeId;
+using np::core::ChurnEvent;
+using np::core::ChurnEventType;
+using np::core::ChurnSchedule;
+using np::core::ChurnScheduleConfig;
+using np::core::LatencySpace;
+using np::core::NearestPeerAlgorithm;
+using np::core::RunScenario;
+using np::core::ScenarioConfig;
+using np::core::ScenarioReport;
+using np::util::JsonValue;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw np::util::Error("cannot open scenario spec: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// --- World construction -----------------------------------------------------
+
+/// Owns whichever world variant the spec asked for, and exposes the
+/// pieces the engine needs.
+struct World {
+  std::string type;
+  // Matrix-backed worlds.
+  std::unique_ptr<np::matrix::ClusteredWorld> clustered;
+  std::unique_ptr<np::matrix::EuclideanWorld> euclidean;
+  std::unique_ptr<np::core::MatrixSpace> matrix_space;
+  // Topology-backed world (the §5 mechanisms need routers + IPs).
+  std::unique_ptr<np::net::Topology> topology;
+  std::unique_ptr<np::mech::TopologySpace> topology_space;
+
+  const LatencySpace& space() const {
+    return topology_space ? static_cast<const LatencySpace&>(*topology_space)
+                          : *matrix_space;
+  }
+  const np::matrix::ClusterLayout* layout() const {
+    return clustered ? &clustered->layout : nullptr;
+  }
+  /// Overlay-eligible nodes; empty = every node of the space.
+  std::vector<NodeId> population;
+};
+
+World BuildWorld(const JsonValue& spec) {
+  World world;
+  world.type = spec.GetString("type", "clustered");
+  np::util::Rng rng(spec.GetUint64("seed", 7));
+
+  if (world.type == "clustered") {
+    np::matrix::ClusteredConfig config;
+    config.num_clusters =
+        static_cast<int>(spec.GetInt("num_clusters", config.num_clusters));
+    config.nets_per_cluster = static_cast<int>(
+        spec.GetInt("nets_per_cluster", config.nets_per_cluster));
+    config.peers_per_net =
+        static_cast<int>(spec.GetInt("peers_per_net", config.peers_per_net));
+    config.delta = spec.GetDouble("delta", config.delta);
+    config.same_net_latency_ms =
+        spec.GetDouble("same_net_latency_ms", config.same_net_latency_ms);
+    world.clustered = std::make_unique<np::matrix::ClusteredWorld>(
+        np::matrix::GenerateClustered(config, rng));
+    world.matrix_space =
+        std::make_unique<np::core::MatrixSpace>(world.clustered->matrix);
+    return world;
+  }
+  if (world.type == "euclidean") {
+    np::matrix::EuclideanConfig config;
+    config.dimensions =
+        static_cast<int>(spec.GetInt("dimensions", config.dimensions));
+    config.side_ms = spec.GetDouble("side_ms", config.side_ms);
+    config.jitter = spec.GetDouble("jitter", config.jitter);
+    const NodeId n = static_cast<NodeId>(spec.GetInt("num_nodes", 1000));
+    world.euclidean = std::make_unique<np::matrix::EuclideanWorld>(
+        np::matrix::GenerateEuclidean(n, config, rng));
+    world.matrix_space =
+        std::make_unique<np::core::MatrixSpace>(world.euclidean->matrix);
+    return world;
+  }
+  if (world.type == "topology") {
+    np::net::TopologyConfig config = np::net::SmallTestConfig();
+    config.num_cities =
+        static_cast<int>(spec.GetInt("num_cities", config.num_cities));
+    config.num_ases =
+        static_cast<int>(spec.GetInt("num_ases", config.num_ases));
+    config.azureus_hosts =
+        static_cast<int>(spec.GetInt("azureus_hosts", 2000));
+    config.dns_recursive_hosts = 0;
+    // Overlay participants cooperate: they answer probes.
+    config.azureus_tcp_respond_prob = 1.0;
+    config.azureus_trace_respond_prob = 1.0;
+    world.topology = std::make_unique<np::net::Topology>(
+        np::net::Topology::Generate(config, rng));
+    world.topology_space =
+        std::make_unique<np::mech::TopologySpace>(*world.topology);
+    world.population =
+        world.topology->HostsOfKind(np::net::HostKind::kAzureusPeer);
+    return world;
+  }
+  throw np::util::Error("unknown world type: " + world.type +
+                        " (expected clustered | euclidean | topology)");
+}
+
+// --- Churn schedule ---------------------------------------------------------
+
+ChurnSchedule BuildSchedule(const JsonValue& spec) {
+  const std::string mode = spec.GetString("mode", "poisson");
+  if (mode == "trace") {
+    std::vector<ChurnEvent> events;
+    for (const JsonValue& entry : spec.at("trace").items()) {
+      ChurnEvent event;
+      event.time_s = entry.GetDouble("t", 0.0);
+      const std::string op = entry.at("op").AsString();
+      if (op == "join") {
+        event.type = ChurnEventType::kJoin;
+      } else if (op == "leave") {
+        event.type = ChurnEventType::kLeave;
+      } else {
+        throw np::util::Error("trace op must be join|leave, got: " + op);
+      }
+      event.join_of = entry.GetInt("join_of", -1);
+      events.push_back(event);
+    }
+    return ChurnSchedule::FromTrace(std::move(events));
+  }
+  if (mode == "poisson") {
+    ChurnScheduleConfig config;
+    config.duration_s = spec.GetDouble("duration_s", config.duration_s);
+    config.events_per_s = spec.GetDouble("events_per_s", config.events_per_s);
+    config.join_fraction =
+        spec.GetDouble("join_fraction", config.join_fraction);
+    config.mean_session_s =
+        spec.GetDouble("mean_session_s", config.mean_session_s);
+    config.seed = spec.GetUint64("seed", config.seed);
+    return ChurnSchedule::Poisson(config);
+  }
+  throw np::util::Error("unknown churn mode: " + mode +
+                        " (expected poisson | trace)");
+}
+
+// --- Algorithm factory ------------------------------------------------------
+
+std::unique_ptr<NearestPeerAlgorithm> MakeAlgorithm(const std::string& name,
+                                                    const World& world) {
+  if (name == "oracle") {
+    return std::make_unique<np::core::OracleNearest>();
+  }
+  if (name == "random") {
+    return std::make_unique<np::core::RandomNearest>();
+  }
+  if (name == "meridian") {
+    return std::make_unique<np::meridian::MeridianOverlay>(
+        np::meridian::MeridianConfig{});
+  }
+  if (name == "karger-ruhl") {
+    return std::make_unique<np::algos::KargerRuhlNearest>(
+        np::algos::KargerRuhlConfig{});
+  }
+  if (name == "tapestry") {
+    return std::make_unique<np::algos::TapestryNearest>(
+        np::algos::TapestryConfig{});
+  }
+  if (name == "tiers") {
+    return std::make_unique<np::algos::TiersNearest>(
+        np::algos::TiersConfig{});
+  }
+  if (name == "beaconing") {
+    return std::make_unique<np::algos::BeaconingNearest>(
+        np::algos::BeaconingConfig{});
+  }
+  if (name.rfind("hybrid-", 0) == 0) {
+    if (world.topology == nullptr) {
+      throw np::util::Error(
+          "algorithm " + name +
+          " needs a topology world (the §5 mechanisms use routers/IPs)");
+    }
+    np::mech::HybridConfig config;
+    const std::string mechanism = name.substr(7);
+    if (mechanism == "ucl") {
+      config.mechanism = np::mech::Mechanism::kUcl;
+    } else if (mechanism == "prefix") {
+      config.mechanism = np::mech::Mechanism::kPrefix;
+    } else if (mechanism == "multicast") {
+      config.mechanism = np::mech::Mechanism::kMulticast;
+    } else if (mechanism == "registry") {
+      config.mechanism = np::mech::Mechanism::kRegistry;
+    } else {
+      throw np::util::Error("unknown hybrid mechanism: " + mechanism);
+    }
+    return std::make_unique<np::mech::HybridNearest>(
+        *world.topology, config,
+        std::make_unique<np::meridian::MeridianOverlay>(
+            np::meridian::MeridianConfig{}));
+  }
+  throw np::util::Error(
+      "unknown algorithm: " + name +
+      " (expected oracle | random | meridian | karger-ruhl | tapestry | "
+      "tiers | beaconing | hybrid-{ucl,prefix,multicast,registry})");
+}
+
+// --- Report output ----------------------------------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters are illegal raw inside JSON strings (our
+      // own parser rejects them); emit \u00XX.
+      constexpr char kHex[] = "0123456789abcdef";
+      out += "\\u00";
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Scenario names come from the spec; keep the derived report filename
+/// to a safe character set (no path separators or control bytes).
+std::string SanitizeFileStem(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out.push_back(safe ? c : '_');
+  }
+  return out.empty() ? std::string("scenario") : out;
+}
+
+void WriteReportJson(std::ostream& out, const std::string& scenario_name,
+                     const World& world, const ChurnSchedule& schedule,
+                     const std::vector<ScenarioReport>& reports) {
+  out << "{\n";
+  out << "  \"scenario\": \"" << JsonEscape(scenario_name) << "\",\n";
+  out << "  \"world\": \"" << JsonEscape(world.type) << "\",\n";
+  out << "  \"schedule_events\": " << schedule.size() << ",\n";
+  out << "  \"duration_s\": " << schedule.duration_s() << ",\n";
+  out << "  \"algorithms\": [\n";
+  for (std::size_t a = 0; a < reports.size(); ++a) {
+    const ScenarioReport& report = reports[a];
+    out << "    {\"name\": \"" << JsonEscape(report.algorithm) << "\",\n";
+    out << "     \"build_messages\": " << report.build_messages << ",\n";
+    out << "     \"initial_members\": " << report.initial_members << ",\n";
+    out << "     \"final_members\": " << report.final_members << ",\n";
+    out << "     \"messages_per_query\": " << report.messages_per_query
+        << ",\n";
+    out << "     \"maintenance_per_event\": " << report.maintenance_per_event
+        << ",\n";
+    out << "     \"totals\": {\"query_probes\": "
+        << report.totals.query_probes
+        << ", \"queries\": " << report.totals.queries
+        << ", \"maintenance_probes\": " << report.totals.maintenance_probes
+        << ", \"churn_events\": " << report.totals.churn_events
+        << ", \"build_probes\": " << report.totals.build_probes << "},\n";
+    out << "     \"epochs\": [\n";
+    for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+      const np::core::EpochReport& er = report.epochs[e];
+      out << "       {\"epoch\": " << er.epoch << ", \"time_s\": " << er.time_s
+          << ", \"members\": " << er.live_members
+          << ", \"joins\": " << er.joins << ", \"leaves\": " << er.leaves
+          << ", \"skipped\": " << er.skipped_events
+          << ", \"rebuilt\": " << (er.rebuilt ? "true" : "false")
+          << ", \"p_exact_closest\": " << er.p_exact_closest
+          << ", \"p_correct_cluster\": " << er.p_correct_cluster
+          << ", \"p_same_net\": " << er.p_same_net
+          << ", \"mean_found_latency_ms\": " << er.mean_found_latency_ms
+          << ", \"mean_hops\": " << er.mean_hops
+          << ", \"messages_per_query\": " << er.messages_per_query
+          << ", \"maintenance_messages\": " << er.maintenance_messages
+          << ", \"maintenance_per_event\": " << er.maintenance_per_event
+          << "}" << (e + 1 < report.epochs.size() ? "," : "") << "\n";
+    }
+    out << "     ]}" << (a + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+int Run(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  int threads_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads_override = std::stoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-' && spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N]"
+                << std::endl;
+      return 2;
+    }
+  }
+  if (spec_path.empty()) {
+    std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N]"
+              << std::endl;
+    return 2;
+  }
+
+  const JsonValue spec = JsonValue::Parse(ReadFile(spec_path));
+  const std::string name = spec.GetString("name", "scenario");
+
+  const World world = BuildWorld(spec.at("world"));
+  const ChurnSchedule schedule = BuildSchedule(spec.at("churn"));
+
+  const JsonValue& engine = spec.at("scenario");
+  ScenarioConfig config;
+  config.initial_overlay = static_cast<NodeId>(
+      engine.GetInt("initial_overlay", config.initial_overlay));
+  config.epochs = static_cast<int>(engine.GetInt("epochs", config.epochs));
+  config.queries_per_epoch = static_cast<int>(
+      engine.GetInt("queries_per_epoch", config.queries_per_epoch));
+  config.num_threads =
+      static_cast<int>(engine.GetInt("num_threads", config.num_threads));
+  config.tie_epsilon_ms =
+      engine.GetDouble("tie_epsilon_ms", config.tie_epsilon_ms);
+  config.measurement_noise_frac = engine.GetDouble(
+      "measurement_noise_frac", config.measurement_noise_frac);
+  config.measurement_noise_floor_ms = engine.GetDouble(
+      "measurement_noise_floor_ms", config.measurement_noise_floor_ms);
+  config.seed = engine.GetUint64("seed", config.seed);
+  if (threads_override >= 0) {
+    config.num_threads = threads_override;
+  }
+
+  std::cout << "scenario: " << name << " (world " << world.type << ", "
+            << schedule.size() << " churn events over "
+            << schedule.duration_s() << " s, " << config.epochs
+            << " epochs)\n";
+
+  std::vector<ScenarioReport> reports;
+  for (const JsonValue& entry : spec.at("algorithms").items()) {
+    const std::string algo_name = entry.AsString();
+    const auto algo = MakeAlgorithm(algo_name, world);
+    reports.push_back(RunScenario(world.space(), world.layout(), *algo,
+                                  schedule, config, world.population));
+
+    const ScenarioReport& report = reports.back();
+    np::util::Table table({"epoch", "t_s", "members", "joins", "leaves",
+                           "p_exact", "msgs/query", "maint_msgs",
+                           "maint/event"});
+    for (const np::core::EpochReport& er : report.epochs) {
+      table.AddRow({std::to_string(er.epoch),
+                    np::util::FormatDouble(er.time_s, 1),
+                    std::to_string(er.live_members),
+                    std::to_string(er.joins), std::to_string(er.leaves),
+                    np::util::FormatDouble(er.p_exact_closest, 3),
+                    np::util::FormatDouble(er.messages_per_query, 1),
+                    std::to_string(er.maintenance_messages),
+                    np::util::FormatDouble(er.maintenance_per_event, 1)});
+    }
+    std::cout << "algorithm: " << report.algorithm
+              << "  (build_messages " << report.build_messages
+              << ", overall msgs/query "
+              << np::util::FormatDouble(report.messages_per_query, 1)
+              << ", maint/event "
+              << np::util::FormatDouble(report.maintenance_per_event, 1)
+              << ")\n";
+    std::cout << table.Render();
+  }
+
+  const std::string report_path =
+      out_path.empty() ? "NP_RUN_" + SanitizeFileStem(name) + ".json"
+                       : out_path;
+  std::ofstream out(report_path, std::ios::binary);
+  if (!out) {
+    throw np::util::Error("cannot write report: " + report_path);
+  }
+  WriteReportJson(out, name, world, schedule, reports);
+  std::cout << "report: " << report_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "np_run: " << e.what() << std::endl;
+    return 1;
+  }
+}
