@@ -12,7 +12,7 @@
 //   reporter.Derive("speedup_metric_repair", serial_ms / blocked_ms);
 //   reporter.Write();  // BENCH_core.json (or $NP_BENCH_JSON_DIR/...)
 //
-// JSON schema (stable; consumed by CI and the README's workflow):
+// JSON schema (stable; consumed by CI — see docs/BENCHMARKS.md):
 //   {
 //     "bench": "<name>",
 //     "scale": "quick" | "full",

@@ -6,9 +6,9 @@
 //
 // This drives the scenario engine (core/scenario.h) directly from C++
 // — the same machinery `np_run` exposes through JSON specs — and
-// compares an incremental overlay (Meridian) against a
-// rebuild-per-epoch hierarchy (Tiers) and the zero-maintenance oracle
-// on three axes the paper's static figures cannot show:
+// compares two incremental overlays (Meridian's ring gossip, Tiers'
+// join-descent + re-election repair) against the zero-maintenance
+// oracle on three axes the paper's static figures cannot show:
 //   * accuracy against the *live* membership, epoch by epoch,
 //   * messages per query (the Figs 8-9 load-concentration effect as
 //     traffic), and
@@ -101,7 +101,8 @@ int main() {
             << "\nReading: the oracle's accuracy is free of maintenance "
                "but pays a full-membership scan per query; Meridian "
                "amortizes cost into ring upkeep yet drifts as the "
-               "membership ages; Tiers buys accuracy back with "
-               "per-epoch rebuilds whose cost shows up in maint/event.\n";
+               "membership ages; Tiers repairs its hierarchy per event "
+               "(join descents, rep re-elections) at a maint/event bill "
+               "orders below Meridian's gossip.\n";
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "algos/tiers.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "util/error.h"
 
@@ -12,6 +14,10 @@ TiersNearest::TiersNearest(TiersConfig config) : config_(config) {
   NP_ENSURE(config_.max_cluster_size >= 2, "clusters must hold >= 2");
   NP_ENSURE(config_.top_cluster_max >= 1, "top cluster must hold >= 1");
   NP_ENSURE(config_.max_levels >= 1, "need at least one level");
+}
+
+double TiersNearest::RadiusAt(int level) const {
+  return config_.base_radius_ms * std::pow(config_.radius_growth, level);
 }
 
 void TiersNearest::Build(const core::LatencySpace& space,
@@ -46,8 +52,10 @@ void TiersNearest::Build(const core::LatencySpace& space,
       if (best_rep == kInvalidNode) {
         reps.push_back(m);
         built.clusters[m].push_back(m);
+        built.rep_of[m] = m;
       } else {
         built.clusters[best_rep].push_back(m);
+        built.rep_of[m] = best_rep;
       }
     }
     levels_.push_back(std::move(built));
@@ -65,6 +73,217 @@ void TiersNearest::Build(const core::LatencySpace& space,
     top_reps_.push_back(rep);
   }
   std::sort(top_reps_.begin(), top_reps_.end());
+}
+
+void TiersNearest::AddMember(NodeId node, util::Rng& rng) {
+  (void)rng;
+  NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
+  NP_ENSURE(levels_[0].rep_of.find(node) == levels_[0].rep_of.end(),
+            "joining node is already a member");
+  members_.push_back(node);
+
+  // The scheme's join protocol: descend from the top cluster, probing
+  // every visited cluster's members. The probes go through the space
+  // supplied to Build — under the scenario engine that is the metered
+  // maintenance view, so the descent is billed.
+  const int num_levels = static_cast<int>(levels_.size());
+  std::vector<std::vector<std::pair<LatencyMs, NodeId>>> probed(
+      static_cast<std::size_t>(num_levels));
+  std::vector<NodeId> candidates = top_reps_;
+  for (int level = num_levels - 1; level >= 0; --level) {
+    auto& at_level = probed[static_cast<std::size_t>(level)];
+    at_level.reserve(candidates.size());
+    NodeId best = kInvalidNode;
+    LatencyMs best_distance = kInfiniteLatency;
+    for (const NodeId candidate : candidates) {
+      const LatencyMs d = space_->Latency(candidate, node);
+      at_level.push_back({d, candidate});
+      if (d < best_distance || (d == best_distance && candidate < best)) {
+        best_distance = d;
+        best = candidate;
+      }
+    }
+    if (level > 0) {
+      candidates =
+          levels_[static_cast<std::size_t>(level)].clusters.at(best);
+    }
+  }
+
+  // Attach at the lowest level whose nearest eligible representative
+  // (within the level radius, cluster not full) accepts the joiner.
+  int attach_level = num_levels;
+  NodeId attach_rep = kInvalidNode;
+  for (int level = 0; level < num_levels && attach_rep == kInvalidNode;
+       ++level) {
+    Level& at_level = levels_[static_cast<std::size_t>(level)];
+    LatencyMs best_distance = RadiusAt(level);
+    for (const auto& [d, candidate] : probed[static_cast<std::size_t>(level)]) {
+      if (static_cast<int>(at_level.clusters.at(candidate).size()) >=
+          config_.max_cluster_size) {
+        continue;
+      }
+      if (d < best_distance ||
+          (d == best_distance &&
+           (attach_rep == kInvalidNode || candidate < attach_rep))) {
+        best_distance = d;
+        attach_rep = candidate;
+        attach_level = level;
+      }
+    }
+  }
+
+  // Fresh representative of every level below the attachment point.
+  for (int level = 0; level < attach_level && level < num_levels; ++level) {
+    Level& at_level = levels_[static_cast<std::size_t>(level)];
+    at_level.clusters[node] = {node};
+    at_level.rep_of[node] = node;
+  }
+  if (attach_rep != kInvalidNode) {
+    Level& at_level = levels_[static_cast<std::size_t>(attach_level)];
+    at_level.clusters.at(attach_rep).push_back(node);
+    at_level.rep_of[node] = attach_rep;
+  } else {
+    // No level accepted: the joiner leads a singleton chain all the
+    // way up and enters the top cluster (which may grow past
+    // top_cluster_max under churn — incremental repair trades that
+    // drift against the full-rebuild bill).
+    top_reps_.push_back(node);
+  }
+}
+
+NodeId TiersNearest::ElectRep(const std::vector<NodeId>& cluster) const {
+  NP_ENSURE(!cluster.empty(), "cannot elect from an empty cluster");
+  if (cluster.size() == 1) {
+    return cluster[0];
+  }
+  // Every pair measures once (billed through the build-time space);
+  // the winner minimizes the summed latency to the rest.
+  std::vector<double> score(cluster.size(), 0.0);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    for (std::size_t j = i + 1; j < cluster.size(); ++j) {
+      const LatencyMs d = space_->Latency(cluster[i], cluster[j]);
+      score[i] += d;
+      score[j] += d;
+    }
+  }
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < cluster.size(); ++i) {
+    if (score[i] < score[winner] ||
+        (score[i] == score[winner] && cluster[i] < cluster[winner])) {
+      winner = i;
+    }
+  }
+  return cluster[winner];
+}
+
+void TiersNearest::RemoveMember(NodeId node) {
+  NP_ENSURE(space_ != nullptr, "Build must run before RemoveMember");
+  const auto mit = std::find(members_.begin(), members_.end(), node);
+  NP_ENSURE(mit != members_.end(), "leaving node is not a member");
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  *mit = members_.back();
+  members_.pop_back();
+
+  // Walk up the levels the node occupies. Removal mode drops it; once
+  // a re-election picks a replacement, substitution mode hands the
+  // replacement the node's positions at every higher tier.
+  NodeId replacement = kInvalidNode;
+  const int num_levels = static_cast<int>(levels_.size());
+  for (int level = 0; level < num_levels; ++level) {
+    Level& at_level = levels_[static_cast<std::size_t>(level)];
+    const auto rit = at_level.rep_of.find(node);
+    if (rit == at_level.rep_of.end()) {
+      break;  // the node does not reach this level
+    }
+    const NodeId rep = rit->second;
+    const bool led_cluster = rep == node;
+    at_level.rep_of.erase(rit);
+    const auto cit = at_level.clusters.find(rep);
+    NP_ENSURE(cit != at_level.clusters.end(), "member's rep has no cluster");
+    std::vector<NodeId>& cluster = cit->second;
+
+    if (replacement == kInvalidNode) {
+      const auto pos = std::find(cluster.begin(), cluster.end(), node);
+      NP_ENSURE(pos != cluster.end(), "member missing from its cluster");
+      cluster.erase(pos);
+      if (!led_cluster) {
+        break;  // plain member: nothing above changes
+      }
+      if (cluster.empty()) {
+        // A singleton cluster dissolves with its rep; the node also
+        // sat one level up, so keep removing there.
+        at_level.clusters.erase(cit);
+        if (level == num_levels - 1) {
+          top_reps_.erase(
+              std::find(top_reps_.begin(), top_reps_.end(), node));
+        }
+        continue;
+      }
+      // Re-election within the orphaned cluster, billed pair probes.
+      replacement = ElectRep(cluster);
+    } else {
+      // Substitution: the replacement takes the node's slot here.
+      std::replace(cluster.begin(), cluster.end(), node, replacement);
+      if (!led_cluster) {
+        at_level.rep_of[replacement] = rep;
+        break;
+      }
+    }
+
+    // The node led this cluster: re-key it to the replacement, which
+    // then inherits the node's membership one level up.
+    std::vector<NodeId> moved = std::move(cit->second);
+    at_level.clusters.erase(cit);
+    for (const NodeId m : moved) {
+      at_level.rep_of[m] = replacement;
+    }
+    at_level.clusters[replacement] = std::move(moved);
+    if (level == num_levels - 1) {
+      std::replace(top_reps_.begin(), top_reps_.end(), node, replacement);
+    }
+  }
+}
+
+void TiersNearest::CheckInvariants() const {
+  NP_ENSURE(space_ != nullptr, "Build must run before CheckInvariants");
+  // Every member appears in exactly one bottom cluster.
+  std::vector<NodeId> bottom = LevelMembers(0);
+  std::vector<NodeId> expected = members_;
+  std::sort(expected.begin(), expected.end());
+  NP_ENSURE(bottom == expected,
+            "bottom-level clusters must partition the membership");
+  for (int level = 0; level < static_cast<int>(levels_.size()); ++level) {
+    const Level& at_level = levels_[static_cast<std::size_t>(level)];
+    std::size_t clustered = 0;
+    for (const auto& [rep, cluster] : at_level.clusters) {
+      NP_ENSURE(!cluster.empty(), "empty cluster left behind");
+      NP_ENSURE(static_cast<int>(cluster.size()) <= config_.max_cluster_size,
+                "cluster exceeds max_cluster_size");
+      NP_ENSURE(std::find(cluster.begin(), cluster.end(), rep) !=
+                    cluster.end(),
+                "rep must sit in its own cluster");
+      clustered += cluster.size();
+      for (const NodeId m : cluster) {
+        const auto it = at_level.rep_of.find(m);
+        NP_ENSURE(it != at_level.rep_of.end() && it->second == rep,
+                  "member->rep index disagrees with the cluster lists");
+      }
+      // A rep is a member one level up (or of the top set).
+      if (level + 1 < static_cast<int>(levels_.size())) {
+        const Level& above = levels_[static_cast<std::size_t>(level) + 1];
+        NP_ENSURE(above.rep_of.find(rep) != above.rep_of.end(),
+                  "rep missing from the level above");
+      } else {
+        NP_ENSURE(std::find(top_reps_.begin(), top_reps_.end(), rep) !=
+                      top_reps_.end(),
+                  "top-level rep missing from the top cluster");
+      }
+    }
+    NP_ENSURE(clustered == at_level.rep_of.size(),
+              "member->rep index size disagrees with the cluster lists");
+  }
+  NP_ENSURE(top_reps_.size() == levels_.back().clusters.size(),
+            "top cluster must list exactly the top-level reps");
 }
 
 const std::vector<NodeId>& TiersNearest::ClusterOf(int level,

@@ -28,16 +28,38 @@ struct TiersConfig {
   int top_cluster_max = 16;
   /// Hard cap on hierarchy height.
   int max_levels = 12;
+  /// True (default): maintain the hierarchy incrementally under churn
+  /// — AddMember runs the scheme's top-down join descent with metered
+  /// probes, RemoveMember of a representative triggers a billed
+  /// re-election within its cluster. False: the scenario engine
+  /// rebuilds the whole hierarchy per epoch instead and bills the
+  /// rebuild, which is the pre-repair behavior kept for head-to-head
+  /// cost comparisons.
+  bool incremental = true;
 };
 
 class TiersNearest final : public core::NearestPeerAlgorithm {
  public:
   explicit TiersNearest(TiersConfig config);
 
-  std::string name() const override { return "tiers"; }
+  std::string name() const override {
+    return config_.incremental ? "tiers" : "tiers-rebuild";
+  }
 
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
+
+  /// Incremental membership. A joiner descends from the top cluster,
+  /// probing each visited cluster's members (metered through the
+  /// space supplied to Build) and attaching to the lowest level whose
+  /// nearest representative is within that level's radius and has
+  /// room; it becomes a fresh representative of every level below its
+  /// attachment point. A leaver that led a cluster triggers a
+  /// re-election within that cluster (pairwise probes billed); the
+  /// winner inherits the leaver's positions at every higher tier.
+  bool SupportsChurn() const override { return config_.incremental; }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
 
   /// Query path audited read-only over overlay state: safe for the
   /// runner's concurrent per-query threads.
@@ -57,12 +79,30 @@ class TiersNearest final : public core::NearestPeerAlgorithm {
   /// Representatives forming the given level.
   std::vector<NodeId> LevelMembers(int level) const;
 
+  /// Structural invariants (tests): every member appears in exactly
+  /// one bottom cluster, every cluster's rep is a member of its own
+  /// cluster and of the level above (or of the top set), cluster
+  /// sizes respect max_cluster_size, and the member->rep index agrees
+  /// with the cluster lists. Throws util::Error on violation.
+  void CheckInvariants() const;
+
  private:
   struct Level {
     /// rep -> cluster members (each member of the level is in exactly
     /// one cluster; the rep leads its own).
     std::unordered_map<NodeId, std::vector<NodeId>> clusters;
+    /// member -> its rep at this level (reps map to themselves).
+    std::unordered_map<NodeId, NodeId> rep_of;
   };
+
+  /// Cluster radius at a level: base_radius_ms * radius_growth^level.
+  double RadiusAt(int level) const;
+
+  /// Re-elects a representative among `cluster` (the old rep already
+  /// removed): the member minimizing the summed latency to the others,
+  /// every pair probed once through the build-time space (billed
+  /// maintenance). Ties break to the lower id.
+  NodeId ElectRep(const std::vector<NodeId>& cluster) const;
 
   TiersConfig config_;
   const core::LatencySpace* space_ = nullptr;

@@ -1,11 +1,94 @@
 #include "core/churn.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <utility>
 
 #include "util/error.h"
 
 namespace np::core {
+
+namespace {
+
+/// Largest multiplier the modulation can produce — the homogeneous
+/// candidate rate the thinning loop generates at.
+double MaxDiurnalMultiplier(const DiurnalConfig& config) {
+  if (config.day_s <= 0.0) {
+    return 1.0;
+  }
+  if (!config.multipliers.empty()) {
+    return *std::max_element(config.multipliers.begin(),
+                             config.multipliers.end());
+  }
+  return 1.0 + config.amplitude;
+}
+
+void ValidateDiurnal(const DiurnalConfig& config) {
+  if (config.day_s <= 0.0) {
+    return;  // disabled
+  }
+  if (!config.multipliers.empty()) {
+    double max_multiplier = 0.0;
+    for (const double m : config.multipliers) {
+      NP_ENSURE(m >= 0.0, "diurnal multipliers must be non-negative");
+      max_multiplier = std::max(max_multiplier, m);
+    }
+    NP_ENSURE(max_multiplier > 0.0,
+              "at least one diurnal multiplier must be positive");
+    return;
+  }
+  NP_ENSURE(config.amplitude >= 0.0 && config.amplitude <= 1.0,
+            "diurnal amplitude must be in [0, 1]");
+}
+
+/// One session length per the configured model. Every model is scaled
+/// so its mean equals mean_session_s; the shape parameter only
+/// reshapes the tail around that mean.
+double SampleSession(const ChurnScheduleConfig& config, util::Rng& rng) {
+  switch (config.session_model) {
+    case SessionModel::kExponential:
+      return rng.Exponential(config.mean_session_s);
+    case SessionModel::kLogNormal: {
+      // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+      const double sigma = config.lognormal_sigma;
+      const double mu =
+          std::log(config.mean_session_s) - 0.5 * sigma * sigma;
+      return rng.LogNormal(mu, sigma);
+    }
+    case SessionModel::kPareto: {
+      // mean = alpha * x_m / (alpha - 1)  =>  x_m = mean*(alpha-1)/alpha.
+      const double alpha = config.pareto_alpha;
+      const double scale =
+          config.mean_session_s * (alpha - 1.0) / alpha;
+      return rng.Pareto(alpha, scale);
+    }
+  }
+  NP_ENSURE(false, "unknown session model");
+  return 0.0;
+}
+
+}  // namespace
+
+double DiurnalMultiplier(const DiurnalConfig& config, double t) {
+  if (config.day_s <= 0.0) {
+    return 1.0;
+  }
+  const double cycles = t / config.day_s;
+  double frac = cycles - std::floor(cycles);
+  if (frac < 0.0) {
+    frac += 1.0;
+  }
+  if (!config.multipliers.empty()) {
+    const std::size_t n = config.multipliers.size();
+    const std::size_t slot = std::min(
+        static_cast<std::size_t>(frac * static_cast<double>(n)), n - 1);
+    return config.multipliers[slot];
+  }
+  return 1.0 + config.amplitude *
+                   std::cos(2.0 * std::numbers::pi *
+                            (frac - config.peak_frac));
+}
 
 ChurnStats& ChurnStats::operator+=(const ChurnStats& other) {
   joins += other.joins;
@@ -21,9 +104,24 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
             "join fraction must be a probability");
   NP_ENSURE(config.mean_session_s >= 0.0,
             "mean session length must be non-negative");
+  if (config.mean_session_s > 0.0) {
+    NP_ENSURE(config.session_model != SessionModel::kLogNormal ||
+                  config.lognormal_sigma > 0.0,
+              "lognormal sigma must be positive");
+    NP_ENSURE(config.session_model != SessionModel::kPareto ||
+                  config.pareto_alpha > 1.0,
+              "pareto alpha must exceed 1 (finite mean)");
+  }
+  ValidateDiurnal(config.diurnal);
 
-  util::Rng rng(util::Mix64(config.seed ^ 0xC4A21ULL));
-  const double mean_interarrival = 1.0 / config.events_per_s;
+  // Thinning (Lewis-Shedler): candidate arrivals at the peak rate;
+  // candidate k keeps its slot with probability rate(t_k)/rate_max.
+  // Arrival k draws everything from its own Mix64(base ^ k) stream, so
+  // the schedule is a pure function of the config.
+  const double max_multiplier = MaxDiurnalMultiplier(config.diurnal);
+  const double rate_max = config.events_per_s * max_multiplier;
+  const std::uint64_t base = util::Mix64(config.seed ^ 0xC4A21ULL);
+  const bool modulated = config.diurnal.day_s > 0.0;
 
   ChurnSchedule schedule;
   schedule.duration_s_ = config.duration_s;
@@ -31,10 +129,16 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
   if (config.mean_session_s <= 0.0) {
     // Fixed-mix mode: each arrival is independently a join or a leave.
     double t = 0.0;
-    while (true) {
-      t += rng.Exponential(mean_interarrival);
+    for (std::uint64_t k = 0;; ++k) {
+      util::Rng rng(util::Mix64(base ^ k));
+      t += rng.Exponential(1.0 / rate_max);
       if (t > config.duration_s) {
         break;
+      }
+      if (modulated &&
+          rng.NextDouble() * max_multiplier >=
+              DiurnalMultiplier(config.diurnal, t)) {
+        continue;  // thinned: this candidate slot stays empty
       }
       ChurnEvent event;
       event.time_s = t;
@@ -46,9 +150,10 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
     return schedule;
   }
 
-  // Session mode: arrivals are joins; each join's node stays for an
-  // exponential session and then leaves (leaves past the horizon never
-  // fire — the node simply outlives the experiment).
+  // Session mode: arrivals are joins; each join's node stays for a
+  // session drawn from the configured model and then leaves (leaves
+  // past the horizon never fire — with a heavy-tailed model a sizable
+  // core simply outlives the experiment).
   struct SessionLeave {
     double time_s;
     std::size_t join_ordinal;
@@ -56,15 +161,21 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
   std::vector<ChurnEvent> joins;
   std::vector<SessionLeave> leaves;
   double t = 0.0;
-  while (true) {
-    t += rng.Exponential(mean_interarrival);
+  for (std::uint64_t k = 0;; ++k) {
+    util::Rng rng(util::Mix64(base ^ k));
+    t += rng.Exponential(1.0 / rate_max);
     if (t > config.duration_s) {
       break;
+    }
+    if (modulated &&
+        rng.NextDouble() * max_multiplier >=
+            DiurnalMultiplier(config.diurnal, t)) {
+      continue;
     }
     ChurnEvent join;
     join.time_s = t;
     join.type = ChurnEventType::kJoin;
-    const double departure = t + rng.Exponential(config.mean_session_s);
+    const double departure = t + SampleSession(config, rng);
     if (departure <= config.duration_s) {
       leaves.push_back(SessionLeave{departure, joins.size()});
     }

@@ -5,7 +5,9 @@
 // churn resilience as the axis separating deployable designs from
 // simulator toys. This layer generates join/leave event schedules
 // (Poisson arrivals with either a fixed join fraction or per-join
-// session lengths, or an explicit trace) and applies them to a live
+// session lengths — exponential, lognormal, or Pareto — optionally
+// under diurnal arrival-rate modulation, or an explicit trace) and
+// applies them to a live
 // membership set — incrementally for algorithms that support churn.
 //
 // Determinism contract (matches the PR-1 query loop): every event
@@ -37,26 +39,85 @@ struct ChurnEvent {
   std::int64_t join_of = -1;
 };
 
+/// Session-length distribution for session-mode schedules. All three
+/// models are parameterized so that the mean session length equals
+/// ChurnScheduleConfig::mean_session_s; the shape parameters control
+/// how heavy the tail is at that fixed mean.
+enum class SessionModel {
+  /// Exponential(mean): the classic memoryless churn model.
+  kExponential,
+  /// exp(N(mu, sigma)) with mu = ln(mean) - sigma^2/2. Measurement
+  /// studies of deployed overlays consistently find session lengths
+  /// closer to lognormal than exponential.
+  kLogNormal,
+  /// Pareto(alpha, x_m) with x_m = mean * (alpha - 1) / alpha.
+  /// Power-law tail: a small core of near-permanent peers carries the
+  /// overlay while most sessions are short. Requires alpha > 1 (finite
+  /// mean).
+  kPareto,
+};
+
+/// Correlated (time-of-day) arrival-rate modulation. The arrival
+/// process becomes an inhomogeneous Poisson process with
+///   rate(t) = events_per_s * multiplier(t mod day_s)
+/// realized by Lewis-Shedler thinning, so it composes with every
+/// session model (and with fixed-mix mode) unchanged.
+struct DiurnalConfig {
+  /// Day length in simulated seconds; <= 0 disables modulation.
+  double day_s = 0.0;
+  /// Sinusoidal mode (default): multiplier(t) =
+  /// 1 + amplitude * cos(2*pi * (t/day_s - peak_frac)). Amplitude must
+  /// be in [0, 1]; over whole days the mean rate integrates back to
+  /// events_per_s exactly.
+  double amplitude = 0.8;
+  /// Time-of-day of the arrival peak, as a fraction of the day.
+  double peak_frac = 0.5;
+  /// Piecewise mode: when non-empty, overrides the sinusoid. Slot i of
+  /// n covers day fraction [i/n, (i+1)/n) and scales events_per_s by
+  /// multipliers[i] (each >= 0, at least one > 0). The mean rate is
+  /// events_per_s * mean(multipliers).
+  std::vector<double> multipliers;
+};
+
 struct ChurnScheduleConfig {
   /// Simulated horizon, seconds.
   double duration_s = 600.0;
-  /// Poisson arrival rate of events (session mode: of *joins*).
+  /// Poisson arrival rate of events (session mode: of *joins*). With
+  /// diurnal modulation this is the base rate the multiplier scales.
   double events_per_s = 1.0;
   /// Probability an event is a join. Ignored in session mode.
   double join_fraction = 0.5;
   /// > 0 switches to session mode: every arrival is a join whose node
-  /// stays for an Exponential(mean_session_s) session, after which a
-  /// leave for that exact node is scheduled (heavy-tailed session
-  /// distributions can be layered later; exponential matches the
-  /// classic churn models).
+  /// stays for a session drawn from `session_model` (mean
+  /// mean_session_s), after which a leave for that exact node is
+  /// scheduled.
   double mean_session_s = 0.0;
+  /// Session-length distribution (session mode only).
+  SessionModel session_model = SessionModel::kExponential;
+  /// Sigma of the underlying normal for SessionModel::kLogNormal;
+  /// larger = heavier tail at the same mean. Must be > 0.
+  double lognormal_sigma = 1.0;
+  /// Tail exponent for SessionModel::kPareto; must be > 1 (finite
+  /// mean). Smaller = heavier tail.
+  double pareto_alpha = 2.5;
+  /// Time-of-day arrival modulation; day_s <= 0 disables.
+  DiurnalConfig diurnal;
   std::uint64_t seed = 1;
 };
+
+/// Arrival-rate multiplier at simulated time `t` (1.0 when modulation
+/// is disabled). Exposed for tests and rate-aware tooling.
+double DiurnalMultiplier(const DiurnalConfig& config, double t);
 
 /// An immutable, time-sorted list of churn events.
 class ChurnSchedule {
  public:
-  /// Poisson/session process per the config.
+  /// (In)homogeneous Poisson/session process per the config. Arrival
+  /// k resolves all of its randomness (interarrival gap, thinning
+  /// acceptance, join/leave mix or session length) from an Rng seeded
+  /// `Mix64(base ^ k)`, so generation is a pure function of the config
+  /// — mirroring the per-event streams the driver uses for
+  /// application.
   static ChurnSchedule Poisson(const ChurnScheduleConfig& config);
 
   /// Explicit trace (replayed measurement traces, adversarial

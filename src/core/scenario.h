@@ -1,8 +1,10 @@
 // Dynamic-overlay scenario engine.
 //
-// Drives a churn schedule over a latency space, re-running
-// closest-peer queries against the *live* membership set at
-// configurable epochs, with full probe-cost accounting: every
+// Drives a churn schedule (any model churn.h can generate: fixed-mix
+// or session-mode Poisson with exponential/lognormal/Pareto sessions,
+// diurnal arrival waves, explicit traces) over a latency space,
+// re-running closest-peer queries against the *live* membership set
+// at configurable epochs, with full probe-cost accounting: every
 // experiment reports messages/query and maintenance messages per
 // churn event alongside the paper's accuracy metrics. This is the
 // repo's step from a static-figure reproducer to a workload simulator.
@@ -10,11 +12,13 @@
 // Maintenance accounting: the engine builds (and, for churn-capable
 // algorithms, maintains) the overlay through a MeteredSpace, so every
 // latency measurement issued by Build/AddMember/RemoveMember is
-// counted as a maintenance message. Algorithms without incremental
-// churn support are rebuilt from scratch at every epoch whose window
-// saw churn — their (large) rebuild cost is charged as maintenance,
-// which is exactly the deployment economics the fault-tolerance
-// literature cares about.
+// counted as a maintenance message — Tiers' join descents and
+// representative re-elections included. Algorithms without
+// incremental churn support (the hybrids; Tiers with
+// TiersConfig::incremental = false) are rebuilt from scratch at every
+// epoch whose window saw churn — their (large) rebuild cost is
+// charged as maintenance, which is exactly the deployment economics
+// the fault-tolerance literature cares about.
 //
 // Determinism: epoch e's query q derives its RNG and noise streams
 // from per-epoch bases xor'ed with q (the PR-1 `base ^ index` idiom),

@@ -444,4 +444,18 @@ std::string JsonValue::GetString(const std::string& key,
   return value == nullptr ? fallback : value->AsString();
 }
 
+std::vector<double> JsonValue::GetDoubleArray(
+    const std::string& key, std::vector<double> fallback) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) {
+    return fallback;
+  }
+  std::vector<double> out;
+  out.reserve(value->items().size());
+  for (const JsonValue& item : value->items()) {
+    out.push_back(item.AsDouble());
+  }
+  return out;
+}
+
 }  // namespace np::util

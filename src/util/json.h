@@ -60,6 +60,10 @@ class JsonValue {
                           std::uint64_t fallback) const;
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;
+  /// Array-of-numbers lookup (e.g. diurnal multipliers); a present key
+  /// must be an array whose every element is a number.
+  std::vector<double> GetDoubleArray(const std::string& key,
+                                     std::vector<double> fallback) const;
 
  private:
   friend class JsonParser;

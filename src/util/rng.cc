@@ -116,6 +116,17 @@ double Rng::Exponential(double mean) {
   return -mean * std::log(u);
 }
 
+double Rng::Pareto(double shape, double scale) {
+  NP_ENSURE(shape > 0.0, "Pareto requires shape > 0");
+  NP_ENSURE(scale > 0.0, "Pareto requires scale > 0");
+  // Inverse-CDF: x_m * U^(-1/alpha) with U in (0, 1].
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return scale * std::pow(u, -1.0 / shape);
+}
+
 bool Rng::Bernoulli(double p) {
   const double clamped = std::clamp(p, 0.0, 1.0);
   return NextDouble() < clamped;

@@ -67,6 +67,12 @@ class Rng {
   /// Exponential with the given mean (= 1/lambda). Requires mean > 0.
   double Exponential(double mean);
 
+  /// Pareto (type I) with the given shape alpha and scale (minimum)
+  /// x_m: P(X > x) = (x_m / x)^alpha for x >= x_m. Heavy-tailed; the
+  /// mean is alpha * x_m / (alpha - 1) and only finite for alpha > 1.
+  /// Requires shape > 0 and scale > 0.
+  double Pareto(double shape, double scale);
+
   /// True with probability p (clamped to [0, 1]).
   bool Bernoulli(double p);
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -217,6 +218,119 @@ TEST(Tiers, NearOptimalOnControlSpace) {
   util::Rng rng(22);
   const auto metrics = core::RunGenericExperiment(space, algo, config, rng);
   EXPECT_LT(metrics.mean_stretch, 2.5);
+}
+
+TEST(Tiers, IncrementalJoinKeepsInvariantsAndStaysQueryable) {
+  const auto world = ControlWorld(61, 260);
+  const MatrixSpace space(world.matrix);
+  TiersNearest algo{TiersConfig{}};
+  util::Rng rng(62);
+  ASSERT_TRUE(algo.SupportsChurn());
+  algo.Build(space, FirstN(200), rng);
+  algo.CheckInvariants();
+  for (NodeId node = 200; node < 250; ++node) {
+    algo.AddMember(node, rng);
+  }
+  algo.CheckInvariants();
+  EXPECT_EQ(algo.members().size(), 250u);
+  EXPECT_EQ(algo.LevelMembers(0), FirstN(250));
+  // Joined members must be reachable by queries: target 255 sits next
+  // to nothing in particular, so just demand a valid answer and that a
+  // full sweep over targets still terminates.
+  const core::MeteredSpace metered(space);
+  for (NodeId target = 250; target < 260; ++target) {
+    const auto result = algo.FindNearest(target, metered, rng);
+    EXPECT_NE(result.found, kInvalidNode);
+    EXPECT_LT(result.found, NodeId{250});
+  }
+}
+
+TEST(Tiers, IncrementalJoinBillsProbesThroughTheBuildSpace) {
+  const auto world = ControlWorld(63, 220);
+  const core::MatrixSpace raw(world.matrix);
+  const core::MeteredSpace maint(raw);
+  TiersNearest algo{TiersConfig{}};
+  util::Rng rng(64);
+  algo.Build(maint, FirstN(200), rng);
+  const std::uint64_t build_probes = maint.probes();
+  algo.AddMember(200, rng);
+  // The join descent measures against every visited cluster: that is
+  // the metered AddMember cost the scenario engine charges.
+  EXPECT_GT(maint.probes(), build_probes);
+}
+
+TEST(Tiers, RemovingARepresentativeReElectsWithinItsCluster) {
+  const auto world = ControlWorld(65, 300);
+  const MatrixSpace space(world.matrix);
+  TiersNearest algo{TiersConfig{}};
+  util::Rng rng(66);
+  algo.Build(space, FirstN(300), rng);
+  ASSERT_GE(algo.num_levels(), 2);
+
+  // Members of level 1 are exactly the level-0 representatives.
+  const std::vector<NodeId> reps = algo.LevelMembers(1);
+  ASSERT_FALSE(reps.empty());
+  // Remove a representative leading a multi-member cluster so a
+  // re-election must fire.
+  NodeId victim = kInvalidNode;
+  for (const NodeId rep : reps) {
+    if (algo.ClusterOf(0, rep).size() >= 2) {
+      victim = rep;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  const std::vector<NodeId> orphaned = algo.ClusterOf(0, victim);
+  algo.RemoveMember(victim);
+  algo.CheckInvariants();
+  EXPECT_EQ(algo.members().size(), 299u);
+  const auto bottom = algo.LevelMembers(0);
+  EXPECT_FALSE(std::binary_search(bottom.begin(), bottom.end(), victim));
+  // Some survivor of the orphaned cluster now leads it.
+  bool survivor_leads = false;
+  for (const NodeId candidate : orphaned) {
+    if (candidate == victim) {
+      continue;
+    }
+    try {
+      algo.ClusterOf(0, candidate);
+      survivor_leads = true;
+      break;
+    } catch (const util::Error&) {
+    }
+  }
+  EXPECT_TRUE(survivor_leads);
+}
+
+TEST(Tiers, SustainedChurnPreservesInvariants) {
+  const auto world = ControlWorld(67, 300);
+  const MatrixSpace space(world.matrix);
+  TiersNearest algo{TiersConfig{}};
+  util::Rng rng(68);
+  algo.Build(space, FirstN(200), rng);
+  std::vector<NodeId> in = FirstN(200);
+  std::vector<NodeId> out;
+  for (NodeId n = 200; n < 300; ++n) {
+    out.push_back(n);
+  }
+  for (int step = 0; step < 300; ++step) {
+    if ((rng.Bernoulli(0.5) && !out.empty()) || in.size() <= 2) {
+      const std::size_t pick = rng.Index(out.size());
+      algo.AddMember(out[pick], rng);
+      in.push_back(out[pick]);
+      out[pick] = out.back();
+      out.pop_back();
+    } else {
+      const std::size_t pick = rng.Index(in.size());
+      algo.RemoveMember(in[pick]);
+      out.push_back(in[pick]);
+      in[pick] = in.back();
+      in.pop_back();
+    }
+  }
+  algo.CheckInvariants();
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(algo.LevelMembers(0), in);
 }
 
 TEST(Tiers, DescendsToWrongEndNetworkUnderClustering) {

@@ -258,7 +258,11 @@ TEST(Scenario, StaticAlgorithmPaysEpochRebuilds) {
   const auto world = SmallClusteredWorld(4);
   const MatrixSpace space(world.matrix);
   const ChurnSchedule schedule = SmallSchedule();
-  algos::TiersNearest algo{algos::TiersConfig{}};
+  // Tiers repairs incrementally by default now; the rebuild cost model
+  // stays available behind the config flag and keeps this path tested.
+  algos::TiersConfig tconfig;
+  tconfig.incremental = false;
+  algos::TiersNearest algo{tconfig};
   ASSERT_FALSE(algo.SupportsChurn());
   const ScenarioReport report =
       RunScenario(space, &world.layout, algo, schedule, SmallScenario(1));
@@ -322,9 +326,11 @@ TEST(Scenario, GenericExperimentWithScheduleFillsChurnFields) {
   config.overlay_size = 100;
   config.num_queries = 100;
 
-  // Tiers cannot churn incrementally: the overload pays one final
-  // rebuild and still reports the live membership.
-  algos::TiersNearest algo{algos::TiersConfig{}};
+  // Rebuild-mode Tiers: the overload pays one final rebuild and still
+  // reports the live membership.
+  algos::TiersConfig tconfig;
+  tconfig.incremental = false;
+  algos::TiersNearest algo{tconfig};
   util::Rng rng(43);
   const GenericMetrics metrics =
       RunGenericExperiment(space, algo, config, schedule, rng);

@@ -108,15 +108,20 @@ TEST(MeridianChurn, ErrorsOnMisuse) {
   EXPECT_THROW(overlay.AddMember(5, rng), util::Error);     // already in
   EXPECT_THROW(overlay.RemoveMember(15), util::Error);      // not in
   EXPECT_TRUE(overlay.SupportsChurn());
-  // The baselines maintain membership only, so churn is free for them;
-  // Tiers keeps a hierarchy it cannot repair incrementally and must
-  // refuse (the scenario engine rebuilds it per epoch instead).
+  // The baselines maintain membership only, so churn is free for them.
   core::OracleNearest oracle;
   EXPECT_TRUE(oracle.SupportsChurn());
   EXPECT_THROW(oracle.AddMember(1, rng), util::Error);  // Build not run
+  // Tiers repairs incrementally by default; with the repair disabled it
+  // must refuse churn (the scenario engine rebuilds it per epoch), and
+  // either way AddMember before Build is an error.
   algos::TiersNearest tiers{algos::TiersConfig{}};
-  EXPECT_FALSE(tiers.SupportsChurn());
-  EXPECT_THROW(tiers.AddMember(1, rng), util::Error);
+  EXPECT_TRUE(tiers.SupportsChurn());
+  EXPECT_THROW(tiers.AddMember(1, rng), util::Error);  // Build not run
+  algos::TiersConfig rebuild_config;
+  rebuild_config.incremental = false;
+  algos::TiersNearest rebuild_tiers{rebuild_config};
+  EXPECT_FALSE(rebuild_tiers.SupportsChurn());
 }
 
 TEST(MeridianChurn, ChurnExperimentTracksRebuildAccuracy) {

@@ -145,6 +145,46 @@ TEST(Rng, ExponentialMeanMatches) {
   EXPECT_NEAR(sum / n, 2.0, 0.02);
 }
 
+TEST(Rng, ParetoMomentsAndSupportMatch) {
+  Rng rng(21);
+  const double shape = 2.5;
+  const double scale = 3.0;
+  double sum = 0.0;
+  const int n = 200000;
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Pareto(shape, scale);
+    EXPECT_GE(v, scale);  // x_m is the distribution's minimum
+    sum += v;
+    samples.push_back(v);
+  }
+  // mean = alpha * x_m / (alpha - 1) = 5; the tail makes the sample
+  // mean noisy, hence the loose tolerance.
+  EXPECT_NEAR(sum / n, shape * scale / (shape - 1.0), 0.1);
+  // median = x_m * 2^(1/alpha).
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], scale * std::pow(2.0, 1.0 / shape), 0.05);
+}
+
+TEST(Rng, ParetoTailIsHeavierThanExponential) {
+  Rng rng(22);
+  // Same mean (= 2) for both; count exceedances of 5x the mean.
+  const double mean = 2.0;
+  const double shape = 1.5;
+  const double scale = mean * (shape - 1.0) / shape;
+  const int n = 100000;
+  int pareto_tail = 0;
+  int exponential_tail = 0;
+  for (int i = 0; i < n; ++i) {
+    pareto_tail += rng.Pareto(shape, scale) > 5.0 * mean ? 1 : 0;
+    exponential_tail += rng.Exponential(mean) > 5.0 * mean ? 1 : 0;
+  }
+  // P(X > 10) is (x_m/10)^1.5 ~ 1.7% for this Pareto vs e^-5 ~ 0.67%
+  // for the exponential.
+  EXPECT_GT(pareto_tail, 2 * exponential_tail);
+}
+
 TEST(Rng, BernoulliFrequencyMatches) {
   Rng rng(11);
   int hits = 0;

@@ -1,15 +1,24 @@
 // np_run — config-driven dynamic-overlay scenario runner.
 //
 //   np_run scenarios/clustered_churn.json [--out FILE] [--threads N]
+//   np_run scenarios/clustered_churn.json --validate
 //
 // Reads a JSON scenario spec (world + churn schedule + engine
 // parameters + algorithm list), drives every algorithm through the
 // same churn schedule with the scenario engine, prints a per-epoch
 // table, and writes a machine-readable NP_RUN_<name>.json report with
 // accuracy *and* traffic metrics (messages/query, maintenance
-// messages/churn-event). See README "Churn scenarios" for the schema.
+// messages/churn-event). See docs/SCENARIOS.md for the full schema.
+//
+// Every run starts with a strict schema pass: unknown keys anywhere in
+// the spec are errors, so the parser and the documentation cannot
+// silently drift apart. `--validate` stops after that pass (plus a
+// cheap churn-schedule construction), which is what the CI docs job
+// runs over every scenarios/*.json.
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -139,6 +148,20 @@ World BuildWorld(const JsonValue& spec) {
 
 // --- Churn schedule ---------------------------------------------------------
 
+np::core::SessionModel ParseSessionModel(const std::string& name) {
+  if (name == "exponential") {
+    return np::core::SessionModel::kExponential;
+  }
+  if (name == "lognormal") {
+    return np::core::SessionModel::kLogNormal;
+  }
+  if (name == "pareto") {
+    return np::core::SessionModel::kPareto;
+  }
+  throw np::util::Error("unknown session_model: " + name +
+                        " (expected exponential | lognormal | pareto)");
+}
+
 ChurnSchedule BuildSchedule(const JsonValue& spec) {
   const std::string mode = spec.GetString("mode", "poisson");
   if (mode == "trace") {
@@ -167,6 +190,21 @@ ChurnSchedule BuildSchedule(const JsonValue& spec) {
         spec.GetDouble("join_fraction", config.join_fraction);
     config.mean_session_s =
         spec.GetDouble("mean_session_s", config.mean_session_s);
+    config.session_model =
+        ParseSessionModel(spec.GetString("session_model", "exponential"));
+    config.lognormal_sigma =
+        spec.GetDouble("lognormal_sigma", config.lognormal_sigma);
+    config.pareto_alpha = spec.GetDouble("pareto_alpha", config.pareto_alpha);
+    if (const JsonValue* diurnal = spec.Find("diurnal")) {
+      config.diurnal.day_s =
+          diurnal->GetDouble("day_s", config.diurnal.day_s);
+      config.diurnal.amplitude =
+          diurnal->GetDouble("amplitude", config.diurnal.amplitude);
+      config.diurnal.peak_frac =
+          diurnal->GetDouble("peak_frac", config.diurnal.peak_frac);
+      config.diurnal.multipliers =
+          diurnal->GetDoubleArray("multipliers", {});
+    }
     config.seed = spec.GetUint64("seed", config.seed);
     return ChurnSchedule::Poisson(config);
   }
@@ -174,10 +212,151 @@ ChurnSchedule BuildSchedule(const JsonValue& spec) {
                         " (expected poisson | trace)");
 }
 
+// --- Spec validation --------------------------------------------------------
+//
+// Strict schema checking: every object in the spec may only carry keys
+// the runner actually reads. A typo'd or stale key fails loudly here
+// instead of silently falling back to a default — and the allowed-key
+// tables below are exactly what docs/SCENARIOS.md documents, which the
+// CI docs job keeps honest by running `--validate` over every
+// committed scenario.
+
+void RequireKeys(const JsonValue& object, const std::string& where,
+                 std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : object.entries()) {
+    bool known = false;
+    for (const char* candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string hint;
+      for (const char* candidate : allowed) {
+        if (!hint.empty()) {
+          hint += ", ";
+        }
+        hint += candidate;
+      }
+      throw np::util::Error("unknown key \"" + key + "\" in " + where +
+                            " (allowed: " + hint + ")");
+    }
+  }
+}
+
+/// Single source of truth for the accepted algorithm names: the
+/// validator, the factory's fallthrough, and both error hints derive
+/// from these (the factory's dispatch chain is necessarily separate,
+/// but an entry missing there now throws instead of drifting).
+constexpr const char* kSimpleAlgorithms[] = {
+    "oracle", "random",        "meridian",  "karger-ruhl",
+    "tiers",  "tiers-rebuild", "beaconing", "tapestry"};
+constexpr const char* kHybridMechanisms[] = {"ucl", "prefix", "multicast",
+                                             "registry"};
+
+std::string AlgorithmHint() {
+  std::string hint;
+  for (const char* name : kSimpleAlgorithms) {
+    if (!hint.empty()) {
+      hint += " | ";
+    }
+    hint += name;
+  }
+  hint += " | hybrid-{";
+  for (std::size_t i = 0; i < std::size(kHybridMechanisms); ++i) {
+    hint += i == 0 ? "" : ",";
+    hint += kHybridMechanisms[i];
+  }
+  hint += "}";
+  return hint;
+}
+
+void ValidateAlgorithmName(const std::string& name,
+                           const std::string& world_type) {
+  for (const char* known : kSimpleAlgorithms) {
+    if (name == known) {
+      return;
+    }
+  }
+  if (name.rfind("hybrid-", 0) == 0) {
+    const std::string mechanism = name.substr(7);
+    for (const char* known : kHybridMechanisms) {
+      if (mechanism == known) {
+        if (world_type != "topology") {
+          throw np::util::Error(
+              "algorithm " + name +
+              " needs a topology world (the §5 mechanisms use routers/IPs)");
+        }
+        return;
+      }
+    }
+    throw np::util::Error("unknown hybrid mechanism: " + mechanism);
+  }
+  throw np::util::Error("unknown algorithm: " + name +
+                        " (expected " + AlgorithmHint() + ")");
+}
+
+void ValidateSpec(const JsonValue& spec) {
+  RequireKeys(spec, "the scenario spec",
+              {"name", "description", "world", "churn", "scenario",
+               "algorithms"});
+
+  const JsonValue& world = spec.at("world");
+  const std::string world_type = world.GetString("type", "clustered");
+  if (world_type == "clustered") {
+    RequireKeys(world, "world (clustered)",
+                {"type", "seed", "num_clusters", "nets_per_cluster",
+                 "peers_per_net", "delta", "same_net_latency_ms"});
+  } else if (world_type == "euclidean") {
+    RequireKeys(world, "world (euclidean)",
+                {"type", "seed", "num_nodes", "dimensions", "side_ms",
+                 "jitter"});
+  } else if (world_type == "topology") {
+    RequireKeys(world, "world (topology)",
+                {"type", "seed", "num_cities", "num_ases", "azureus_hosts"});
+  } else {
+    throw np::util::Error("unknown world type: " + world_type +
+                          " (expected clustered | euclidean | topology)");
+  }
+
+  const JsonValue& churn = spec.at("churn");
+  const std::string mode = churn.GetString("mode", "poisson");
+  if (mode == "poisson") {
+    RequireKeys(churn, "churn (poisson)",
+                {"mode", "duration_s", "events_per_s", "join_fraction",
+                 "mean_session_s", "session_model", "lognormal_sigma",
+                 "pareto_alpha", "diurnal", "seed"});
+    ParseSessionModel(churn.GetString("session_model", "exponential"));
+    if (const JsonValue* diurnal = churn.Find("diurnal")) {
+      RequireKeys(*diurnal, "churn.diurnal",
+                  {"day_s", "amplitude", "peak_frac", "multipliers"});
+    }
+  } else if (mode == "trace") {
+    RequireKeys(churn, "churn (trace)", {"mode", "trace", "seed"});
+    for (const JsonValue& entry : churn.at("trace").items()) {
+      RequireKeys(entry, "churn.trace entry", {"t", "op", "join_of"});
+    }
+  } else {
+    throw np::util::Error("unknown churn mode: " + mode +
+                          " (expected poisson | trace)");
+  }
+
+  RequireKeys(spec.at("scenario"), "scenario",
+              {"initial_overlay", "epochs", "queries_per_epoch",
+               "num_threads", "tie_epsilon_ms", "measurement_noise_frac",
+               "measurement_noise_floor_ms", "seed"});
+
+  for (const JsonValue& entry : spec.at("algorithms").items()) {
+    ValidateAlgorithmName(entry.AsString(), world_type);
+  }
+}
+
 // --- Algorithm factory ------------------------------------------------------
 
 std::unique_ptr<NearestPeerAlgorithm> MakeAlgorithm(const std::string& name,
                                                     const World& world) {
+  ValidateAlgorithmName(name, world.type);
   if (name == "oracle") {
     return std::make_unique<np::core::OracleNearest>();
   }
@@ -199,6 +378,14 @@ std::unique_ptr<NearestPeerAlgorithm> MakeAlgorithm(const std::string& name,
   if (name == "tiers") {
     return std::make_unique<np::algos::TiersNearest>(
         np::algos::TiersConfig{});
+  }
+  if (name == "tiers-rebuild") {
+    // Incremental repair disabled: the engine rebuilds the hierarchy
+    // per epoch and bills it — the pre-repair cost model, kept for
+    // head-to-head comparisons.
+    np::algos::TiersConfig config;
+    config.incremental = false;
+    return std::make_unique<np::algos::TiersNearest>(config);
   }
   if (name == "beaconing") {
     return std::make_unique<np::algos::BeaconingNearest>(
@@ -228,10 +415,11 @@ std::unique_ptr<NearestPeerAlgorithm> MakeAlgorithm(const std::string& name,
         std::make_unique<np::meridian::MeridianOverlay>(
             np::meridian::MeridianConfig{}));
   }
-  throw np::util::Error(
-      "unknown algorithm: " + name +
-      " (expected oracle | random | meridian | karger-ruhl | tapestry | "
-      "tiers | beaconing | hybrid-{ucl,prefix,multicast,registry})");
+  // Unreachable for names ValidateAlgorithmName accepts — hitting this
+  // means the dispatch chain above lost an entry.
+  throw np::util::Error("algorithm accepted by validation but not "
+                        "constructible: " +
+                        name + " (known: " + AlgorithmHint() + ")");
 }
 
 // --- Report output ----------------------------------------------------------
@@ -322,28 +510,45 @@ int Run(int argc, char** argv) {
   std::string spec_path;
   std::string out_path;
   int threads_override = -1;
+  bool validate_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads_override = std::stoi(argv[++i]);
+    } else if (arg == "--validate") {
+      validate_only = true;
     } else if (!arg.empty() && arg[0] != '-' && spec_path.empty()) {
       spec_path = arg;
     } else {
-      std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N]"
+      std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N] "
+                   "[--validate]"
                 << std::endl;
       return 2;
     }
   }
   if (spec_path.empty()) {
-    std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N]"
+    std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N] "
+                 "[--validate]"
               << std::endl;
     return 2;
   }
 
   const JsonValue spec = JsonValue::Parse(ReadFile(spec_path));
+  ValidateSpec(spec);
   const std::string name = spec.GetString("name", "scenario");
+
+  if (validate_only) {
+    // Schema passed; constructing the schedule additionally checks the
+    // churn parameter constraints (rates, shapes, diurnal bounds)
+    // without paying for world generation.
+    const ChurnSchedule schedule = BuildSchedule(spec.at("churn"));
+    std::cout << "valid: " << spec_path << " (" << name << ", "
+              << schedule.size() << " churn events over "
+              << schedule.duration_s() << " s)\n";
+    return 0;
+  }
 
   const World world = BuildWorld(spec.at("world"));
   const ChurnSchedule schedule = BuildSchedule(spec.at("churn"));
