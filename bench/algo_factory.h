@@ -1,0 +1,59 @@
+// Shared name -> algorithm factory for the bench binaries, so the
+// churn-cost and scale-sweep benches (and any future one) construct
+// identically-configured algorithms from the same table — a config
+// tweak applied to one bench cannot silently diverge from another
+// under the same algorithm name. tools/np_run.cc keeps its own
+// factory: its hybrid-* entries are world-dependent and its names are
+// schema-validated.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "algos/beaconing.h"
+#include "algos/karger_ruhl.h"
+#include "algos/tapestry.h"
+#include "algos/tiers.h"
+#include "core/nearest_algorithm.h"
+#include "meridian/meridian.h"
+#include "util/error.h"
+
+namespace np::bench {
+
+inline std::unique_ptr<core::NearestPeerAlgorithm> MakeBenchAlgorithm(
+    const std::string& name) {
+  if (name == "oracle") {
+    return std::make_unique<core::OracleNearest>();
+  }
+  if (name == "random") {
+    return std::make_unique<core::RandomNearest>();
+  }
+  if (name == "meridian") {
+    return std::make_unique<meridian::MeridianOverlay>(
+        meridian::MeridianConfig{});
+  }
+  if (name == "karger-ruhl") {
+    return std::make_unique<algos::KargerRuhlNearest>(
+        algos::KargerRuhlConfig{});
+  }
+  if (name == "tapestry") {
+    return std::make_unique<algos::TapestryNearest>(algos::TapestryConfig{});
+  }
+  if (name == "beaconing") {
+    return std::make_unique<algos::BeaconingNearest>(
+        algos::BeaconingConfig{});
+  }
+  if (name == "tiers") {
+    return std::make_unique<algos::TiersNearest>(algos::TiersConfig{});
+  }
+  if (name == "tiers-rebuild") {
+    // Incremental repair disabled: the engine rebuilds per epoch and
+    // bills it — the pre-repair cost model, kept for head-to-heads.
+    algos::TiersConfig rebuild;
+    rebuild.incremental = false;
+    return std::make_unique<algos::TiersNearest>(rebuild);
+  }
+  throw util::Error("unknown bench algorithm: " + name);
+}
+
+}  // namespace np::bench

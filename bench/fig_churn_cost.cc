@@ -19,16 +19,11 @@
 #include <string>
 #include <vector>
 
-#include "algos/beaconing.h"
-#include "algos/karger_ruhl.h"
-#include "algos/tapestry.h"
-#include "algos/tiers.h"
+#include "bench/algo_factory.h"
 #include "bench/common.h"
 #include "bench/reporter.h"
 #include "core/scenario.h"
 #include "matrix/generators.h"
-#include "meridian/meridian.h"
-#include "util/error.h"
 
 namespace {
 
@@ -79,35 +74,6 @@ std::vector<ModelCase> Models(bool quick) {
   return models;
 }
 
-std::unique_ptr<np::core::NearestPeerAlgorithm> MakeAlgorithm(
-    const std::string& name) {
-  if (name == "meridian") {
-    return std::make_unique<np::meridian::MeridianOverlay>(
-        np::meridian::MeridianConfig{});
-  }
-  if (name == "karger-ruhl") {
-    return std::make_unique<np::algos::KargerRuhlNearest>(
-        np::algos::KargerRuhlConfig{});
-  }
-  if (name == "tapestry") {
-    return std::make_unique<np::algos::TapestryNearest>(
-        np::algos::TapestryConfig{});
-  }
-  if (name == "beaconing") {
-    return std::make_unique<np::algos::BeaconingNearest>(
-        np::algos::BeaconingConfig{});
-  }
-  if (name == "tiers") {
-    return std::make_unique<np::algos::TiersNearest>(np::algos::TiersConfig{});
-  }
-  if (name == "tiers-rebuild") {
-    np::algos::TiersConfig rebuild;
-    rebuild.incremental = false;
-    return std::make_unique<np::algos::TiersNearest>(rebuild);
-  }
-  throw np::util::Error("fig_churn_cost: unknown algorithm: " + name);
-}
-
 }  // namespace
 
 int main() {
@@ -147,7 +113,7 @@ int main() {
     double repair_bill = 0.0;
     double rebuild_bill = 0.0;
     for (const std::string& name : algorithms) {
-      const auto algo = MakeAlgorithm(name);
+      const auto algo = np::bench::MakeBenchAlgorithm(name);
       ScenarioReport report;
       {
         auto phase = reporter.Phase(

@@ -9,11 +9,21 @@ reader of next month's numbers.
 Usage:
   scripts/bench_compare.py BASELINE CURRENT [--threshold 0.20]
                            [--phases metric_repair] [--update]
+  scripts/bench_compare.py BASELINE CURRENT --derived n --threshold 0.05
 
 --phases takes comma-separated name prefixes; default watches the
 metric_repair phases (the core hot path). --update rewrites BASELINE
 from CURRENT instead of comparing (for refreshing the committed
 numbers after an intentional change; commit the result).
+
+--derived switches to comparing the report's "derived" metrics
+(accuracy/traffic scalars) instead of phase wall times: every baseline
+metric whose name starts with one of the comma-separated prefixes must
+be present in the current report and agree within the threshold
+(relative, both directions — derived metrics are deterministic, so a
+shift either way means the simulation changed, unlike wall-ms which
+only regresses). Use this for gates that must be robust across
+machines of different speeds.
 """
 
 import argparse
@@ -28,6 +38,57 @@ def load(path):
 
 def phases_by_name(report):
     return {phase["name"]: phase for phase in report.get("phases", [])}
+
+
+def compare_derived(baseline, current, args):
+    prefixes = [p for p in args.derived.split(",") if p]
+    base = baseline.get("derived", {})
+    cur = current.get("derived", {})
+    watched = sorted(
+        name
+        for name in base
+        if any(name.startswith(prefix) for prefix in prefixes)
+    )
+    if not watched:
+        print(
+            f"bench_compare: no baseline derived metric matches prefixes "
+            f"{prefixes}",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = []
+    width = max(len(name) for name in watched)
+    print(f"bench_compare: derived metrics, tolerance ±{args.threshold:.0%}, "
+          f"{len(watched)} watched metric(s)")
+    for name in watched:
+        base_value = base[name]
+        if name not in cur:
+            failures.append(f"{name}: missing from current report")
+            print(f"  {name:<{width}}  baseline {base_value:12.4f}  MISSING")
+            continue
+        cur_value = cur[name]
+        scale = max(abs(base_value), abs(cur_value))
+        signed_rel = (cur_value - base_value) / scale if scale > 0 else 0.0
+        verdict = "ok"
+        if abs(signed_rel) > args.threshold:
+            verdict = "DIVERGED"
+            failures.append(
+                f"{name}: {base_value:.6g} -> {cur_value:.6g} "
+                f"({signed_rel:+.1%})"
+            )
+        print(
+            f"  {name:<{width}}  baseline {base_value:12.4f}  "
+            f"current {cur_value:12.4f}  ({signed_rel:+6.1%})  {verdict}"
+        )
+
+    if failures:
+        print("bench_compare: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench_compare: ok")
+    return 0
 
 
 def main():
@@ -50,6 +111,14 @@ def main():
         action="store_true",
         help="rewrite BASELINE from CURRENT instead of comparing",
     )
+    parser.add_argument(
+        "--derived",
+        default=None,
+        metavar="PREFIXES",
+        help="compare 'derived' metrics matching these comma-separated "
+        "name prefixes (relative, both directions) instead of phase "
+        "wall times",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
@@ -71,6 +140,9 @@ def main():
             file=sys.stderr,
         )
         return 2
+
+    if args.derived is not None:
+        return compare_derived(baseline, current, args)
 
     prefixes = [p for p in args.phases.split(",") if p]
     base_phases = phases_by_name(baseline)

@@ -139,14 +139,15 @@ class ChurnSchedule {
   double duration_s_ = 0.0;
 };
 
-/// Tally of one application pass.
+/// Tally of one application pass. 64-bit: long horizons at n = 10^5
+/// scale produce event counts a 32-bit tally can overflow.
 struct ChurnStats {
-  int joins = 0;
-  int leaves = 0;
+  std::int64_t joins = 0;
+  std::int64_t leaves = 0;
   /// Events that resolved to no-ops: joins with an exhausted pool,
   /// leaves at the membership floor, session leaves whose node already
   /// left.
-  int skipped = 0;
+  std::int64_t skipped = 0;
 
   ChurnStats& operator+=(const ChurnStats& other);
 };

@@ -153,7 +153,7 @@ GenericMetrics ReduceGenericOutcomes(const std::vector<GenericOutcome>& outcomes
 /// final rebuild otherwise) and bills the measurement traffic.
 struct ChurnPhaseResult {
   OverlaySplit live;
-  int events = 0;
+  std::int64_t events = 0;
   std::uint64_t maintenance = 0;
 };
 
@@ -167,7 +167,7 @@ void FillChurnMetrics(Metrics& metrics, const ChurnPhaseResult& churn) {
       churn.events == 0 ? 0.0
                         : static_cast<double>(churn.maintenance) /
                               static_cast<double>(churn.events);
-  metrics.final_members = static_cast<int>(churn.live.members.size());
+  metrics.final_members = static_cast<NodeId>(churn.live.members.size());
 }
 
 ChurnPhaseResult DriveSchedule(const MeteredSpace& maint,
@@ -209,13 +209,12 @@ OverlaySplit SplitOverlay(NodeId space_size, NodeId overlay_size,
   return split;
 }
 
-ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
+ClusteredMetrics RunClusteredExperiment(const LatencySpace& space,
+                                        const matrix::ClusterLayout& layout,
                                         NearestPeerAlgorithm& algo,
                                         const ExperimentConfig& config,
                                         util::Rng& rng) {
   NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
-  const MatrixSpace space(world.matrix);
-  const matrix::ClusterLayout& layout = world.layout;
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
   // Build-time measurements carry the same noise as query probes: no
   // real overlay gets to memorize exact latencies (this matters for
@@ -246,11 +245,18 @@ ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
 ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
                                         NearestPeerAlgorithm& algo,
                                         const ExperimentConfig& config,
+                                        util::Rng& rng) {
+  const MatrixSpace space(world.matrix);
+  return RunClusteredExperiment(space, world.layout, algo, config, rng);
+}
+
+ClusteredMetrics RunClusteredExperiment(const LatencySpace& space,
+                                        const matrix::ClusterLayout& layout,
+                                        NearestPeerAlgorithm& algo,
+                                        const ExperimentConfig& config,
                                         const ChurnSchedule& schedule,
                                         util::Rng& rng) {
   NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
-  const MatrixSpace space(world.matrix);
-  const matrix::ClusterLayout& layout = world.layout;
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
   // Maintenance traffic (build, churn handling, rebuilds) is metered
   // so the runner can bill it; noise applies to every build-time and
@@ -280,6 +286,16 @@ ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
   ClusteredMetrics metrics = ReduceClusteredOutcomes(outcomes, config);
   FillChurnMetrics(metrics, churn);
   return metrics;
+}
+
+ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
+                                        NearestPeerAlgorithm& algo,
+                                        const ExperimentConfig& config,
+                                        const ChurnSchedule& schedule,
+                                        util::Rng& rng) {
+  const MatrixSpace space(world.matrix);
+  return RunClusteredExperiment(space, world.layout, algo, config, schedule,
+                                rng);
 }
 
 GenericMetrics RunGenericExperiment(const LatencySpace& space,
@@ -412,7 +428,7 @@ ChurnMetrics RunChurnExperiment(const LatencySpace& space,
   metrics.p_exact_rebuilt = MeasureExactRate(
       space, fresh, members, pool, config.queries_per_wave,
       config.tie_epsilon_ms, rebuild_rng);
-  metrics.final_members = static_cast<int>(members.size());
+  metrics.final_members = static_cast<NodeId>(members.size());
   return metrics;
 }
 

@@ -44,7 +44,9 @@ struct ExperimentConfig {
 };
 
 struct ClusteredMetrics {
-  int num_queries = 0;
+  /// 64-bit like every other tally here, so downstream aggregation
+  /// across sweeps/epochs never narrows mid-sum.
+  std::int64_t num_queries = 0;
   /// P(found peer is the correct closest peer) — Fig 8 left axis,
   /// Fig 9 left axis.
   double p_exact_closest = 0.0;
@@ -63,15 +65,25 @@ struct ClusteredMetrics {
   /// Filled by the ChurnSchedule overload (0 on static runs): churn
   /// events applied pre-query, maintenance messages they cost, and the
   /// resulting live overlay size.
-  int churn_events = 0;
+  std::int64_t churn_events = 0;
   std::uint64_t maintenance_messages = 0;
   double maintenance_per_event = 0.0;
-  int final_members = 0;
+  NodeId final_members = 0;
 };
 
-/// Runs `algo` over a clustered world. The algorithm is Build()-ed on a
-/// fresh random overlay; rng drives overlay choice, target choice and
-/// the algorithm's own randomness.
+/// Runs `algo` over any latency space with clustered scoring metadata.
+/// The algorithm is Build()-ed on a fresh random overlay; rng drives
+/// overlay choice, target choice and the algorithm's own randomness.
+/// The space may be any backend a SpaceFactory produces — dense matrix
+/// or implicit — as long as `layout` describes its node ids.
+ClusteredMetrics RunClusteredExperiment(const LatencySpace& space,
+                                        const matrix::ClusterLayout& layout,
+                                        NearestPeerAlgorithm& algo,
+                                        const ExperimentConfig& config,
+                                        util::Rng& rng);
+
+/// Convenience for matrix-backed worlds; wraps the matrix and
+/// delegates to the space-based runner above.
 ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
                                         NearestPeerAlgorithm& algo,
                                         const ExperimentConfig& config,
@@ -82,6 +94,14 @@ ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
 /// algorithms, otherwise one final rebuild), charging the maintenance
 /// cost into the metrics, then runs the query batch against the live
 /// membership. Deterministic for every thread count.
+ClusteredMetrics RunClusteredExperiment(const LatencySpace& space,
+                                        const matrix::ClusterLayout& layout,
+                                        NearestPeerAlgorithm& algo,
+                                        const ExperimentConfig& config,
+                                        const ChurnSchedule& schedule,
+                                        util::Rng& rng);
+
+/// Matrix-backed convenience for the churn-driven variant.
 ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
                                         NearestPeerAlgorithm& algo,
                                         const ExperimentConfig& config,
@@ -89,7 +109,8 @@ ClusteredMetrics RunClusteredExperiment(const matrix::ClusteredWorld& world,
                                         util::Rng& rng);
 
 struct GenericMetrics {
-  int num_queries = 0;
+  /// See ClusteredMetrics::num_queries for the 64-bit rationale.
+  std::int64_t num_queries = 0;
   double p_exact_closest = 0.0;
   /// Mean of found_latency / true_closest_latency (>= 1; 1 == perfect).
   double mean_stretch = 0.0;
@@ -98,10 +119,10 @@ struct GenericMetrics {
   double mean_probes = 0.0;
   double mean_hops = 0.0;
   /// See ClusteredMetrics: filled by the ChurnSchedule overload.
-  int churn_events = 0;
+  std::int64_t churn_events = 0;
   std::uint64_t maintenance_messages = 0;
   double maintenance_per_event = 0.0;
-  int final_members = 0;
+  NodeId final_members = 0;
 };
 
 /// Same protocol on an arbitrary space (no cluster labels) — used for
@@ -154,7 +175,7 @@ struct ChurnMetrics {
   std::vector<double> p_exact_per_wave;
   /// Same queries against `fresh` rebuilt on the final membership.
   double p_exact_rebuilt = 0.0;
-  int final_members = 0;
+  NodeId final_members = 0;
 };
 
 /// `algo` must support churn; `fresh` is an equivalent, unbuilt

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 
 #include "matrix/latency_matrix.h"
 #include "util/rng.h"
@@ -46,6 +47,32 @@ class MatrixSpace final : public LatencySpace {
 /// these latencies" — without it, a noise-free matrix lets triangulation
 /// schemes (e.g. Beaconing) distinguish equidistant peers by exact
 /// arithmetic, which no real deployment can.
+///
+/// Jitter determinism: the k-th probe of the unordered pair {a, b}
+/// draws from an Rng seeded Mix64(Mix64(seed ^ PairKey(a, b)) ^ k) —
+/// a pure function of (seed, pair, per-pair probe count). So the
+/// noise is order-robust (reordering probes across different pairs
+/// cannot shift any measured value — an algorithm refactor that
+/// reorders its probes leaves metrics bit-identical) and symmetric
+/// per probe (the k-th probe of (a, b) equals the k-th probe of
+/// (b, a)), while re-probing the same pair still sees fresh noise,
+/// as a real deployment would. The previous implementation drew all
+/// pairs from one sequential stream, which silently tied measured
+/// values to probe order and broke within-query symmetry.
+///
+/// Caveat: the per-pair tracker is bounded at kMaxTrackedPairs
+/// distinct pairs; crossing it starts a new generation (fresh stream
+/// seed), so order-robustness is guaranteed *within a generation*.
+/// Query-scale instances probe a few thousand pairs and never flush;
+/// only a long-lived maintenance instance over a very large noisy
+/// build can, and there the generation boundary — not the values
+/// inside one — is what probe order can move.
+///
+/// Not thread-safe: the per-pair counters mutate under Latency().
+/// Every call site owns a private instance (one per query, or one for
+/// the serial build/maintenance path — which may live across a whole
+/// scenario run), which is also what keeps the parallel query loops
+/// deterministic.
 class NoisySpace final : public LatencySpace {
  public:
   /// jitter_frac scales with the RTT (path-length effects);
@@ -56,7 +83,7 @@ class NoisySpace final : public LatencySpace {
       : inner_(&inner),
         jitter_frac_(jitter_frac),
         floor_ms_(floor_ms),
-        rng_(seed) {}
+        stream_seed_(seed) {}
 
   NodeId size() const override { return inner_->size(); }
 
@@ -65,21 +92,42 @@ class NoisySpace final : public LatencySpace {
     if (a == b || (jitter_frac_ <= 0.0 && floor_ms_ <= 0.0)) {
       return true_ms;
     }
+    // Bound the tracker: a query probes a few thousand pairs at most,
+    // but one long-lived maintenance instance can cross O(overlay^2)
+    // distinct pairs during a large noisy build. Flushing re-mixes the
+    // stream seed (a pure function of the probe sequence, so still
+    // deterministic) and keeps memory at ~kMaxTrackedPairs entries;
+    // probe-order robustness holds within a generation — i.e. always,
+    // for every query-scale instance.
+    if (pair_probe_count_.size() >= kMaxTrackedPairs) {
+      pair_probe_count_.clear();
+      stream_seed_ = util::Mix64(stream_seed_);
+    }
+    const std::uint64_t pair = util::PairKey(a, b);
+    const std::uint64_t count = pair_probe_count_[pair]++;
+    util::Rng rng(util::Mix64(util::Mix64(stream_seed_ ^ pair) ^ count));
     double noisy = true_ms;
     if (jitter_frac_ > 0.0) {
-      noisy += true_ms * rng_.Gaussian(0.0, jitter_frac_);
+      noisy += true_ms * rng.Gaussian(0.0, jitter_frac_);
     }
     if (floor_ms_ > 0.0) {
-      noisy += rng_.Gaussian(0.0, floor_ms_);
+      noisy += rng.Gaussian(0.0, floor_ms_);
     }
     return std::max(noisy, 0.001);
   }
 
  private:
+  /// ~48 MB of tracking at the cap — small next to the O(n * d)
+  /// implicit backends, unreachable for per-query instances.
+  static constexpr std::size_t kMaxTrackedPairs = std::size_t{1} << 20;
+
   const LatencySpace* inner_;
   double jitter_frac_;
   double floor_ms_;
-  mutable util::Rng rng_;
+  mutable std::uint64_t stream_seed_;
+  /// Probes already issued per unordered pair in this generation.
+  mutable std::unordered_map<std::uint64_t, std::uint64_t>
+      pair_probe_count_;
 };
 
 /// Probe-counting decorator. Algorithms receive a MeteredSpace so that

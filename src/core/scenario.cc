@@ -7,6 +7,7 @@
 #include "core/experiment.h"
 #include "util/error.h"
 #include "util/parallel.h"
+#include "util/stats.h"
 
 namespace np::core {
 
@@ -16,6 +17,7 @@ namespace {
 /// invariance, as in the PR-1 experiment runners).
 struct ScenarioOutcome {
   LatencyMs found_latency = 0.0;
+  LatencyMs truth_latency = 0.0;
   std::uint64_t probes = 0;
   int hops = 0;
   bool exact = false;
@@ -88,7 +90,7 @@ ScenarioReport RunScenario(const LatencySpace& space,
   ScenarioReport report;
   report.algorithm = algo.name();
   report.clustered = layout != nullptr;
-  report.initial_members = static_cast<int>(split.members.size());
+  report.initial_members = static_cast<NodeId>(split.members.size());
 
   algo.Build(maint, split.members, rng);
   report.build_messages = maint.probes();
@@ -140,7 +142,7 @@ ScenarioReport RunScenario(const LatencySpace& space,
             ? 0.0
             : static_cast<double>(er.maintenance_messages) /
                   static_cast<double>(stats.joins + stats.leaves);
-    er.live_members = static_cast<int>(driver.members().size());
+    er.live_members = static_cast<NodeId>(driver.members().size());
 
     // --- Measurement epoch ------------------------------------------------
     const std::vector<NodeId>& members = driver.members();
@@ -170,22 +172,24 @@ ScenarioReport RunScenario(const LatencySpace& space,
           ScenarioOutcome& out = outcomes[q];
           out.probes = metered.probes();
           out.hops = result.hops;
-          const LatencyMs truth_latency = space.Latency(truth, target);
+          out.truth_latency = space.Latency(truth, target);
           out.found_latency = space.Latency(result.found, target);
           out.exact =
-              out.found_latency <= truth_latency + config.tie_epsilon_ms;
+              out.found_latency <= out.truth_latency + config.tie_epsilon_ms;
           if (layout != nullptr) {
             out.correct_cluster = layout->SameCluster(result.found, target);
             out.same_net = layout->SameNet(result.found, target);
           }
         });
 
-    int exact = 0;
-    int correct_cluster = 0;
-    int same_net = 0;
+    std::int64_t exact = 0;
+    std::int64_t correct_cluster = 0;
+    std::int64_t same_net = 0;
     double total_latency = 0.0;
     double total_hops = 0.0;
     std::uint64_t total_probes = 0;
+    std::vector<double> excess;
+    excess.reserve(outcomes.size());
     for (const ScenarioOutcome& out : outcomes) {
       exact += out.exact ? 1 : 0;
       correct_cluster += out.correct_cluster ? 1 : 0;
@@ -193,19 +197,26 @@ ScenarioReport RunScenario(const LatencySpace& space,
       total_latency += out.found_latency;
       total_hops += out.hops;
       total_probes += out.probes;
+      // >= 0: the true closest is the minimum over members, and found
+      // is a member. Exact answers contribute 0.
+      excess.push_back(out.found_latency - out.truth_latency);
     }
     const double n = static_cast<double>(config.queries_per_epoch);
-    er.p_exact_closest = exact / n;
-    er.p_correct_cluster = correct_cluster / n;
-    er.p_same_net = same_net / n;
+    er.p_exact_closest = static_cast<double>(exact) / n;
+    er.p_correct_cluster = static_cast<double>(correct_cluster) / n;
+    er.p_same_net = static_cast<double>(same_net) / n;
     er.mean_found_latency_ms = total_latency / n;
     er.mean_hops = total_hops / n;
     er.messages_per_query = static_cast<double>(total_probes) / n;
+    std::sort(excess.begin(), excess.end());
+    er.excess_latency_p50_ms = util::PercentileSorted(excess, 50.0);
+    er.excess_latency_p95_ms = util::PercentileSorted(excess, 95.0);
+    er.excess_latency_p99_ms = util::PercentileSorted(excess, 99.0);
 
     report.epochs.push_back(er);
   }
 
-  report.final_members = static_cast<int>(driver.members().size());
+  report.final_members = static_cast<NodeId>(driver.members().size());
   report.totals = counter.Read();
   report.messages_per_query = report.totals.MessagesPerQuery();
   report.maintenance_per_event = report.totals.MaintenancePerEvent();

@@ -62,11 +62,12 @@ struct EpochReport {
   int epoch = 0;
   /// Simulated time of the epoch boundary, seconds.
   double time_s = 0.0;
-  int live_members = 0;
-  /// Churn applied in this epoch's window.
-  int joins = 0;
-  int leaves = 0;
-  int skipped_events = 0;
+  NodeId live_members = 0;
+  /// Churn applied in this epoch's window (64-bit: heavy-churn
+  /// schedules at n = 10^5 scale overflow 32-bit tallies).
+  std::int64_t joins = 0;
+  std::int64_t leaves = 0;
+  std::int64_t skipped_events = 0;
   /// True when the algorithm was rebuilt from scratch this epoch (the
   /// no-incremental-churn path).
   bool rebuilt = false;
@@ -77,6 +78,13 @@ struct EpochReport {
   double p_same_net = 0.0;
   double mean_found_latency_ms = 0.0;
   double mean_hops = 0.0;
+  /// Tail quality: percentiles of (found latency − true closest
+  /// latency) over this epoch's queries, ms. 0 on exact answers, so
+  /// p50 = 0 means a majority-exact epoch while p99 exposes the tail
+  /// the means hide (what the diurnal / heavy-tail scenarios stress).
+  double excess_latency_p50_ms = 0.0;
+  double excess_latency_p95_ms = 0.0;
+  double excess_latency_p99_ms = 0.0;
 
   /// Mean query-time messages per query in this epoch.
   double messages_per_query = 0.0;
@@ -93,8 +101,8 @@ struct ScenarioReport {
   /// Messages spent by the initial Build (paid once, reported apart
   /// from steady-state maintenance).
   std::uint64_t build_messages = 0;
-  int initial_members = 0;
-  int final_members = 0;
+  NodeId initial_members = 0;
+  NodeId final_members = 0;
   std::vector<EpochReport> epochs;
   /// Whole-run ledger (build + maintenance + queries).
   ProbeCounter::Snapshot totals;

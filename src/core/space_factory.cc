@@ -1,0 +1,48 @@
+#include "core/space_factory.h"
+
+#include <utility>
+
+namespace np::core {
+
+SpaceFactory SpaceFactory::MakeClustered(const matrix::ClusteredConfig& config,
+                                         std::uint64_t seed) {
+  SpaceFactory factory;
+  util::Rng rng(seed);
+  factory.clustered_ = std::make_unique<matrix::ClusteredWorld>(
+      matrix::GenerateClustered(config, rng));
+  factory.matrix_space_ =
+      std::make_unique<MatrixSpace>(factory.clustered_->matrix);
+  factory.space_ = factory.matrix_space_.get();
+  return factory;
+}
+
+SpaceFactory SpaceFactory::MakeEuclidean(NodeId num_nodes,
+                                         const matrix::EuclideanConfig& config,
+                                         std::uint64_t seed) {
+  SpaceFactory factory;
+  util::Rng rng(seed);
+  factory.euclidean_ = std::make_unique<matrix::EuclideanWorld>(
+      matrix::GenerateEuclidean(num_nodes, config, rng));
+  factory.matrix_space_ =
+      std::make_unique<MatrixSpace>(factory.euclidean_->matrix);
+  factory.space_ = factory.matrix_space_.get();
+  return factory;
+}
+
+SpaceFactory SpaceFactory::MakeEmbedded(
+    const matrix::EmbeddedSpaceConfig& config) {
+  SpaceFactory factory;
+  factory.embedded_ = std::make_unique<matrix::EmbeddedSpace>(config);
+  factory.space_ = factory.embedded_.get();
+  return factory;
+}
+
+SpaceFactory SpaceFactory::MakeSparse(
+    const matrix::SparseTopologyConfig& config) {
+  SpaceFactory factory;
+  factory.sparse_ = std::make_unique<matrix::SparseTopologySpace>(config);
+  factory.space_ = factory.sparse_.get();
+  return factory;
+}
+
+}  // namespace np::core

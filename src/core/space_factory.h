@@ -1,0 +1,77 @@
+// One construction path for every latency-space backend.
+//
+// Before this existed, each driver materialized a LatencyMatrix by
+// hand and the engines assumed one was there — which hard-capped every
+// experiment at dense-matrix scale (O(n^2) memory). A SpaceFactory
+// owns whichever backend a world runs on — dense matrix worlds
+// (clustered / euclidean) or the implicit, on-demand backends
+// (embedded coordinates / sparse shortest-path) — and exposes exactly
+// what the engines consume: a LatencySpace, the optional cluster
+// layout for clustered scoring, and the node population. Algorithms,
+// truth computation, OverlaySplit, and the churn drivers all operate
+// on the LatencySpace interface, so a driver that builds its world
+// through the factory scales to n = 10^5 by switching backend, not
+// code.
+#pragma once
+
+#include <memory>
+
+#include "core/latency_space.h"
+#include "matrix/embedded_space.h"
+#include "matrix/generators.h"
+#include "matrix/sparse_space.h"
+#include "util/types.h"
+
+namespace np::core {
+
+class SpaceFactory {
+ public:
+  /// The paper's §4 clustered world (dense matrix + cluster layout).
+  static SpaceFactory MakeClustered(const matrix::ClusteredConfig& config,
+                                    std::uint64_t seed);
+
+  /// Euclidean control world (dense matrix).
+  static SpaceFactory MakeEuclidean(NodeId num_nodes,
+                                    const matrix::EuclideanConfig& config,
+                                    std::uint64_t seed);
+
+  /// Implicit coordinate backend (O(n * d) memory).
+  static SpaceFactory MakeEmbedded(const matrix::EmbeddedSpaceConfig& config);
+
+  /// Implicit shortest-path backend (O(n * degree) memory + LRU rows).
+  static SpaceFactory MakeSparse(const matrix::SparseTopologyConfig& config);
+
+  SpaceFactory(SpaceFactory&&) = default;
+  SpaceFactory& operator=(SpaceFactory&&) = default;
+
+  /// The space every engine consumes. Valid for the factory's lifetime.
+  const LatencySpace& space() const { return *space_; }
+
+  /// Cluster metadata for clustered scoring; null for other backends.
+  const matrix::ClusterLayout* layout() const {
+    return clustered_ ? &clustered_->layout : nullptr;
+  }
+
+  /// True when the backend materializes a dense n x n matrix (memory
+  /// grows quadratically); false for the implicit backends.
+  bool materialized() const { return matrix_space_ != nullptr; }
+
+  /// The clustered world, when this factory built one (benches need
+  /// the matrix for metric-repair timing); null otherwise.
+  const matrix::ClusteredWorld* clustered_world() const {
+    return clustered_.get();
+  }
+
+ private:
+  SpaceFactory() = default;
+
+  std::unique_ptr<matrix::ClusteredWorld> clustered_;
+  std::unique_ptr<matrix::EuclideanWorld> euclidean_;
+  std::unique_ptr<MatrixSpace> matrix_space_;
+  std::unique_ptr<matrix::EmbeddedSpace> embedded_;
+  std::unique_ptr<matrix::SparseTopologySpace> sparse_;
+  /// Whichever of the above is the active backend (non-owning).
+  const LatencySpace* space_ = nullptr;
+};
+
+}  // namespace np::core

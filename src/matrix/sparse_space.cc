@@ -1,0 +1,161 @@
+#include "matrix/sparse_space.h"
+
+#include <cmath>
+#include <queue>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace np::matrix {
+
+namespace {
+
+/// Quantizes a weight to a multiple of 2^-10 ms. Weights with at most
+/// ~26 significant bits keep every realistic path sum exactly
+/// representable in a double, which is what makes shortest-path
+/// latencies direction- and evaluation-order-independent bitwise.
+LatencyMs Quantize(double ms) {
+  return std::max(std::round(ms * 1024.0), 1.0) / 1024.0;
+}
+
+}  // namespace
+
+SparseTopologySpace::SparseTopologySpace(const SparseTopologyConfig& config)
+    : config_(config) {
+  NP_ENSURE(config_.num_nodes >= 2, "SparseTopologySpace requires n >= 2");
+  NP_ENSURE(config_.extra_edges_per_node >= 0, "negative edge budget");
+  NP_ENSURE(config_.min_edge_ms > 0.0 &&
+                config_.max_edge_ms >= config_.min_edge_ms,
+            "invalid edge weight range");
+  NP_ENSURE(config_.row_cache_capacity >= 1, "need at least one cached row");
+
+  const auto n = static_cast<std::size_t>(config_.num_nodes);
+  util::Rng rng(util::Mix64(config_.seed));
+  std::vector<std::vector<std::pair<NodeId, LatencyMs>>> adjacency(n);
+  const auto add_edge = [&](NodeId a, NodeId b, LatencyMs w) {
+    adjacency[static_cast<std::size_t>(a)].push_back({b, w});
+    adjacency[static_cast<std::size_t>(b)].push_back({a, w});
+    ++edge_count_;
+  };
+
+  // Connectivity ring: every node reaches every other.
+  for (NodeId v = 0; v < config_.num_nodes; ++v) {
+    const NodeId next = v + 1 == config_.num_nodes ? 0 : v + 1;
+    add_edge(v, next,
+             Quantize(rng.Uniform(config_.min_edge_ms, config_.max_edge_ms)));
+  }
+  // Random shortcuts (parallel edges are harmless: Dijkstra takes the
+  // cheaper relaxation).
+  for (NodeId v = 0; v < config_.num_nodes; ++v) {
+    for (int e = 0; e < config_.extra_edges_per_node; ++e) {
+      const auto other = static_cast<NodeId>(rng.Index(n));
+      if (other == v) {
+        continue;
+      }
+      add_edge(v, other,
+               Quantize(
+                   rng.Uniform(config_.min_edge_ms, config_.max_edge_ms)));
+    }
+  }
+
+  offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + adjacency[v].size();
+  }
+  neighbors_.resize(offsets_[n]);
+  weights_.resize(offsets_[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t at = offsets_[v];
+    for (const auto& [to, w] : adjacency[v]) {
+      neighbors_[at] = to;
+      weights_[at] = w;
+      ++at;
+    }
+  }
+}
+
+std::vector<LatencyMs> SparseTopologySpace::Dijkstra(NodeId source) const {
+  const auto n = static_cast<std::size_t>(config_.num_nodes);
+  std::vector<LatencyMs> dist(n, kInfiniteLatency);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  using Entry = std::pair<LatencyMs, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) {
+      continue;  // stale entry
+    }
+    const std::size_t begin = offsets_[static_cast<std::size_t>(v)];
+    const std::size_t end = offsets_[static_cast<std::size_t>(v) + 1];
+    for (std::size_t e = begin; e < end; ++e) {
+      const NodeId to = neighbors_[e];
+      const LatencyMs candidate = d + weights_[e];
+      if (candidate < dist[static_cast<std::size_t>(to)]) {
+        dist[static_cast<std::size_t>(to)] = candidate;
+        queue.push({candidate, to});
+      }
+    }
+  }
+  return dist;
+}
+
+LatencyMs SparseTopologySpace::Latency(NodeId a, NodeId b) const {
+  NP_DCHECK(a >= 0 && a < config_.num_nodes, "node id out of range");
+  NP_DCHECK(b >= 0 && b < config_.num_nodes, "node id out of range");
+  if (a == b) {
+    return 0.0;
+  }
+  const auto touch = [this](decltype(lookup_)::iterator it) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+  };
+  {
+    // Either endpoint's row answers (quantized weights make the two
+    // bitwise equal); prefer whichever is already resident — callers
+    // conventionally scan many sources against one target in the
+    // second slot, so try b's row first.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = lookup_.find(b); it != lookup_.end()) {
+      touch(it);
+      return it->second->second[static_cast<std::size_t>(a)];
+    }
+    if (const auto it = lookup_.find(a); it != lookup_.end()) {
+      touch(it);
+      return it->second->second[static_cast<std::size_t>(b)];
+    }
+    ++stats_.misses;
+  }
+  // Double miss: compute b's row outside the lock so concurrent
+  // probes only contend on the bookkeeping. Two threads missing the
+  // same row may both compute it; the loser's copy is discarded —
+  // harmless, the rows are value-identical by construction.
+  std::vector<LatencyMs> row = Dijkstra(b);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = lookup_.find(b);
+  if (it != lookup_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second[static_cast<std::size_t>(a)];
+  }
+  if (lru_.size() >= config_.row_cache_capacity) {
+    ++stats_.evictions;
+    lookup_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(b, std::move(row));
+  lookup_[b] = lru_.begin();
+  return lru_.front().second[static_cast<std::size_t>(a)];
+}
+
+SparseTopologySpace::CacheStats SparseTopologySpace::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SparseTopologySpace::cached_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace np::matrix

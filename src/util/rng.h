@@ -21,6 +21,24 @@ std::uint64_t SplitMix64(std::uint64_t& state);
 /// derive independent child seeds: Mix64(seed ^ kSomeTag).
 std::uint64_t Mix64(std::uint64_t x);
 
+/// Order-independent key of an unordered node pair: (min << 32) | max.
+/// `Mix64(seed ^ PairKey(a, b))` yields symmetric per-pair randomness —
+/// the same stream no matter which endpoint probes (the implicit
+/// latency backends and NoisySpace both key on it). Ids must be
+/// non-negative and fit 32 bits, which NodeId guarantees.
+inline std::uint64_t PairKey(std::int64_t a, std::int64_t b) {
+  const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+  return (lo << 32) | hi;
+}
+
+/// Maps a mixed 64-bit value to a uniform double in [0, 1) (53 high
+/// bits, same construction as Rng::NextDouble). For one-shot
+/// hash-derived uniforms where building an Rng would be overkill.
+inline double MixToUnit(std::uint64_t mixed) {
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
 /// xoshiro256** engine with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator so it can also be used with

@@ -21,6 +21,16 @@ using NodeId = std::int32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = -1;
 
+// The implicit latency backends run worlds up to n = 10^5 and are
+// designed with headroom for a few orders more; NodeId must stay a
+// signed type (kInvalidNode is -1) wide enough to address them, and
+// narrow enough that PairKey can pack two ids into 64 bits.
+static_assert(std::numeric_limits<NodeId>::is_signed &&
+                  std::numeric_limits<NodeId>::max() >= 100'000'000 &&
+                  sizeof(NodeId) <= 4,
+              "NodeId must be a signed 32-bit-packable type that "
+              "addresses >= 1e8 nodes");
+
 /// Sentinel for "unreachable / unmeasured" latency.
 inline constexpr LatencyMs kInfiniteLatency =
     std::numeric_limits<LatencyMs>::infinity();

@@ -74,6 +74,9 @@ void ExpectEpochsIdentical(const ScenarioReport& a, const ScenarioReport& b) {
     EXPECT_EQ(x.p_same_net, y.p_same_net);
     EXPECT_EQ(x.mean_found_latency_ms, y.mean_found_latency_ms);
     EXPECT_EQ(x.mean_hops, y.mean_hops);
+    EXPECT_EQ(x.excess_latency_p50_ms, y.excess_latency_p50_ms);
+    EXPECT_EQ(x.excess_latency_p95_ms, y.excess_latency_p95_ms);
+    EXPECT_EQ(x.excess_latency_p99_ms, y.excess_latency_p99_ms);
     EXPECT_EQ(x.messages_per_query, y.messages_per_query);
     EXPECT_EQ(x.maintenance_messages, y.maintenance_messages);
   }
@@ -277,6 +280,36 @@ TEST(Scenario, StaticAlgorithmPaysEpochRebuilds) {
   }
   EXPECT_TRUE(any_rebuild);
   EXPECT_GT(report.maintenance_per_event, 0.0);
+}
+
+TEST(Scenario, ExcessLatencyPercentilesTrackTailQuality) {
+  const auto world = SmallClusteredWorld(9);
+  const MatrixSpace space(world.matrix);
+  const ChurnSchedule schedule = SmallSchedule();
+
+  // Oracle answers every query exactly: all percentiles collapse to 0.
+  OracleNearest oracle;
+  const ScenarioReport perfect =
+      RunScenario(space, &world.layout, oracle, schedule, SmallScenario(1));
+  for (const EpochReport& er : perfect.epochs) {
+    EXPECT_EQ(er.excess_latency_p50_ms, 0.0);
+    EXPECT_EQ(er.excess_latency_p95_ms, 0.0);
+    EXPECT_EQ(er.excess_latency_p99_ms, 0.0);
+  }
+
+  // Random misses almost always; the percentiles must be ordered and
+  // expose a tail the mean alone would hide.
+  RandomNearest random_algo;
+  const ScenarioReport noisy = RunScenario(space, &world.layout, random_algo,
+                                           schedule, SmallScenario(1));
+  bool any_tail = false;
+  for (const EpochReport& er : noisy.epochs) {
+    EXPECT_GE(er.excess_latency_p50_ms, 0.0);
+    EXPECT_LE(er.excess_latency_p50_ms, er.excess_latency_p95_ms);
+    EXPECT_LE(er.excess_latency_p95_ms, er.excess_latency_p99_ms);
+    any_tail = any_tail || er.excess_latency_p99_ms > 0.0;
+  }
+  EXPECT_TRUE(any_tail);
 }
 
 TEST(Scenario, ProbeCounterIsDetachedAfterTheRun) {

@@ -1,0 +1,66 @@
+// SpaceFactory: every backend comes out with the right space, layout,
+// and materialization flag, and factory-built spaces equal directly
+// constructed ones.
+#include "core/space_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace np::core {
+namespace {
+
+TEST(SpaceFactory, ClusteredCarriesLayoutAndMatrix) {
+  matrix::ClusteredConfig config;
+  config.num_clusters = 3;
+  config.nets_per_cluster = 5;
+  config.peers_per_net = 2;
+  const SpaceFactory factory = SpaceFactory::MakeClustered(config, 7);
+  ASSERT_NE(factory.layout(), nullptr);
+  ASSERT_NE(factory.clustered_world(), nullptr);
+  EXPECT_TRUE(factory.materialized());
+  EXPECT_EQ(factory.space().size(), factory.layout()->peer_count());
+  EXPECT_EQ(factory.space().size(), 3 * 5 * 2);
+}
+
+TEST(SpaceFactory, EuclideanIsMatrixBackedWithoutLayout) {
+  const SpaceFactory factory =
+      SpaceFactory::MakeEuclidean(64, matrix::EuclideanConfig{}, 9);
+  EXPECT_EQ(factory.layout(), nullptr);
+  EXPECT_TRUE(factory.materialized());
+  EXPECT_EQ(factory.space().size(), 64);
+}
+
+TEST(SpaceFactory, EmbeddedIsImplicitAndMatchesDirectConstruction) {
+  matrix::EmbeddedSpaceConfig config;
+  config.num_nodes = 50;
+  config.distortion = 0.3;
+  config.seed = 21;
+  const SpaceFactory factory = SpaceFactory::MakeEmbedded(config);
+  EXPECT_EQ(factory.layout(), nullptr);
+  EXPECT_FALSE(factory.materialized());
+  const matrix::EmbeddedSpace direct(config);
+  ASSERT_EQ(factory.space().size(), direct.size());
+  for (NodeId i = 0; i < direct.size(); i += 3) {
+    for (NodeId j = 0; j < direct.size(); j += 5) {
+      EXPECT_EQ(factory.space().Latency(i, j), direct.Latency(i, j));
+    }
+  }
+}
+
+TEST(SpaceFactory, SparseIsImplicitAndDeterministic) {
+  matrix::SparseTopologyConfig config;
+  config.num_nodes = 40;
+  config.seed = 33;
+  const SpaceFactory factory = SpaceFactory::MakeSparse(config);
+  EXPECT_EQ(factory.layout(), nullptr);
+  EXPECT_FALSE(factory.materialized());
+  const matrix::SparseTopologySpace direct(config);
+  ASSERT_EQ(factory.space().size(), direct.size());
+  for (NodeId i = 0; i < direct.size(); i += 2) {
+    for (NodeId j = 0; j < direct.size(); j += 3) {
+      EXPECT_EQ(factory.space().Latency(i, j), direct.Latency(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace np::core

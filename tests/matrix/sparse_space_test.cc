@@ -1,0 +1,135 @@
+// SparseTopologySpace: graph determinism, bitwise symmetry and
+// cache-state independence of the shortest-path latencies, metric
+// properties, and the LRU row cache's hit/eviction bookkeeping.
+#include "matrix/sparse_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace np::matrix {
+namespace {
+
+SparseTopologyConfig SmallConfig() {
+  SparseTopologyConfig config;
+  config.num_nodes = 100;
+  config.extra_edges_per_node = 3;
+  config.min_edge_ms = 1.0;
+  config.max_edge_ms = 40.0;
+  config.row_cache_capacity = 8;
+  config.seed = 11;
+  return config;
+}
+
+TEST(SparseTopologySpace, DeterministicConnectedZeroDiagonal) {
+  const SparseTopologySpace a(SmallConfig());
+  const SparseTopologySpace b(SmallConfig());
+  ASSERT_EQ(a.size(), 100);
+  EXPECT_GE(a.edge_count(), 100u);  // ring at minimum
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId i = 0; i < a.size(); i += 9) {
+    EXPECT_EQ(a.Latency(i, i), 0.0);
+    for (NodeId j = 0; j < a.size(); j += 7) {
+      if (i == j) {
+        continue;
+      }
+      const LatencyMs ij = a.Latency(i, j);
+      EXPECT_TRUE(std::isfinite(ij));  // the ring keeps it connected
+      EXPECT_GT(ij, 0.0);
+      EXPECT_EQ(ij, b.Latency(i, j));
+    }
+  }
+}
+
+TEST(SparseTopologySpace, BitwiseSymmetricAndCacheStateIndependent) {
+  // Quantized edge weights make every path sum exact, so the latency
+  // must be bitwise equal in both directions and no matter which rows
+  // happen to be resident when it is asked.
+  const SparseTopologySpace warm(SmallConfig());
+  for (NodeId i = 0; i < warm.size(); i += 5) {
+    for (NodeId j = i + 1; j < warm.size(); j += 11) {
+      EXPECT_EQ(warm.Latency(i, j), warm.Latency(j, i));
+    }
+  }
+  // A fresh instance probed in the opposite order (different cache
+  // trajectory) must agree bitwise.
+  const SparseTopologySpace cold(SmallConfig());
+  for (NodeId i = warm.size() - 1; i >= 0; i -= 5) {
+    for (NodeId j = 0; j < i; j += 11) {
+      EXPECT_EQ(cold.Latency(j, i), warm.Latency(j, i));
+    }
+  }
+}
+
+TEST(SparseTopologySpace, ShortestPathsSatisfyTheTriangleInequality) {
+  const SparseTopologySpace space(SmallConfig());
+  for (NodeId a = 0; a < space.size(); a += 13) {
+    for (NodeId b = 1; b < space.size(); b += 17) {
+      for (NodeId c = 2; c < space.size(); c += 19) {
+        EXPECT_LE(space.Latency(a, c),
+                  space.Latency(a, b) + space.Latency(b, c) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SparseTopologySpaceCache, HitsMissesAndEvictions) {
+  SparseTopologyConfig config = SmallConfig();
+  config.row_cache_capacity = 2;
+  const SparseTopologySpace space(config);
+
+  // Cold probe against target 10: one Dijkstra (miss), row 10 cached.
+  space.Latency(0, 10);
+  auto stats = space.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(space.cached_rows(), 1u);
+
+  // Member scan against the same target: all hits on row 10.
+  for (NodeId member = 1; member <= 5; ++member) {
+    space.Latency(member, 10);
+  }
+  stats = space.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 5u);
+
+  // Either-endpoint lookup: row 10 also answers (10, x) probes.
+  space.Latency(10, 3);
+  stats = space.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 6u);
+
+  // Two new targets overflow capacity 2: the LRU row (10) is evicted.
+  space.Latency(0, 20);
+  space.Latency(0, 30);
+  stats = space.cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(space.cached_rows(), 2u);
+
+  // Row 10 is gone: probing it again recomputes (and evicts row 20,
+  // now the least recently used).
+  space.Latency(0, 10);
+  stats = space.cache_stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(space.cached_rows(), 2u);
+}
+
+TEST(SparseTopologySpaceCache, RecencyOrderGovernsEviction) {
+  SparseTopologyConfig config = SmallConfig();
+  config.row_cache_capacity = 2;
+  const SparseTopologySpace space(config);
+  space.Latency(0, 10);  // cache: [10]
+  space.Latency(0, 20);  // cache: [20, 10]
+  space.Latency(1, 10);  // hit refreshes 10 -> cache: [10, 20]
+  space.Latency(0, 30);  // evicts 20, not 10
+  const auto stats = space.cache_stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  space.Latency(2, 10);  // still resident
+  EXPECT_EQ(space.cache_stats().hits, 2u);
+  EXPECT_EQ(space.cache_stats().misses, 3u);
+}
+
+}  // namespace
+}  // namespace np::matrix

@@ -145,5 +145,43 @@ TEST(NoisySpaceTest, SelfLatencyStaysZero) {
   EXPECT_DOUBLE_EQ(noisy.Latency(1, 1), 0.0);
 }
 
+TEST(NoisySpaceTest, JitterIsSymmetricPerProbe) {
+  // The k-th probe of {a, b} must not depend on which endpoint asks:
+  // two instances with the same seed, one probing (a, b) and the
+  // other (b, a), see identical values probe for probe.
+  matrix::LatencyMatrix m(4, 20.0);
+  const MatrixSpace inner(m);
+  const NoisySpace forward(inner, 0.1, 42, 0.5);
+  const NoisySpace reverse(inner, 0.1, 42, 0.5);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(forward.Latency(1, 3), reverse.Latency(3, 1));
+  }
+}
+
+TEST(NoisySpaceTest, JitterIsProbeOrderRobust) {
+  // Reordering probes across pairs (what any probe-reordering
+  // algorithm refactor does) must not shift a single measured value.
+  matrix::LatencyMatrix m(5, 20.0);
+  const MatrixSpace inner(m);
+  const NoisySpace ab_first(inner, 0.1, 7, 0.0);
+  const double ab_0 = ab_first.Latency(0, 1);
+  const double cd_0 = ab_first.Latency(2, 3);
+  const double ab_1 = ab_first.Latency(0, 1);
+
+  const NoisySpace cd_first(inner, 0.1, 7, 0.0);
+  EXPECT_EQ(cd_first.Latency(2, 3), cd_0);
+  EXPECT_EQ(cd_first.Latency(0, 1), ab_0);
+  EXPECT_EQ(cd_first.Latency(0, 1), ab_1);
+}
+
+TEST(NoisySpaceTest, ReprobingTheSamePairSeesFreshNoise) {
+  matrix::LatencyMatrix m(2, 50.0);
+  const MatrixSpace inner(m);
+  const NoisySpace noisy(inner, 0.2, 9, 0.0);
+  const double first = noisy.Latency(0, 1);
+  const double second = noisy.Latency(0, 1);
+  EXPECT_NE(first, second);
+}
+
 }  // namespace
 }  // namespace np::core

@@ -29,6 +29,8 @@
 #include "algos/tapestry.h"
 #include "algos/tiers.h"
 #include "core/scenario.h"
+#include "core/space_factory.h"
+#include "matrix/embedded_space.h"
 #include "matrix/generators.h"
 #include "mech/hybrid.h"
 #include "mech/topology_space.h"
@@ -65,23 +67,23 @@ std::string ReadFile(const std::string& path) {
 // --- World construction -----------------------------------------------------
 
 /// Owns whichever world variant the spec asked for, and exposes the
-/// pieces the engine needs.
+/// pieces the engine needs. Matrix-backed and implicit worlds go
+/// through the SpaceFactory; the topology world keeps its own wiring
+/// (the §5 mechanisms need the router/IP structure, which lives above
+/// the factory's layer).
 struct World {
   std::string type;
-  // Matrix-backed worlds.
-  std::unique_ptr<np::matrix::ClusteredWorld> clustered;
-  std::unique_ptr<np::matrix::EuclideanWorld> euclidean;
-  std::unique_ptr<np::core::MatrixSpace> matrix_space;
+  std::unique_ptr<np::core::SpaceFactory> factory;
   // Topology-backed world (the §5 mechanisms need routers + IPs).
   std::unique_ptr<np::net::Topology> topology;
   std::unique_ptr<np::mech::TopologySpace> topology_space;
 
   const LatencySpace& space() const {
     return topology_space ? static_cast<const LatencySpace&>(*topology_space)
-                          : *matrix_space;
+                          : factory->space();
   }
   const np::matrix::ClusterLayout* layout() const {
-    return clustered ? &clustered->layout : nullptr;
+    return factory ? factory->layout() : nullptr;
   }
   /// Overlay-eligible nodes; empty = every node of the space.
   std::vector<NodeId> population;
@@ -90,7 +92,7 @@ struct World {
 World BuildWorld(const JsonValue& spec) {
   World world;
   world.type = spec.GetString("type", "clustered");
-  np::util::Rng rng(spec.GetUint64("seed", 7));
+  const std::uint64_t seed = spec.GetUint64("seed", 7);
 
   if (world.type == "clustered") {
     np::matrix::ClusteredConfig config;
@@ -103,10 +105,8 @@ World BuildWorld(const JsonValue& spec) {
     config.delta = spec.GetDouble("delta", config.delta);
     config.same_net_latency_ms =
         spec.GetDouble("same_net_latency_ms", config.same_net_latency_ms);
-    world.clustered = std::make_unique<np::matrix::ClusteredWorld>(
-        np::matrix::GenerateClustered(config, rng));
-    world.matrix_space =
-        std::make_unique<np::core::MatrixSpace>(world.clustered->matrix);
+    world.factory = std::make_unique<np::core::SpaceFactory>(
+        np::core::SpaceFactory::MakeClustered(config, seed));
     return world;
   }
   if (world.type == "euclidean") {
@@ -116,13 +116,27 @@ World BuildWorld(const JsonValue& spec) {
     config.side_ms = spec.GetDouble("side_ms", config.side_ms);
     config.jitter = spec.GetDouble("jitter", config.jitter);
     const NodeId n = static_cast<NodeId>(spec.GetInt("num_nodes", 1000));
-    world.euclidean = std::make_unique<np::matrix::EuclideanWorld>(
-        np::matrix::GenerateEuclidean(n, config, rng));
-    world.matrix_space =
-        std::make_unique<np::core::MatrixSpace>(world.euclidean->matrix);
+    world.factory = std::make_unique<np::core::SpaceFactory>(
+        np::core::SpaceFactory::MakeEuclidean(n, config, seed));
+    return world;
+  }
+  if (world.type == "embedded") {
+    // Implicit backend: O(n * d) memory, latencies recomputed per
+    // probe — the world type the 10^3..10^5 scale sweep runs on.
+    np::matrix::EmbeddedSpaceConfig config;
+    config.num_nodes =
+        static_cast<NodeId>(spec.GetInt("num_nodes", config.num_nodes));
+    config.dimensions =
+        static_cast<int>(spec.GetInt("dimensions", config.dimensions));
+    config.side_ms = spec.GetDouble("side_ms", config.side_ms);
+    config.distortion = spec.GetDouble("distortion", config.distortion);
+    config.seed = seed;
+    world.factory = std::make_unique<np::core::SpaceFactory>(
+        np::core::SpaceFactory::MakeEmbedded(config));
     return world;
   }
   if (world.type == "topology") {
+    np::util::Rng rng(seed);
     np::net::TopologyConfig config = np::net::SmallTestConfig();
     config.num_cities =
         static_cast<int>(spec.GetInt("num_cities", config.num_cities));
@@ -142,8 +156,9 @@ World BuildWorld(const JsonValue& spec) {
         world.topology->HostsOfKind(np::net::HostKind::kAzureusPeer);
     return world;
   }
-  throw np::util::Error("unknown world type: " + world.type +
-                        " (expected clustered | euclidean | topology)");
+  throw np::util::Error(
+      "unknown world type: " + world.type +
+      " (expected clustered | euclidean | embedded | topology)");
 }
 
 // --- Churn schedule ---------------------------------------------------------
@@ -312,12 +327,17 @@ void ValidateSpec(const JsonValue& spec) {
     RequireKeys(world, "world (euclidean)",
                 {"type", "seed", "num_nodes", "dimensions", "side_ms",
                  "jitter"});
+  } else if (world_type == "embedded") {
+    RequireKeys(world, "world (embedded)",
+                {"type", "seed", "num_nodes", "dimensions", "side_ms",
+                 "distortion"});
   } else if (world_type == "topology") {
     RequireKeys(world, "world (topology)",
                 {"type", "seed", "num_cities", "num_ases", "azureus_hosts"});
   } else {
-    throw np::util::Error("unknown world type: " + world_type +
-                          " (expected clustered | euclidean | topology)");
+    throw np::util::Error(
+        "unknown world type: " + world_type +
+        " (expected clustered | euclidean | embedded | topology)");
   }
 
   const JsonValue& churn = spec.at("churn");
@@ -495,6 +515,9 @@ void WriteReportJson(std::ostream& out, const std::string& scenario_name,
           << ", \"p_same_net\": " << er.p_same_net
           << ", \"mean_found_latency_ms\": " << er.mean_found_latency_ms
           << ", \"mean_hops\": " << er.mean_hops
+          << ", \"excess_latency_p50_ms\": " << er.excess_latency_p50_ms
+          << ", \"excess_latency_p95_ms\": " << er.excess_latency_p95_ms
+          << ", \"excess_latency_p99_ms\": " << er.excess_latency_p99_ms
           << ", \"messages_per_query\": " << er.messages_per_query
           << ", \"maintenance_messages\": " << er.maintenance_messages
           << ", \"maintenance_per_event\": " << er.maintenance_per_event
@@ -587,14 +610,15 @@ int Run(int argc, char** argv) {
 
     const ScenarioReport& report = reports.back();
     np::util::Table table({"epoch", "t_s", "members", "joins", "leaves",
-                           "p_exact", "msgs/query", "maint_msgs",
-                           "maint/event"});
+                           "p_exact", "p95_excess_ms", "msgs/query",
+                           "maint_msgs", "maint/event"});
     for (const np::core::EpochReport& er : report.epochs) {
       table.AddRow({std::to_string(er.epoch),
                     np::util::FormatDouble(er.time_s, 1),
                     std::to_string(er.live_members),
                     std::to_string(er.joins), std::to_string(er.leaves),
                     np::util::FormatDouble(er.p_exact_closest, 3),
+                    np::util::FormatDouble(er.excess_latency_p95_ms, 2),
                     np::util::FormatDouble(er.messages_per_query, 1),
                     std::to_string(er.maintenance_messages),
                     np::util::FormatDouble(er.maintenance_per_event, 1)});
