@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace np::algos {
 
@@ -20,64 +22,76 @@ BeaconingNearest::BeaconingNearest(BeaconingConfig config)
 
 void BeaconingNearest::Build(const core::LatencySpace& space,
                              std::vector<NodeId> members, util::Rng& rng) {
+  BuildImpl(space, std::move(members), rng, 1);
+}
+
+void BeaconingNearest::ParallelBuild(const core::LatencySpace& space,
+                                     std::vector<NodeId> members,
+                                     util::Rng& rng, int num_threads) {
+  BuildImpl(space, std::move(members), rng, num_threads);
+}
+
+void BeaconingNearest::BuildImpl(const core::LatencySpace& space,
+                                 std::vector<NodeId> members, util::Rng& rng,
+                                 int num_threads) {
   NP_ENSURE(!members.empty(), "requires members");
   space_ = &space;
-  members_ = std::move(members);
+  members_.Reset(std::move(members));
+  const std::vector<NodeId>& ids = members_.members();
 
   const std::size_t k = std::min<std::size_t>(
-      static_cast<std::size_t>(config_.num_beacons), members_.size());
+      static_cast<std::size_t>(config_.num_beacons), ids.size());
   beacons_.clear();
-  for (std::size_t pick : rng.Sample(members_.size(), k)) {
-    beacons_.push_back(members_[pick]);
+  for (std::size_t pick : rng.Sample(ids.size(), k)) {
+    beacons_.push_back(ids[pick]);
   }
 
+  // Column-parallel fill: iteration m writes slot m of every beacon
+  // row, no randomness — bit-identical for any thread count. Beacons
+  // ride second so row-caching backends keep their rows hot.
   beacon_latency_.assign(beacons_.size(),
-                         std::vector<LatencyMs>(members_.size(), 0.0));
-  for (std::size_t b = 0; b < beacons_.size(); ++b) {
-    for (std::size_t m = 0; m < members_.size(); ++m) {
-      beacon_latency_[b][m] = space.Latency(beacons_[b], members_[m]);
+                         std::vector<LatencyMs>(ids.size(), 0.0));
+  util::ParallelFor(0, ids.size(), num_threads, [&](std::size_t m) {
+    for (std::size_t b = 0; b < beacons_.size(); ++b) {
+      beacon_latency_[b][m] = space.Latency(ids[m], beacons_[b]);
     }
-  }
+  });
 }
 
 void BeaconingNearest::MeasureBeaconRow(std::size_t b) {
-  for (std::size_t m = 0; m < members_.size(); ++m) {
-    beacon_latency_[b][m] = space_->Latency(beacons_[b], members_[m]);
+  const std::vector<NodeId>& ids = members_.members();
+  for (std::size_t m = 0; m < ids.size(); ++m) {
+    beacon_latency_[b][m] = space_->Latency(ids[m], beacons_[b]);
   }
 }
 
 void BeaconingNearest::AddMember(NodeId node, util::Rng& rng) {
   (void)rng;
   NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
-  NP_ENSURE(std::find(members_.begin(), members_.end(), node) ==
-                members_.end(),
-            "node is already a member");
-  members_.push_back(node);
+  members_.Add(node);  // throws on double-add
   // The join protocol: every beacon measures the joiner once.
   for (std::size_t b = 0; b < beacons_.size(); ++b) {
-    beacon_latency_[b].push_back(space_->Latency(beacons_[b], node));
+    beacon_latency_[b].push_back(space_->Latency(node, beacons_[b]));
   }
 }
 
 void BeaconingNearest::RemoveMember(NodeId node) {
-  const auto it = std::find(members_.begin(), members_.end(), node);
-  NP_ENSURE(it != members_.end(), "not a member");
   NP_ENSURE(members_.size() > 1, "cannot remove the last member");
-  const std::size_t position =
-      static_cast<std::size_t>(it - members_.begin());
+  const auto removed = members_.Remove(node);  // throws when not a member
 
-  // Drop the leaver's column (swap-with-last, matching members_).
-  members_[position] = members_.back();
-  members_.pop_back();
+  // Drop the leaver's column (swap-with-last, mirroring the index).
   for (auto& row : beacon_latency_) {
-    row[position] = row.back();
+    if (removed.swapped) {
+      row[removed.position] = row.back();
+    }
     row.pop_back();
   }
 
   // A departing beacon takes its whole latency map with it. Promote
   // the lowest-id member that is not already a beacon and have it
-  // measure everyone — the expensive path. With no candidate left the
-  // beacon set just shrinks.
+  // measure everyone — the expensive path (the O(overlay) candidate
+  // scan rides along with O(overlay) billed row probes). With no
+  // candidate left the beacon set just shrinks.
   const auto beacon_it = std::find(beacons_.begin(), beacons_.end(), node);
   if (beacon_it == beacons_.end()) {
     return;
@@ -85,7 +99,7 @@ void BeaconingNearest::RemoveMember(NodeId node) {
   const std::size_t beacon_pos =
       static_cast<std::size_t>(beacon_it - beacons_.begin());
   NodeId replacement = kInvalidNode;
-  for (const NodeId candidate : members_) {
+  for (const NodeId candidate : members_.members()) {
     if (std::find(beacons_.begin(), beacons_.end(), candidate) !=
         beacons_.end()) {
       continue;
@@ -109,6 +123,7 @@ core::QueryResult BeaconingNearest::FindNearest(
   (void)rng;
   NP_ENSURE(!beacons_.empty(), "Build must run before FindNearest");
   core::QueryResult result;
+  const std::vector<NodeId>& ids = members_.members();
 
   // Each beacon measures the target once.
   std::vector<LatencyMs> beacon_to_target(beacons_.size());
@@ -124,8 +139,8 @@ core::QueryResult BeaconingNearest::FindNearest(
       1, static_cast<int>(std::ceil(config_.quorum *
                                     static_cast<double>(beacons_.size()))));
   std::vector<std::pair<double, NodeId>> candidates;
-  for (std::size_t m = 0; m < members_.size(); ++m) {
-    if (members_[m] == target) {
+  for (std::size_t m = 0; m < ids.size(); ++m) {
+    if (ids[m] == target) {
       continue;
     }
     int votes = 0;
@@ -141,7 +156,7 @@ core::QueryResult BeaconingNearest::FindNearest(
       }
     }
     if (votes >= quorum_votes) {
-      candidates.push_back({worst_deviation, members_[m]});
+      candidates.push_back({worst_deviation, ids[m]});
     }
   }
   std::sort(candidates.begin(), candidates.end());

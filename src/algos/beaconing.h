@@ -9,9 +9,9 @@
 // to all the beacon servers ... impossible to tell apart".
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
+#include "core/member_index.h"
 #include "core/nearest_algorithm.h"
 
 namespace np::algos {
@@ -37,11 +37,22 @@ class BeaconingNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Beacon election stays serial (one cheap Sample); the latency
+  /// table — each beacon's row over the whole membership — fills
+  /// column-parallel under ParallelFor, no RNG involved, so the
+  /// parallel build is trivially bit-identical to the serial one.
+  bool SupportsParallelBuild() const override { return true; }
+  void ParallelBuild(const core::LatencySpace& space,
+                     std::vector<NodeId> members, util::Rng& rng,
+                     int num_threads) override;
+
   /// Incremental membership: a joiner is measured once by every beacon
-  /// (the scheme's join protocol); a leaver's column is dropped. A
-  /// departing *beacon* is replaced by the lowest-id non-beacon member,
-  /// which must measure its latency to the whole membership — the
-  /// scheme's structural weak point under churn.
+  /// (the scheme's join protocol); a leaver's column is dropped in
+  /// O(#beacons) via the member index. A departing *beacon* is
+  /// replaced by the lowest-id non-beacon member, which must measure
+  /// its latency to the whole membership — the scheme's structural
+  /// weak point under churn (billed O(overlay) probes, so the
+  /// accompanying scan is already paid for).
   bool SupportsChurn() const override { return true; }
   void AddMember(NodeId node, util::Rng& rng) override;
   void RemoveMember(NodeId node) override;
@@ -54,19 +65,26 @@ class BeaconingNearest final : public core::NearestPeerAlgorithm {
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
   const std::vector<NodeId>& beacons() const { return beacons_; }
 
  private:
+  /// Shared construction path (Build = serial reference, num_threads
+  /// = 1).
+  void BuildImpl(const core::LatencySpace& space, std::vector<NodeId> members,
+                 util::Rng& rng, int num_threads);
+
   /// Re-measures beacon `b`'s full latency row (beacon replacement).
   void MeasureBeaconRow(std::size_t b);
 
   BeaconingConfig config_;
   const core::LatencySpace* space_ = nullptr;
-  std::vector<NodeId> members_;
+  core::MemberIndex members_;
   std::vector<NodeId> beacons_;
-  /// beacon_latency_[b][m] = lat(beacons_[b], members_[m]).
+  /// beacon_latency_[b][m] = lat(beacons_[b], members()[m]).
   std::vector<std::vector<LatencyMs>> beacon_latency_;
 };
 

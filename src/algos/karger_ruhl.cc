@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace np::algos {
 
@@ -13,7 +14,8 @@ KargerRuhlNearest::KargerRuhlNearest(KargerRuhlConfig config)
     : config_(config) {
   NP_ENSURE(config_.alpha_ms > 0.0, "alpha must be positive");
   NP_ENSURE(config_.growth > 1.0, "growth must exceed 1");
-  NP_ENSURE(config_.num_scales >= 1, "need at least one scale");
+  NP_ENSURE(config_.num_scales >= 1 && config_.num_scales <= 255,
+            "scales must be in [1, 255]");
   NP_ENSURE(config_.samples_per_scale >= 1, "need samples per scale");
   NP_ENSURE(config_.scale_window >= 0, "scale window must be >= 0");
   NP_ENSURE(config_.max_hops >= 1, "positive hop cap required");
@@ -31,28 +33,43 @@ int KargerRuhlNearest::ScaleFor(LatencyMs distance_ms) const {
 
 void KargerRuhlNearest::Build(const core::LatencySpace& space,
                               std::vector<NodeId> members, util::Rng& rng) {
+  BuildImpl(space, std::move(members), rng, 1);
+}
+
+void KargerRuhlNearest::ParallelBuild(const core::LatencySpace& space,
+                                      std::vector<NodeId> members,
+                                      util::Rng& rng, int num_threads) {
+  BuildImpl(space, std::move(members), rng, num_threads);
+}
+
+void KargerRuhlNearest::BuildImpl(const core::LatencySpace& space,
+                                  std::vector<NodeId> members,
+                                  util::Rng& rng, int num_threads) {
   NP_ENSURE(!members.empty(), "requires at least one member");
   space_ = &space;
-  members_ = std::move(members);
-  index_.clear();
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    index_[members_[i]] = i;
-  }
+  members_.Reset(std::move(members));
+  const std::size_t n = members_.size();
+  const std::vector<NodeId>& ids = members_.members();
 
-  samples_.assign(members_.size(), {});
-  std::vector<std::vector<NodeId>> balls(
-      static_cast<std::size_t>(config_.num_scales));
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    for (auto& ball : balls) {
-      ball.clear();
-    }
+  samples_.assign(n, {});
+  occ_.assign(n, {});
+  // One base draw, then a private stream per member keyed by its node
+  // id: iteration i touches only samples_[i], so any thread count
+  // produces the serial result bit for bit.
+  const std::uint64_t base = rng();
+  util::ParallelFor(0, n, num_threads, [&](std::size_t i) {
+    const NodeId self = ids[i];
+    util::Rng mrng(util::Mix64(base ^ static_cast<std::uint64_t>(self)));
     // Bucket the other members by the smallest ball containing them;
-    // ball `s` then contains all buckets <= s.
-    for (const NodeId other : members_) {
-      if (other == members_[i]) {
+    // ball `s` then contains all buckets <= s. `self` rides in the
+    // second argument so row-caching backends reuse its row.
+    std::vector<std::vector<NodeId>> balls(
+        static_cast<std::size_t>(config_.num_scales));
+    for (const NodeId other : ids) {
+      if (other == self) {
         continue;
       }
-      const int scale = ScaleFor(space.Latency(members_[i], other));
+      const int scale = ScaleFor(space.Latency(other, self));
       balls[static_cast<std::size_t>(scale)].push_back(other);
     }
     samples_[i].resize(static_cast<std::size_t>(config_.num_scales));
@@ -68,9 +85,21 @@ void KargerRuhlNearest::Build(const core::LatencySpace& space,
       if (k == cumulative.size()) {
         chosen = cumulative;
       } else {
-        for (std::size_t pick : rng.Sample(cumulative.size(), k)) {
+        for (std::size_t pick : mrng.Sample(cumulative.size(), k)) {
           chosen.push_back(cumulative[pick]);
         }
+      }
+    }
+  });
+
+  // Occurrence pass (serial: a sampled member's list is appended from
+  // every owner, so fan-out here would race).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int s = 0; s < config_.num_scales; ++s) {
+      for (const NodeId sampled :
+           samples_[i][static_cast<std::size_t>(s)]) {
+        occ_[members_.PositionOf(sampled)].push_back(
+            PackOccurrence(ids[i], s));
       }
     }
   }
@@ -78,12 +107,11 @@ void KargerRuhlNearest::Build(const core::LatencySpace& space,
 
 void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
   NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
-  NP_ENSURE(index_.count(node) == 0, "node is already a member");
   const std::size_t existing = members_.size();
-  const std::size_t position = existing;
-  index_[node] = position;
-  members_.push_back(node);
+  const std::size_t position = members_.Add(node);
   samples_.emplace_back(static_cast<std::size_t>(config_.num_scales));
+  occ_.emplace_back();
+  const std::vector<NodeId>& ids = members_.members();
 
   // The joiner probes a bounded random subset of the overlay — enough
   // to fill every scale in expectation, far less than a full scan.
@@ -93,22 +121,23 @@ void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
   std::vector<std::pair<int, NodeId>> probed;  // (scale, member)
   probed.reserve(budget);
   for (std::size_t pick : rng.Sample(existing, budget)) {
-    const NodeId other = members_[pick];
-    const LatencyMs d = space_->Latency(node, other);
-    probed.push_back({ScaleFor(d), other});
+    const NodeId other = ids[pick];
+    const LatencyMs d = space_->Latency(other, node);
+    const int scale = ScaleFor(d);
+    probed.push_back({scale, other});
 
     // The probed member learns about the joiner from the same
     // handshake: keep it when the scale has room, otherwise replace a
     // random entry (membership refresh keeps samples live under
     // churn).
-    auto& theirs =
-        samples_[pick][static_cast<std::size_t>(ScaleFor(d))];
+    auto& theirs = samples_[pick][static_cast<std::size_t>(scale)];
     if (theirs.size() <
         static_cast<std::size_t>(config_.samples_per_scale)) {
       theirs.push_back(node);
     } else {
       theirs[rng.Index(theirs.size())] = node;
     }
+    occ_[position].push_back(PackOccurrence(other, scale));
   }
 
   // Cumulative-ball semantics (as in Build): a member whose smallest
@@ -134,39 +163,50 @@ void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
         chosen.push_back(cumulative[pick]);
       }
     }
-  }
-}
-
-void KargerRuhlNearest::RemoveMember(NodeId node) {
-  const auto it = index_.find(node);
-  NP_ENSURE(it != index_.end(), "not a member");
-  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
-  const std::size_t position = it->second;
-  const std::size_t last = members_.size() - 1;
-  if (position != last) {
-    members_[position] = members_[last];
-    samples_[position] = std::move(samples_[last]);
-    index_[members_[position]] = position;
-  }
-  members_.pop_back();
-  samples_.pop_back();
-  index_.erase(node);
-
-  // Purge the leaver from every sample list (failure detection); the
-  // thinned lists refill as future joiners announce themselves.
-  for (auto& scales : samples_) {
-    for (auto& list : scales) {
-      list.erase(std::remove(list.begin(), list.end(), node), list.end());
+    for (const NodeId sampled : chosen) {
+      occ_[members_.PositionOf(sampled)].push_back(
+          PackOccurrence(node, s));
     }
   }
 }
 
+void KargerRuhlNearest::RemoveMember(NodeId node) {
+  const std::size_t position = members_.PositionOf(node);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+
+  // Purge the leaver from every sample list its occurrence entries
+  // name (failure detection). Stale entries — the list replaced the
+  // leaver earlier, or the owner itself left — erase nothing and are
+  // skipped; erasing the leaver is always correct where it *is* found.
+  // Cost: O(entries naming the leaver), independent of overlay size.
+  for (const std::uint64_t packed : occ_[position]) {
+    const NodeId owner = static_cast<NodeId>(packed >> 8);
+    const int scale = static_cast<int>(packed & 0xFF);
+    const std::size_t owner_pos = members_.PositionOf(owner);
+    if (owner_pos == core::MemberIndex::kNoPosition ||
+        owner_pos == position) {
+      continue;
+    }
+    auto& list = samples_[owner_pos][static_cast<std::size_t>(scale)];
+    list.erase(std::remove(list.begin(), list.end(), node), list.end());
+  }
+
+  const auto removed = members_.Remove(node);
+  if (removed.swapped) {
+    samples_[removed.position] = std::move(samples_.back());
+    occ_[removed.position] = std::move(occ_.back());
+  }
+  samples_.pop_back();
+  occ_.pop_back();
+}
+
 const std::vector<NodeId>& KargerRuhlNearest::SamplesOf(NodeId member,
                                                         int scale) const {
-  const auto it = index_.find(member);
-  NP_ENSURE(it != index_.end(), "not a member");
+  const std::size_t position = members_.PositionOf(member);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
   NP_ENSURE(scale >= 0 && scale < config_.num_scales, "scale out of range");
-  return samples_[it->second][static_cast<std::size_t>(scale)];
+  return samples_[position][static_cast<std::size_t>(scale)];
 }
 
 core::QueryResult KargerRuhlNearest::FindNearest(
@@ -182,13 +222,13 @@ core::QueryResult KargerRuhlNearest::FindNearest(
     return d;
   };
 
-  NodeId current = members_[rng.Index(members_.size())];
+  NodeId current = members_.at(rng.Index(members_.size()));
   LatencyMs current_distance = probe(current);
   result.found = current;
   result.found_latency_ms = current_distance;
 
   for (int hop = 0; hop < config_.max_hops; ++hop) {
-    const std::size_t pos = index_.at(current);
+    const std::size_t pos = members_.PositionOf(current);
     const int scale = ScaleFor(current_distance);
     NodeId best = kInvalidNode;
     LatencyMs best_distance = current_distance;

@@ -6,9 +6,10 @@
 // random probing inside a cluster (§2.2).
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
+#include "core/member_index.h"
 #include "core/nearest_algorithm.h"
 
 namespace np::algos {
@@ -37,13 +38,25 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Ball sampling is independent per member, so batch construction
+  /// fans out over ParallelFor with per-member RNG streams
+  /// `Mix64(base ^ node)` — bit-identical to the serial Build for
+  /// every thread count (see the base-class contract).
+  bool SupportsParallelBuild() const override { return true; }
+  void ParallelBuild(const core::LatencySpace& space,
+                     std::vector<NodeId> members, util::Rng& rng,
+                     int num_threads) override;
+
   /// Incremental membership: a joiner probes a bounded random subset
   /// of the overlay to fill its per-scale samples, and each probed
   /// member considers the joiner for its own samples (random
   /// replacement when full — the classic membership-refresh rule). A
-  /// leaver is purged from every sample list; thinned lists are only
-  /// repaired opportunistically by later joins, which is exactly the
-  /// staleness a real sampling overlay carries under churn.
+  /// leaver is purged from every sample list that holds it — located
+  /// through per-member occurrence lists, not an overlay scan, so a
+  /// leave costs O(lists holding the leaver), O(1) amortized in the
+  /// overlay size; thinned lists are only repaired opportunistically
+  /// by later joins, which is exactly the staleness a real sampling
+  /// overlay carries under churn.
   bool SupportsChurn() const override { return true; }
   void AddMember(NodeId node, util::Rng& rng) override;
   void RemoveMember(NodeId node) override;
@@ -56,7 +69,9 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
   /// Samples of one member at one scale (for tests).
   const std::vector<NodeId>& SamplesOf(NodeId member, int scale) const;
@@ -64,12 +79,31 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
   int ScaleFor(LatencyMs distance_ms) const;
 
  private:
+  /// Shared construction path: Build runs it inline (num_threads = 1,
+  /// the serial reference), ParallelBuild fans it out.
+  void BuildImpl(const core::LatencySpace& space, std::vector<NodeId> members,
+                 util::Rng& rng, int num_threads);
+
+  /// Occurrence bookkeeping: packs (owner, scale) into one word.
+  /// Scales fit 8 bits (num_scales <= 255 enforced at construction);
+  /// NodeId fits 32 (static-asserted in util/types.h).
+  static std::uint64_t PackOccurrence(NodeId owner, int scale) {
+    return (static_cast<std::uint64_t>(owner) << 8) |
+           static_cast<std::uint64_t>(scale);
+  }
+
   KargerRuhlConfig config_;
   const core::LatencySpace* space_ = nullptr;
-  std::vector<NodeId> members_;
-  std::unordered_map<NodeId, std::size_t> index_;
+  core::MemberIndex members_;
   /// samples_[member_pos][scale] -> sampled member ids.
   std::vector<std::vector<std::vector<NodeId>>> samples_;
+  /// occ_[member_pos] -> packed (owner, scale) sample lists that may
+  /// hold this member. Append-only per insertion; entries go stale
+  /// when a list drops the member for another reason (random
+  /// replacement, the owner leaving), so consumers re-check the named
+  /// list — RemoveMember's purge treats a no-op erase as stale. This
+  /// is what replaces the old O(overlay * scales) purge scan.
+  std::vector<std::vector<std::uint64_t>> occ_;
 };
 
 }  // namespace np::algos

@@ -1,9 +1,10 @@
 #include "algos/tapestry.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <utility>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace np::algos {
 
@@ -19,9 +20,9 @@ int TapestryNearest::DigitAt(std::uint32_t id, int level, int num_digits) {
 }
 
 std::uint32_t TapestryNearest::IdOf(NodeId member) const {
-  const auto it = index_.find(member);
-  NP_ENSURE(it != index_.end(), "not a member");
-  return ids_[it->second];
+  const std::size_t position = members_.PositionOf(member);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
+  return ids_[position];
 }
 
 int TapestryNearest::SharedPrefix(std::uint32_t a, std::uint32_t b) const {
@@ -46,38 +47,59 @@ std::uint32_t TapestryNearest::DrawFreshId(util::Rng& rng) {
   return id;
 }
 
+void TapestryNearest::InstallEntry(std::size_t owner_pos, std::size_t slot,
+                                   NodeId entry, LatencyMs latency) {
+  if (latency >= table_latency_[owner_pos][slot]) {
+    return;
+  }
+  table_latency_[owner_pos][slot] = latency;
+  tables_[owner_pos][slot] = entry;
+  refs_[members_.PositionOf(entry)].push_back(
+      PackRef(members_.at(owner_pos), slot));
+}
+
 void TapestryNearest::Build(const core::LatencySpace& space,
                             std::vector<NodeId> members, util::Rng& rng) {
+  BuildImpl(space, std::move(members), rng, 1);
+}
+
+void TapestryNearest::ParallelBuild(const core::LatencySpace& space,
+                                    std::vector<NodeId> members,
+                                    util::Rng& rng, int num_threads) {
+  BuildImpl(space, std::move(members), rng, num_threads);
+}
+
+void TapestryNearest::BuildImpl(const core::LatencySpace& space,
+                                std::vector<NodeId> members, util::Rng& rng,
+                                int num_threads) {
   NP_ENSURE(!members.empty(), "requires members");
   space_ = &space;
-  members_ = std::move(members);
-  index_.clear();
-  ids_.resize(members_.size());
+  members_.Reset(std::move(members));
+  const std::size_t n = members_.size();
+  const std::vector<NodeId>& node_ids = members_.members();
+  ids_.resize(n);
   used_ids_.clear();
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    index_[members_[i]] = i;
+  for (std::size_t i = 0; i < n; ++i) {
     ids_[i] = DrawFreshId(rng);
   }
 
   // For each node, level and digit: the closest member sharing the
   // first `level` digits of the node's id with `digit` at position
-  // `level`.
+  // `level`. Each iteration writes only row i, and the scan consumes
+  // no randomness, so the fan-out is bit-identical to the serial pass.
   const int levels = config_.num_digits;
-  tables_.assign(members_.size(),
-                 std::vector<std::int32_t>(
-                     static_cast<std::size_t>(levels) * 16, -1));
-  table_latency_.assign(
-      members_.size(),
-      std::vector<LatencyMs>(static_cast<std::size_t>(levels) * 16,
-                             kInfiniteLatency));
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    for (std::size_t j = 0; j < members_.size(); ++j) {
+  const std::size_t slots = static_cast<std::size_t>(levels) * 16;
+  tables_.assign(n, std::vector<NodeId>(slots, kInvalidNode));
+  table_latency_.assign(n, std::vector<LatencyMs>(slots, kInfiniteLatency));
+  util::ParallelFor(0, n, num_threads, [&](std::size_t i) {
+    for (std::size_t j = 0; j < n; ++j) {
       if (j == i) {
         continue;
       }
       const int shared = SharedPrefix(ids_[i], ids_[j]);
-      // j is eligible for the table at every level <= shared.
-      const double latency = space.Latency(members_[i], members_[j]);
+      // j is eligible for the table at every level <= shared. The
+      // owner rides second so row-caching backends reuse its row.
+      const double latency = space.Latency(node_ids[j], node_ids[i]);
       for (int level = 0; level <= std::min(shared, levels - 1); ++level) {
         const int digit = DigitAt(ids_[j], level, levels);
         const std::size_t slot =
@@ -85,8 +107,21 @@ void TapestryNearest::Build(const core::LatencySpace& space,
             static_cast<std::size_t>(digit);
         if (latency < table_latency_[i][slot]) {
           table_latency_[i][slot] = latency;
-          tables_[i][slot] = static_cast<std::int32_t>(j);
+          tables_[i][slot] = node_ids[j];
         }
+      }
+    }
+  });
+
+  // Back-reference pass (serial: a referenced member collects refs
+  // from every owner).
+  refs_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      const NodeId entry = tables_[i][slot];
+      if (entry != kInvalidNode) {
+        refs_[members_.PositionOf(entry)].push_back(
+            PackRef(node_ids[i], slot));
       }
     }
   }
@@ -94,101 +129,95 @@ void TapestryNearest::Build(const core::LatencySpace& space,
 
 void TapestryNearest::AddMember(NodeId node, util::Rng& rng) {
   NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
-  NP_ENSURE(index_.count(node) == 0, "node is already a member");
   const int levels = config_.num_digits;
-  const std::size_t position = members_.size();
+  const std::size_t slots = static_cast<std::size_t>(levels) * 16;
   const std::uint32_t id = DrawFreshId(rng);
-  index_[node] = position;
-  members_.push_back(node);
+  const std::size_t existing = members_.size();
+  const std::size_t position = members_.Add(node);
   ids_.push_back(id);
-  tables_.emplace_back(static_cast<std::size_t>(levels) * 16, -1);
-  table_latency_.emplace_back(static_cast<std::size_t>(levels) * 16,
-                              kInfiniteLatency);
+  tables_.emplace_back(slots, kInvalidNode);
+  table_latency_.emplace_back(slots, kInfiniteLatency);
+  refs_.emplace_back();
+  const std::vector<NodeId>& node_ids = members_.members();
 
   // One measurement per existing member serves both directions (an RTT
   // handshake): it fills the joiner's tables and lets each member
   // consider the joiner for its own.
-  for (std::size_t j = 0; j < position; ++j) {
+  for (std::size_t j = 0; j < existing; ++j) {
     const int shared = SharedPrefix(id, ids_[j]);
-    const double latency = space_->Latency(node, members_[j]);
+    const double latency = space_->Latency(node_ids[j], node);
     for (int level = 0; level <= std::min(shared, levels - 1); ++level) {
       const std::size_t joiner_slot =
           static_cast<std::size_t>(level) * 16 +
           static_cast<std::size_t>(DigitAt(ids_[j], level, levels));
-      if (latency < table_latency_[position][joiner_slot]) {
-        table_latency_[position][joiner_slot] = latency;
-        tables_[position][joiner_slot] = static_cast<std::int32_t>(j);
-      }
+      InstallEntry(position, joiner_slot, node_ids[j], latency);
       const std::size_t member_slot =
           static_cast<std::size_t>(level) * 16 +
           static_cast<std::size_t>(DigitAt(id, level, levels));
-      if (latency < table_latency_[j][member_slot]) {
-        table_latency_[j][member_slot] = latency;
-        tables_[j][member_slot] = static_cast<std::int32_t>(position);
-      }
+      InstallEntry(j, member_slot, node, latency);
     }
   }
 }
 
 void TapestryNearest::RemoveMember(NodeId node) {
-  const auto it = index_.find(node);
-  NP_ENSURE(it != index_.end(), "not a member");
+  const std::size_t position = members_.PositionOf(node);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
   NP_ENSURE(members_.size() > 1, "cannot remove the last member");
-  const std::size_t position = it->second;
-  const std::size_t last = members_.size() - 1;
   const int levels = config_.num_digits;
-  const std::size_t slots = static_cast<std::size_t>(levels) * 16;
 
-  // Pass 1 over every surviving table: evict the leaver (those slots
-  // become repair work) and pre-remap references to the member about
-  // to move from `last` into `position`.
-  std::vector<std::pair<std::size_t, std::size_t>> orphans;  // (owner, slot)
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    if (i == position) {
-      continue;  // the leaver's own table goes away wholesale
+  // Evict the leaver from exactly the slots that reference it. A
+  // back-reference is stale when the slot was since overwritten by a
+  // closer candidate, or its owner left (possibly re-joining under the
+  // same id) — the slot re-check filters all of those. Orphaned slots
+  // become repair work.
+  std::vector<std::pair<NodeId, std::size_t>> orphans;  // (owner, slot)
+  for (const std::uint64_t packed : refs_[position]) {
+    const NodeId owner = static_cast<NodeId>(packed >> 8);
+    const std::size_t slot = static_cast<std::size_t>(packed & 0xFF);
+    const std::size_t owner_pos = members_.PositionOf(owner);
+    if (owner_pos == core::MemberIndex::kNoPosition ||
+        owner_pos == position || tables_[owner_pos][slot] != node) {
+      continue;
     }
-    for (std::size_t slot = 0; slot < slots; ++slot) {
-      const std::int32_t entry = tables_[i][slot];
-      if (entry == static_cast<std::int32_t>(position)) {
-        tables_[i][slot] = -1;
-        table_latency_[i][slot] = kInfiniteLatency;
-        orphans.push_back({i == last ? position : i, slot});
-      } else if (entry == static_cast<std::int32_t>(last)) {
-        tables_[i][slot] = static_cast<std::int32_t>(position);
-      }
-    }
+    tables_[owner_pos][slot] = kInvalidNode;
+    table_latency_[owner_pos][slot] = kInfiniteLatency;
+    orphans.push_back({owner, slot});
   }
 
   used_ids_.erase(ids_[position]);
-  if (position != last) {
-    members_[position] = members_[last];
-    ids_[position] = ids_[last];
-    tables_[position] = std::move(tables_[last]);
-    table_latency_[position] = std::move(table_latency_[last]);
-    index_[members_[position]] = position;
+  const auto removed = members_.Remove(node);
+  if (removed.swapped) {
+    ids_[removed.position] = ids_.back();
+    tables_[removed.position] = std::move(tables_.back());
+    table_latency_[removed.position] = std::move(table_latency_.back());
+    refs_[removed.position] = std::move(refs_.back());
   }
-  members_.pop_back();
   ids_.pop_back();
   tables_.pop_back();
   table_latency_.pop_back();
-  index_.erase(node);
+  refs_.pop_back();
 
-  // Pass 2 — prefix repair: each orphaned slot's owner re-scans the
-  // eligible members, measuring each candidate once per owner. This
-  // is the costly part of identifier-based sampling under churn.
+  // Prefix repair: each orphaned slot's owner re-scans the eligible
+  // members, measuring each candidate once per owner (billed). This is
+  // the costly part of identifier-based sampling under churn — the
+  // scheme's own repair price, not index bookkeeping.
+  std::sort(orphans.begin(), orphans.end());
+  const std::size_t n = members_.size();
+  const std::vector<NodeId>& node_ids = members_.members();
   std::size_t o = 0;
   while (o < orphans.size()) {
-    const std::size_t owner = orphans[o].first;
+    const NodeId owner = orphans[o].first;
+    const std::size_t owner_pos = members_.PositionOf(owner);
     std::size_t end = o;
     while (end < orphans.size() && orphans[end].first == owner) {
       ++end;
     }
-    std::vector<LatencyMs> measured(members_.size(), kInfiniteLatency);
-    for (std::size_t j = 0; j < members_.size(); ++j) {
-      if (j == owner) {
+    std::vector<LatencyMs> measured(n, kInfiniteLatency);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == owner_pos) {
         continue;
       }
-      const int shared = SharedPrefix(ids_[owner], ids_[j]);
+      const int shared = SharedPrefix(ids_[owner_pos], ids_[j]);
       for (std::size_t k = o; k < end; ++k) {
         const std::size_t slot = orphans[k].second;
         const int level = static_cast<int>(slot / 16);
@@ -197,12 +226,9 @@ void TapestryNearest::RemoveMember(NodeId node) {
           continue;
         }
         if (measured[j] == kInfiniteLatency) {
-          measured[j] = space_->Latency(members_[owner], members_[j]);
+          measured[j] = space_->Latency(node_ids[j], node_ids[owner_pos]);
         }
-        if (measured[j] < table_latency_[owner][slot]) {
-          table_latency_[owner][slot] = measured[j];
-          tables_[owner][slot] = static_cast<std::int32_t>(j);
-        }
+        InstallEntry(owner_pos, slot, node_ids[j], measured[j]);
       }
     }
     o = end;
@@ -210,16 +236,16 @@ void TapestryNearest::RemoveMember(NodeId node) {
 }
 
 std::vector<NodeId> TapestryNearest::TableOf(NodeId member, int level) const {
-  const auto it = index_.find(member);
-  NP_ENSURE(it != index_.end(), "not a member");
+  const std::size_t position = members_.PositionOf(member);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
   NP_ENSURE(level >= 0 && level < config_.num_digits, "level out of range");
   std::vector<NodeId> out;
   for (int digit = 0; digit < 16; ++digit) {
-    const std::int32_t pos =
-        tables_[it->second][static_cast<std::size_t>(level) * 16 +
-                            static_cast<std::size_t>(digit)];
-    if (pos >= 0) {
-      out.push_back(members_[static_cast<std::size_t>(pos)]);
+    const NodeId entry =
+        tables_[position][static_cast<std::size_t>(level) * 16 +
+                          static_cast<std::size_t>(digit)];
+    if (entry != kInvalidNode) {
+      out.push_back(entry);
     }
   }
   std::sort(out.begin(), out.end());
@@ -241,8 +267,8 @@ core::QueryResult TapestryNearest::FindNearest(
   };
 
   std::size_t current = rng.Index(members_.size());
-  result.found = members_[current];
-  result.found_latency_ms = probe(members_[current]);
+  result.found = members_.at(current);
+  result.found_latency_ms = probe(members_.at(current));
 
   // Descend the levels: probe the whole level table, move to the
   // closest entry (the iterative construction from §6), and continue
@@ -254,13 +280,12 @@ core::QueryResult TapestryNearest::FindNearest(
     std::size_t best = current;
     LatencyMs best_distance = kInfiniteLatency;
     for (int digit = 0; digit < 16; ++digit) {
-      const std::int32_t pos =
+      const NodeId candidate =
           tables_[current][static_cast<std::size_t>(level) * 16 +
                            static_cast<std::size_t>(digit)];
-      if (pos < 0) {
+      if (candidate == kInvalidNode) {
         continue;
       }
-      const NodeId candidate = members_[static_cast<std::size_t>(pos)];
       const LatencyMs d = probe(candidate);
       if (d < result.found_latency_ms ||
           (d == result.found_latency_ms && candidate < result.found)) {
@@ -269,7 +294,7 @@ core::QueryResult TapestryNearest::FindNearest(
       }
       if (d < best_distance) {
         best_distance = d;
-        best = static_cast<std::size_t>(pos);
+        best = members_.PositionOf(candidate);
       }
     }
     if (best != current) {

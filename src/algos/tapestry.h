@@ -8,11 +8,11 @@
 // paper describes in §6.
 #pragma once
 
-#include <array>
-#include <unordered_map>
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
+#include "core/member_index.h"
 #include "core/nearest_algorithm.h"
 
 namespace np::algos {
@@ -33,13 +33,24 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Identifier assignment stays serial (collision-free draws are a
+  /// sequential O(n) trickle), then every member's routing table is
+  /// filled independently under ParallelFor — no RNG in that phase, so
+  /// the parallel build is trivially bit-identical to the serial one.
+  bool SupportsParallelBuild() const override { return true; }
+  void ParallelBuild(const core::LatencySpace& space,
+                     std::vector<NodeId> members, util::Rng& rng,
+                     int num_threads) override;
+
   /// Incremental membership: a joiner draws a fresh id, measures every
   /// member once (one RTT handshake serves both directions), builds
   /// its own tables from those measurements, and is installed into any
-  /// table slot it wins. A leaver is evicted from every table; each
-  /// orphaned slot is repaired by re-scanning the eligible members —
-  /// the expensive prefix-repair path that makes identifier-based
-  /// sampling costly under churn.
+  /// table slot it wins. A leaver is evicted from exactly the slots
+  /// that reference it (tracked by per-member back-reference lists —
+  /// no overlay scan); each orphaned slot is then repaired by
+  /// re-scanning the eligible members with billed probes — the
+  /// expensive prefix-repair path that makes identifier-based sampling
+  /// costly under churn.
   bool SupportsChurn() const override { return true; }
   void AddMember(NodeId node, util::Rng& rng) override;
   void RemoveMember(NodeId node) override;
@@ -52,7 +63,9 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
   std::uint32_t IdOf(NodeId member) const;
 
@@ -68,18 +81,43 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
   /// Draws an id not yet in use.
   std::uint32_t DrawFreshId(util::Rng& rng);
 
+  /// Shared construction path (Build = serial reference, num_threads
+  /// = 1).
+  void BuildImpl(const core::LatencySpace& space, std::vector<NodeId> members,
+                 util::Rng& rng, int num_threads);
+
+  /// Installs `entry` into `owner_pos`'s table slot if it improves it,
+  /// maintaining latency and back-references.
+  void InstallEntry(std::size_t owner_pos, std::size_t slot, NodeId entry,
+                    LatencyMs latency);
+
+  /// Back-reference bookkeeping: packs (owner, slot) into one word
+  /// (slots fit 8 bits: num_digits <= 8 -> slot < 128).
+  static std::uint64_t PackRef(NodeId owner, std::size_t slot) {
+    return (static_cast<std::uint64_t>(owner) << 8) |
+           static_cast<std::uint64_t>(slot);
+  }
+
   TapestryConfig config_;
   const core::LatencySpace* space_ = nullptr;
-  std::vector<NodeId> members_;
-  std::unordered_map<NodeId, std::size_t> index_;
+  core::MemberIndex members_;
   std::vector<std::uint32_t> ids_;
   std::unordered_set<std::uint32_t> used_ids_;
-  /// tables_[member_pos][level * 16 + digit] -> member position or -1.
-  std::vector<std::vector<std::int32_t>> tables_;
+  /// tables_[member_pos][level * 16 + digit] -> member id or
+  /// kInvalidNode. Entries are node ids (not positions), so
+  /// swap-and-pop removal never has to re-map surviving tables.
+  std::vector<std::vector<NodeId>> tables_;
   /// Measured latency to each table entry (kInfiniteLatency for empty
   /// slots); churn repair consults it instead of re-probing pairs the
   /// owner already knows.
   std::vector<std::vector<LatencyMs>> table_latency_;
+  /// refs_[member_pos] -> packed (owner, slot) table slots that may
+  /// reference this member. Entries go stale when the slot is
+  /// overwritten by a closer candidate or the owner leaves;
+  /// RemoveMember re-checks the named slot before evicting, so stale
+  /// entries are skipped. Replaces the old O(overlay * slots) eviction
+  /// scan.
+  std::vector<std::vector<std::uint64_t>> refs_;
 };
 
 }  // namespace np::algos

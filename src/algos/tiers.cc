@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace np::algos {
 
@@ -22,12 +23,35 @@ double TiersNearest::RadiusAt(int level) const {
 
 void TiersNearest::Build(const core::LatencySpace& space,
                          std::vector<NodeId> members, util::Rng& rng) {
+  BuildImpl(space, std::move(members), rng, 1);
+}
+
+void TiersNearest::ParallelBuild(const core::LatencySpace& space,
+                                 std::vector<NodeId> members, util::Rng& rng,
+                                 int num_threads) {
+  BuildImpl(space, std::move(members), rng, num_threads);
+}
+
+void TiersNearest::BuildImpl(const core::LatencySpace& space,
+                             std::vector<NodeId> members, util::Rng& rng,
+                             int num_threads) {
   NP_ENSURE(!members.empty(), "requires members");
   space_ = &space;
-  members_ = std::move(members);
+  members_.Reset(std::move(members));
   levels_.clear();
 
-  std::vector<NodeId> level_members = members_;
+  // Members probe the representative set in chunks: the probes against
+  // the reps known at chunk start run under ParallelFor, then the
+  // greedy decisions replay serially in member order (probing only the
+  // few reps founded mid-chunk directly). Same decision sequence and
+  // probe multiset as a fully serial pass — a member measures every
+  // representative that exists when it is processed, full clusters
+  // included (a joiner cannot know a cluster is full without talking
+  // to it).
+  constexpr std::size_t kChunk = 128;
+  std::vector<std::vector<LatencyMs>> scratch(kChunk);
+
+  std::vector<NodeId> level_members = members_.members();
   double radius = config_.base_radius_ms;
   for (int level = 0; level < config_.max_levels; ++level) {
     Level built;
@@ -35,27 +59,45 @@ void TiersNearest::Build(const core::LatencySpace& space,
     // Greedy cover in random order: first member within `radius` of an
     // existing representative joins it, otherwise it becomes one.
     rng.Shuffle(level_members);
-    for (const NodeId m : level_members) {
-      NodeId best_rep = kInvalidNode;
-      LatencyMs best_distance = radius;
-      for (const NodeId rep : reps) {
-        if (static_cast<int>(built.clusters[rep].size()) >=
-            config_.max_cluster_size) {
-          continue;  // full cluster stops absorbing
+    for (std::size_t start = 0; start < level_members.size();
+         start += kChunk) {
+      const std::size_t count =
+          std::min(kChunk, level_members.size() - start);
+      const std::size_t reps_at_start = reps.size();
+      util::ParallelFor(0, count, num_threads, [&](std::size_t k) {
+        const NodeId m = level_members[start + k];
+        auto& row = scratch[k];
+        row.resize(reps_at_start);
+        // `m` rides second so row-caching backends reuse its row.
+        for (std::size_t r = 0; r < reps_at_start; ++r) {
+          row[r] = space.Latency(reps[r], m);
         }
-        const LatencyMs d = space.Latency(m, rep);
-        if (d <= best_distance) {
-          best_distance = d;
-          best_rep = rep;
+      });
+      for (std::size_t k = 0; k < count; ++k) {
+        const NodeId m = level_members[start + k];
+        NodeId best_rep = kInvalidNode;
+        LatencyMs best_distance = radius;
+        for (std::size_t r = 0; r < reps.size(); ++r) {
+          const NodeId rep = reps[r];
+          const LatencyMs d =
+              r < reps_at_start ? scratch[k][r] : space.Latency(rep, m);
+          if (static_cast<int>(built.clusters[rep].size()) >=
+              config_.max_cluster_size) {
+            continue;  // full cluster stops absorbing
+          }
+          if (d <= best_distance) {
+            best_distance = d;
+            best_rep = rep;
+          }
         }
-      }
-      if (best_rep == kInvalidNode) {
-        reps.push_back(m);
-        built.clusters[m].push_back(m);
-        built.rep_of[m] = m;
-      } else {
-        built.clusters[best_rep].push_back(m);
-        built.rep_of[m] = best_rep;
+        if (best_rep == kInvalidNode) {
+          reps.push_back(m);
+          built.clusters[m].push_back(m);
+          built.rep_of[m] = m;
+        } else {
+          built.clusters[best_rep].push_back(m);
+          built.rep_of[m] = best_rep;
+        }
       }
     }
     levels_.push_back(std::move(built));
@@ -78,9 +120,7 @@ void TiersNearest::Build(const core::LatencySpace& space,
 void TiersNearest::AddMember(NodeId node, util::Rng& rng) {
   (void)rng;
   NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
-  NP_ENSURE(levels_[0].rep_of.find(node) == levels_[0].rep_of.end(),
-            "joining node is already a member");
-  members_.push_back(node);
+  members_.Add(node);  // throws on double-add
 
   // The scheme's join protocol: descend from the top cluster, probing
   // every visited cluster's members. The probes go through the space
@@ -178,11 +218,8 @@ NodeId TiersNearest::ElectRep(const std::vector<NodeId>& cluster) const {
 
 void TiersNearest::RemoveMember(NodeId node) {
   NP_ENSURE(space_ != nullptr, "Build must run before RemoveMember");
-  const auto mit = std::find(members_.begin(), members_.end(), node);
-  NP_ENSURE(mit != members_.end(), "leaving node is not a member");
   NP_ENSURE(members_.size() > 1, "cannot remove the last member");
-  *mit = members_.back();
-  members_.pop_back();
+  members_.Remove(node);  // throws when not a member; O(1)
 
   // Walk up the levels the node occupies. Removal mode drops it; once
   // a re-election picks a replacement, substitution mode hands the
@@ -248,7 +285,7 @@ void TiersNearest::CheckInvariants() const {
   NP_ENSURE(space_ != nullptr, "Build must run before CheckInvariants");
   // Every member appears in exactly one bottom cluster.
   std::vector<NodeId> bottom = LevelMembers(0);
-  std::vector<NodeId> expected = members_;
+  std::vector<NodeId> expected = members_.members();
   std::sort(expected.begin(), expected.end());
   NP_ENSURE(bottom == expected,
             "bottom-level clusters must partition the membership");

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/member_index.h"
 #include "core/nearest_algorithm.h"
 
 namespace np::algos {
@@ -49,6 +50,21 @@ class TiersNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// The greedy cover at each level is sequential in spirit (whether a
+  /// member founds a cluster depends on every earlier decision), but
+  /// its cost is the latency probes, and those parallelize: members
+  /// are processed in fixed-size chunks, each chunk's probes against
+  /// the representatives known at chunk start fan out under
+  /// ParallelFor, and the (cheap) assignment decisions then replay
+  /// serially in member order — consulting the precomputed distances,
+  /// plus direct probes to any representative founded mid-chunk. The
+  /// decision sequence is identical to the serial pass, so the build
+  /// is bit-identical for every thread count.
+  bool SupportsParallelBuild() const override { return true; }
+  void ParallelBuild(const core::LatencySpace& space,
+                     std::vector<NodeId> members, util::Rng& rng,
+                     int num_threads) override;
+
   /// Incremental membership. A joiner descends from the top cluster,
   /// probing each visited cluster's members (metered through the
   /// space supplied to Build) and attaching to the lowest level whose
@@ -69,7 +85,9 @@ class TiersNearest final : public core::NearestPeerAlgorithm {
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
   int num_levels() const { return static_cast<int>(levels_.size()); }
 
@@ -98,6 +116,11 @@ class TiersNearest final : public core::NearestPeerAlgorithm {
   /// Cluster radius at a level: base_radius_ms * radius_growth^level.
   double RadiusAt(int level) const;
 
+  /// Shared construction path (Build = serial reference, num_threads
+  /// = 1).
+  void BuildImpl(const core::LatencySpace& space, std::vector<NodeId> members,
+                 util::Rng& rng, int num_threads);
+
   /// Re-elects a representative among `cluster` (the old rep already
   /// removed): the member minimizing the summed latency to the others,
   /// every pair probed once through the build-time space (billed
@@ -106,7 +129,7 @@ class TiersNearest final : public core::NearestPeerAlgorithm {
 
   TiersConfig config_;
   const core::LatencySpace* space_ = nullptr;
-  std::vector<NodeId> members_;
+  core::MemberIndex members_;
   std::vector<Level> levels_;  // levels_[0] = bottom
   std::vector<NodeId> top_reps_;
 };

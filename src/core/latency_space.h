@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
@@ -133,6 +134,11 @@ class NoisySpace final : public LatencySpace {
 /// Probe-counting decorator. Algorithms receive a MeteredSpace so that
 /// every latency measurement they perform is accounted; reads of the
 /// same pair are counted each time (a real system pays for each probe).
+///
+/// The counter is a relaxed atomic so ParallelBuild paths may probe
+/// through one shared meter from many threads: the total is exact
+/// (additions commute) and therefore thread-count invariant, which is
+/// what keeps build_messages deterministic for parallel builds.
 class MeteredSpace final : public LatencySpace {
  public:
   explicit MeteredSpace(const LatencySpace& inner) : inner_(&inner) {}
@@ -140,16 +146,18 @@ class MeteredSpace final : public LatencySpace {
   NodeId size() const override { return inner_->size(); }
 
   LatencyMs Latency(NodeId a, NodeId b) const override {
-    ++probes_;
+    probes_.fetch_add(1, std::memory_order_relaxed);
     return inner_->Latency(a, b);
   }
 
-  std::uint64_t probes() const { return probes_; }
-  void ResetProbes() const { probes_ = 0; }
+  std::uint64_t probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  void ResetProbes() const { probes_.store(0, std::memory_order_relaxed); }
 
  private:
   const LatencySpace* inner_;
-  mutable std::uint64_t probes_ = 0;
+  mutable std::atomic<std::uint64_t> probes_{0};
 };
 
 }  // namespace np::core

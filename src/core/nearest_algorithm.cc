@@ -18,6 +18,16 @@ void NearestPeerAlgorithm::RemoveMember(NodeId node) {
   NP_ENSURE(false, "this algorithm does not support churn; rebuild instead");
 }
 
+void NearestPeerAlgorithm::ParallelBuild(const LatencySpace& space,
+                                         std::vector<NodeId> members,
+                                         util::Rng& rng, int num_threads) {
+  // Base fallback: no parallel construction path; the thread budget is
+  // accepted (and ignored) so callers can pass every algorithm through
+  // the same entry point.
+  (void)num_threads;
+  Build(space, std::move(members), rng);
+}
+
 QueryResult NearestPeerAlgorithm::Query(NodeId target,
                                         const MeteredSpace& metered,
                                         util::Rng& rng) {
@@ -35,7 +45,7 @@ void OracleNearest::Build(const LatencySpace& space,
   (void)rng;
   NP_ENSURE(!members.empty(), "oracle requires at least one member");
   space_ = &space;
-  members_ = std::move(members);
+  members_.Reset(std::move(members));
 }
 
 QueryResult OracleNearest::FindNearest(NodeId target,
@@ -44,7 +54,7 @@ QueryResult OracleNearest::FindNearest(NodeId target,
   (void)rng;
   NP_ENSURE(space_ != nullptr, "Build must be called before FindNearest");
   QueryResult result;
-  for (NodeId member : members_) {
+  for (NodeId member : members_.members()) {
     const LatencyMs latency = metered.Latency(member, target);
     ++result.probes;
     if (latency < result.found_latency_ms ||
@@ -57,44 +67,31 @@ QueryResult OracleNearest::FindNearest(NodeId target,
   return result;
 }
 
-namespace {
-
-/// Shared membership-only churn for the two baselines: append on join,
-/// swap-with-last on leave. No probes are issued — these define the
-/// zero-maintenance floor the structured overlays are compared against.
-void AddToMemberList(std::vector<NodeId>& members, NodeId node) {
-  NP_ENSURE(std::find(members.begin(), members.end(), node) == members.end(),
-            "node is already a member");
-  members.push_back(node);
-}
-
-void RemoveFromMemberList(std::vector<NodeId>& members, NodeId node) {
-  const auto it = std::find(members.begin(), members.end(), node);
-  NP_ENSURE(it != members.end(), "not a member");
-  NP_ENSURE(members.size() > 1, "cannot remove the last member");
-  *it = members.back();
-  members.pop_back();
-}
-
-}  // namespace
+// Membership is the only overlay state of the two baselines, so churn
+// is pure MemberIndex bookkeeping: O(1) join and leave, zero probes —
+// the zero-maintenance floor the structured overlays are compared
+// against (double-add / double-remove still fail loudly, inside the
+// index).
 
 void OracleNearest::AddMember(NodeId node, util::Rng& rng) {
   (void)rng;
   NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
-  AddToMemberList(members_, node);
+  members_.Add(node);
 }
 
 void OracleNearest::RemoveMember(NodeId node) {
-  RemoveFromMemberList(members_, node);
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  members_.Remove(node);
 }
 
 void RandomNearest::AddMember(NodeId node, util::Rng& rng) {
   (void)rng;
-  AddToMemberList(members_, node);
+  members_.Add(node);
 }
 
 void RandomNearest::RemoveMember(NodeId node) {
-  RemoveFromMemberList(members_, node);
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  members_.Remove(node);
 }
 
 void RandomNearest::Build(const LatencySpace& space,
@@ -102,14 +99,14 @@ void RandomNearest::Build(const LatencySpace& space,
   (void)space;
   (void)rng;
   NP_ENSURE(!members.empty(), "random requires at least one member");
-  members_ = std::move(members);
+  members_.Reset(std::move(members));
 }
 
 QueryResult RandomNearest::FindNearest(NodeId target,
                                        const MeteredSpace& metered,
                                        util::Rng& rng) {
   QueryResult result;
-  result.found = members_[rng.Index(members_.size())];
+  result.found = members_.at(rng.Index(members_.size()));
   result.found_latency_ms = metered.Latency(result.found, target);
   result.probes = 1;
   result.hops = 0;

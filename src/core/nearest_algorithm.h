@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/latency_space.h"
+#include "core/member_index.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -63,6 +64,25 @@ class NearestPeerAlgorithm {
   virtual void Build(const LatencySpace& space, std::vector<NodeId> members,
                      util::Rng& rng) = 0;
 
+  /// True when ParallelBuild actually fans construction out over
+  /// worker threads (the base falls back to the serial Build).
+  virtual bool SupportsParallelBuild() const { return false; }
+
+  /// Batch-parallel construction. Same contract as Build plus a
+  /// determinism guarantee: on a deterministic, thread-safe space the
+  /// resulting overlay state — and every metric derived from it — is
+  /// bit-identical to the serial Build for every `num_threads`
+  /// (0 = hardware_concurrency). Overriders achieve this with
+  /// ParallelFor over members and per-member RNG streams
+  /// `Mix64(base ^ node)`; Build remains the serial reference
+  /// (ParallelBuild(..., 1) runs the identical code inline).
+  ///
+  /// Callers own thread safety of `space`: a NoisySpace is stateful and
+  /// must only be passed with one thread (the scenario engine clamps).
+  virtual void ParallelBuild(const LatencySpace& space,
+                             std::vector<NodeId> members, util::Rng& rng,
+                             int num_threads);
+
   /// Finds the member closest to `target`. `target` is usually not a
   /// member (the paper keeps 100 targets out of the overlay). Probes
   /// issued against the target must go through `metered` so they are
@@ -111,11 +131,13 @@ class OracleNearest final : public NearestPeerAlgorithm {
   QueryResult FindNearest(NodeId target, const MeteredSpace& metered,
                           util::Rng& rng) override;
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
  private:
   const LatencySpace* space_ = nullptr;
-  std::vector<NodeId> members_;
+  MemberIndex members_;
 };
 
 /// Uniform random member — the floor every algorithm must beat.
@@ -137,10 +159,12 @@ class RandomNearest final : public NearestPeerAlgorithm {
   QueryResult FindNearest(NodeId target, const MeteredSpace& metered,
                           util::Rng& rng) override;
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
  private:
-  std::vector<NodeId> members_;
+  MemberIndex members_;
 };
 
 /// True closest member to `target` by exhaustive scan (unmetered).

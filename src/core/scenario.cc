@@ -92,7 +92,14 @@ ScenarioReport RunScenario(const LatencySpace& space,
   report.clustered = layout != nullptr;
   report.initial_members = static_cast<NodeId>(split.members.size());
 
-  algo.Build(maint, split.members, rng);
+  // Builds (and epoch rebuilds below) run through ParallelBuild:
+  // bit-identical to the serial Build by contract, so the report is
+  // unchanged — only the wall clock moves. A noisy maintenance view is
+  // stateful (per-pair jitter counters), so it clamps to one thread.
+  const bool noisy_maintenance = config.measurement_noise_frac > 0.0 ||
+                                 config.measurement_noise_floor_ms > 0.0;
+  const int build_threads = noisy_maintenance ? 1 : config.num_threads;
+  algo.ParallelBuild(maint, split.members, rng, build_threads);
   report.build_messages = maint.probes();
   counter.AddBuildProbes(report.build_messages);
 
@@ -129,7 +136,7 @@ ScenarioReport RunScenario(const LatencySpace& space,
       // churn streams so resumed and straight-through schedules agree.
       util::Rng brng(
           util::Mix64(rebuild_root ^ static_cast<std::uint64_t>(epoch)));
-      algo.Build(maint, driver.members(), brng);
+      algo.ParallelBuild(maint, driver.members(), brng, build_threads);
       er.rebuilt = true;
     }
     er.maintenance_messages = maint.probes() - charged_maintenance;

@@ -62,6 +62,11 @@ class SpaceFactory {
     return clustered_.get();
   }
 
+  /// The sparse shortest-path backend, when this factory built one
+  /// (drivers report its row-cache hit/miss/eviction stats so cache
+  /// capacity can be tuned from data); null otherwise.
+  const matrix::SparseTopologySpace* sparse() const { return sparse_.get(); }
+
  private:
   SpaceFactory() = default;
 

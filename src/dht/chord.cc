@@ -120,6 +120,30 @@ ChordRing::LookupResult ChordRing::Put(ChordKey key, ChordValue value,
   return route;
 }
 
+ChordRing::LookupResult ChordRing::Remove(ChordKey key, ChordValue value,
+                                          util::Rng& rng) {
+  const LookupResult route = Lookup(key, rng);
+  const auto node_it = storage_.find(route.owner);
+  if (node_it == storage_.end()) {
+    return route;
+  }
+  const auto key_it = node_it->second.find(key);
+  if (key_it == node_it->second.end()) {
+    return route;
+  }
+  auto& values = key_it->second;
+  const auto it = std::find(values.begin(), values.end(), value);
+  if (it == values.end()) {
+    return route;
+  }
+  values.erase(it);
+  --total_stored_;
+  if (values.empty()) {
+    node_it->second.erase(key_it);
+  }
+  return route;
+}
+
 std::vector<ChordValue> ChordRing::Get(ChordKey key, util::Rng& rng,
                                        LookupResult* route_out) const {
   const LookupResult route = Lookup(key, rng);

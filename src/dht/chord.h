@@ -67,6 +67,11 @@ class ChordRing {
   std::vector<ChordValue> Get(ChordKey key, util::Rng& rng,
                               LookupResult* route = nullptr) const;
 
+  /// Routed delete: routes to the owner (counting hops), then erases
+  /// one stored copy of `value` under `key` (no-op when absent —
+  /// deployments tolerate repeated departure notices).
+  LookupResult Remove(ChordKey key, ChordValue value, util::Rng& rng);
+
   /// Number of stored (key, value) entries at one node — load metric.
   std::size_t StoredAt(NodeId node) const;
 

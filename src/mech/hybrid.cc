@@ -43,12 +43,14 @@ std::string HybridNearest::name() const {
 void HybridNearest::Build(const core::LatencySpace& space,
                           std::vector<NodeId> members, util::Rng& rng) {
   NP_ENSURE(!members.empty(), "hybrid requires members");
-  members_ = std::move(members);
+  members_.Reset(std::move(members));
   queries_ = 0;
   mechanism_hits_ = 0;
+  churn_rng_ = util::Rng(rng());
 
   if (config_.use_chord_map) {
-    map_ = std::make_unique<ChordMap>(members_, /*id_salt=*/0xC0FFEE);
+    map_ = std::make_unique<ChordMap>(members_.members(),
+                                      /*id_salt=*/0xC0FFEE);
   } else {
     map_ = std::make_unique<PerfectMap>();
   }
@@ -60,19 +62,19 @@ void HybridNearest::Build(const core::LatencySpace& space,
   switch (config_.mechanism) {
     case Mechanism::kUcl:
       ucl_ = std::make_unique<UclDirectory>(*map_, config_.ucl);
-      for (NodeId peer : members_) {
+      for (NodeId peer : members_.members()) {
         ucl_->RegisterPeer(*topology_, peer, rng);
       }
       break;
     case Mechanism::kPrefix:
       prefix_ = std::make_unique<PrefixDirectory>(*map_, config_.prefix_bits);
-      for (NodeId peer : members_) {
+      for (NodeId peer : members_.members()) {
         prefix_->RegisterPeer(*topology_, peer, rng);
       }
       break;
     case Mechanism::kMulticast:
       multicast_ = std::make_unique<MulticastBootstrap>(*topology_);
-      for (NodeId peer : members_) {
+      for (NodeId peer : members_.members()) {
         multicast_->RegisterPeer(peer);
       }
       break;
@@ -80,14 +82,61 @@ void HybridNearest::Build(const core::LatencySpace& space,
       registry_ = std::make_unique<EndNetworkRegistry>(
           *topology_, config_.registry_deploy_prob,
           config_.registry_large_network_hosts, rng);
-      for (NodeId peer : members_) {
+      for (NodeId peer : members_.members()) {
         registry_->RegisterPeer(peer);
       }
       break;
   }
 
   if (fallback_ != nullptr) {
-    fallback_->Build(space, members_, rng);
+    fallback_->Build(space, members_.members(), rng);
+  }
+}
+
+void HybridNearest::AddMember(NodeId node, util::Rng& rng) {
+  NP_ENSURE(map_ != nullptr, "Build must run before AddMember");
+  members_.Add(node);  // throws on double-add
+  switch (config_.mechanism) {
+    case Mechanism::kUcl:
+      ucl_->RegisterPeer(*topology_, node, rng);
+      break;
+    case Mechanism::kPrefix:
+      prefix_->RegisterPeer(*topology_, node, rng);
+      break;
+    case Mechanism::kMulticast:
+      multicast_->RegisterPeer(node);
+      break;
+    case Mechanism::kRegistry:
+      registry_->RegisterPeer(node);
+      break;
+  }
+  if (fallback_ != nullptr) {
+    fallback_->AddMember(node, rng);
+  }
+  // Note: a Chord-backed map keeps its original ring (the ring hosts
+  // the directory; its own membership protocol is out of scope here).
+}
+
+void HybridNearest::RemoveMember(NodeId node) {
+  NP_ENSURE(map_ != nullptr, "Build must run before RemoveMember");
+  NP_ENSURE(members_.size() > 1, "cannot remove the last member");
+  members_.Remove(node);  // throws when not a member
+  switch (config_.mechanism) {
+    case Mechanism::kUcl:
+      ucl_->UnregisterPeer(*topology_, node, churn_rng_);
+      break;
+    case Mechanism::kPrefix:
+      prefix_->UnregisterPeer(*topology_, node, churn_rng_);
+      break;
+    case Mechanism::kMulticast:
+      multicast_->UnregisterPeer(node);
+      break;
+    case Mechanism::kRegistry:
+      registry_->UnregisterPeer(node);
+      break;
+  }
+  if (fallback_ != nullptr) {
+    fallback_->RemoveMember(node);
   }
 }
 
@@ -145,7 +194,7 @@ core::QueryResult HybridNearest::FindNearest(NodeId target,
     if (result.found == kInvalidNode) {
       // Mechanism produced nothing: return a random member so the
       // query still has an answer (probing it once).
-      result.found = members_[rng.Index(members_.size())];
+      result.found = members_.at(rng.Index(members_.size()));
       result.found_latency_ms = metered.Latency(result.found, target);
       ++result.probes;
     }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/member_index.h"
 #include "core/nearest_algorithm.h"
 #include "mech/key_value_map.h"
 #include "mech/local_search.h"
@@ -60,6 +61,19 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Incremental membership (the last rebuild-billed family): a joiner
+  /// registers with the active mechanism directory — a UCL/prefix
+  /// publish into the key-value map, or an end-network listing — and a
+  /// leaver withdraws its entries, O(its own mappings) instead of a
+  /// from-scratch re-registration of the whole overlay per epoch. The
+  /// inner algorithm's own churn handling rides along; hybrids over a
+  /// churn-free fallback still rebuild.
+  bool SupportsChurn() const override {
+    return fallback_ == nullptr || fallback_->SupportsChurn();
+  }
+  void AddMember(NodeId node, util::Rng& rng) override;
+  void RemoveMember(NodeId node) override;
+
   core::QueryResult FindNearest(NodeId target,
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;
@@ -68,7 +82,9 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
   /// accounting), so concurrent queries would race.
   bool ParallelQuerySafe() const override { return false; }
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
   /// Fraction of queries answered by the mechanism alone (no fallback).
   double mechanism_hit_rate() const;
@@ -85,7 +101,12 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
   std::unique_ptr<PrefixDirectory> prefix_;
   std::unique_ptr<MulticastBootstrap> multicast_;
   std::unique_ptr<EndNetworkRegistry> registry_;
-  std::vector<NodeId> members_;
+  core::MemberIndex members_;
+  /// Stream for churn-time directory operations (Chord routing draws
+  /// start nodes); forked from the Build rng so runs stay a pure
+  /// function of the seed. RemoveMember has no rng parameter by
+  /// design — leaves consume from here.
+  util::Rng churn_rng_{0};
   std::uint64_t queries_ = 0;
   std::uint64_t mechanism_hits_ = 0;
 };

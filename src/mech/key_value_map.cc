@@ -46,11 +46,37 @@ std::vector<std::uint64_t> PerfectMap::Get(std::uint64_t key,
   return it->second;
 }
 
+void PerfectMap::Remove(std::uint64_t key, std::uint64_t value,
+                        util::Rng& rng) {
+  (void)rng;
+  ++operations_;
+  const auto it = store_.find(key);
+  if (it == store_.end()) {
+    return;
+  }
+  auto& values = it->second;
+  const auto vit = std::find(values.begin(), values.end(), value);
+  if (vit == values.end()) {
+    return;
+  }
+  values.erase(vit);
+  if (values.empty()) {
+    store_.erase(it);
+  }
+}
+
 ChordMap::ChordMap(std::vector<NodeId> ring_members, std::uint64_t id_salt)
     : ring_(std::move(ring_members), dht::ChordConfig{id_salt}) {}
 
 void ChordMap::Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) {
   const auto route = ring_.Put(dht::HashToRing(key), value, rng);
+  hops_ += static_cast<std::uint64_t>(route.hops);
+  ++operations_;
+}
+
+void ChordMap::Remove(std::uint64_t key, std::uint64_t value,
+                      util::Rng& rng) {
+  const auto route = ring_.Remove(dht::HashToRing(key), value, rng);
   hops_ += static_cast<std::uint64_t>(route.hops);
   ++operations_;
 }

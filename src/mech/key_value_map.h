@@ -36,6 +36,13 @@ class KeyValueMap {
   virtual std::vector<std::uint64_t> Get(std::uint64_t key,
                                          util::Rng& rng) const = 0;
 
+  /// Erases one stored copy of `value` under `key` (no-op when absent
+  /// — departure notices may race or repeat in a real deployment).
+  /// This is what lets the §5 directories unregister a leaving peer
+  /// instead of being rebuilt from scratch every epoch.
+  virtual void Remove(std::uint64_t key, std::uint64_t value,
+                      util::Rng& rng) = 0;
+
   /// Cumulative routing hops spent on Put/Get (0 for the perfect map).
   virtual std::uint64_t total_hops() const = 0;
   virtual std::uint64_t operation_count() const = 0;
@@ -48,6 +55,8 @@ class PerfectMap final : public KeyValueMap {
   void Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) override;
   std::vector<std::uint64_t> Get(std::uint64_t key,
                                  util::Rng& rng) const override;
+  void Remove(std::uint64_t key, std::uint64_t value,
+              util::Rng& rng) override;
   std::uint64_t total_hops() const override { return 0; }
   std::uint64_t operation_count() const override { return operations_; }
 
@@ -68,6 +77,8 @@ class ChordMap final : public KeyValueMap {
   void Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) override;
   std::vector<std::uint64_t> Get(std::uint64_t key,
                                  util::Rng& rng) const override;
+  void Remove(std::uint64_t key, std::uint64_t value,
+              util::Rng& rng) override;
   std::uint64_t total_hops() const override { return hops_; }
   std::uint64_t operation_count() const override { return operations_; }
 

@@ -4,13 +4,54 @@
 
 namespace np::mech {
 
-bool MulticastBootstrap::RegisterPeer(NodeId peer) {
-  const net::Host& h = topology_->host(peer);
-  if (h.endnet_id < 0) {
+namespace {
+
+/// Swap-and-pop removal from an end-network member list, fixing the
+/// moved peer's slot. Shared by both local-search directories.
+bool RemoveFromEndnetList(std::unordered_map<int, std::vector<NodeId>>& lists,
+                          std::unordered_map<NodeId, std::size_t>& slots,
+                          int endnet_id, NodeId peer) {
+  const auto sit = slots.find(peer);
+  if (sit == slots.end()) {
     return false;
   }
-  by_endnet_[h.endnet_id].push_back(peer);
+  auto& list = lists.at(endnet_id);
+  const std::size_t position = sit->second;
+  const std::size_t last = list.size() - 1;
+  if (position != last) {
+    list[position] = list[last];
+    slots[list[position]] = position;
+  }
+  list.pop_back();
+  slots.erase(sit);
+  if (list.empty()) {
+    lists.erase(endnet_id);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MulticastBootstrap::RegisterPeer(NodeId peer) {
+  const net::Host& h = topology_->host(peer);
+  if (h.endnet_id < 0 || slot_.count(peer) > 0) {
+    return false;  // homeless, or already registered (a duplicate list
+                   // entry would outlive its slot record)
+  }
+  auto& list = by_endnet_[h.endnet_id];
+  slot_[peer] = list.size();
+  list.push_back(peer);
   ++registered_;
+  return true;
+}
+
+bool MulticastBootstrap::UnregisterPeer(NodeId peer) {
+  const net::Host& h = topology_->host(peer);
+  if (h.endnet_id < 0 ||
+      !RemoveFromEndnetList(by_endnet_, slot_, h.endnet_id, peer)) {
+    return false;
+  }
+  --registered_;
   return true;
 }
 
@@ -67,11 +108,22 @@ bool EndNetworkRegistry::HasRegistry(int endnet_id) const {
 
 bool EndNetworkRegistry::RegisterPeer(NodeId peer) {
   const net::Host& h = topology_->host(peer);
+  if (h.endnet_id < 0 || !HasRegistry(h.endnet_id) ||
+      slot_.count(peer) > 0) {
+    return false;
+  }
+  auto& list = members_[h.endnet_id];
+  slot_[peer] = list.size();
+  list.push_back(peer);
+  return true;
+}
+
+bool EndNetworkRegistry::UnregisterPeer(NodeId peer) {
+  const net::Host& h = topology_->host(peer);
   if (h.endnet_id < 0 || !HasRegistry(h.endnet_id)) {
     return false;
   }
-  members_[h.endnet_id].push_back(peer);
-  return true;
+  return RemoveFromEndnetList(members_, slot_, h.endnet_id, peer);
 }
 
 std::vector<NodeId> EndNetworkRegistry::Query(NodeId joiner) const {

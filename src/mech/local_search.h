@@ -27,6 +27,11 @@ class MulticastBootstrap {
   /// No-op for home users (nothing to multicast into) — returns false.
   bool RegisterPeer(NodeId peer);
 
+  /// The peer stops answering (incremental churn). O(1): the peer's
+  /// slot in its end-network list is tracked and swap-popped. Returns
+  /// false when the peer was never registered.
+  bool UnregisterPeer(NodeId peer);
+
   /// All registered peers reachable by an expanding multicast search
   /// from the joiner: members of the joiner's end-network, if that
   /// network has multicast enabled. Empty otherwise.
@@ -37,6 +42,8 @@ class MulticastBootstrap {
  private:
   const net::Topology* topology_;
   std::unordered_map<int, std::vector<NodeId>> by_endnet_;
+  /// peer -> its slot in by_endnet_[its endnet], for O(1) removal.
+  std::unordered_map<NodeId, std::size_t> slot_;
   int registered_ = 0;
 };
 
@@ -55,6 +62,11 @@ class EndNetworkRegistry {
   /// has no end-network or the network runs no registry.
   bool RegisterPeer(NodeId peer);
 
+  /// Deregisters the peer from its network's server (incremental
+  /// churn). O(1) via the tracked slot; false when it was never
+  /// registered.
+  bool UnregisterPeer(NodeId peer);
+
   /// Peers registered in the joiner's end-network (empty without a
   /// registry).
   std::vector<NodeId> Query(NodeId joiner) const;
@@ -67,6 +79,8 @@ class EndNetworkRegistry {
   const net::Topology* topology_;
   std::unordered_set<int> deployed_;
   std::unordered_map<int, std::vector<NodeId>> members_;
+  /// peer -> its slot in members_[its endnet], for O(1) removal.
+  std::unordered_map<NodeId, std::size_t> slot_;
 };
 
 }  // namespace np::mech

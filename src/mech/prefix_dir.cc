@@ -15,11 +15,25 @@ PrefixDirectory::PrefixDirectory(KeyValueMap& map, int prefix_bits)
 
 void PrefixDirectory::RegisterPeer(const net::Topology& topology, NodeId peer,
                                    util::Rng& rng) {
+  if (!registered_.insert(peer).second) {
+    return;  // already published; a second copy would duplicate entries
+  }
   const std::uint64_t key =
       net::PrefixOf(topology.host(peer).ip, prefix_bits_);
   map_->Put(key, static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)),
             rng);
-  ++registered_;
+}
+
+void PrefixDirectory::UnregisterPeer(const net::Topology& topology,
+                                     NodeId peer, util::Rng& rng) {
+  if (registered_.erase(peer) == 0) {
+    return;  // repeated/spurious departure notice
+  }
+  const std::uint64_t key =
+      net::PrefixOf(topology.host(peer).ip, prefix_bits_);
+  map_->Remove(
+      key, static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)),
+      rng);
 }
 
 std::vector<NodeId> PrefixDirectory::Candidates(const net::Topology& topology,

@@ -5,6 +5,7 @@
 // false positives must be probed away (Fig 11's trade-off).
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "mech/key_value_map.h"
@@ -19,19 +20,29 @@ class PrefixDirectory {
 
   int prefix_bits() const { return prefix_bits_; }
 
+  /// Idempotent: a repeated registration is a no-op (re-publishing
+  /// would duplicate map entries).
   void RegisterPeer(const net::Topology& topology, NodeId peer,
                     util::Rng& rng);
+
+  /// Withdraws the peer's prefix mapping (incremental churn; the key
+  /// is a pure function of the peer's IP, so only the registered set
+  /// is stored). Tolerates repeated or spurious departure notices.
+  void UnregisterPeer(const net::Topology& topology, NodeId peer,
+                      util::Rng& rng);
 
   /// Peers sharing the joiner's /prefix_bits, ascending by id.
   std::vector<NodeId> Candidates(const net::Topology& topology,
                                  NodeId joiner, util::Rng& rng) const;
 
-  int registered_peers() const { return registered_; }
+  int registered_peers() const {
+    return static_cast<int>(registered_.size());
+  }
 
  private:
   KeyValueMap* map_;
   int prefix_bits_;
-  int registered_ = 0;
+  std::unordered_set<NodeId> registered_;
 };
 
 }  // namespace np::mech

@@ -31,11 +31,24 @@ UclDirectory::UclDirectory(KeyValueMap& map, const UclOptions& options)
 
 void UclDirectory::RegisterPeer(const net::Topology& topology, NodeId peer,
                                 util::Rng& rng) {
+  if (!registered_.insert(peer).second) {
+    return;  // already published; a second copy would duplicate entries
+  }
   for (const UclEntry& entry : BuildUcl(topology, peer, options_)) {
     map_->Put(static_cast<std::uint64_t>(entry.router),
               EncodePeerLatency(peer, entry.latency_ms), rng);
   }
-  ++registered_;
+}
+
+void UclDirectory::UnregisterPeer(const net::Topology& topology, NodeId peer,
+                                  util::Rng& rng) {
+  if (registered_.erase(peer) == 0) {
+    return;  // repeated/spurious departure notice
+  }
+  for (const UclEntry& entry : BuildUcl(topology, peer, options_)) {
+    map_->Remove(static_cast<std::uint64_t>(entry.router),
+                 EncodePeerLatency(peer, entry.latency_ms), rng);
+  }
 }
 
 std::vector<UclDirectory::Candidate> UclDirectory::Candidates(

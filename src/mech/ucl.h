@@ -8,6 +8,7 @@
 // highlights over the IP-prefix variant.
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "mech/key_value_map.h"
@@ -38,9 +39,20 @@ class UclDirectory {
   /// The map is borrowed and must outlive the directory.
   UclDirectory(KeyValueMap& map, const UclOptions& options);
 
-  /// Publishes the peer's UCL mappings.
+  /// Publishes the peer's UCL mappings. Idempotent: a repeated
+  /// registration is a no-op (re-publishing would duplicate map
+  /// entries).
   void RegisterPeer(const net::Topology& topology, NodeId peer,
                     util::Rng& rng);
+
+  /// Withdraws the peer's UCL mappings (incremental churn: the
+  /// leaver's entries are deleted key by key instead of the directory
+  /// being rebuilt). The UCL is a pure function of the topology, so
+  /// the published keys are recomputed rather than stored. Tolerates
+  /// repeated or spurious departure notices (no-op for unregistered
+  /// peers).
+  void UnregisterPeer(const net::Topology& topology, NodeId peer,
+                      util::Rng& rng);
 
   struct Candidate {
     NodeId peer = kInvalidNode;
@@ -58,12 +70,14 @@ class UclDirectory {
                                     NodeId joiner, util::Rng& rng,
                                     LatencyMs max_estimate_ms) const;
 
-  int registered_peers() const { return registered_; }
+  int registered_peers() const {
+    return static_cast<int>(registered_.size());
+  }
 
  private:
   KeyValueMap* map_;
   UclOptions options_;
-  int registered_ = 0;
+  std::unordered_set<NodeId> registered_;
 };
 
 }  // namespace np::mech

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace np::meridian {
 
@@ -12,7 +15,8 @@ MeridianOverlay::MeridianOverlay(MeridianConfig config)
     : config_(config) {
   NP_ENSURE(config_.alpha_ms > 0.0, "alpha must be positive");
   NP_ENSURE(config_.s > 1.0, "ring growth factor must exceed 1");
-  NP_ENSURE(config_.num_rings >= 1, "need at least one ring");
+  NP_ENSURE(config_.num_rings >= 1 && config_.num_rings <= 255,
+            "rings must be in [1, 255]");
   NP_ENSURE(config_.ring_size >= 1, "ring size must be positive");
   NP_ENSURE(config_.beta > 0.0 && config_.beta < 1.0,
             "beta must be in (0, 1)");
@@ -91,41 +95,69 @@ std::vector<RingEntry> MeridianOverlay::SelectRingMembers(
 
 void MeridianOverlay::Build(const core::LatencySpace& space,
                             std::vector<NodeId> members, util::Rng& rng) {
+  BuildImpl(space, std::move(members), rng, 1);
+}
+
+void MeridianOverlay::ParallelBuild(const core::LatencySpace& space,
+                                    std::vector<NodeId> members,
+                                    util::Rng& rng, int num_threads) {
+  BuildImpl(space, std::move(members), rng, num_threads);
+}
+
+void MeridianOverlay::BuildImpl(const core::LatencySpace& space,
+                                std::vector<NodeId> members, util::Rng& rng,
+                                int num_threads) {
   NP_ENSURE(!members.empty(), "meridian requires at least one member");
   space_ = &space;
-  members_ = std::move(members);
-  member_index_.clear();
-  member_index_.reserve(members_.size());
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    member_index_[members_[i]] = i;
-  }
+  members_.Reset(std::move(members));
   rings_.assign(members_.size(), {});
   if (config_.full_knowledge) {
-    BuildFullKnowledge(space, rng);
+    BuildFullKnowledge(space, rng, num_threads);
   } else {
+    // Gossip rounds exchange state between members and are inherently
+    // order-dependent; they run serially for any thread budget.
     BuildByGossip(space, rng);
+  }
+
+  // Occurrence pass (serial: a ring member's list is appended from
+  // every owner, so fan-out here would race).
+  occ_.assign(members_.size(), {});
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (std::size_t r = 0; r < rings_[i].size(); ++r) {
+      for (const RingEntry& entry : rings_[i][r]) {
+        occ_[members_.PositionOf(entry.member)].push_back(
+            PackOccurrence(members_.at(i), r));
+      }
+    }
   }
 }
 
 void MeridianOverlay::BuildFullKnowledge(const core::LatencySpace& space,
-                                         util::Rng& rng) {
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    const NodeId owner = members_[i];
+                                         util::Rng& rng, int num_threads) {
+  const std::vector<NodeId>& ids = members_.members();
+  // One base draw, then a private stream per member keyed by its node
+  // id: iteration i touches only rings_[i], so any thread count
+  // produces the serial result bit for bit.
+  const std::uint64_t base = rng();
+  util::ParallelFor(0, ids.size(), num_threads, [&](std::size_t i) {
+    const NodeId owner = ids[i];
+    util::Rng mrng(util::Mix64(base ^ static_cast<std::uint64_t>(owner)));
     std::vector<std::vector<RingEntry>> buckets(
         static_cast<std::size_t>(config_.num_rings));
-    for (const NodeId other : members_) {
+    // The owner rides second so row-caching backends reuse its row.
+    for (const NodeId other : ids) {
       if (other == owner) {
         continue;
       }
-      const LatencyMs d = space.Latency(owner, other);
+      const LatencyMs d = space.Latency(other, owner);
       buckets[static_cast<std::size_t>(RingIndexFor(d))].push_back(
           RingEntry{other, d});
     }
     rings_[i].resize(buckets.size());
     for (std::size_t r = 0; r < buckets.size(); ++r) {
-      rings_[i][r] = SelectRingMembers(std::move(buckets[r]), rng);
+      rings_[i][r] = SelectRingMembers(std::move(buckets[r]), mrng);
     }
-  }
+  });
 }
 
 void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
@@ -133,7 +165,8 @@ void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
   NP_ENSURE(config_.gossip_bootstrap_contacts >= 1,
             "gossip needs at least one bootstrap contact");
   NP_ENSURE(config_.gossip_rounds >= 1, "gossip needs at least one round");
-  const std::size_t n = members_.size();
+  const std::vector<NodeId>& ids = members_.members();
+  const std::size_t n = ids.size();
 
   // Known-candidate sets per node (ring buckets, unbounded during
   // discovery; selection prunes at the end of every round).
@@ -148,9 +181,9 @@ void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
       return;
     }
     knows[owner][other] = true;
-    const LatencyMs d = space.Latency(members_[owner], members_[other]);
+    const LatencyMs d = space.Latency(ids[other], ids[owner]);
     buckets[owner][static_cast<std::size_t>(RingIndexFor(d))].push_back(
-        RingEntry{members_[other], d});
+        RingEntry{ids[other], d});
   };
 
   // Bootstrap: a few random contacts each (the join server's seed
@@ -171,7 +204,7 @@ void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
       std::vector<std::size_t> contacts;
       for (const auto& ring : buckets[i]) {
         for (const RingEntry& entry : ring) {
-          contacts.push_back(member_index_.at(entry.member));
+          contacts.push_back(members_.PositionOf(entry.member));
         }
       }
       if (contacts.empty()) {
@@ -180,7 +213,7 @@ void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
       const std::size_t peer = contacts[rng.Index(contacts.size())];
       for (const auto& ring : buckets[peer]) {
         for (const RingEntry& entry : ring) {
-          learn(i, member_index_.at(entry.member));
+          learn(i, members_.PositionOf(entry.member));
         }
       }
       // Prune every bucket back to capacity so gossip messages stay
@@ -204,12 +237,11 @@ void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
 
 void MeridianOverlay::AddMember(NodeId node, util::Rng& rng) {
   NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
-  NP_ENSURE(member_index_.count(node) == 0, "node is already a member");
-
-  const std::size_t position = members_.size();
-  members_.push_back(node);
-  member_index_[node] = position;
+  const std::size_t existing = members_.size();
+  const std::size_t position = members_.Add(node);
   rings_.emplace_back(static_cast<std::size_t>(config_.num_rings));
+  occ_.emplace_back();
+  const std::vector<NodeId>& ids = members_.members();
 
   // Join protocol: learn candidates from a few random contacts and
   // their ring members.
@@ -217,18 +249,18 @@ void MeridianOverlay::AddMember(NodeId node, util::Rng& rng) {
   const std::size_t contacts = std::min<std::size_t>(
       static_cast<std::size_t>(
           std::max(config_.gossip_bootstrap_contacts, 1)),
-      position);
+      existing);
   if (contacts > 0) {
-    std::vector<bool> seen(members_.size(), false);
+    std::vector<bool> seen(ids.size(), false);
     seen[position] = true;
-    for (std::size_t pick : rng.Sample(position, contacts)) {
+    for (std::size_t pick : rng.Sample(existing, contacts)) {
       if (!seen[pick]) {
         seen[pick] = true;
         candidates.push_back(pick);
       }
       for (const auto& ring : rings_[pick]) {
         for (const RingEntry& entry : ring) {
-          const std::size_t other = member_index_.at(entry.member);
+          const std::size_t other = members_.PositionOf(entry.member);
           if (!seen[other]) {
             seen[other] = true;
             candidates.push_back(other);
@@ -242,60 +274,74 @@ void MeridianOverlay::AddMember(NodeId node, util::Rng& rng) {
   std::vector<std::vector<RingEntry>> buckets(
       static_cast<std::size_t>(config_.num_rings));
   for (std::size_t other : candidates) {
-    const LatencyMs d = space_->Latency(node, members_[other]);
+    const LatencyMs d = space_->Latency(ids[other], node);
     buckets[static_cast<std::size_t>(RingIndexFor(d))].push_back(
-        RingEntry{members_[other], d});
+        RingEntry{ids[other], d});
   }
   for (std::size_t r = 0; r < buckets.size(); ++r) {
     rings_[position][r] = SelectRingMembers(std::move(buckets[r]), rng);
+    for (const RingEntry& entry : rings_[position][r]) {
+      occ_[members_.PositionOf(entry.member)].push_back(
+          PackOccurrence(node, r));
+    }
   }
 
   // The contacts (and their ring members) learn about the joiner too.
   for (std::size_t other : candidates) {
-    const LatencyMs d = space_->Latency(members_[other], node);
-    auto& ring =
-        rings_[other][static_cast<std::size_t>(RingIndexFor(d))];
+    const LatencyMs d = space_->Latency(ids[other], node);
+    const auto r = static_cast<std::size_t>(RingIndexFor(d));
+    auto& ring = rings_[other][r];
     ring.push_back(RingEntry{node, d});
     if (ring.size() > static_cast<std::size_t>(config_.ring_size)) {
       ring = SelectRingMembers(std::move(ring), rng);
     }
+    // Recorded whether or not reselection kept the joiner: the purge
+    // re-checks the ring, so an unkept entry is just stale.
+    occ_[position].push_back(PackOccurrence(ids[other], r));
   }
 }
 
 void MeridianOverlay::RemoveMember(NodeId node) {
-  const auto it = member_index_.find(node);
-  NP_ENSURE(it != member_index_.end(), "not a member");
+  const std::size_t position = members_.PositionOf(node);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
   NP_ENSURE(members_.size() > 1, "cannot remove the last member");
-  const std::size_t position = it->second;
 
-  // Swap-with-last keeps positions dense.
-  const std::size_t last = members_.size() - 1;
-  if (position != last) {
-    members_[position] = members_[last];
-    rings_[position] = std::move(rings_[last]);
-    member_index_[members_[position]] = position;
-  }
-  members_.pop_back();
-  rings_.pop_back();
-  member_index_.erase(node);
-
-  // Purge the leaver from every remaining ring.
-  for (auto& member_rings : rings_) {
-    for (auto& ring : member_rings) {
-      ring.erase(std::remove_if(ring.begin(), ring.end(),
-                                [node](const RingEntry& entry) {
-                                  return entry.member == node;
-                                }),
-                 ring.end());
+  // Purge the leaver from every ring its occurrence entries name.
+  // Stale entries (ring reselected the leaver away, or the owner left)
+  // erase nothing; erasing the leaver is always correct where it *is*
+  // found. Cost: O(entries naming the leaver), independent of overlay
+  // size.
+  for (const std::uint64_t packed : occ_[position]) {
+    const NodeId owner = static_cast<NodeId>(packed >> 8);
+    const auto r = static_cast<std::size_t>(packed & 0xFF);
+    const std::size_t owner_pos = members_.PositionOf(owner);
+    if (owner_pos == core::MemberIndex::kNoPosition ||
+        owner_pos == position) {
+      continue;
     }
+    auto& ring = rings_[owner_pos][r];
+    ring.erase(std::remove_if(ring.begin(), ring.end(),
+                              [node](const RingEntry& entry) {
+                                return entry.member == node;
+                              }),
+               ring.end());
   }
+
+  const auto removed = members_.Remove(node);
+  if (removed.swapped) {
+    rings_[removed.position] = std::move(rings_.back());
+    occ_[removed.position] = std::move(occ_.back());
+  }
+  rings_.pop_back();
+  occ_.pop_back();
 }
 
 const std::vector<std::vector<RingEntry>>& MeridianOverlay::RingsOf(
     NodeId member) const {
-  const auto it = member_index_.find(member);
-  NP_ENSURE(it != member_index_.end(), "not an overlay member");
-  return rings_[it->second];
+  const std::size_t position = members_.PositionOf(member);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition,
+            "not an overlay member");
+  return rings_[position];
 }
 
 core::QueryResult MeridianOverlay::FindNearest(
@@ -323,14 +369,14 @@ TracedResult MeridianOverlay::FindNearestTraced(
     return d;
   };
 
-  NodeId current = members_[rng.Index(members_.size())];
+  NodeId current = members_.at(rng.Index(members_.size()));
   LatencyMs current_distance = probe(current);
 
   NodeId best = current;
   LatencyMs best_distance = current_distance;
 
   for (int hop = 0; hop < config_.max_hops; ++hop) {
-    const auto& rings = rings_[member_index_.at(current)];
+    const auto& rings = rings_[members_.PositionOf(current)];
     const LatencyMs band_lo = (1.0 - config_.beta) * current_distance;
     const LatencyMs band_hi = (1.0 + config_.beta) * current_distance;
 

@@ -17,9 +17,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/member_index.h"
 #include "core/nearest_algorithm.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -102,10 +102,23 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
              util::Rng& rng) override;
 
+  /// Full-knowledge ring construction is independent per member, so
+  /// batch construction fans out over ParallelFor with per-member RNG
+  /// streams `Mix64(base ^ node)` — bit-identical to the serial Build
+  /// for every thread count. The gossip build is round-sequential by
+  /// nature and runs serially regardless of the thread budget (still
+  /// deterministic).
+  bool SupportsParallelBuild() const override { return true; }
+  void ParallelBuild(const core::LatencySpace& space,
+                     std::vector<NodeId> members, util::Rng& rng,
+                     int num_threads) override;
+
   /// Incremental membership: a joiner bootstraps its rings from a few
   /// random contacts (and their ring members), and existing members
   /// consider the joiner for their own rings; a leaver is purged from
-  /// every ring.
+  /// the rings that hold it, located through per-member occurrence
+  /// lists rather than an overlay scan — O(rings holding the leaver)
+  /// per leave, O(1) amortized in the overlay size.
   bool SupportsChurn() const override { return true; }
   void AddMember(NodeId node, util::Rng& rng) override;
   void RemoveMember(NodeId node) override;
@@ -123,7 +136,9 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
                                  const core::MeteredSpace& metered,
                                  util::Rng& rng);
 
-  const std::vector<NodeId>& members() const override { return members_; }
+  const std::vector<NodeId>& members() const override {
+    return members_.members();
+  }
 
   const MeridianConfig& config() const { return config_; }
 
@@ -138,18 +153,36 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
   std::vector<RingEntry> SelectRingMembers(std::vector<RingEntry> candidates,
                                            util::Rng& rng) const;
 
+  /// Shared construction path (Build = serial reference, num_threads
+  /// = 1).
+  void BuildImpl(const core::LatencySpace& space, std::vector<NodeId> members,
+                 util::Rng& rng, int num_threads);
+
   /// Converged build: every member considered for every ring.
-  void BuildFullKnowledge(const core::LatencySpace& space, util::Rng& rng);
+  void BuildFullKnowledge(const core::LatencySpace& space, util::Rng& rng,
+                          int num_threads);
 
   /// Gossip build: bootstrap contacts + ring-exchange rounds.
   void BuildByGossip(const core::LatencySpace& space, util::Rng& rng);
 
+  /// Occurrence bookkeeping: packs (owner, ring) into one word (ring
+  /// indices fit 8 bits; num_rings <= 255 enforced at construction).
+  static std::uint64_t PackOccurrence(NodeId owner, std::size_t ring) {
+    return (static_cast<std::uint64_t>(owner) << 8) |
+           static_cast<std::uint64_t>(ring);
+  }
+
   MeridianConfig config_;
   const core::LatencySpace* space_ = nullptr;
-  std::vector<NodeId> members_;
-  std::unordered_map<NodeId, std::size_t> member_index_;
+  core::MemberIndex members_;
   /// rings_[member_pos][ring] -> selected entries.
   std::vector<std::vector<std::vector<RingEntry>>> rings_;
+  /// occ_[member_pos] -> packed (owner, ring) rings that may hold this
+  /// member. Append-only per insertion; ring reselection drops entries
+  /// without unrecording, so consumers re-check the named ring —
+  /// RemoveMember's purge treats a no-op erase as stale. Replaces the
+  /// old O(overlay * rings) purge scan.
+  std::vector<std::vector<std::uint64_t>> occ_;
 };
 
 }  // namespace np::meridian

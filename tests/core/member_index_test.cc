@@ -1,0 +1,132 @@
+#include "core/member_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace np::core {
+namespace {
+
+TEST(MemberIndex, AddAssignsDensePositions) {
+  MemberIndex index;
+  EXPECT_EQ(index.Add(10), 0u);
+  EXPECT_EQ(index.Add(3), 1u);
+  EXPECT_EQ(index.Add(500), 2u);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.PositionOf(10), 0u);
+  EXPECT_EQ(index.PositionOf(3), 1u);
+  EXPECT_EQ(index.PositionOf(500), 2u);
+  EXPECT_EQ(index.members(), (std::vector<NodeId>{10, 3, 500}));
+}
+
+TEST(MemberIndex, AbsentNodesReportNoPosition) {
+  MemberIndex index;
+  index.Add(4);
+  EXPECT_EQ(index.PositionOf(5), MemberIndex::kNoPosition);
+  EXPECT_EQ(index.PositionOf(40000), MemberIndex::kNoPosition);
+  EXPECT_FALSE(index.Contains(5));
+  EXPECT_TRUE(index.Contains(4));
+}
+
+TEST(MemberIndex, RemoveSwapsLastIntoVacatedSlot) {
+  MemberIndex index;
+  index.Reset({7, 8, 9, 11});
+  const auto removed = index.Remove(8);
+  EXPECT_EQ(removed.position, 1u);
+  EXPECT_TRUE(removed.swapped);
+  EXPECT_EQ(index.members(), (std::vector<NodeId>{7, 11, 9}));
+  EXPECT_EQ(index.PositionOf(11), 1u);
+  EXPECT_EQ(index.PositionOf(8), MemberIndex::kNoPosition);
+}
+
+TEST(MemberIndex, RemovingTheLastSlotDoesNotSwap) {
+  MemberIndex index;
+  index.Reset({1, 2, 3});
+  const auto removed = index.Remove(3);
+  EXPECT_EQ(removed.position, 2u);
+  EXPECT_FALSE(removed.swapped);
+  EXPECT_EQ(index.members(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(MemberIndex, DoubleAddThrows) {
+  MemberIndex index;
+  index.Add(5);
+  EXPECT_THROW(index.Add(5), util::Error);
+  // The failed add must not corrupt state.
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.PositionOf(5), 0u);
+}
+
+TEST(MemberIndex, DoubleRemoveThrows) {
+  MemberIndex index;
+  index.Reset({5, 6});
+  index.Remove(5);
+  EXPECT_THROW(index.Remove(5), util::Error);
+  EXPECT_THROW(index.Remove(7), util::Error);
+  EXPECT_EQ(index.members(), (std::vector<NodeId>{6}));
+}
+
+TEST(MemberIndex, ReAddAfterRemoveWorks) {
+  MemberIndex index;
+  index.Reset({5, 6, 7});
+  index.Remove(6);
+  EXPECT_EQ(index.Add(6), 2u);
+  EXPECT_TRUE(index.Contains(6));
+  EXPECT_EQ(index.size(), 3u);
+  // And the re-added node removes cleanly again.
+  index.Remove(6);
+  EXPECT_FALSE(index.Contains(6));
+}
+
+TEST(MemberIndex, ResetReplacesPriorState) {
+  MemberIndex index;
+  index.Reset({1, 2, 3});
+  index.Reset({9, 4});
+  EXPECT_EQ(index.members(), (std::vector<NodeId>{9, 4}));
+  EXPECT_FALSE(index.Contains(1));
+  EXPECT_EQ(index.PositionOf(4), 1u);
+}
+
+TEST(MemberIndex, ResetRejectsDuplicates) {
+  MemberIndex index;
+  EXPECT_THROW(index.Reset({1, 2, 1}), util::Error);
+}
+
+TEST(MemberIndex, SustainedChurnMatchesReferenceSet) {
+  MemberIndex index;
+  std::set<NodeId> reference;
+  util::Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    const NodeId node = static_cast<NodeId>(rng.Index(512));
+    if (reference.count(node) == 0) {
+      index.Add(node);
+      reference.insert(node);
+    } else {
+      index.Remove(node);
+      reference.erase(node);
+    }
+    if (step % 1000 == 0) {
+      ASSERT_EQ(index.size(), reference.size());
+    }
+  }
+  ASSERT_EQ(index.size(), reference.size());
+  std::vector<NodeId> got = index.members();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, std::vector<NodeId>(reference.begin(), reference.end()));
+  // Every member's recorded position agrees with the vector, and the
+  // index answers membership for the whole id range.
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    EXPECT_EQ(index.PositionOf(index.at(i)), i);
+  }
+  for (NodeId node = 0; node < 512; ++node) {
+    EXPECT_EQ(index.Contains(node), reference.count(node) == 1);
+  }
+}
+
+}  // namespace
+}  // namespace np::core

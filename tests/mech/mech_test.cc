@@ -408,5 +408,193 @@ TEST(Hybrid, NamesDescribeComposition) {
   EXPECT_EQ(with_fallback.name(), "hybrid-prefix+random");
 }
 
+// ---------------------------------------------------------------------------
+// Incremental churn: map removal + directory unregistration + hybrid
+// join/leave
+
+TEST(Maps, RemoveErasesOneCopyAndToleratesAbsence) {
+  PerfectMap map;
+  util::Rng rng(31);
+  map.Put(7, 1, rng);
+  map.Put(7, 2, rng);
+  map.Put(7, 1, rng);
+  map.Remove(7, 1, rng);
+  EXPECT_EQ(map.Get(7, rng), (std::vector<std::uint64_t>{2, 1}));
+  map.Remove(7, 99, rng);  // absent value: no-op
+  map.Remove(8, 1, rng);   // absent key: no-op
+  EXPECT_EQ(map.Get(7, rng), (std::vector<std::uint64_t>{2, 1}));
+  map.Remove(7, 1, rng);
+  map.Remove(7, 2, rng);
+  EXPECT_TRUE(map.Get(7, rng).empty());
+}
+
+TEST(Maps, ChordRemoveMatchesPerfectAndBillsHops) {
+  std::vector<NodeId> ring_members;
+  for (NodeId i = 0; i < 128; ++i) {
+    ring_members.push_back(i);
+  }
+  ChordMap chord(ring_members, 0xAB);
+  PerfectMap perfect;
+  util::Rng rng(32);
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    for (std::uint64_t v = 0; v < 3; ++v) {
+      chord.Put(k, k * 10 + v, rng);
+      perfect.Put(k, k * 10 + v, rng);
+    }
+  }
+  const std::uint64_t hops_before = chord.total_hops();
+  for (std::uint64_t k = 0; k < 20; k += 2) {
+    chord.Remove(k, k * 10 + 1, rng);
+    perfect.Remove(k, k * 10 + 1, rng);
+  }
+  EXPECT_GT(chord.total_hops(), hops_before);
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    EXPECT_EQ(chord.Get(k, rng), perfect.Get(k, rng)) << "key " << k;
+  }
+}
+
+TEST(Ucl, UnregisterWithdrawsACandidatesEntries) {
+  MechFixture f(33);
+  const auto peers = f.topology.HostsOfKind(net::HostKind::kAzureusPeer);
+  PerfectMap map;
+  UclDirectory dir(map, UclOptions{});
+  util::Rng rng(34);
+  for (std::size_t i = 0; i + 1 < peers.size(); ++i) {
+    dir.RegisterPeer(f.topology, peers[i], rng);
+  }
+  const NodeId joiner = peers.back();
+  const auto before = dir.Candidates(f.topology, joiner, rng,
+                                     kInfiniteLatency);
+  // Withdraw every candidate; afterwards none may be proposed again.
+  for (const auto& c : before) {
+    dir.UnregisterPeer(f.topology, c.peer, rng);
+  }
+  EXPECT_TRUE(
+      dir.Candidates(f.topology, joiner, rng, kInfiniteLatency).empty());
+  // Re-registration restores the exact candidate set.
+  for (const auto& c : before) {
+    dir.RegisterPeer(f.topology, c.peer, rng);
+  }
+  const auto after = dir.Candidates(f.topology, joiner, rng,
+                                    kInfiniteLatency);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].peer, before[i].peer);
+    EXPECT_EQ(after[i].estimated_ms, before[i].estimated_ms);
+  }
+}
+
+TEST(Prefix, UnregisterWithdrawsTheMapping) {
+  MechFixture f(35);
+  const auto peers = f.topology.HostsOfKind(net::HostKind::kAzureusPeer);
+  PerfectMap map;
+  PrefixDirectory dir(map, 24);
+  util::Rng rng(36);
+  for (std::size_t i = 0; i + 1 < peers.size(); ++i) {
+    dir.RegisterPeer(f.topology, peers[i], rng);
+  }
+  const NodeId joiner = peers.back();
+  const auto before = dir.Candidates(f.topology, joiner, rng);
+  for (const NodeId peer : before) {
+    dir.UnregisterPeer(f.topology, peer, rng);
+    dir.UnregisterPeer(f.topology, peer, rng);  // repeated notice: no-op
+  }
+  EXPECT_TRUE(dir.Candidates(f.topology, joiner, rng).empty());
+  EXPECT_EQ(dir.registered_peers(),
+            static_cast<int>(peers.size() - 1 - before.size()));
+  // Registration is idempotent too: a re-register after the duplicate
+  // notices restores exactly one mapping.
+  if (!before.empty()) {
+    dir.RegisterPeer(f.topology, before.front(), rng);
+    dir.RegisterPeer(f.topology, before.front(), rng);
+    const auto restored = dir.Candidates(f.topology, joiner, rng);
+    EXPECT_EQ(restored, std::vector<NodeId>{before.front()});
+  }
+}
+
+TEST(LocalSearch, UnregisterDropsPeersFromBothDirectories) {
+  MechFixture f(37);
+  const auto peers = f.topology.HostsOfKind(net::HostKind::kAzureusPeer);
+  util::Rng rng(38);
+  MulticastBootstrap multicast(f.topology);
+  EndNetworkRegistry registry(f.topology, 1.0, 4, rng);
+  for (const NodeId peer : peers) {
+    multicast.RegisterPeer(peer);
+    registry.RegisterPeer(peer);
+    // Double registration is refused, not duplicated.
+    EXPECT_FALSE(multicast.RegisterPeer(peer));
+    EXPECT_FALSE(registry.RegisterPeer(peer));
+  }
+  int multicast_checked = 0;
+  int registry_checked = 0;
+  for (std::size_t i = 0; i < 200 && i < peers.size(); ++i) {
+    const NodeId peer = peers[i];
+    {
+      const auto search = multicast.Search(peer);
+      if (multicast.UnregisterPeer(peer)) {
+        for (const NodeId other : search) {
+          // Survivors still find each other; nobody finds the leaver.
+          const auto after = multicast.Search(other);
+          EXPECT_EQ(std::find(after.begin(), after.end(), peer),
+                    after.end());
+        }
+        ++multicast_checked;
+      }
+    }
+    {
+      const auto listed = registry.Query(peer);
+      if (registry.UnregisterPeer(peer)) {
+        for (const NodeId other : listed) {
+          const auto after = registry.Query(other);
+          EXPECT_EQ(std::find(after.begin(), after.end(), peer),
+                    after.end());
+        }
+        ++registry_checked;
+      }
+    }
+  }
+  EXPECT_GT(multicast_checked, 0);
+  EXPECT_GT(registry_checked, 0);
+}
+
+TEST(Hybrid, IncrementalChurnTracksMembershipAndDirectories) {
+  MechFixture f(39, 400);
+  const TopologySpace space(f.topology);
+  const auto peers = f.topology.HostsOfKind(net::HostKind::kAzureusPeer);
+  for (const Mechanism mechanism :
+       {Mechanism::kUcl, Mechanism::kPrefix, Mechanism::kMulticast,
+        Mechanism::kRegistry}) {
+    HybridConfig config;
+    config.mechanism = mechanism;
+    HybridNearest hybrid(f.topology, config,
+                         std::make_unique<core::OracleNearest>());
+    ASSERT_TRUE(hybrid.SupportsChurn());
+    std::vector<NodeId> members(peers.begin(), peers.end() - 50);
+    util::Rng rng(40);
+    hybrid.Build(space, members, rng);
+
+    // Churn: 25 leaves, 25 joins from the reserve.
+    for (int i = 0; i < 25; ++i) {
+      hybrid.RemoveMember(members[static_cast<std::size_t>(i) * 2]);
+      hybrid.AddMember(peers[peers.size() - 1 - static_cast<std::size_t>(i)],
+                       rng);
+    }
+    EXPECT_EQ(hybrid.members().size(), members.size());
+
+    // Queries keep returning live members only (the oracle fallback
+    // scans hybrid.members(), and mechanism candidates must not
+    // resurrect the departed).
+    std::set<NodeId> live(hybrid.members().begin(), hybrid.members().end());
+    const core::MeteredSpace metered(space);
+    util::Rng qrng(41);
+    for (int q = 0; q < 40; ++q) {
+      const NodeId target = peers[peers.size() - 50 + qrng.Index(25)];
+      const auto result = hybrid.FindNearest(target, metered, qrng);
+      EXPECT_EQ(live.count(result.found), 1u)
+          << MechanismName(mechanism) << " returned a non-member";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace np::mech

@@ -135,6 +135,25 @@ World BuildWorld(const JsonValue& spec) {
         np::core::SpaceFactory::MakeEmbedded(config));
     return world;
   }
+  if (world.type == "sparse") {
+    // Implicit shortest-path backend: O(n * degree) memory plus an LRU
+    // row cache whose hit/miss/eviction counters land in the report —
+    // the data that makes row_cache_capacity tunable at n = 10^5.
+    np::matrix::SparseTopologyConfig config;
+    config.num_nodes =
+        static_cast<NodeId>(spec.GetInt("num_nodes", config.num_nodes));
+    config.extra_edges_per_node = static_cast<int>(
+        spec.GetInt("extra_edges_per_node", config.extra_edges_per_node));
+    config.min_edge_ms = spec.GetDouble("min_edge_ms", config.min_edge_ms);
+    config.max_edge_ms = spec.GetDouble("max_edge_ms", config.max_edge_ms);
+    config.row_cache_capacity = static_cast<std::size_t>(spec.GetInt(
+        "row_cache_capacity",
+        static_cast<std::int64_t>(config.row_cache_capacity)));
+    config.seed = seed;
+    world.factory = std::make_unique<np::core::SpaceFactory>(
+        np::core::SpaceFactory::MakeSparse(config));
+    return world;
+  }
   if (world.type == "topology") {
     np::util::Rng rng(seed);
     np::net::TopologyConfig config = np::net::SmallTestConfig();
@@ -158,7 +177,7 @@ World BuildWorld(const JsonValue& spec) {
   }
   throw np::util::Error(
       "unknown world type: " + world.type +
-      " (expected clustered | euclidean | embedded | topology)");
+      " (expected clustered | euclidean | embedded | sparse | topology)");
 }
 
 // --- Churn schedule ---------------------------------------------------------
@@ -331,13 +350,17 @@ void ValidateSpec(const JsonValue& spec) {
     RequireKeys(world, "world (embedded)",
                 {"type", "seed", "num_nodes", "dimensions", "side_ms",
                  "distortion"});
+  } else if (world_type == "sparse") {
+    RequireKeys(world, "world (sparse)",
+                {"type", "seed", "num_nodes", "extra_edges_per_node",
+                 "min_edge_ms", "max_edge_ms", "row_cache_capacity"});
   } else if (world_type == "topology") {
     RequireKeys(world, "world (topology)",
                 {"type", "seed", "num_cities", "num_ases", "azureus_hosts"});
   } else {
     throw np::util::Error(
         "unknown world type: " + world_type +
-        " (expected clustered | euclidean | embedded | topology)");
+        " (expected clustered | euclidean | embedded | sparse | topology)");
   }
 
   const JsonValue& churn = spec.at("churn");
@@ -485,6 +508,26 @@ void WriteReportJson(std::ostream& out, const std::string& scenario_name,
   out << "  \"world\": \"" << JsonEscape(world.type) << "\",\n";
   out << "  \"schedule_events\": " << schedule.size() << ",\n";
   out << "  \"duration_s\": " << schedule.duration_s() << ",\n";
+  if (const auto* sparse = world.factory ? world.factory->sparse()
+                                         : nullptr) {
+    // Row-cache observability (whole run, all algorithms): the data
+    // that tells an operator whether row_cache_capacity is sized right
+    // for this workload. Counters depend on probe interleaving, so
+    // multi-threaded runs of the same scenario may report different
+    // splits — latencies themselves are cache-state independent.
+    const auto stats = sparse->cache_stats();
+    const std::uint64_t lookups = stats.hits + stats.misses;
+    out << "  \"sparse_cache\": {\"capacity\": "
+        << sparse->config().row_cache_capacity
+        << ", \"cached_rows\": " << sparse->cached_rows()
+        << ", \"hits\": " << stats.hits << ", \"misses\": " << stats.misses
+        << ", \"evictions\": " << stats.evictions << ", \"hit_rate\": "
+        << (lookups == 0
+                ? 0.0
+                : static_cast<double>(stats.hits) /
+                      static_cast<double>(lookups))
+        << "},\n";
+  }
   out << "  \"algorithms\": [\n";
   for (std::size_t a = 0; a < reports.size(); ++a) {
     const ScenarioReport& report = reports[a];
@@ -631,6 +674,22 @@ int Run(int argc, char** argv) {
               << np::util::FormatDouble(report.maintenance_per_event, 1)
               << ")\n";
     std::cout << table.Render();
+  }
+
+  if (const auto* sparse =
+          world.factory ? world.factory->sparse() : nullptr) {
+    const auto stats = sparse->cache_stats();
+    const std::uint64_t lookups = stats.hits + stats.misses;
+    std::cout << "sparse row cache: capacity "
+              << sparse->config().row_cache_capacity << ", hits "
+              << stats.hits << ", misses " << stats.misses << ", evictions "
+              << stats.evictions << ", hit rate "
+              << np::util::FormatDouble(
+                     lookups == 0 ? 0.0
+                                  : static_cast<double>(stats.hits) /
+                                        static_cast<double>(lookups),
+                     3)
+              << "\n";
   }
 
   const std::string report_path =
