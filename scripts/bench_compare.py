@@ -10,6 +10,9 @@ Usage:
   scripts/bench_compare.py BASELINE CURRENT [--threshold 0.20]
                            [--phases metric_repair] [--update]
   scripts/bench_compare.py BASELINE CURRENT --derived n --threshold 0.05
+  scripts/bench_compare.py BASELINE CURRENT \
+      --require "blackout_tiers_gini_over_meridian>=1.05" \
+      --require "loss30_meridian_p_exact>=0.5"
 
 --phases takes comma-separated name prefixes; default watches the
 metric_repair phases (the core hot path). --update rewrites BASELINE
@@ -24,6 +27,13 @@ be present in the current report and agree within the threshold
 shift either way means the simulation changed, unlike wall-ms which
 only regresses). Use this for gates that must be robust across
 machines of different speeds.
+
+--require (repeatable) asserts an absolute bound on a derived metric
+of the CURRENT report: "name>=value", "name>value", "name<=value" or
+"name<value". Unlike --derived this gates a property, not drift — use
+it for invariants a refactor must never silently lose (e.g. the
+blackout Gini gap staying > 1). When --require is given without
+--derived, the phase wall-time comparison is skipped.
 """
 
 import argparse
@@ -91,6 +101,53 @@ def compare_derived(baseline, current, args):
     return 0
 
 
+def parse_requirement(spec):
+    for op in (">=", "<=", ">", "<"):  # two-char ops first
+        if op in spec:
+            name, _, raw = spec.partition(op)
+            name = name.strip()
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(f"bad requirement value in {spec!r}")
+            if not name:
+                raise ValueError(f"bad requirement name in {spec!r}")
+            return name, op, value
+    raise ValueError(
+        f"requirement {spec!r} has no comparator (use >=, >, <= or <)"
+    )
+
+
+def check_requirements(current, specs):
+    ops = {
+        ">=": lambda a, b: a >= b,
+        ">": lambda a, b: a > b,
+        "<=": lambda a, b: a <= b,
+        "<": lambda a, b: a < b,
+    }
+    derived = current.get("derived", {})
+    failures = []
+    print(f"bench_compare: {len(specs)} required bound(s)")
+    for spec in specs:
+        name, op, bound = parse_requirement(spec)
+        if name not in derived:
+            failures.append(f"{name}: missing from current report")
+            print(f"  {name} {op} {bound:g}  MISSING")
+            continue
+        value = derived[name]
+        ok = ops[op](value, bound)
+        print(f"  {name} = {value:.6g}  (required {op} {bound:g})  "
+              f"{'ok' if ok else 'VIOLATED'}")
+        if not ok:
+            failures.append(f"{name}: {value:.6g} violates {op} {bound:g}")
+    if failures:
+        print("bench_compare: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -119,6 +176,15 @@ def main():
         "name prefixes (relative, both directions) instead of phase "
         "wall times",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="BOUND",
+        help="assert an absolute bound on a derived metric of CURRENT, "
+        'e.g. --require "blackout_tiers_gini_over_meridian>=1.05"; '
+        "repeatable, all bounds must hold",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
@@ -141,8 +207,14 @@ def main():
         )
         return 2
 
+    require_status = 0
+    if args.require:
+        require_status = check_requirements(current, args.require)
+
     if args.derived is not None:
-        return compare_derived(baseline, current, args)
+        return compare_derived(baseline, current, args) or require_status
+    if args.require:
+        return require_status
 
     prefixes = [p for p in args.phases.split(",") if p]
     base_phases = phases_by_name(baseline)

@@ -48,20 +48,26 @@ void BeaconingNearest::BuildImpl(const core::LatencySpace& space,
 
   // Column-parallel fill: iteration m writes slot m of every beacon
   // row, no randomness — bit-identical for any thread count. Beacons
-  // ride second so row-caching backends keep their rows hot.
+  // ride second so row-caching backends keep their rows hot. A lost
+  // measurement is stored as kInfiniteLatency: the member simply never
+  // looks close to that beacon (and can never win a vote through it).
+  const core::ProbePolicy& policy = probe_policy();
   beacon_latency_.assign(beacons_.size(),
                          std::vector<LatencyMs>(ids.size(), 0.0));
   util::ParallelFor(0, ids.size(), num_threads, [&](std::size_t m) {
     for (std::size_t b = 0; b < beacons_.size(); ++b) {
-      beacon_latency_[b][m] = space.Latency(ids[m], beacons_[b]);
+      const auto measured = policy.Probe(space, ids[m], beacons_[b]);
+      beacon_latency_[b][m] = measured ? *measured : kInfiniteLatency;
     }
   });
 }
 
 void BeaconingNearest::MeasureBeaconRow(std::size_t b) {
+  const core::ProbePolicy& policy = probe_policy();
   const std::vector<NodeId>& ids = members_.members();
   for (std::size_t m = 0; m < ids.size(); ++m) {
-    beacon_latency_[b][m] = space_->Latency(ids[m], beacons_[b]);
+    const auto measured = policy.Probe(*space_, ids[m], beacons_[b]);
+    beacon_latency_[b][m] = measured ? *measured : kInfiniteLatency;
   }
 }
 
@@ -69,9 +75,11 @@ void BeaconingNearest::AddMember(NodeId node, util::Rng& rng) {
   (void)rng;
   NP_ENSURE(space_ != nullptr, "Build must run before AddMember");
   members_.Add(node);  // throws on double-add
+  const core::ProbePolicy& policy = probe_policy();
   // The join protocol: every beacon measures the joiner once.
   for (std::size_t b = 0; b < beacons_.size(); ++b) {
-    beacon_latency_[b].push_back(space_->Latency(node, beacons_[b]));
+    const auto measured = policy.Probe(*space_, node, beacons_[b]);
+    beacon_latency_[b].push_back(measured ? *measured : kInfiniteLatency);
   }
 }
 
@@ -123,13 +131,23 @@ core::QueryResult BeaconingNearest::FindNearest(
   (void)rng;
   NP_ENSURE(!beacons_.empty(), "Build must run before FindNearest");
   core::QueryResult result;
+  const core::ProbePolicy& policy = probe_policy();
   const std::vector<NodeId>& ids = members_.members();
 
-  // Each beacon measures the target once.
-  std::vector<LatencyMs> beacon_to_target(beacons_.size());
+  // Each beacon measures the target once. A beacon whose measurement
+  // is lost sits the query out entirely: it casts no votes,
+  // contributes no deviation, and is not a fallback answer — an
+  // explicit ok-flag, because infinity arithmetic would grant a dead
+  // beacon spurious votes (|x - inf| <= inf holds).
+  std::vector<LatencyMs> beacon_to_target(beacons_.size(), kInfiniteLatency);
+  std::vector<char> beacon_ok(beacons_.size(), 0);
   for (std::size_t b = 0; b < beacons_.size(); ++b) {
-    beacon_to_target[b] = metered.Latency(beacons_[b], target);
+    const auto measured = policy.Probe(metered, beacons_[b], target);
     ++result.probes;
+    if (measured) {
+      beacon_to_target[b] = *measured;
+      beacon_ok[b] = 1;
+    }
   }
 
   // Nominations: members within the band of the target's latency at
@@ -146,6 +164,9 @@ core::QueryResult BeaconingNearest::FindNearest(
     int votes = 0;
     double worst_deviation = 0.0;
     for (std::size_t b = 0; b < beacons_.size(); ++b) {
+      if (!beacon_ok[b]) {
+        continue;
+      }
       const double band = std::max(config_.band_abs_ms,
                                    config_.band_rel * beacon_to_target[b]);
       const double deviation =
@@ -166,8 +187,12 @@ core::QueryResult BeaconingNearest::FindNearest(
   }
 
   for (const auto& [score, candidate] : candidates) {
-    const LatencyMs d = metered.Latency(candidate, target);
+    const auto measured = policy.Probe(metered, candidate, target);
     ++result.probes;
+    if (!measured) {
+      continue;  // unreachable candidate: route around it
+    }
+    const LatencyMs d = *measured;
     if (d < result.found_latency_ms ||
         (d == result.found_latency_ms && candidate < result.found)) {
       result.found_latency_ms = d;
@@ -175,9 +200,14 @@ core::QueryResult BeaconingNearest::FindNearest(
     }
   }
 
-  // No candidate survived the quorum: fall back to the best beacon.
+  // No candidate survived the quorum (or all were unreachable): fall
+  // back to the best *answering* beacon. With every beacon silent the
+  // query fails (found stays kInvalidNode).
   if (result.found == kInvalidNode) {
     for (std::size_t b = 0; b < beacons_.size(); ++b) {
+      if (!beacon_ok[b]) {
+        continue;
+      }
       if (beacon_to_target[b] < result.found_latency_ms ||
           (beacon_to_target[b] == result.found_latency_ms &&
            beacons_[b] < result.found)) {

@@ -53,10 +53,12 @@ void KargerRuhlNearest::BuildImpl(const core::LatencySpace& space,
 
   samples_.assign(n, {});
   occ_.assign(n, {});
+  occ_floor_.assign(n, kOccCompactMin / 2);
   // One base draw, then a private stream per member keyed by its node
   // id: iteration i touches only samples_[i], so any thread count
   // produces the serial result bit for bit.
   const std::uint64_t base = rng();
+  const core::ProbePolicy& policy = probe_policy();
   util::ParallelFor(0, n, num_threads, [&](std::size_t i) {
     const NodeId self = ids[i];
     util::Rng mrng(util::Mix64(base ^ static_cast<std::uint64_t>(self)));
@@ -69,7 +71,11 @@ void KargerRuhlNearest::BuildImpl(const core::LatencySpace& space,
       if (other == self) {
         continue;
       }
-      const int scale = ScaleFor(space.Latency(other, self));
+      const auto d = policy.Probe(space, other, self);
+      if (!d) {
+        continue;  // unreachable at build time: simply not bucketed
+      }
+      const int scale = ScaleFor(*d);
       balls[static_cast<std::size_t>(scale)].push_back(other);
     }
     samples_[i].resize(static_cast<std::size_t>(config_.num_scales));
@@ -103,6 +109,9 @@ void KargerRuhlNearest::BuildImpl(const core::LatencySpace& space,
       }
     }
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    occ_floor_[i] = std::max(occ_[i].size(), kOccCompactMin / 2);
+  }
 }
 
 void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
@@ -111,7 +120,9 @@ void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
   const std::size_t position = members_.Add(node);
   samples_.emplace_back(static_cast<std::size_t>(config_.num_scales));
   occ_.emplace_back();
+  occ_floor_.push_back(kOccCompactMin / 2);
   const std::vector<NodeId>& ids = members_.members();
+  const core::ProbePolicy& policy = probe_policy();
 
   // The joiner probes a bounded random subset of the overlay — enough
   // to fill every scale in expectation, far less than a full scan.
@@ -122,7 +133,11 @@ void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
   probed.reserve(budget);
   for (std::size_t pick : rng.Sample(existing, budget)) {
     const NodeId other = ids[pick];
-    const LatencyMs d = space_->Latency(other, node);
+    const auto measured = policy.Probe(*space_, other, node);
+    if (!measured) {
+      continue;  // no handshake, no exchange in either direction
+    }
+    const LatencyMs d = *measured;
     const int scale = ScaleFor(d);
     probed.push_back({scale, other});
 
@@ -138,6 +153,7 @@ void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
       theirs[rng.Index(theirs.size())] = node;
     }
     occ_[position].push_back(PackOccurrence(other, scale));
+    MaybeCompactOcc(position);
   }
 
   // Cumulative-ball semantics (as in Build): a member whose smallest
@@ -164,10 +180,54 @@ void KargerRuhlNearest::AddMember(NodeId node, util::Rng& rng) {
       }
     }
     for (const NodeId sampled : chosen) {
-      occ_[members_.PositionOf(sampled)].push_back(
-          PackOccurrence(node, s));
+      const std::size_t sampled_pos = members_.PositionOf(sampled);
+      occ_[sampled_pos].push_back(PackOccurrence(node, s));
+      MaybeCompactOcc(sampled_pos);
     }
   }
+}
+
+void KargerRuhlNearest::MaybeCompactOcc(std::size_t position) {
+  auto& list = occ_[position];
+  if (list.size() < kOccCompactMin ||
+      list.size() < 2 * occ_floor_[position]) {
+    return;
+  }
+  // Verify-scan: keep an entry only if the named sample list still
+  // holds this member. Sort + unique first — one live entry per
+  // (owner, scale) is enough, because the RemoveMember purge erases
+  // every copy of a node from a list at once, and nothing else reads
+  // occurrence multiplicity. Order of occ_ entries is semantically
+  // irrelevant, so the sort cannot change any result.
+  const NodeId self = members_.at(position);
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+  std::size_t kept = 0;
+  for (const std::uint64_t packed : list) {
+    const NodeId owner = static_cast<NodeId>(packed >> 8);
+    const auto scale = static_cast<std::size_t>(packed & 0xFF);
+    const std::size_t owner_pos = members_.PositionOf(owner);
+    if (owner_pos == core::MemberIndex::kNoPosition ||
+        owner_pos == position) {
+      continue;
+    }
+    const auto& samples = samples_[owner_pos][scale];
+    if (std::find(samples.begin(), samples.end(), self) == samples.end()) {
+      continue;
+    }
+    list[kept++] = packed;
+  }
+  list.resize(kept);
+  list.shrink_to_fit();
+  // Next compaction only once the list doubles again: amortized O(1)
+  // per append, and length stays <= 2 * live + O(1).
+  occ_floor_[position] = std::max(kept, kOccCompactMin / 2);
+}
+
+std::size_t KargerRuhlNearest::OccurrenceEntries(NodeId member) const {
+  const std::size_t position = members_.PositionOf(member);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
+  return occ_[position].size();
 }
 
 void KargerRuhlNearest::RemoveMember(NodeId node) {
@@ -196,9 +256,11 @@ void KargerRuhlNearest::RemoveMember(NodeId node) {
   if (removed.swapped) {
     samples_[removed.position] = std::move(samples_.back());
     occ_[removed.position] = std::move(occ_.back());
+    occ_floor_[removed.position] = occ_floor_.back();
   }
   samples_.pop_back();
   occ_.pop_back();
+  occ_floor_.pop_back();
 }
 
 const std::vector<NodeId>& KargerRuhlNearest::SamplesOf(NodeId member,
@@ -213,17 +275,29 @@ core::QueryResult KargerRuhlNearest::FindNearest(
     NodeId target, const core::MeteredSpace& metered, util::Rng& rng) {
   NP_ENSURE(!members_.empty(), "Build must run before FindNearest");
   core::QueryResult result;
+  const core::ProbePolicy& policy = probe_policy();
   std::unordered_set<NodeId> probed;
   const auto probe = [&](NodeId node) {
-    const LatencyMs d = metered.Latency(node, target);
+    const auto d = policy.Probe(metered, node, target);
     if (probed.insert(node).second) {
       ++result.probes;
     }
     return d;
   };
 
+  // Under faults the start peer may be unreachable; redraw a few times
+  // before giving the query up. At zero loss the first draw always
+  // answers, keeping rng consumption identical to the fault-free path.
   NodeId current = members_.at(rng.Index(members_.size()));
-  LatencyMs current_distance = probe(current);
+  auto start = probe(current);
+  for (int redraw = 0; !start && redraw < core::kStartRedraws; ++redraw) {
+    current = members_.at(rng.Index(members_.size()));
+    start = probe(current);
+  }
+  if (!start) {
+    return result;  // found stays kInvalidNode: give-up
+  }
+  LatencyMs current_distance = *start;
   result.found = current;
   result.found_latency_ms = current_distance;
 
@@ -241,7 +315,11 @@ core::QueryResult KargerRuhlNearest::FindNearest(
         if (probed.count(candidate) > 0 && candidate != current) {
           continue;
         }
-        const LatencyMs d = probe(candidate);
+        const auto measured = probe(candidate);
+        if (!measured) {
+          continue;  // stale/dead sample: skip, keep zooming
+        }
+        const LatencyMs d = *measured;
         if (d < result.found_latency_ms ||
             (d == result.found_latency_ms && candidate < result.found)) {
           result.found_latency_ms = d;

@@ -76,6 +76,10 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
   /// Samples of one member at one scale (for tests).
   const std::vector<NodeId>& SamplesOf(NodeId member, int scale) const;
 
+  /// Length of one member's occurrence list (for tests asserting the
+  /// compaction bound: length stays O(live entries)).
+  std::size_t OccurrenceEntries(NodeId member) const;
+
   int ScaleFor(LatencyMs distance_ms) const;
 
  private:
@@ -92,6 +96,15 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
            static_cast<std::uint64_t>(scale);
   }
 
+  /// Compacts one member's occurrence list when it has doubled since
+  /// the last compaction (and exceeds kOccCompactMin): sorts, dedupes,
+  /// and drops entries whose named sample list no longer holds the
+  /// member. Amortized O(1) per insertion; bounds the list length at
+  /// 2 x live entries + O(1) under arbitrary churn.
+  void MaybeCompactOcc(std::size_t position);
+
+  static constexpr std::size_t kOccCompactMin = 64;
+
   KargerRuhlConfig config_;
   const core::LatencySpace* space_ = nullptr;
   core::MemberIndex members_;
@@ -104,6 +117,10 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
   /// list — RemoveMember's purge treats a no-op erase as stale. This
   /// is what replaces the old O(overlay * scales) purge scan.
   std::vector<std::vector<std::uint64_t>> occ_;
+  /// occ_floor_[member_pos] -> occurrence-list length at the last
+  /// compaction (floored at kOccCompactMin / 2); the next compaction
+  /// triggers when the list doubles past it.
+  std::vector<std::size_t> occ_floor_;
 };
 
 }  // namespace np::algos

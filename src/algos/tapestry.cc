@@ -54,8 +54,40 @@ void TapestryNearest::InstallEntry(std::size_t owner_pos, std::size_t slot,
   }
   table_latency_[owner_pos][slot] = latency;
   tables_[owner_pos][slot] = entry;
-  refs_[members_.PositionOf(entry)].push_back(
-      PackRef(members_.at(owner_pos), slot));
+  const std::size_t entry_pos = members_.PositionOf(entry);
+  refs_[entry_pos].push_back(PackRef(members_.at(owner_pos), slot));
+  MaybeCompactRefs(entry_pos);
+}
+
+void TapestryNearest::MaybeCompactRefs(std::size_t position) {
+  auto& refs = refs_[position];
+  if (refs.size() < kRefCompactMin ||
+      refs.size() < 2 * ref_floor_[position]) {
+    return;
+  }
+  const NodeId self = members_.at(position);
+  std::sort(refs.begin(), refs.end());
+  refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+  std::size_t kept = 0;
+  for (const std::uint64_t packed : refs) {
+    const NodeId owner = static_cast<NodeId>(packed >> 8);
+    const std::size_t slot = static_cast<std::size_t>(packed & 0xFF);
+    const std::size_t owner_pos = members_.PositionOf(owner);
+    if (owner_pos == core::MemberIndex::kNoPosition ||
+        owner_pos == position || tables_[owner_pos][slot] != self) {
+      continue;
+    }
+    refs[kept++] = packed;
+  }
+  refs.resize(kept);
+  refs.shrink_to_fit();
+  ref_floor_[position] = std::max(refs.size(), kRefCompactMin / 2);
+}
+
+std::size_t TapestryNearest::RefEntries(NodeId member) const {
+  const std::size_t position = members_.PositionOf(member);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition, "not a member");
+  return refs_[position].size();
 }
 
 void TapestryNearest::Build(const core::LatencySpace& space,
@@ -91,6 +123,7 @@ void TapestryNearest::BuildImpl(const core::LatencySpace& space,
   const std::size_t slots = static_cast<std::size_t>(levels) * 16;
   tables_.assign(n, std::vector<NodeId>(slots, kInvalidNode));
   table_latency_.assign(n, std::vector<LatencyMs>(slots, kInfiniteLatency));
+  const core::ProbePolicy& policy = probe_policy();
   util::ParallelFor(0, n, num_threads, [&](std::size_t i) {
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) {
@@ -99,7 +132,11 @@ void TapestryNearest::BuildImpl(const core::LatencySpace& space,
       const int shared = SharedPrefix(ids_[i], ids_[j]);
       // j is eligible for the table at every level <= shared. The
       // owner rides second so row-caching backends reuse its row.
-      const double latency = space.Latency(node_ids[j], node_ids[i]);
+      const auto measured = policy.Probe(space, node_ids[j], node_ids[i]);
+      if (!measured) {
+        continue;  // unreachable during build: not tabled
+      }
+      const double latency = *measured;
       for (int level = 0; level <= std::min(shared, levels - 1); ++level) {
         const int digit = DigitAt(ids_[j], level, levels);
         const std::size_t slot =
@@ -125,6 +162,10 @@ void TapestryNearest::BuildImpl(const core::LatencySpace& space,
       }
     }
   }
+  ref_floor_.assign(n, kRefCompactMin / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref_floor_[i] = std::max(refs_[i].size(), kRefCompactMin / 2);
+  }
 }
 
 void TapestryNearest::AddMember(NodeId node, util::Rng& rng) {
@@ -138,14 +179,21 @@ void TapestryNearest::AddMember(NodeId node, util::Rng& rng) {
   tables_.emplace_back(slots, kInvalidNode);
   table_latency_.emplace_back(slots, kInfiniteLatency);
   refs_.emplace_back();
+  ref_floor_.push_back(kRefCompactMin / 2);
   const std::vector<NodeId>& node_ids = members_.members();
+  const core::ProbePolicy& policy = probe_policy();
 
   // One measurement per existing member serves both directions (an RTT
   // handshake): it fills the joiner's tables and lets each member
-  // consider the joiner for its own.
+  // consider the joiner for its own. A lost handshake drops that pair
+  // from the exchange entirely.
   for (std::size_t j = 0; j < existing; ++j) {
     const int shared = SharedPrefix(id, ids_[j]);
-    const double latency = space_->Latency(node_ids[j], node);
+    const auto measured = policy.Probe(*space_, node_ids[j], node);
+    if (!measured) {
+      continue;
+    }
+    const double latency = *measured;
     for (int level = 0; level <= std::min(shared, levels - 1); ++level) {
       const std::size_t joiner_slot =
           static_cast<std::size_t>(level) * 16 +
@@ -191,11 +239,13 @@ void TapestryNearest::RemoveMember(NodeId node) {
     tables_[removed.position] = std::move(tables_.back());
     table_latency_[removed.position] = std::move(table_latency_.back());
     refs_[removed.position] = std::move(refs_.back());
+    ref_floor_[removed.position] = ref_floor_.back();
   }
   ids_.pop_back();
   tables_.pop_back();
   table_latency_.pop_back();
   refs_.pop_back();
+  ref_floor_.pop_back();
 
   // Prefix repair: each orphaned slot's owner re-scans the eligible
   // members, measuring each candidate once per owner (billed). This is
@@ -204,6 +254,7 @@ void TapestryNearest::RemoveMember(NodeId node) {
   std::sort(orphans.begin(), orphans.end());
   const std::size_t n = members_.size();
   const std::vector<NodeId>& node_ids = members_.members();
+  const core::ProbePolicy& policy = probe_policy();
   std::size_t o = 0;
   while (o < orphans.size()) {
     const NodeId owner = orphans[o].first;
@@ -212,7 +263,12 @@ void TapestryNearest::RemoveMember(NodeId node) {
     while (end < orphans.size() && orphans[end].first == owner) {
       ++end;
     }
+    // `tried` keeps a failed candidate from being re-probed for every
+    // orphaned slot it is eligible for: one give-up per (owner,
+    // candidate) pair. Its latency stays kInfiniteLatency, which
+    // InstallEntry rejects — a dead candidate can never win a slot.
     std::vector<LatencyMs> measured(n, kInfiniteLatency);
+    std::vector<char> tried(n, 0);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == owner_pos) {
         continue;
@@ -225,8 +281,13 @@ void TapestryNearest::RemoveMember(NodeId node) {
         if (shared < level || DigitAt(ids_[j], level, levels) != digit) {
           continue;
         }
-        if (measured[j] == kInfiniteLatency) {
-          measured[j] = space_->Latency(node_ids[j], node_ids[owner_pos]);
+        if (!tried[j]) {
+          tried[j] = 1;
+          const auto m =
+              policy.Probe(*space_, node_ids[j], node_ids[owner_pos]);
+          if (m) {
+            measured[j] = *m;
+          }
         }
         InstallEntry(owner_pos, slot, node_ids[j], measured[j]);
       }
@@ -257,18 +318,29 @@ core::QueryResult TapestryNearest::FindNearest(
     NodeId target, const core::MeteredSpace& metered, util::Rng& rng) {
   NP_ENSURE(!members_.empty(), "Build must run before FindNearest");
   core::QueryResult result;
+  const core::ProbePolicy& policy = probe_policy();
   std::unordered_set<NodeId> probed;
   const auto probe = [&](NodeId node) {
-    const LatencyMs d = metered.Latency(node, target);
+    const auto d = policy.Probe(metered, node, target);
     if (probed.insert(node).second) {
       ++result.probes;
     }
     return d;
   };
 
+  // Under faults the start peer may be unreachable; redraw a few times
+  // before giving the query up (zero extra rng at zero loss).
   std::size_t current = rng.Index(members_.size());
+  auto start = probe(members_.at(current));
+  for (int redraw = 0; !start && redraw < core::kStartRedraws; ++redraw) {
+    current = rng.Index(members_.size());
+    start = probe(members_.at(current));
+  }
+  if (!start) {
+    return result;  // found stays kInvalidNode: give-up
+  }
   result.found = members_.at(current);
-  result.found_latency_ms = probe(members_.at(current));
+  result.found_latency_ms = *start;
 
   // Descend the levels: probe the whole level table, move to the
   // closest entry (the iterative construction from §6), and continue
@@ -286,7 +358,11 @@ core::QueryResult TapestryNearest::FindNearest(
       if (candidate == kInvalidNode) {
         continue;
       }
-      const LatencyMs d = probe(candidate);
+      const auto measured = probe(candidate);
+      if (!measured) {
+        continue;  // stale/dead table entry: route around it
+      }
+      const LatencyMs d = *measured;
       if (d < result.found_latency_ms ||
           (d == result.found_latency_ms && candidate < result.found)) {
         result.found_latency_ms = d;

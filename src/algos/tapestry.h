@@ -72,6 +72,10 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
   /// Entries of a member's level-l routing table (deduped, for tests).
   std::vector<NodeId> TableOf(NodeId member, int level) const;
 
+  /// Length of one member's back-reference list (for tests asserting
+  /// the compaction bound: length stays O(live entries)).
+  std::size_t RefEntries(NodeId member) const;
+
  private:
   static int DigitAt(std::uint32_t id, int level, int num_digits);
 
@@ -90,6 +94,15 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
   /// maintaining latency and back-references.
   void InstallEntry(std::size_t owner_pos, std::size_t slot, NodeId entry,
                     LatencyMs latency);
+
+  /// Compacts one member's back-reference list when it has doubled
+  /// since the last compaction (and exceeds kRefCompactMin): sorts,
+  /// dedupes, and drops entries whose named slot no longer holds the
+  /// member. Amortized O(1) per insertion; bounds the list length at
+  /// 2 x live entries + O(1) under arbitrary churn.
+  void MaybeCompactRefs(std::size_t position);
+
+  static constexpr std::size_t kRefCompactMin = 64;
 
   /// Back-reference bookkeeping: packs (owner, slot) into one word
   /// (slots fit 8 bits: num_digits <= 8 -> slot < 128).
@@ -118,6 +131,10 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
   /// entries are skipped. Replaces the old O(overlay * slots) eviction
   /// scan.
   std::vector<std::vector<std::uint64_t>> refs_;
+  /// ref_floor_[member_pos] -> back-reference-list length at the last
+  /// compaction (floored at kRefCompactMin / 2); the next compaction
+  /// triggers when the list doubles past it.
+  std::vector<std::size_t> ref_floor_;
 };
 
 }  // namespace np::algos

@@ -51,6 +51,16 @@ void TiersNearest::BuildImpl(const core::LatencySpace& space,
   constexpr std::size_t kChunk = 128;
   std::vector<std::vector<LatencyMs>> scratch(kChunk);
 
+  // A lost probe reads as kInfiniteLatency: the rep looks out of
+  // radius, so the member founds its own cluster — exactly how a real
+  // greedy cover behaves when an existing rep fails to answer.
+  const core::ProbePolicy& policy = probe_policy();
+  const auto probe_or_inf = [&policy](const core::LatencySpace& s, NodeId a,
+                                      NodeId b) {
+    const auto measured = policy.Probe(s, a, b);
+    return measured ? *measured : kInfiniteLatency;
+  };
+
   std::vector<NodeId> level_members = members_.members();
   double radius = config_.base_radius_ms;
   for (int level = 0; level < config_.max_levels; ++level) {
@@ -70,7 +80,7 @@ void TiersNearest::BuildImpl(const core::LatencySpace& space,
         row.resize(reps_at_start);
         // `m` rides second so row-caching backends reuse its row.
         for (std::size_t r = 0; r < reps_at_start; ++r) {
-          row[r] = space.Latency(reps[r], m);
+          row[r] = probe_or_inf(space, reps[r], m);
         }
       });
       for (std::size_t k = 0; k < count; ++k) {
@@ -80,7 +90,7 @@ void TiersNearest::BuildImpl(const core::LatencySpace& space,
         for (std::size_t r = 0; r < reps.size(); ++r) {
           const NodeId rep = reps[r];
           const LatencyMs d =
-              r < reps_at_start ? scratch[k][r] : space.Latency(rep, m);
+              r < reps_at_start ? scratch[k][r] : probe_or_inf(space, rep, m);
           if (static_cast<int>(built.clusters[rep].size()) >=
               config_.max_cluster_size) {
             continue;  // full cluster stops absorbing
@@ -127,6 +137,7 @@ void TiersNearest::AddMember(NodeId node, util::Rng& rng) {
   // supplied to Build — under the scenario engine that is the metered
   // maintenance view, so the descent is billed.
   const int num_levels = static_cast<int>(levels_.size());
+  const core::ProbePolicy& policy = probe_policy();
   std::vector<std::vector<std::pair<LatencyMs, NodeId>>> probed(
       static_cast<std::size_t>(num_levels));
   std::vector<NodeId> candidates = top_reps_;
@@ -136,12 +147,19 @@ void TiersNearest::AddMember(NodeId node, util::Rng& rng) {
     NodeId best = kInvalidNode;
     LatencyMs best_distance = kInfiniteLatency;
     for (const NodeId candidate : candidates) {
-      const LatencyMs d = space_->Latency(candidate, node);
+      const auto measured = policy.Probe(*space_, candidate, node);
+      if (!measured) {
+        continue;  // unreachable rep: not an attachment candidate
+      }
+      const LatencyMs d = *measured;
       at_level.push_back({d, candidate});
       if (d < best_distance || (d == best_distance && candidate < best)) {
         best_distance = d;
         best = candidate;
       }
+    }
+    if (best == kInvalidNode) {
+      break;  // every rep at this level unreachable: stop the descent
     }
     if (level > 0) {
       candidates =
@@ -197,11 +215,18 @@ NodeId TiersNearest::ElectRep(const std::vector<NodeId>& cluster) const {
     return cluster[0];
   }
   // Every pair measures once (billed through the build-time space);
-  // the winner minimizes the summed latency to the rest.
+  // the winner minimizes the summed latency to the rest. A lost pair
+  // probe penalizes both endpoints by a fixed large charge: a node
+  // that keeps failing its cluster-mates cannot win the election, but
+  // one lost probe among many finite ones stays survivable.
+  constexpr double kLostPairPenaltyMs = 1e7;
+  const core::ProbePolicy& policy = probe_policy();
   std::vector<double> score(cluster.size(), 0.0);
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     for (std::size_t j = i + 1; j < cluster.size(); ++j) {
-      const LatencyMs d = space_->Latency(cluster[i], cluster[j]);
+      const auto measured =
+          policy.Probe(*space_, cluster[i], cluster[j]);
+      const double d = measured ? *measured : kLostPairPenaltyMs;
       score[i] += d;
       score[j] += d;
     }
@@ -351,25 +376,35 @@ core::QueryResult TiersNearest::FindNearest(NodeId target,
   (void)rng;
   NP_ENSURE(space_ != nullptr, "Build must run before FindNearest");
   core::QueryResult result;
+  const core::ProbePolicy& policy = probe_policy();
   const auto probe = [&](NodeId node) {
     ++result.probes;
-    return metered.Latency(node, target);
+    return policy.Probe(metered, node, target);
   };
 
   // Probe the top cluster, then descend through the chosen rep's
-  // clusters level by level.
+  // clusters level by level. An unreachable rep is skipped; if a whole
+  // level fails the descent stops at the best answer found so far
+  // (kInvalidNode when even the top cluster was silent).
   std::vector<NodeId> candidates = top_reps_;
   for (int level = static_cast<int>(levels_.size()) - 1; level >= 0;
        --level) {
     NodeId best = kInvalidNode;
     LatencyMs best_distance = kInfiniteLatency;
     for (const NodeId candidate : candidates) {
-      const LatencyMs d = probe(candidate);
+      const auto measured = probe(candidate);
+      if (!measured) {
+        continue;
+      }
+      const LatencyMs d = *measured;
       if (d < best_distance ||
           (d == best_distance && candidate < best)) {
         best_distance = d;
         best = candidate;
       }
+    }
+    if (best == kInvalidNode) {
+      return result;  // whole level unreachable: stop here
     }
     if (best_distance < result.found_latency_ms ||
         (best_distance == result.found_latency_ms &&
@@ -382,7 +417,11 @@ core::QueryResult TiersNearest::FindNearest(NodeId target,
   }
   // Bottom cluster: probe its members for the final answer.
   for (const NodeId candidate : candidates) {
-    const LatencyMs d = probe(candidate);
+    const auto measured = probe(candidate);
+    if (!measured) {
+      continue;
+    }
+    const LatencyMs d = *measured;
     if (d < result.found_latency_ms ||
         (d == result.found_latency_ms && candidate < result.found)) {
       result.found_latency_ms = d;

@@ -93,6 +93,7 @@ double DiurnalMultiplier(const DiurnalConfig& config, double t) {
 ChurnStats& ChurnStats::operator+=(const ChurnStats& other) {
   joins += other.joins;
   leaves += other.leaves;
+  crashes += other.crashes;
   skipped += other.skipped;
   return *this;
 }
@@ -104,6 +105,8 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
             "join fraction must be a probability");
   NP_ENSURE(config.mean_session_s >= 0.0,
             "mean session length must be non-negative");
+  NP_ENSURE(config.crash_fraction >= 0.0 && config.crash_fraction <= 1.0,
+            "crash fraction must be a probability");
   if (config.mean_session_s > 0.0) {
     NP_ENSURE(config.session_model != SessionModel::kLogNormal ||
                   config.lognormal_sigma > 0.0,
@@ -145,6 +148,14 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
       event.type = rng.Bernoulli(config.join_fraction)
                        ? ChurnEventType::kJoin
                        : ChurnEventType::kLeave;
+      // The crash Bernoulli is drawn only when enabled, so schedules
+      // with crash_fraction == 0 are bit-identical to pre-fault ones
+      // (the draw lives in this event's private stream either way).
+      if (event.type == ChurnEventType::kLeave &&
+          config.crash_fraction > 0.0 &&
+          rng.Bernoulli(config.crash_fraction)) {
+        event.type = ChurnEventType::kCrash;
+      }
       schedule.events_.push_back(event);
     }
     return schedule;
@@ -157,6 +168,7 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
   struct SessionLeave {
     double time_s;
     std::size_t join_ordinal;
+    bool crashed;
   };
   std::vector<ChurnEvent> joins;
   std::vector<SessionLeave> leaves;
@@ -177,7 +189,9 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
     join.type = ChurnEventType::kJoin;
     const double departure = t + SampleSession(config, rng);
     if (departure <= config.duration_s) {
-      leaves.push_back(SessionLeave{departure, joins.size()});
+      const bool crashed = config.crash_fraction > 0.0 &&
+                           rng.Bernoulli(config.crash_fraction);
+      leaves.push_back(SessionLeave{departure, joins.size(), crashed});
     }
     joins.push_back(join);
   }
@@ -204,7 +218,8 @@ ChurnSchedule ChurnSchedule::Poisson(const ChurnScheduleConfig& config) {
     } else {
       ChurnEvent leave;
       leave.time_s = leaves[li].time_s;
-      leave.type = ChurnEventType::kLeave;
+      leave.type = leaves[li].crashed ? ChurnEventType::kCrash
+                                      : ChurnEventType::kLeave;
       leave.join_of = join_final_index[leaves[li].join_ordinal];
       NP_ENSURE(leave.join_of >= 0, "session leave placed before its join");
       schedule.events_.push_back(leave);
@@ -222,9 +237,12 @@ ChurnSchedule ChurnSchedule::FromTrace(std::vector<ChurnEvent> events) {
   ChurnSchedule schedule;
   for (std::size_t i = 0; i < events.size(); ++i) {
     NP_ENSURE(events[i].time_s >= 0.0, "event times must be non-negative");
+    NP_ENSURE(events[i].node == kInvalidNode ||
+                  events[i].type != ChurnEventType::kJoin,
+              "explicit victims are only meaningful on leaves/crashes");
     if (events[i].join_of >= 0) {
-      NP_ENSURE(events[i].type == ChurnEventType::kLeave,
-                "join_of is only meaningful on leaves");
+      NP_ENSURE(events[i].type != ChurnEventType::kJoin,
+                "join_of is only meaningful on leaves/crashes");
       NP_ENSURE(static_cast<std::size_t>(events[i].join_of) < i &&
                     events[static_cast<std::size_t>(events[i].join_of)]
                             .type == ChurnEventType::kJoin,
@@ -296,7 +314,8 @@ void ChurnDriver::ApplyEvent(const ChurnEvent& event, std::size_t index,
       ++stats.joins;
       return;
     }
-    case ChurnEventType::kLeave: {
+    case ChurnEventType::kLeave:
+    case ChurnEventType::kCrash: {
       if (members_.size() <= 2) {
         // Membership floor: an overlay of one cannot answer queries
         // about "the closest *other* peer".
@@ -304,7 +323,13 @@ void ChurnDriver::ApplyEvent(const ChurnEvent& event, std::size_t index,
         return;
       }
       NodeId node = kInvalidNode;
-      if (event.join_of >= 0) {
+      if (event.node != kInvalidNode) {
+        if (member_pos_.find(event.node) == member_pos_.end()) {
+          ++stats.skipped;  // named victim is not (or no longer) a member
+          return;
+        }
+        node = event.node;
+      } else if (event.join_of >= 0) {
         const auto it = join_node_.find(event.join_of);
         if (it == join_node_.end() ||
             member_pos_.find(it->second) == member_pos_.end()) {
@@ -315,9 +340,14 @@ void ChurnDriver::ApplyEvent(const ChurnEvent& event, std::size_t index,
       } else {
         node = members_[erng.Index(members_.size())];
       }
-      Leave(node);
-      pool_.push_back(node);
-      ++stats.leaves;
+      if (event.type == ChurnEventType::kLeave) {
+        Leave(node);
+        pool_.push_back(node);
+        ++stats.leaves;
+      } else {
+        Crash(node);
+        ++stats.crashes;
+      }
       return;
     }
   }
@@ -348,6 +378,38 @@ void ChurnDriver::Leave(NodeId node) {
   if (algo_ != nullptr) {
     algo_->RemoveMember(node);
   }
+}
+
+void ChurnDriver::Crash(NodeId node) {
+  // Like Leave, but: no RemoveMember (nobody was told), no return to
+  // the pool (the host is gone for good, and a pooled copy could
+  // rejoin while its stale overlay entries still linger).
+  const auto it = member_pos_.find(node);
+  NP_ENSURE(it != member_pos_.end(), "crashing node is not a member");
+  const std::size_t position = it->second;
+  const std::size_t last = members_.size() - 1;
+  if (position != last) {
+    members_[position] = members_[last];
+    member_pos_[members_[position]] = position;
+  }
+  members_.pop_back();
+  member_pos_.erase(it);
+  crashed_.insert(node);
+  pending_repairs_.push_back(node);
+}
+
+bool ChurnDriver::ForceCrash(NodeId node) {
+  if (members_.size() <= 2 || member_pos_.find(node) == member_pos_.end()) {
+    return false;
+  }
+  Crash(node);
+  return true;
+}
+
+std::vector<NodeId> ChurnDriver::TakePendingRepairs() {
+  std::vector<NodeId> out;
+  out.swap(pending_repairs_);
+  return out;
 }
 
 }  // namespace np::core

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/nearest_algorithm.h"
@@ -28,15 +29,23 @@
 
 namespace np::core {
 
-enum class ChurnEventType { kJoin, kLeave };
+/// kCrash is a leave without notice: the node stops answering probes
+/// immediately but no RemoveMember runs — overlay entries linger until
+/// a failed probe exposes them and a billed repair purges them.
+enum class ChurnEventType { kJoin, kLeave, kCrash };
 
 struct ChurnEvent {
   double time_s = 0.0;
   ChurnEventType type = ChurnEventType::kJoin;
-  /// Session-style leaves name the join event whose node departs
-  /// (index into the schedule); -1 means "a uniformly random live
-  /// member leaves".
+  /// Session-style leaves/crashes name the join event whose node
+  /// departs (index into the schedule); -1 means "a uniformly random
+  /// live member departs".
   std::int64_t join_of = -1;
+  /// Explicit victim for leave/crash trace events (regional blackouts
+  /// name every node of a cluster); kInvalidNode defers to join_of or
+  /// the uniform draw. Takes precedence over join_of. If the named node
+  /// is not currently a member the event is skipped.
+  NodeId node = kInvalidNode;
 };
 
 /// Session-length distribution for session-mode schedules. All three
@@ -100,6 +109,11 @@ struct ChurnScheduleConfig {
   /// Tail exponent for SessionModel::kPareto; must be > 1 (finite
   /// mean). Smaller = heavier tail.
   double pareto_alpha = 2.5;
+  /// Probability a departure is a crash (no notify) instead of a
+  /// graceful leave. Applies to fixed-mix leaves and session ends
+  /// alike. The extra Bernoulli is only drawn when > 0, so schedules
+  /// generated with 0 are bit-identical to pre-fault ones.
+  double crash_fraction = 0.0;
   /// Time-of-day arrival modulation; day_s <= 0 disables.
   DiurnalConfig diurnal;
   std::uint64_t seed = 1;
@@ -144,6 +158,8 @@ class ChurnSchedule {
 struct ChurnStats {
   std::int64_t joins = 0;
   std::int64_t leaves = 0;
+  /// Departures without notice (see ChurnEventType::kCrash).
+  std::int64_t crashes = 0;
   /// Events that resolved to no-ops: joins with an exhausted pool,
   /// leaves at the membership floor, session leaves whose node already
   /// left.
@@ -177,11 +193,31 @@ class ChurnDriver {
   /// Index of the next unapplied event.
   std::size_t next_event() const { return next_; }
 
+  /// Every node that has crashed so far. The scenario engine points its
+  /// FaultySpace at this set, which is how crashed peers stop answering
+  /// probes the instant the event applies. Grows only during (serial)
+  /// event application, so concurrent query threads may read it.
+  const std::unordered_set<NodeId>& crashed() const { return crashed_; }
+
+  /// Crashed nodes whose overlay entries have not been repaired yet.
+  /// The engine drains this at the next epoch's churn window and runs
+  /// billed RemoveMember repairs — modeling detection by failed probe,
+  /// one detection delay (epoch) after the crash.
+  std::vector<NodeId> TakePendingRepairs();
+
+  /// Crashes `node` immediately (no event, no rng): drops it from the
+  /// membership, marks it crashed, queues repair. Skips (returns false)
+  /// if the node is not a member or the membership floor is reached.
+  /// Used by the engine's regional-blackout injection.
+  bool ForceCrash(NodeId node);
+
  private:
   void ApplyEvent(const ChurnEvent& event, std::size_t index,
                   ChurnStats& stats);
   void Join(NodeId node, util::Rng& rng);
   void Leave(NodeId node);
+  /// Membership removal without algorithm notification.
+  void Crash(NodeId node);
 
   NearestPeerAlgorithm* algo_;
   std::vector<NodeId> members_;
@@ -191,6 +227,10 @@ class ChurnDriver {
   /// schedule index of a join event -> the node it admitted (session
   /// leaves look their victim up here).
   std::unordered_map<std::int64_t, NodeId> join_node_;
+  /// Nodes dead forever: never returned to the pool (a crashed host
+  /// does not rejoin under a recycled id).
+  std::unordered_set<NodeId> crashed_;
+  std::vector<NodeId> pending_repairs_;
   std::uint64_t seed_;
   std::size_t next_ = 0;
 };

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "core/probe_counter.h"
 #include "matrix/latency_matrix.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -139,14 +140,25 @@ class NoisySpace final : public LatencySpace {
 /// through one shared meter from many threads: the total is exact
 /// (additions commute) and therefore thread-count invariant, which is
 /// what keeps build_messages deterministic for parallel builds.
+///
+/// An optional PerNodeLedger additionally attributes each probe to the
+/// peer that answers it (the first Latency argument — the convention
+/// every algorithm here follows: candidate first, target second). The
+/// ledger's adds are atomic too, so sharing it across query threads is
+/// safe.
 class MeteredSpace final : public LatencySpace {
  public:
-  explicit MeteredSpace(const LatencySpace& inner) : inner_(&inner) {}
+  explicit MeteredSpace(const LatencySpace& inner,
+                        PerNodeLedger* ledger = nullptr)
+      : inner_(&inner), ledger_(ledger) {}
 
   NodeId size() const override { return inner_->size(); }
 
   LatencyMs Latency(NodeId a, NodeId b) const override {
     probes_.fetch_add(1, std::memory_order_relaxed);
+    if (ledger_ != nullptr) {
+      ledger_->Record(a);
+    }
     return inner_->Latency(a, b);
   }
 
@@ -157,6 +169,7 @@ class MeteredSpace final : public LatencySpace {
 
  private:
   const LatencySpace* inner_;
+  PerNodeLedger* ledger_;
   mutable std::atomic<std::uint64_t> probes_{0};
 };
 

@@ -6,6 +6,13 @@
 #include "util/error.h"
 
 namespace np::core {
+namespace {
+
+/// Fresh random picks a degraded RandomNearest query tries before
+/// reporting failure.
+constexpr int kMaxRandomDraws = 8;
+
+}  // namespace
 
 void NearestPeerAlgorithm::AddMember(NodeId node, util::Rng& rng) {
   (void)node;
@@ -54,12 +61,16 @@ QueryResult OracleNearest::FindNearest(NodeId target,
   (void)rng;
   NP_ENSURE(space_ != nullptr, "Build must be called before FindNearest");
   QueryResult result;
+  const ProbePolicy& policy = probe_policy();
   for (NodeId member : members_.members()) {
-    const LatencyMs latency = metered.Latency(member, target);
+    const auto latency = policy.Probe(metered, member, target);
     ++result.probes;
-    if (latency < result.found_latency_ms ||
-        (latency == result.found_latency_ms && member < result.found)) {
-      result.found_latency_ms = latency;
+    if (!latency) {
+      continue;  // unreachable member: skip, keep scanning
+    }
+    if (*latency < result.found_latency_ms ||
+        (*latency == result.found_latency_ms && member < result.found)) {
+      result.found_latency_ms = *latency;
       result.found = member;
     }
   }
@@ -106,9 +117,21 @@ QueryResult RandomNearest::FindNearest(NodeId target,
                                        const MeteredSpace& metered,
                                        util::Rng& rng) {
   QueryResult result;
-  result.found = members_.at(rng.Index(members_.size()));
-  result.found_latency_ms = metered.Latency(result.found, target);
-  result.probes = 1;
+  const ProbePolicy& policy = probe_policy();
+  // Under faults the single pick may be dead; redraw a few times before
+  // giving up (a real client would just ask another random peer). At
+  // zero loss the first draw always succeeds, so the rng consumption
+  // and probe count match the pre-fault behavior exactly.
+  for (int draw = 0; draw < kMaxRandomDraws; ++draw) {
+    const NodeId pick = members_.at(rng.Index(members_.size()));
+    ++result.probes;
+    const auto latency = policy.Probe(metered, pick, target);
+    if (latency) {
+      result.found = pick;
+      result.found_latency_ms = *latency;
+      break;
+    }
+  }
   result.hops = 0;
   return result;
 }

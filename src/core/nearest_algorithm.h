@@ -13,6 +13,7 @@
 
 #include "core/latency_space.h"
 #include "core/member_index.h"
+#include "core/probe_policy.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -104,11 +105,24 @@ class NearestPeerAlgorithm {
   void AttachProbeCounter(ProbeCounter* counter) { probe_counter_ = counter; }
   ProbeCounter* probe_counter() const { return probe_counter_; }
 
+  /// Attaches (or detaches, with nullptr) the retry policy every
+  /// build/join/repair/query probe is routed through. With none
+  /// attached, probe_policy() is the single-attempt default — byte-for-
+  /// byte the pre-fault behavior. Virtual so wrapper algorithms (the
+  /// hybrids) can propagate the policy to their inner fallback.
+  virtual void AttachProbePolicy(const ProbePolicy* policy) {
+    probe_policy_ = policy;
+  }
+  const ProbePolicy& probe_policy() const {
+    return probe_policy_ != nullptr ? *probe_policy_ : ProbePolicy::Default();
+  }
+
   /// Members the overlay was built over.
   virtual const std::vector<NodeId>& members() const = 0;
 
  private:
   ProbeCounter* probe_counter_ = nullptr;
+  const ProbePolicy* probe_policy_ = nullptr;
 };
 
 /// Brute-force oracle: probes every member. Defines ground truth and

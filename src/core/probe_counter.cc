@@ -1,6 +1,9 @@
 #include "core/probe_counter.h"
 
+#include <algorithm>
 #include <limits>
+
+#include "util/stats.h"
 
 namespace np::core {
 
@@ -44,6 +47,8 @@ ProbeCounter::Snapshot ProbeCounter::Read() const {
       maintenance_probes_.load(std::memory_order_relaxed);
   snapshot.churn_events = churn_events_.load(std::memory_order_relaxed);
   snapshot.build_probes = build_probes_.load(std::memory_order_relaxed);
+  snapshot.failed_probes = failed_probes_.load(std::memory_order_relaxed);
+  snapshot.retries = retries_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -53,6 +58,55 @@ void ProbeCounter::Reset() {
   maintenance_probes_.store(0, std::memory_order_relaxed);
   churn_events_.store(0, std::memory_order_relaxed);
   build_probes_.store(0, std::memory_order_relaxed);
+  failed_probes_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> PerNodeLedger::Counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void PerNodeLedger::Reset() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+}
+
+PerNodeSnapshot PerNodeSnapshot::Over(
+    const std::vector<std::uint64_t>& counts,
+    const std::vector<std::uint64_t>* baseline,
+    const std::vector<NodeId>& members) {
+  PerNodeSnapshot snap;
+  std::vector<double> loads;
+  loads.reserve(members.size());
+  for (const NodeId m : members) {
+    std::uint64_t load = 0;
+    const auto idx = static_cast<std::size_t>(m);
+    if (m >= 0 && idx < counts.size()) {
+      load = counts[idx];
+      if (baseline != nullptr) {
+        load -= (*baseline)[idx];
+      }
+    }
+    loads.push_back(static_cast<double>(load));
+    snap.total += load;
+    if (load > snap.max || (load == snap.max && snap.max_node != kInvalidNode &&
+                            m < snap.max_node)) {
+      snap.max = load;
+      snap.max_node = m;
+    } else if (snap.max_node == kInvalidNode) {
+      snap.max_node = m;  // first member seeds the argmax
+    }
+  }
+  if (!loads.empty()) {
+    snap.median = util::Percentile(loads, 50.0);
+    snap.gini = util::Gini(std::move(loads));
+  }
+  return snap;
 }
 
 }  // namespace np::core

@@ -19,6 +19,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
+
+#include "util/types.h"
 
 namespace np::core {
 
@@ -38,6 +41,13 @@ class ProbeCounter {
     /// Probes issued by the initial Build (reported separately from
     /// maintenance: every deployment pays it exactly once).
     std::uint64_t build_probes = 0;
+    /// Probes that were billed but returned no latency (lost in
+    /// transit, or the target had crashed). Always <= the sum of the
+    /// probe counters above: a failed probe is still a probe.
+    std::uint64_t failed_probes = 0;
+    /// Re-attempts issued by a ProbePolicy after a failed probe. Each
+    /// retry is also billed as a probe in the phase counters.
+    std::uint64_t retries = 0;
 
     /// Mean messages per query; 0 when no query has been charged.
     double MessagesPerQuery() const;
@@ -57,6 +67,8 @@ class ProbeCounter {
   }
   void AddChurnEvents(std::uint64_t n) { SaturatingAdd(churn_events_, n); }
   void AddBuildProbes(std::uint64_t n) { SaturatingAdd(build_probes_, n); }
+  void AddFailedProbes(std::uint64_t n) { SaturatingAdd(failed_probes_, n); }
+  void AddRetries(std::uint64_t n) { SaturatingAdd(retries_, n); }
 
   Snapshot Read() const;
 
@@ -72,6 +84,68 @@ class ProbeCounter {
   std::atomic<std::uint64_t> maintenance_probes_{0};
   std::atomic<std::uint64_t> churn_events_{0};
   std::atomic<std::uint64_t> build_probes_{0};
+  std::atomic<std::uint64_t> failed_probes_{0};
+  std::atomic<std::uint64_t> retries_{0};
+};
+
+/// Per-node tally of messages *answered*: who pays for all that probe
+/// traffic. The convention is that Latency(a, b) bills node a — the
+/// first argument is the peer being measured/contacted — which is how
+/// every algorithm in this repo issues probes (candidate first, target
+/// second). Maintained by MeteredSpace when one is attached.
+///
+/// Thread-safety: Record is a relaxed atomic add, so parallel query
+/// loops can share one ledger; totals are order-invariant. Counts()
+/// must not race a concurrent Record (the engine reads only at epoch
+/// barriers).
+class PerNodeLedger {
+ public:
+  explicit PerNodeLedger(std::size_t num_nodes)
+      : counts_(num_nodes) {}
+  PerNodeLedger(const PerNodeLedger&) = delete;
+  PerNodeLedger& operator=(const PerNodeLedger&) = delete;
+
+  void Record(NodeId node) {
+    if (node >= 0 && static_cast<std::size_t>(node) < counts_.size()) {
+      counts_[static_cast<std::size_t>(node)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const { return counts_.size(); }
+
+  std::uint64_t count(NodeId node) const {
+    return counts_.at(static_cast<std::size_t>(node))
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Plain-value copy of all counts.
+  std::vector<std::uint64_t> Counts() const;
+
+  void Reset();
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
+/// Load distribution over a member set, from a ledger delta (one epoch)
+/// or a cumulative ledger (whole run). Quantifies the paper's Figs 8-9
+/// load-concentration claim per scheme.
+struct PerNodeSnapshot {
+  std::uint64_t total = 0;
+  /// Heaviest-loaded member and its count (lowest id on ties).
+  std::uint64_t max = 0;
+  NodeId max_node = kInvalidNode;
+  double median = 0.0;
+  /// Gini coefficient of per-member load, in [0, 1].
+  double gini = 0.0;
+
+  /// Distribution of counts[m] - baseline[m] over `members`. baseline
+  /// may be nullptr (taken as all-zero) or must be the same size as
+  /// counts. Members outside counts' range contribute zero load.
+  static PerNodeSnapshot Over(const std::vector<std::uint64_t>& counts,
+                              const std::vector<std::uint64_t>* baseline,
+                              const std::vector<NodeId>& members);
 };
 
 }  // namespace np::core

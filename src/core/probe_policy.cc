@@ -1,0 +1,56 @@
+#include "core/probe_policy.h"
+
+#include "util/error.h"
+
+namespace np::core {
+
+ProbePolicy::ProbePolicy(ProbePolicyConfig config, ProbeCounter* counter)
+    : config_(config), counter_(counter) {
+  NP_ENSURE(config.max_attempts >= 1,
+            "ProbePolicy needs at least one attempt");
+  NP_ENSURE(config.timeout_ms >= 0.0 && config.backoff_factor >= 1.0,
+            "ProbePolicy timeout/backoff must be non-negative/>= 1");
+}
+
+std::optional<LatencyMs> ProbePolicy::Probe(const LatencySpace& space,
+                                            NodeId node,
+                                            NodeId target) const {
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    const LatencyMs measured = space.Latency(node, target);
+    if (!matrix::ProbeLost(measured)) {
+      return measured;
+    }
+    if (counter_ != nullptr) {
+      counter_->AddFailedProbes(1);
+      if (attempt + 1 < config_.max_attempts) {
+        counter_->AddRetries(1);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+double ProbePolicy::AttemptTimeoutMs(int attempt) const {
+  NP_ENSURE(attempt >= 0 && attempt < config_.max_attempts,
+            "attempt out of range");
+  double timeout = config_.timeout_ms;
+  for (int i = 0; i < attempt; ++i) {
+    timeout *= config_.backoff_factor;
+  }
+  return timeout;
+}
+
+double ProbePolicy::GiveUpCostMs() const {
+  double total = 0.0;
+  for (int i = 0; i < config_.max_attempts; ++i) {
+    total += AttemptTimeoutMs(i);
+  }
+  return total;
+}
+
+const ProbePolicy& ProbePolicy::Default() {
+  static const ProbePolicy kDefault;
+  return kDefault;
+}
+
+}  // namespace np::core

@@ -1,0 +1,90 @@
+// Retry/timeout/backoff policy for latency probes.
+//
+// Under fault injection (FaultySpace) a probe can come back with no
+// measurement. Real systems do not give up after one datagram: they
+// retry with a timeout and (usually exponential) backoff before
+// declaring the peer dead. ProbePolicy centralizes that contract so
+// every build/join/repair/query hot loop pays for faults the same way:
+//
+//   * each attempt is billed — it goes through whatever MeteredSpace
+//     wraps the faulty space, so retries show up in messages/query;
+//   * a retry of the same pair re-rolls loss (FaultySpace keys loss on
+//     the per-pair attempt count), so retrying genuinely helps against
+//     transient loss but never against a crashed peer;
+//   * after max_attempts failures the probe gives up and returns
+//     nullopt; the caller must skip the target and fall back to its
+//     next candidate ("treat as stale"), never assert or fabricate a
+//     latency.
+//
+// Failed attempts and retries are charged to an optional ProbeCounter
+// (failed_probes / retries), keeping fault-mode runs auditable and —
+// because the charges are per-probe deterministic quantities summed
+// atomically — thread-count invariant.
+//
+// Timeout/backoff is accounting-only: the simulator has no wall clock,
+// but GiveUpCostMs() exposes how long a caller waited before declaring
+// the target dead, should a latency-budget consumer want it.
+#pragma once
+
+#include <optional>
+
+#include "core/latency_space.h"
+#include "core/probe_counter.h"
+#include "matrix/faulty_space.h"
+#include "util/types.h"
+
+namespace np::core {
+
+/// How many fresh random peers a query draws when its start node is
+/// unreachable before declaring the query failed. At zero loss the
+/// first draw always answers, so the fault-free rng stream is
+/// untouched; under heavy loss 8 redraws make a spurious all-start
+/// failure (loss^8) negligible next to per-candidate loss.
+inline constexpr int kStartRedraws = 8;
+
+struct ProbePolicyConfig {
+  /// Total attempts per probe (>= 1); 1 means no retry.
+  int max_attempts = 1;
+  /// Simulated wait before declaring one attempt lost.
+  double timeout_ms = 500.0;
+  /// Multiplier applied to the timeout after each failed attempt
+  /// (exponential backoff); 1.0 = constant timeout.
+  double backoff_factor = 2.0;
+};
+
+class ProbePolicy {
+ public:
+  /// Default-constructed policy == the no-fault contract: one attempt,
+  /// nothing charged.
+  ProbePolicy() = default;
+  explicit ProbePolicy(ProbePolicyConfig config,
+                       ProbeCounter* counter = nullptr);
+
+  /// Probes Latency(node, target) through `space`, retrying up to
+  /// max_attempts times. Returns the first successful measurement, or
+  /// nullopt when every attempt was lost. Every attempt is billed by
+  /// the meter wrapping `space`; failures and retries are charged to
+  /// the attached counter.
+  std::optional<LatencyMs> Probe(const LatencySpace& space, NodeId node,
+                                 NodeId target) const;
+
+  int max_attempts() const { return config_.max_attempts; }
+
+  /// Timeout for the given 0-based attempt: timeout_ms grown by
+  /// backoff_factor per preceding failure.
+  double AttemptTimeoutMs(int attempt) const;
+
+  /// Total simulated time spent before giving a target up (the sum of
+  /// all attempt timeouts).
+  double GiveUpCostMs() const;
+
+  /// Process-wide default instance (single attempt, no counter): the
+  /// exact pre-fault probe behavior, used when no policy is attached.
+  static const ProbePolicy& Default();
+
+ private:
+  ProbePolicyConfig config_{};
+  ProbeCounter* counter_ = nullptr;
+};
+
+}  // namespace np::core

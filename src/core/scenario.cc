@@ -1,10 +1,13 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 
 #include "core/experiment.h"
+#include "core/probe_policy.h"
+#include "matrix/faulty_space.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -23,7 +26,29 @@ struct ScenarioOutcome {
   bool exact = false;
   bool correct_cluster = false;
   bool same_net = false;
+  /// Fault mode only: every probe path gave up, no peer returned.
+  bool failed = false;
 };
+
+/// Normalized CDF of Zipf weights 1/(r+1)^s over pool positions.
+std::vector<double> ZipfCdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += std::pow(static_cast<double>(i + 1), -s);
+    cdf[i] = cum;
+  }
+  for (double& c : cdf) {
+    c /= cum;
+  }
+  return cdf;
+}
+
+std::size_t ZipfIndex(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf.begin());
+  return std::min(idx, cdf.size() - 1);
+}
 
 OverlaySplit SplitPopulation(const LatencySpace& space,
                              const std::vector<NodeId>& population,
@@ -60,6 +85,21 @@ class ScopedProbeCounter {
   NearestPeerAlgorithm& algo_;
 };
 
+/// Same exit-path guarantee for the probe policy (also a stack local).
+class ScopedProbePolicy {
+ public:
+  ScopedProbePolicy(NearestPeerAlgorithm& algo, const ProbePolicy& policy)
+      : algo_(algo) {
+    algo_.AttachProbePolicy(&policy);
+  }
+  ~ScopedProbePolicy() { algo_.AttachProbePolicy(nullptr); }
+  ScopedProbePolicy(const ScopedProbePolicy&) = delete;
+  ScopedProbePolicy& operator=(const ScopedProbePolicy&) = delete;
+
+ private:
+  NearestPeerAlgorithm& algo_;
+};
+
 }  // namespace
 
 ScenarioReport RunScenario(const LatencySpace& space,
@@ -70,22 +110,40 @@ ScenarioReport RunScenario(const LatencySpace& space,
                            const std::vector<NodeId>& population) {
   NP_ENSURE(config.epochs >= 1, "need at least one epoch");
   NP_ENSURE(config.queries_per_epoch >= 1, "need queries per epoch");
+  NP_ENSURE(config.query_zipf_s >= 0.0, "zipf exponent must be >= 0");
+  NP_ENSURE(config.blackouts.empty() || layout != nullptr,
+            "blackouts need a clustered layout");
 
   util::Rng rng(util::Mix64(config.seed));
   OverlaySplit split =
       SplitPopulation(space, population, config.initial_overlay, rng);
 
-  // Every maintenance-time measurement (build, joins, leaves, epoch
-  // rebuilds) flows through this metered, noisy view; the engine reads
-  // probe deltas off it to charge the ledger. Maintenance is applied
-  // serially, so the single meter is race-free; query probes go
-  // through per-query meters instead.
+  // Fault streams derive straight from config.seed, NOT from the
+  // engine rng: enabling faults must not shift any draw of the
+  // pre-existing streams (noise/query/rebuild), or disabled-fault runs
+  // would stop being byte-identical to pre-fault builds.
+  const std::uint64_t fault_root = util::Mix64(config.seed ^ 0xFA177ULL);
+
+  // Every maintenance-time measurement (build, joins, leaves, crash
+  // repairs, epoch rebuilds) flows through this metered, faulty, noisy
+  // view; the engine reads probe deltas off it to charge the ledger.
+  // Maintenance is applied serially, so the single meter is race-free;
+  // query probes go through per-query meters instead.
   const NoisySpace maint_noisy(space, config.measurement_noise_frac, rng(),
                                config.measurement_noise_floor_ms);
-  const MeteredSpace maint(maint_noisy);
+  matrix::FaultySpace maint_faulty(maint_noisy, config.fault.loss_rate,
+                                   util::Mix64(fault_root ^ 0x1));
+  const bool track_load = config.fault.track_load;
+  PerNodeLedger ledger(track_load ? static_cast<std::size_t>(space.size())
+                                  : 0);
+  PerNodeLedger* const ledger_ptr = track_load ? &ledger : nullptr;
+  const MeteredSpace maint(maint_faulty, ledger_ptr);
 
   ProbeCounter counter;
   const ScopedProbeCounter attach(algo, counter);
+  const ProbePolicy policy(ProbePolicyConfig{config.fault.max_attempts},
+                           &counter);
+  const ScopedProbePolicy attach_policy(algo, policy);
 
   ScenarioReport report;
   report.algorithm = algo.name();
@@ -94,27 +152,64 @@ ScenarioReport RunScenario(const LatencySpace& space,
 
   // Builds (and epoch rebuilds below) run through ParallelBuild:
   // bit-identical to the serial Build by contract, so the report is
-  // unchanged — only the wall clock moves. A noisy maintenance view is
-  // stateful (per-pair jitter counters), so it clamps to one thread.
+  // unchanged — only the wall clock moves. Noisy or lossy maintenance
+  // views are stateful (per-pair counters), so they clamp to one
+  // thread.
   const bool noisy_maintenance = config.measurement_noise_frac > 0.0 ||
-                                 config.measurement_noise_floor_ms > 0.0;
+                                 config.measurement_noise_floor_ms > 0.0 ||
+                                 config.fault.loss_rate > 0.0;
   const int build_threads = noisy_maintenance ? 1 : config.num_threads;
   algo.ParallelBuild(maint, split.members, rng, build_threads);
   report.build_messages = maint.probes();
   counter.AddBuildProbes(report.build_messages);
+  if (track_load) {
+    // Epoch load snapshots measure steady-state traffic; the one-time
+    // build storm would drown them out.
+    ledger.Reset();
+  }
 
   const bool incremental = algo.SupportsChurn();
   ChurnDriver driver(incremental ? &algo : nullptr, split.members,
                      split.targets, rng());
+  // The crashed set is driver-owned and only grows during the serial
+  // churn/blackout phases, so pointing the (already-built-over) faulty
+  // views at it is race-free.
+  maint_faulty.set_crashed(&driver.crashed());
   const std::uint64_t noise_root = rng();
   const std::uint64_t query_root = rng();
   const std::uint64_t rebuild_root = rng();
+  const std::uint64_t query_fault_root = util::Mix64(fault_root ^ 0x2);
+
+  bool has_crash_events = !config.blackouts.empty();
+  for (const ChurnEvent& event : schedule.events()) {
+    if (event.type == ChurnEventType::kCrash) {
+      has_crash_events = true;
+      break;
+    }
+  }
+  report.fault_mode = config.fault.loss_rate > 0.0 ||
+                      config.fault.max_attempts > 1 || has_crash_events;
+  report.load_tracking = track_load;
+
+  std::vector<ScenarioConfig::Blackout> blackouts = config.blackouts;
+  std::sort(blackouts.begin(), blackouts.end(),
+            [](const ScenarioConfig::Blackout& a,
+               const ScenarioConfig::Blackout& b) {
+              return a.time_s < b.time_s;
+            });
+  std::size_t next_blackout = 0;
 
   const int query_threads = algo.ParallelQuerySafe()
                                 ? util::ResolveThreadCount(config.num_threads)
                                 : 1;
 
   std::uint64_t charged_maintenance = report.build_messages;
+  std::uint64_t charged_failed = 0;
+  std::uint64_t charged_retries = 0;
+  std::vector<std::uint64_t> ledger_prev;
+  if (track_load) {
+    ledger_prev = ledger.Counts();
+  }
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     EpochReport er;
     er.epoch = epoch;
@@ -123,14 +218,40 @@ ScenarioReport RunScenario(const LatencySpace& space,
                  static_cast<double>(config.epochs));
 
     // --- Churn window -----------------------------------------------------
-    const ChurnStats stats = epoch + 1 == config.epochs
-                                 ? driver.ApplyAll(schedule)
-                                 : driver.ApplyUntil(schedule, er.time_s);
+    // Crashes from the previous window are detected now (their probes
+    // kept failing all epoch) and purged with billed RemoveMember
+    // repairs — one detection delay, before this window's churn.
+    if (incremental) {
+      for (const NodeId dead : driver.TakePendingRepairs()) {
+        algo.RemoveMember(dead);
+      }
+    }
+    const bool last_epoch = epoch + 1 == config.epochs;
+    ChurnStats stats;
+    while (next_blackout < blackouts.size() &&
+           (blackouts[next_blackout].time_s <= er.time_s || last_epoch)) {
+      // Advance ordinary churn to the blackout instant, then drop
+      // every live member of the cluster at once.
+      const ScenarioConfig::Blackout& b = blackouts[next_blackout++];
+      stats += driver.ApplyUntil(schedule, b.time_s);
+      const std::vector<NodeId> snapshot = driver.members();
+      for (const NodeId member : snapshot) {
+        if (layout->ClusterOf(member) == b.cluster &&
+            driver.ForceCrash(member)) {
+          ++stats.crashes;
+        }
+      }
+    }
+    stats += last_epoch ? driver.ApplyAll(schedule)
+                        : driver.ApplyUntil(schedule, er.time_s);
     er.joins = stats.joins;
     er.leaves = stats.leaves;
+    er.crashes = stats.crashes;
     er.skipped_events = stats.skipped;
 
-    if (!incremental && stats.joins + stats.leaves > 0) {
+    const std::int64_t churn_events =
+        stats.joins + stats.leaves + stats.crashes;
+    if (!incremental && churn_events > 0) {
       // No incremental maintenance: pay for a full rebuild on the live
       // membership. The per-epoch rebuild rng is independent of the
       // churn streams so resumed and straight-through schedules agree.
@@ -138,17 +259,19 @@ ScenarioReport RunScenario(const LatencySpace& space,
           util::Mix64(rebuild_root ^ static_cast<std::uint64_t>(epoch)));
       algo.ParallelBuild(maint, driver.members(), brng, build_threads);
       er.rebuilt = true;
+      // The rebuild was over live members only, so every lingering
+      // crashed entry is already gone.
+      driver.TakePendingRepairs();
     }
     er.maintenance_messages = maint.probes() - charged_maintenance;
     charged_maintenance = maint.probes();
     counter.AddMaintenanceProbes(er.maintenance_messages);
-    counter.AddChurnEvents(
-        static_cast<std::uint64_t>(stats.joins + stats.leaves));
+    counter.AddChurnEvents(static_cast<std::uint64_t>(churn_events));
     er.maintenance_per_event =
-        stats.joins + stats.leaves == 0
+        churn_events == 0
             ? 0.0
             : static_cast<double>(er.maintenance_messages) /
-                  static_cast<double>(stats.joins + stats.leaves);
+                  static_cast<double>(churn_events);
     er.live_members = static_cast<NodeId>(driver.members().size());
 
     // --- Measurement epoch ------------------------------------------------
@@ -159,6 +282,16 @@ ScenarioReport RunScenario(const LatencySpace& space,
         util::Mix64(noise_root ^ static_cast<std::uint64_t>(epoch));
     const std::uint64_t query_base =
         util::Mix64(query_root ^ static_cast<std::uint64_t>(epoch));
+    const std::uint64_t fault_base =
+        util::Mix64(query_fault_root ^ static_cast<std::uint64_t>(epoch));
+    // Zipf hotspot targets: rank = position in the (deterministically
+    // evolved) pool vector. Rebuilt per epoch since the pool changes.
+    std::vector<double> zipf_cdf;
+    if (config.query_zipf_s > 0.0) {
+      zipf_cdf = ZipfCdf(pool.size(), config.query_zipf_s);
+    }
+    const std::unordered_set<NodeId>& crashed = driver.crashed();
+    const bool fault_mode = report.fault_mode;
 
     std::vector<ScenarioOutcome> outcomes(
         static_cast<std::size_t>(config.queries_per_epoch));
@@ -168,18 +301,32 @@ ScenarioReport RunScenario(const LatencySpace& space,
           const NoisySpace noisy(space, config.measurement_noise_frac,
                                  noise_base ^ static_cast<std::uint64_t>(q),
                                  config.measurement_noise_floor_ms);
-          const MeteredSpace metered(noisy);
-          const NodeId target = pool[qrng.Index(pool.size())];
+          const matrix::FaultySpace faulty(
+              noisy, config.fault.loss_rate,
+              fault_base ^ static_cast<std::uint64_t>(q), &crashed);
+          const MeteredSpace metered(faulty, ledger_ptr);
+          // The uniform path must keep the exact pre-fault draw
+          // (Index, not NextDouble) for byte-identity at zipf 0.
+          const NodeId target =
+              zipf_cdf.empty()
+                  ? pool[qrng.Index(pool.size())]
+                  : pool[ZipfIndex(zipf_cdf, qrng.NextDouble())];
           const NodeId truth = TrueClosestMember(space, members, target);
 
           const QueryResult result = algo.Query(target, metered, qrng);
-          NP_ENSURE(result.found != kInvalidNode,
-                    "algorithm returned no peer");
+          if (!fault_mode) {
+            NP_ENSURE(result.found != kInvalidNode,
+                      "algorithm returned no peer");
+          }
 
           ScenarioOutcome& out = outcomes[q];
+          out.failed = result.found == kInvalidNode;
           out.probes = metered.probes();
-          out.hops = result.hops;
           out.truth_latency = space.Latency(truth, target);
+          if (out.failed) {
+            return;
+          }
+          out.hops = result.hops;
           out.found_latency = space.Latency(result.found, target);
           out.exact =
               out.found_latency <= out.truth_latency + config.tie_epsilon_ms;
@@ -192,18 +339,26 @@ ScenarioReport RunScenario(const LatencySpace& space,
     std::int64_t exact = 0;
     std::int64_t correct_cluster = 0;
     std::int64_t same_net = 0;
+    std::int64_t answered = 0;
     double total_latency = 0.0;
     double total_hops = 0.0;
     std::uint64_t total_probes = 0;
     std::vector<double> excess;
     excess.reserve(outcomes.size());
     for (const ScenarioOutcome& out : outcomes) {
+      total_probes += out.probes;
+      if (out.failed) {
+        // Failed queries count against p_exact and messages/query but
+        // contribute no latency/hops samples (there is no answer to
+        // measure).
+        continue;
+      }
+      ++answered;
       exact += out.exact ? 1 : 0;
       correct_cluster += out.correct_cluster ? 1 : 0;
       same_net += out.same_net ? 1 : 0;
       total_latency += out.found_latency;
       total_hops += out.hops;
-      total_probes += out.probes;
       // >= 0: the true closest is the minimum over members, and found
       // is a member. Exact answers contribute 0.
       excess.push_back(out.found_latency - out.truth_latency);
@@ -212,13 +367,38 @@ ScenarioReport RunScenario(const LatencySpace& space,
     er.p_exact_closest = static_cast<double>(exact) / n;
     er.p_correct_cluster = static_cast<double>(correct_cluster) / n;
     er.p_same_net = static_cast<double>(same_net) / n;
-    er.mean_found_latency_ms = total_latency / n;
-    er.mean_hops = total_hops / n;
+    er.p_query_failed =
+        static_cast<double>(config.queries_per_epoch - answered) / n;
+    report.failed_queries +=
+        static_cast<std::uint64_t>(config.queries_per_epoch - answered);
+    // Divisor: with no faults answered == n, so these stay bit-equal
+    // to the historical divide-by-n.
+    const double na = answered > 0 ? static_cast<double>(answered) : 1.0;
+    er.mean_found_latency_ms = total_latency / na;
+    er.mean_hops = total_hops / na;
     er.messages_per_query = static_cast<double>(total_probes) / n;
-    std::sort(excess.begin(), excess.end());
-    er.excess_latency_p50_ms = util::PercentileSorted(excess, 50.0);
-    er.excess_latency_p95_ms = util::PercentileSorted(excess, 95.0);
-    er.excess_latency_p99_ms = util::PercentileSorted(excess, 99.0);
+    if (!excess.empty()) {
+      std::sort(excess.begin(), excess.end());
+      er.excess_latency_p50_ms = util::PercentileSorted(excess, 50.0);
+      er.excess_latency_p95_ms = util::PercentileSorted(excess, 95.0);
+      er.excess_latency_p99_ms = util::PercentileSorted(excess, 99.0);
+    }
+
+    const ProbeCounter::Snapshot fault_snap = counter.Read();
+    er.failed_probes = fault_snap.failed_probes - charged_failed;
+    er.retries = fault_snap.retries - charged_retries;
+    charged_failed = fault_snap.failed_probes;
+    charged_retries = fault_snap.retries;
+
+    if (track_load) {
+      std::vector<std::uint64_t> now = ledger.Counts();
+      const PerNodeSnapshot snap =
+          PerNodeSnapshot::Over(now, &ledger_prev, driver.members());
+      er.load_max = snap.max;
+      er.load_median = snap.median;
+      er.load_gini = snap.gini;
+      ledger_prev = std::move(now);
+    }
 
     report.epochs.push_back(er);
   }
@@ -227,6 +407,10 @@ ScenarioReport RunScenario(const LatencySpace& space,
   report.totals = counter.Read();
   report.messages_per_query = report.totals.MessagesPerQuery();
   report.maintenance_per_event = report.totals.MaintenancePerEvent();
+  if (track_load) {
+    report.load =
+        PerNodeSnapshot::Over(ledger.Counts(), nullptr, driver.members());
+  }
   return report;
 }
 

@@ -39,6 +39,22 @@
 
 namespace np::core {
 
+/// Fault-injection knobs. All-default means disabled: the engine then
+/// takes the exact pre-fault code path and reports are byte-identical
+/// to a build without this struct.
+struct FaultConfig {
+  /// Per-probe loss probability in [0, 1). Probes route through a
+  /// FaultySpace keyed like NoisySpace jitter, so loss is
+  /// thread-count-invariant and order-robust.
+  double loss_rate = 0.0;
+  /// Probe attempts before a target is given up (1 = no retry). See
+  /// ProbePolicy.
+  int max_attempts = 1;
+  /// Track per-node load (messages answered per peer) and report
+  /// max/median/Gini per epoch plus a whole-run snapshot.
+  bool track_load = false;
+};
+
 struct ScenarioConfig {
   /// Initial overlay size drawn from the population; the remainder is
   /// the join pool / query targets.
@@ -54,6 +70,22 @@ struct ScenarioConfig {
   /// Probe noise (see ExperimentConfig); scoring uses true latencies.
   double measurement_noise_frac = 0.0;
   double measurement_noise_floor_ms = 0.0;
+  /// Probe loss / retry / load-ledger knobs; all-default = disabled.
+  FaultConfig fault;
+  /// > 0 skews query targets by a Zipf law over pool position: target
+  /// rank r (0-based position in the current pool) is drawn with
+  /// weight 1/(r+1)^s — a few hotspot targets absorb most queries,
+  /// stressing the hybrids' directory keys. 0 = uniform (the exact
+  /// pre-fault draw).
+  double query_zipf_s = 0.0;
+  /// Correlated mass-crash: at each entry's time every live member of
+  /// the named cluster crashes simultaneously (no notify). Requires a
+  /// clustered layout.
+  struct Blackout {
+    double time_s = 0.0;
+    int cluster = 0;
+  };
+  std::vector<Blackout> blackouts;
   std::uint64_t seed = 1;
 };
 
@@ -67,6 +99,9 @@ struct EpochReport {
   /// schedules at n = 10^5 scale overflow 32-bit tallies).
   std::int64_t joins = 0;
   std::int64_t leaves = 0;
+  /// Departures without notice this window (their overlay entries
+  /// linger through this epoch's queries; repair runs next window).
+  std::int64_t crashes = 0;
   std::int64_t skipped_events = 0;
   /// True when the algorithm was rebuilt from scratch this epoch (the
   /// no-incremental-churn path).
@@ -89,10 +124,27 @@ struct EpochReport {
   /// Mean query-time messages per query in this epoch.
   double messages_per_query = 0.0;
   /// Maintenance messages spent in this epoch's window (churn
-  /// handling + rebuilds).
+  /// handling, crash repairs + rebuilds).
   std::uint64_t maintenance_messages = 0;
-  /// maintenance_messages / (joins + leaves); 0 when no churn fired.
+  /// maintenance_messages / (joins + leaves + crashes); 0 when no
+  /// churn fired.
   double maintenance_per_event = 0.0;
+
+  // Fault-mode metrics; all stay zero when fault injection is off.
+  /// Fraction of this epoch's queries that found no reachable peer
+  /// (every probe path gave up). Failed queries count as not-exact and
+  /// are excluded from the latency/hops aggregates.
+  double p_query_failed = 0.0;
+  /// Probes billed but lost this epoch (maintenance + queries).
+  std::uint64_t failed_probes = 0;
+  /// Retry attempts issued by the probe policy this epoch.
+  std::uint64_t retries = 0;
+
+  // Per-node load over this epoch's window + queries, across live
+  // members; only populated under FaultConfig::track_load.
+  std::uint64_t load_max = 0;
+  double load_median = 0.0;
+  double load_gini = 0.0;
 };
 
 struct ScenarioReport {
@@ -109,6 +161,18 @@ struct ScenarioReport {
   /// Whole-run aggregates (same definitions as the epoch fields).
   double messages_per_query = 0.0;
   double maintenance_per_event = 0.0;
+
+  /// True when any fault axis was active for this run (probe loss,
+  /// retries, crash events or blackouts); gates the fault fields in
+  /// report serialization so disabled runs stay byte-identical.
+  bool fault_mode = false;
+  /// True when the per-node load ledger ran.
+  bool load_tracking = false;
+  /// Queries that found no reachable peer, whole run.
+  std::uint64_t failed_queries = 0;
+  /// Whole-run per-node load over final members (post-build traffic:
+  /// maintenance + queries), under load_tracking.
+  PerNodeSnapshot load;
 };
 
 /// Runs `algo` through `schedule` over `space`. `layout` enables the

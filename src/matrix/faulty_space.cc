@@ -1,0 +1,46 @@
+#include "matrix/faulty_space.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace np::matrix {
+
+FaultySpace::FaultySpace(const core::LatencySpace& inner, double loss_rate,
+                         std::uint64_t seed,
+                         const std::unordered_set<NodeId>* crashed)
+    : inner_(&inner),
+      loss_rate_(loss_rate),
+      stream_seed_(seed),
+      crashed_(crashed) {
+  NP_ENSURE(loss_rate >= 0.0 && loss_rate < 1.0,
+            "FaultySpace loss_rate must be in [0, 1)");
+}
+
+LatencyMs FaultySpace::Latency(NodeId a, NodeId b) const {
+  // A crashed endpoint never answers, regardless of loss rate; checked
+  // first so crash-only instances (loss_rate == 0) stay read-only and
+  // shareable across query threads.
+  if (crashed_ != nullptr && !crashed_->empty() &&
+      (crashed_->count(a) != 0 || crashed_->count(b) != 0)) {
+    return kLostProbeMs;
+  }
+  // a == b is a self-measurement (no network), exempt from loss like it
+  // is exempt from NoisySpace jitter.
+  if (loss_rate_ <= 0.0 || a == b) {
+    return inner_->Latency(a, b);
+  }
+  if (pair_attempts_.size() >= kMaxTrackedPairs) {
+    pair_attempts_.clear();
+    stream_seed_ = util::Mix64(stream_seed_);
+  }
+  const std::uint64_t pair = util::PairKey(a, b);
+  const std::uint64_t attempt = pair_attempts_[pair]++;
+  const double u =
+      util::MixToUnit(util::Mix64(util::Mix64(stream_seed_ ^ pair) ^ attempt));
+  if (u < loss_rate_) {
+    return kLostProbeMs;
+  }
+  return inner_->Latency(a, b);
+}
+
+}  // namespace np::matrix

@@ -1,0 +1,87 @@
+// Fault-injection decorator for latency spaces: lossy probes and
+// crashed peers.
+//
+// The simulator's probes otherwise always succeed and every departure
+// is graceful; real deployments lose probes and lose peers without
+// notice. FaultySpace models both: each probe is independently lost
+// with probability loss_rate, and any probe whose endpoint is in the
+// crashed set always fails (a dead peer never answers). A lost probe
+// still costs a message — the MeteredSpace wrapping this decorator
+// bills the attempt — but returns no latency: the sentinel kLostProbeMs
+// (a quiet NaN, so every ordering comparison against it is false and an
+// un-checked caller can never accidentally select a dead peer as
+// "closest").
+//
+// Loss determinism mirrors NoisySpace jitter: the k-th probe of the
+// unordered pair {a, b} decides loss from
+// Mix64(Mix64(seed ^ PairKey(a, b)) ^ k), a pure function of
+// (seed, pair, per-pair attempt count). Loss is therefore order-robust
+// (reordering probes across different pairs cannot move a loss) and
+// thread-invariant for per-query instances keyed by query index, while
+// a retry of the same pair advances k and sees fresh randomness — which
+// is exactly what gives ProbePolicy retries a chance to get through.
+//
+// Thread-safety: with loss_rate > 0 the per-pair attempt tracker
+// mutates under Latency(), so such instances must be call-site private
+// (one per query / one serial maintenance instance), like NoisySpace.
+// With loss_rate == 0 the decorator only *reads* the crashed set and is
+// safe to share across query threads as long as nobody mutates the set
+// concurrently (the scenario engine only mutates it between epochs'
+// serial churn windows).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/latency_space.h"
+#include "util/types.h"
+
+namespace np::matrix {
+
+/// Sentinel returned by a lost probe. Quiet NaN: any <, >, <= against
+/// it is false, so a lost measurement can never win a nearest
+/// comparison even if a caller forgets to check.
+inline constexpr LatencyMs kLostProbeMs =
+    std::numeric_limits<LatencyMs>::quiet_NaN();
+
+/// True iff a measurement is the lost-probe sentinel.
+inline bool ProbeLost(LatencyMs v) { return std::isnan(v); }
+
+class FaultySpace final : public core::LatencySpace {
+ public:
+  /// `crashed` is a non-owning, nullable view of the dead-peer set; the
+  /// caller keeps it alive and may grow it between (not during)
+  /// concurrent probe phases. loss_rate must be in [0, 1).
+  FaultySpace(const core::LatencySpace& inner, double loss_rate,
+              std::uint64_t seed,
+              const std::unordered_set<NodeId>* crashed = nullptr);
+
+  NodeId size() const override { return inner_->size(); }
+
+  LatencyMs Latency(NodeId a, NodeId b) const override;
+
+  /// Re-points the crashed-set view (nullptr detaches). Used by the
+  /// scenario engine, which constructs the space stack before the churn
+  /// driver that owns the set.
+  void set_crashed(const std::unordered_set<NodeId>* crashed) {
+    crashed_ = crashed;
+  }
+
+ private:
+  /// Same bound and generation-flush scheme as NoisySpace: memory stays
+  /// at ~kMaxTrackedPairs entries and order-robustness holds within a
+  /// generation.
+  static constexpr std::size_t kMaxTrackedPairs = std::size_t{1} << 20;
+
+  const core::LatencySpace* inner_;
+  double loss_rate_;
+  mutable std::uint64_t stream_seed_;
+  const std::unordered_set<NodeId>* crashed_;
+  /// Probes already issued per unordered pair in this generation.
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> pair_attempts_;
+};
+
+}  // namespace np::matrix

@@ -174,9 +174,14 @@ core::QueryResult HybridNearest::FindNearest(NodeId target,
   }
 
   core::QueryResult result;
+  const core::ProbePolicy& policy = probe_policy();
   for (NodeId candidate : candidates) {
-    const LatencyMs d = metered.Latency(candidate, target);
+    const auto measured = policy.Probe(metered, candidate, target);
     ++result.probes;
+    if (!measured) {
+      continue;  // unreachable candidate: route around it
+    }
+    const LatencyMs d = *measured;
     if (d < result.found_latency_ms ||
         (d == result.found_latency_ms && candidate < result.found)) {
       result.found_latency_ms = d;
@@ -193,10 +198,18 @@ core::QueryResult HybridNearest::FindNearest(NodeId target,
   if (fallback_ == nullptr) {
     if (result.found == kInvalidNode) {
       // Mechanism produced nothing: return a random member so the
-      // query still has an answer (probing it once).
-      result.found = members_.at(rng.Index(members_.size()));
-      result.found_latency_ms = metered.Latency(result.found, target);
-      ++result.probes;
+      // query still has an answer (probing it once; under faults the
+      // draw retries a few times before the query gives up).
+      for (int draw = 0; draw <= core::kStartRedraws; ++draw) {
+        const NodeId pick = members_.at(rng.Index(members_.size()));
+        const auto measured = policy.Probe(metered, pick, target);
+        ++result.probes;
+        if (measured) {
+          result.found = pick;
+          result.found_latency_ms = *measured;
+          break;
+        }
+      }
     }
     return result;
   }
@@ -209,6 +222,13 @@ core::QueryResult HybridNearest::FindNearest(NodeId target,
     fb.found_latency_ms = result.found_latency_ms;
   }
   return fb;
+}
+
+void HybridNearest::AttachProbePolicy(const core::ProbePolicy* policy) {
+  core::NearestPeerAlgorithm::AttachProbePolicy(policy);
+  if (fallback_ != nullptr) {
+    fallback_->AttachProbePolicy(policy);
+  }
 }
 
 double HybridNearest::mechanism_hit_rate() const {

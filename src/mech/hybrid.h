@@ -78,6 +78,10 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
                                 const core::MeteredSpace& metered,
                                 util::Rng& rng) override;
 
+  /// The fallback algorithm probes under the same retry contract as
+  /// the hybrid's own candidate loop.
+  void AttachProbePolicy(const core::ProbePolicy* policy) override;
+
   /// Queries bump the mechanism-hit counters (and the Chord map's hop
   /// accounting), so concurrent queries would race.
   bool ParallelQuerySafe() const override { return false; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -68,15 +69,22 @@ std::vector<RingEntry> MeridianOverlay::SelectRingMembers(
           break;
         }
         const NodeId just_added = candidates[seed].member;
+        const core::ProbePolicy& policy = probe_policy();
         double best_score = -1.0;
         std::size_t best_index = candidates.size();
         for (std::size_t i = 0; i < candidates.size(); ++i) {
           if (taken[i]) {
             continue;
           }
-          const double d =
-              space_->Latency(candidates[i].member, just_added);
-          score[i] = use_min ? std::min(score[i], d) : score[i] + d;
+          // A lost pairwise probe leaves score[i] at its previous
+          // (still-valid) value — the candidate just misses this
+          // round's diversity update.
+          const auto measured =
+              policy.Probe(*space_, candidates[i].member, just_added);
+          if (measured) {
+            const double d = *measured;
+            score[i] = use_min ? std::min(score[i], d) : score[i] + d;
+          }
           if (score[i] > best_score) {
             best_score = score[i];
             best_index = i;
@@ -130,6 +138,10 @@ void MeridianOverlay::BuildImpl(const core::LatencySpace& space,
       }
     }
   }
+  occ_floor_.assign(members_.size(), kOccCompactMin / 2);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    occ_floor_[i] = std::max(occ_[i].size(), kOccCompactMin / 2);
+  }
 }
 
 void MeridianOverlay::BuildFullKnowledge(const core::LatencySpace& space,
@@ -139,6 +151,7 @@ void MeridianOverlay::BuildFullKnowledge(const core::LatencySpace& space,
   // id: iteration i touches only rings_[i], so any thread count
   // produces the serial result bit for bit.
   const std::uint64_t base = rng();
+  const core::ProbePolicy& policy = probe_policy();
   util::ParallelFor(0, ids.size(), num_threads, [&](std::size_t i) {
     const NodeId owner = ids[i];
     util::Rng mrng(util::Mix64(base ^ static_cast<std::uint64_t>(owner)));
@@ -149,7 +162,11 @@ void MeridianOverlay::BuildFullKnowledge(const core::LatencySpace& space,
       if (other == owner) {
         continue;
       }
-      const LatencyMs d = space.Latency(other, owner);
+      const auto measured = policy.Probe(space, other, owner);
+      if (!measured) {
+        continue;  // unreachable during build: not ringed
+      }
+      const LatencyMs d = *measured;
       buckets[static_cast<std::size_t>(RingIndexFor(d))].push_back(
           RingEntry{other, d});
     }
@@ -176,14 +193,18 @@ void MeridianOverlay::BuildByGossip(const core::LatencySpace& space,
   // Membership bitmaps to avoid duplicate learning.
   std::vector<std::vector<bool>> knows(n, std::vector<bool>(n, false));
 
+  const core::ProbePolicy& policy = probe_policy();
   const auto learn = [&](std::size_t owner, std::size_t other) {
     if (owner == other || knows[owner][other]) {
       return;
     }
+    const auto measured = policy.Probe(space, ids[other], ids[owner]);
+    if (!measured) {
+      return;  // lost handshake: a later gossip round may retry
+    }
     knows[owner][other] = true;
-    const LatencyMs d = space.Latency(ids[other], ids[owner]);
-    buckets[owner][static_cast<std::size_t>(RingIndexFor(d))].push_back(
-        RingEntry{ids[other], d});
+    buckets[owner][static_cast<std::size_t>(RingIndexFor(*measured))]
+        .push_back(RingEntry{ids[other], *measured});
   };
 
   // Bootstrap: a few random contacts each (the join server's seed
@@ -241,7 +262,9 @@ void MeridianOverlay::AddMember(NodeId node, util::Rng& rng) {
   const std::size_t position = members_.Add(node);
   rings_.emplace_back(static_cast<std::size_t>(config_.num_rings));
   occ_.emplace_back();
+  occ_floor_.push_back(kOccCompactMin / 2);
   const std::vector<NodeId>& ids = members_.members();
+  const core::ProbePolicy& policy = probe_policy();
 
   // Join protocol: learn candidates from a few random contacts and
   // their ring members.
@@ -270,25 +293,36 @@ void MeridianOverlay::AddMember(NodeId node, util::Rng& rng) {
     }
   }
 
-  // Fill the joiner's rings from the learned candidates.
+  // Fill the joiner's rings from the learned candidates. A candidate
+  // whose handshake probe is lost is simply not learned.
   std::vector<std::vector<RingEntry>> buckets(
       static_cast<std::size_t>(config_.num_rings));
   for (std::size_t other : candidates) {
-    const LatencyMs d = space_->Latency(ids[other], node);
-    buckets[static_cast<std::size_t>(RingIndexFor(d))].push_back(
-        RingEntry{ids[other], d});
+    const auto measured = policy.Probe(*space_, ids[other], node);
+    if (!measured) {
+      continue;
+    }
+    buckets[static_cast<std::size_t>(RingIndexFor(*measured))].push_back(
+        RingEntry{ids[other], *measured});
   }
   for (std::size_t r = 0; r < buckets.size(); ++r) {
     rings_[position][r] = SelectRingMembers(std::move(buckets[r]), rng);
     for (const RingEntry& entry : rings_[position][r]) {
-      occ_[members_.PositionOf(entry.member)].push_back(
-          PackOccurrence(node, r));
+      const std::size_t entry_pos = members_.PositionOf(entry.member);
+      occ_[entry_pos].push_back(PackOccurrence(node, r));
+      MaybeCompactOcc(entry_pos);
     }
   }
 
-  // The contacts (and their ring members) learn about the joiner too.
+  // The contacts (and their ring members) learn about the joiner too
+  // (a separate handshake in this direction, billed separately — and
+  // lost independently).
   for (std::size_t other : candidates) {
-    const LatencyMs d = space_->Latency(ids[other], node);
+    const auto measured = policy.Probe(*space_, ids[other], node);
+    if (!measured) {
+      continue;
+    }
+    const LatencyMs d = *measured;
     const auto r = static_cast<std::size_t>(RingIndexFor(d));
     auto& ring = rings_[other][r];
     ring.push_back(RingEntry{node, d});
@@ -298,6 +332,7 @@ void MeridianOverlay::AddMember(NodeId node, util::Rng& rng) {
     // Recorded whether or not reselection kept the joiner: the purge
     // re-checks the ring, so an unkept entry is just stale.
     occ_[position].push_back(PackOccurrence(ids[other], r));
+    MaybeCompactOcc(position);
   }
 }
 
@@ -331,9 +366,11 @@ void MeridianOverlay::RemoveMember(NodeId node) {
   if (removed.swapped) {
     rings_[removed.position] = std::move(rings_.back());
     occ_[removed.position] = std::move(occ_.back());
+    occ_floor_[removed.position] = occ_floor_.back();
   }
   rings_.pop_back();
   occ_.pop_back();
+  occ_floor_.pop_back();
 }
 
 const std::vector<std::vector<RingEntry>>& MeridianOverlay::RingsOf(
@@ -342,6 +379,44 @@ const std::vector<std::vector<RingEntry>>& MeridianOverlay::RingsOf(
   NP_ENSURE(position != core::MemberIndex::kNoPosition,
             "not an overlay member");
   return rings_[position];
+}
+
+std::size_t MeridianOverlay::OccurrenceEntries(NodeId member) const {
+  const std::size_t position = members_.PositionOf(member);
+  NP_ENSURE(position != core::MemberIndex::kNoPosition,
+            "not an overlay member");
+  return occ_[position].size();
+}
+
+void MeridianOverlay::MaybeCompactOcc(std::size_t position) {
+  auto& occ = occ_[position];
+  if (occ.size() < kOccCompactMin ||
+      occ.size() < 2 * occ_floor_[position]) {
+    return;
+  }
+  const NodeId self = members_.at(position);
+  std::sort(occ.begin(), occ.end());
+  occ.erase(std::unique(occ.begin(), occ.end()), occ.end());
+  std::size_t kept = 0;
+  for (const std::uint64_t packed : occ) {
+    const NodeId owner = static_cast<NodeId>(packed >> 8);
+    const auto r = static_cast<std::size_t>(packed & 0xFF);
+    const std::size_t owner_pos = members_.PositionOf(owner);
+    if (owner_pos == core::MemberIndex::kNoPosition ||
+        owner_pos == position || r >= rings_[owner_pos].size()) {
+      continue;
+    }
+    const auto& ring = rings_[owner_pos][r];
+    const bool live = std::any_of(
+        ring.begin(), ring.end(),
+        [self](const RingEntry& entry) { return entry.member == self; });
+    if (live) {
+      occ[kept++] = packed;
+    }
+  }
+  occ.resize(kept);
+  occ.shrink_to_fit();
+  occ_floor_[position] = std::max(occ.size(), kOccCompactMin / 2);
 }
 
 core::QueryResult MeridianOverlay::FindNearest(
@@ -356,21 +431,32 @@ TracedResult MeridianOverlay::FindNearestTraced(
   core::QueryResult& result = traced.result;
 
   // Per-query probe cache: a real Meridian query carries measured
-  // results along, so each node measures the target at most once.
-  std::unordered_map<NodeId, LatencyMs> probed;
-  const auto probe = [&](NodeId node) -> LatencyMs {
+  // results along, so each node measures the target at most once —
+  // including give-ups, which are cached as nullopt (the query does
+  // not re-try a peer its policy already declared dead).
+  std::unordered_map<NodeId, std::optional<LatencyMs>> probed;
+  const core::ProbePolicy& policy = probe_policy();
+  const auto probe = [&](NodeId node) -> std::optional<LatencyMs> {
     const auto it = probed.find(node);
     if (it != probed.end()) {
       return it->second;
     }
-    const LatencyMs d = metered.Latency(node, target);
+    const auto d = policy.Probe(metered, node, target);
     probed.emplace(node, d);
     ++result.probes;
     return d;
   };
 
   NodeId current = members_.at(rng.Index(members_.size()));
-  LatencyMs current_distance = probe(current);
+  auto start = probe(current);
+  for (int redraw = 0; !start && redraw < core::kStartRedraws; ++redraw) {
+    current = members_.at(rng.Index(members_.size()));
+    start = probe(current);
+  }
+  if (!start) {
+    return traced;  // found stays kInvalidNode: give-up
+  }
+  LatencyMs current_distance = *start;
 
   NodeId best = current;
   LatencyMs best_distance = current_distance;
@@ -391,8 +477,12 @@ TracedResult MeridianOverlay::FindNearestTraced(
         if (entry.latency_ms < band_lo || entry.latency_ms > band_hi) {
           continue;
         }
-        const LatencyMs d = probe(entry.member);
+        const auto measured = probe(entry.member);
         ++record.candidates_probed;
+        if (!measured) {
+          continue;  // stale/dead ring entry: route around it
+        }
+        const LatencyMs d = *measured;
         if (d < best_distance ||
             (d == best_distance && entry.member < best)) {
           best_distance = d;

@@ -148,6 +148,10 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
   /// The rings of one member (indexed by its position in members()).
   const std::vector<std::vector<RingEntry>>& RingsOf(NodeId member) const;
 
+  /// Length of one member's occurrence list (for tests asserting the
+  /// compaction bound: length stays O(live entries)).
+  std::size_t OccurrenceEntries(NodeId member) const;
+
  private:
   /// Reduces `candidates` to at most `ring_size` per the policy.
   std::vector<RingEntry> SelectRingMembers(std::vector<RingEntry> candidates,
@@ -164,6 +168,15 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
 
   /// Gossip build: bootstrap contacts + ring-exchange rounds.
   void BuildByGossip(const core::LatencySpace& space, util::Rng& rng);
+
+  /// Compacts one member's occurrence list when it has doubled since
+  /// the last compaction (and exceeds kOccCompactMin): sorts, dedupes,
+  /// and drops entries whose named ring no longer holds the member.
+  /// Amortized O(1) per insertion; bounds the list length at 2 x live
+  /// entries + O(1) under arbitrary churn.
+  void MaybeCompactOcc(std::size_t position);
+
+  static constexpr std::size_t kOccCompactMin = 64;
 
   /// Occurrence bookkeeping: packs (owner, ring) into one word (ring
   /// indices fit 8 bits; num_rings <= 255 enforced at construction).
@@ -183,6 +196,10 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
   /// RemoveMember's purge treats a no-op erase as stale. Replaces the
   /// old O(overlay * rings) purge scan.
   std::vector<std::vector<std::uint64_t>> occ_;
+  /// occ_floor_[member_pos] -> occurrence-list length at the last
+  /// compaction (floored at kOccCompactMin / 2); the next compaction
+  /// triggers when the list doubles past it.
+  std::vector<std::size_t> occ_floor_;
 };
 
 }  // namespace np::meridian

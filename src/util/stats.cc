@@ -53,6 +53,26 @@ Summary Summary::Of(std::vector<double> values) {
   return s;
 }
 
+double Gini(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  NP_ENSURE(values.front() >= 0.0, "Gini of a negative sample");
+  const auto n = static_cast<double>(values.size());
+  double sum = 0.0;
+  double weighted = 0.0;  // sum of (rank+1) * x_(rank), ascending ranks
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (sum <= 0.0) {
+    return 0.0;
+  }
+  // G = (2 * sum_i i*x_(i)) / (n * sum) - (n + 1) / n, ranks 1-based.
+  return 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+}
+
 Cdf::Cdf(std::vector<double> values) : sorted_(std::move(values)) {
   NP_ENSURE(!sorted_.empty(), "Cdf of an empty sample");
   std::sort(sorted_.begin(), sorted_.end());

@@ -126,6 +126,14 @@ class Histogram {
   std::size_t total_ = 0;
 };
 
+/// Gini coefficient of a non-negative sample, in [0, 1]. 0 = perfectly
+/// even, (n-1)/n = one member carries everything. Used to quantify the
+/// paper's load-concentration effect (Figs 8-9): how unevenly the
+/// probe-answering burden falls across peers. Returns 0 for an empty or
+/// all-zero sample (no load is trivially even). Throws on negative
+/// values.
+double Gini(std::vector<double> values);
+
 /// Two-sample Kolmogorov-Smirnov statistic: the maximum vertical
 /// distance between the two empirical CDFs, in [0, 1]. 0 = identical
 /// distributions. Used to quantify "the predicted latency distribution

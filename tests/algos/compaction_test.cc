@@ -1,0 +1,171 @@
+// Occurrence/back-reference compaction and crash-purge convergence.
+//
+// The occurrence (KR, Meridian) and back-reference (Tapestry) lists
+// are append-mostly: a departed peer's stale entries linger until the
+// owner-side purge walks them. Under sustained churn that is an O(ops)
+// leak unless the lists compact; these tests cycle one node through
+// join/leave a thousand times and assert the lists stay O(live) — a
+// broken compactor shows up as ~cycle-count growth.
+//
+// Crash-purge convergence: after a crash is detected and RemoveMember
+// repairs run, no overlay structure may still name the dead peer — a
+// query driven through a FaultySpace whose crashed set contains the
+// node must never issue a probe that fails.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "algos/karger_ruhl.h"
+#include "algos/tapestry.h"
+#include "core/probe_policy.h"
+#include "matrix/faulty_space.h"
+#include "matrix/generators.h"
+#include "meridian/meridian.h"
+
+namespace np::algos {
+namespace {
+
+using core::MatrixSpace;
+
+std::vector<NodeId> FirstN(NodeId n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) {
+    v.push_back(i);
+  }
+  return v;
+}
+
+matrix::EuclideanWorld ControlWorld(std::uint64_t seed, NodeId n = 200) {
+  util::Rng rng(seed);
+  matrix::EuclideanConfig config;
+  config.dimensions = 3;
+  return matrix::GenerateEuclidean(n, config, rng);
+}
+
+constexpr NodeId kOverlay = 60;
+constexpr int kCycles = 1000;
+// O(live) bound: far below the ~kCycles entries a broken compactor
+// leaks, far above any honest live-reference count at 60 members.
+constexpr std::size_t kLengthBound = 320;
+
+TEST(Compaction, KargerRuhlOccurrenceListsStayLinearInLiveState) {
+  const auto world = ControlWorld(3);
+  const MatrixSpace space(world.matrix);
+  KargerRuhlNearest algo{KargerRuhlConfig{}};
+  util::Rng rng(7);
+  algo.Build(space, FirstN(kOverlay), rng);
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    algo.AddMember(kOverlay + 40, rng);
+    algo.RemoveMember(kOverlay + 40);
+  }
+  for (NodeId member = 0; member < kOverlay; ++member) {
+    EXPECT_LE(algo.OccurrenceEntries(member), kLengthBound) << member;
+  }
+  // The overlay still answers queries after the churn storm.
+  const core::MeteredSpace metered(space);
+  const auto result = algo.FindNearest(kOverlay + 10, metered, rng);
+  EXPECT_NE(result.found, kInvalidNode);
+  EXPECT_NE(result.found, kOverlay + 40);
+}
+
+TEST(Compaction, MeridianOccurrenceListsStayLinearInLiveState) {
+  const auto world = ControlWorld(5);
+  const MatrixSpace space(world.matrix);
+  meridian::MeridianConfig config;
+  config.ring_size = 4;
+  config.gossip_bootstrap_contacts = 3;
+  meridian::MeridianOverlay algo(config);
+  util::Rng rng(9);
+  algo.Build(space, FirstN(kOverlay), rng);
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    algo.AddMember(kOverlay + 40, rng);
+    algo.RemoveMember(kOverlay + 40);
+  }
+  for (NodeId member = 0; member < kOverlay; ++member) {
+    EXPECT_LE(algo.OccurrenceEntries(member), kLengthBound) << member;
+  }
+  const core::MeteredSpace metered(space);
+  const auto result = algo.FindNearest(kOverlay + 10, metered, rng);
+  EXPECT_NE(result.found, kInvalidNode);
+  EXPECT_NE(result.found, kOverlay + 40);
+}
+
+TEST(Compaction, TapestryBackRefListsStayLinearInLiveState) {
+  const auto world = ControlWorld(11);
+  const MatrixSpace space(world.matrix);
+  TapestryNearest algo{TapestryConfig{}};
+  util::Rng rng(13);
+  algo.Build(space, FirstN(kOverlay), rng);
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    algo.AddMember(kOverlay + 40, rng);
+    algo.RemoveMember(kOverlay + 40);
+  }
+  for (NodeId member = 0; member < kOverlay; ++member) {
+    EXPECT_LE(algo.RefEntries(member), kLengthBound) << member;
+  }
+  const core::MeteredSpace metered(space);
+  const auto result = algo.FindNearest(kOverlay + 10, metered, rng);
+  EXPECT_NE(result.found, kInvalidNode);
+  EXPECT_NE(result.found, kOverlay + 40);
+}
+
+// --- Crash-purge convergence ----------------------------------------------
+
+/// After RemoveMember repairs, queries driven through a FaultySpace
+/// with the dead peers in its crashed set must never hit one: a single
+/// failed probe means some structure still routed into a purged node.
+template <typename Algo>
+void ExpectNoProbeTouchesCrashed(Algo& algo, const MatrixSpace& space,
+                                 util::Rng& rng) {
+  std::unordered_set<NodeId> crashed = {4, 17, 23};
+  for (const NodeId dead : crashed) {
+    algo.RemoveMember(dead);
+  }
+  const matrix::FaultySpace faulty(space, 0.0, /*seed=*/1, &crashed);
+  const core::MeteredSpace metered(faulty);
+  core::ProbeCounter counter;
+  const core::ProbePolicy policy(core::ProbePolicyConfig{}, &counter);
+  algo.AttachProbePolicy(&policy);
+  for (NodeId target = kOverlay; target < kOverlay + 40; ++target) {
+    const auto result = algo.FindNearest(target, metered, rng);
+    EXPECT_NE(result.found, kInvalidNode) << target;
+    EXPECT_EQ(crashed.count(result.found), 0u) << target;
+  }
+  algo.AttachProbePolicy(nullptr);
+  EXPECT_EQ(counter.Read().failed_probes, 0u);
+  EXPECT_GT(metered.probes(), 0u);
+}
+
+TEST(CrashPurge, KargerRuhlConvergesAfterRemoveMember) {
+  const auto world = ControlWorld(17);
+  const MatrixSpace space(world.matrix);
+  KargerRuhlNearest algo{KargerRuhlConfig{}};
+  util::Rng rng(19);
+  algo.Build(space, FirstN(kOverlay), rng);
+  ExpectNoProbeTouchesCrashed(algo, space, rng);
+}
+
+TEST(CrashPurge, MeridianConvergesAfterRemoveMember) {
+  const auto world = ControlWorld(23);
+  const MatrixSpace space(world.matrix);
+  meridian::MeridianConfig config;
+  config.ring_size = 4;
+  config.gossip_bootstrap_contacts = 3;
+  meridian::MeridianOverlay algo(config);
+  util::Rng rng(29);
+  algo.Build(space, FirstN(kOverlay), rng);
+  ExpectNoProbeTouchesCrashed(algo, space, rng);
+}
+
+TEST(CrashPurge, TapestryConvergesAfterRemoveMember) {
+  const auto world = ControlWorld(31);
+  const MatrixSpace space(world.matrix);
+  TapestryNearest algo{TapestryConfig{}};
+  util::Rng rng(37);
+  algo.Build(space, FirstN(kOverlay), rng);
+  ExpectNoProbeTouchesCrashed(algo, space, rng);
+}
+
+}  // namespace
+}  // namespace np::algos

@@ -100,5 +100,110 @@ TEST(ProbeCounter, ConcurrentChargesAreLossless) {
   EXPECT_EQ(counter.Read().queries, kCharges);
 }
 
+TEST(ProbeCounter, FailedProbesAndRetriesShareTheLedgerContract) {
+  ProbeCounter counter;
+  auto snapshot = counter.Read();
+  EXPECT_EQ(snapshot.failed_probes, 0u);
+  EXPECT_EQ(snapshot.retries, 0u);
+
+  counter.AddFailedProbes(6);
+  counter.AddRetries(4);
+  snapshot = counter.Read();
+  EXPECT_EQ(snapshot.failed_probes, 6u);
+  EXPECT_EQ(snapshot.retries, 4u);
+
+  // Same saturating-overflow semantics as the phase counters: a
+  // saturated fault ledger must read "astronomical", never wrap cheap.
+  counter.AddFailedProbes(kMax);
+  counter.AddRetries(kMax);
+  snapshot = counter.Read();
+  EXPECT_EQ(snapshot.failed_probes, kMax);
+  EXPECT_EQ(snapshot.retries, kMax);
+
+  // And Reset clears them along with everything else.
+  counter.Reset();
+  snapshot = counter.Read();
+  EXPECT_EQ(snapshot.failed_probes, 0u);
+  EXPECT_EQ(snapshot.retries, 0u);
+}
+
+TEST(ProbeCounter, ConcurrentFaultChargesAreLossless) {
+  ProbeCounter counter;
+  constexpr std::size_t kCharges = 10000;
+  util::ParallelFor(0, kCharges, 8, [&](std::size_t i) {
+    counter.AddFailedProbes(i % 3 + 1);
+    counter.AddRetries(i % 2);
+  });
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  for (std::size_t i = 0; i < kCharges; ++i) {
+    failed += i % 3 + 1;
+    retries += i % 2;
+  }
+  EXPECT_EQ(counter.Read().failed_probes, failed);
+  EXPECT_EQ(counter.Read().retries, retries);
+}
+
+TEST(PerNodeLedger, RecordsCountsAndIgnoresOutOfRange) {
+  PerNodeLedger ledger(4);
+  EXPECT_EQ(ledger.size(), 4u);
+  ledger.Record(0);
+  ledger.Record(2);
+  ledger.Record(2);
+  ledger.Record(-1);  // out of range: dropped, not UB
+  ledger.Record(4);
+  EXPECT_EQ(ledger.count(0), 1u);
+  EXPECT_EQ(ledger.count(1), 0u);
+  EXPECT_EQ(ledger.count(2), 2u);
+  const auto counts = ledger.Counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[2], 2u);
+  ledger.Reset();
+  EXPECT_EQ(ledger.count(2), 0u);
+}
+
+TEST(PerNodeLedger, ConcurrentRecordsAreLossless) {
+  PerNodeLedger ledger(8);
+  constexpr std::size_t kRecords = 20000;
+  util::ParallelFor(0, kRecords, 8, [&](std::size_t i) {
+    ledger.Record(static_cast<NodeId>(i % 8));
+  });
+  std::uint64_t total = 0;
+  for (NodeId node = 0; node < 8; ++node) {
+    EXPECT_EQ(ledger.count(node), kRecords / 8);
+    total += ledger.count(node);
+  }
+  EXPECT_EQ(total, kRecords);
+}
+
+TEST(PerNodeSnapshot, OverComputesMaxMedianGiniFromADelta) {
+  // counts - baseline over members {0, 1, 2, 3}: loads 4, 0, 0, 0.
+  const std::vector<std::uint64_t> counts = {9, 2, 5, 7};
+  const std::vector<std::uint64_t> baseline = {5, 2, 5, 7};
+  const std::vector<NodeId> members = {0, 1, 2, 3};
+  const auto snapshot = PerNodeSnapshot::Over(counts, &baseline, members);
+  EXPECT_EQ(snapshot.total, 4u);
+  EXPECT_EQ(snapshot.max, 4u);
+  EXPECT_EQ(snapshot.max_node, 0);
+  EXPECT_DOUBLE_EQ(snapshot.median, 0.0);
+  // One member holds all the load: Gini = (n-1)/n = 0.75.
+  EXPECT_NEAR(snapshot.gini, 0.75, 1e-12);
+
+  // No baseline = all-zero baseline; members outside counts' range
+  // contribute zero load instead of faulting.
+  const std::vector<NodeId> wide_members = {0, 1, 2, 3, 7};
+  const auto wide = PerNodeSnapshot::Over(counts, nullptr, wide_members);
+  EXPECT_EQ(wide.total, 23u);
+  EXPECT_EQ(wide.max, 9u);
+  EXPECT_EQ(wide.max_node, 0);
+  EXPECT_DOUBLE_EQ(wide.median, 5.0);
+
+  // Uniform load over the members: perfectly equal, Gini 0.
+  const std::vector<std::uint64_t> equal = {3, 3, 3, 3};
+  const auto flat = PerNodeSnapshot::Over(equal, nullptr, members);
+  EXPECT_DOUBLE_EQ(flat.gini, 0.0);
+  EXPECT_EQ(flat.max_node, 0);  // lowest id wins the tie
+}
+
 }  // namespace
 }  // namespace np::core

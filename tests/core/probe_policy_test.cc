@@ -1,0 +1,130 @@
+// ProbePolicy: the retry contract (re-rolls recover transient loss,
+// crashed peers never recover), give-up semantics, counter charging
+// (failed_probes / retries / per-attempt billing through MeteredSpace),
+// backoff arithmetic, and the Default() == no-fault identity.
+#include "core/probe_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/latency_space.h"
+#include "core/probe_counter.h"
+#include "matrix/faulty_space.h"
+#include "matrix/latency_matrix.h"
+
+namespace np::core {
+namespace {
+
+matrix::LatencyMatrix SmallMatrix(NodeId n) {
+  matrix::LatencyMatrix m(n, 10.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      m.Set(i, j, 10.0 + static_cast<LatencyMs>(i + j));
+    }
+  }
+  return m;
+}
+
+TEST(ProbePolicy, DefaultIsSingleAttemptNothingCharged) {
+  const auto m = SmallMatrix(8);
+  const MatrixSpace space(m);
+  const ProbePolicy& policy = ProbePolicy::Default();
+  EXPECT_EQ(policy.max_attempts(), 1);
+  const auto measured = policy.Probe(space, 1, 2);
+  ASSERT_TRUE(measured.has_value());
+  EXPECT_EQ(*measured, space.Latency(1, 2));
+}
+
+TEST(ProbePolicy, RetryRecoversTransientLossCrashNever) {
+  const auto m = SmallMatrix(8);
+  const MatrixSpace inner(m);
+  std::unordered_set<NodeId> crashed = {5};
+  // Heavy transient loss, generous retry budget: over many distinct
+  // probes every healthy target must eventually answer within the
+  // attempt budget while the crashed target never does.
+  const matrix::FaultySpace faulty(inner, 0.5, /*seed=*/17, &crashed);
+  ProbePolicyConfig config;
+  config.max_attempts = 16;
+  ProbeCounter counter;
+  const ProbePolicy policy(config, &counter);
+  int healthy_hits = 0;
+  for (NodeId target = 0; target < 5; ++target) {
+    const auto measured = policy.Probe(faulty, target, (target + 1) % 5);
+    if (measured) {
+      ++healthy_hits;
+      EXPECT_EQ(*measured, inner.Latency(target, (target + 1) % 5));
+    }
+    EXPECT_FALSE(policy.Probe(faulty, target, 5).has_value());
+    EXPECT_FALSE(policy.Probe(faulty, 5, target).has_value());
+  }
+  // P(any healthy probe exhausts 16 attempts at loss 0.5) = 5 * 2^-16.
+  EXPECT_EQ(healthy_hits, 5);
+  const auto snapshot = counter.Read();
+  // Every crashed-target attempt failed: 10 probes * 16 attempts, plus
+  // whatever transient losses the healthy probes saw first.
+  EXPECT_GE(snapshot.failed_probes, 10u * 16u);
+  // retries = failed attempts that were followed by another attempt.
+  EXPECT_GE(snapshot.retries, 10u * 15u);
+  EXPECT_LT(snapshot.retries, snapshot.failed_probes + 1);
+}
+
+TEST(ProbePolicy, EveryAttemptIsBilledThroughTheMeter) {
+  const auto m = SmallMatrix(8);
+  const MatrixSpace inner(m);
+  std::unordered_set<NodeId> crashed = {3};
+  const matrix::FaultySpace faulty(inner, 0.0, /*seed=*/1, &crashed);
+  ProbeCounter counter;
+  PerNodeLedger ledger(8);
+  const MeteredSpace metered(faulty, &ledger);
+  ProbePolicyConfig config;
+  config.max_attempts = 4;
+  const ProbePolicy policy(config, &counter);
+  // Healthy target: first attempt answers, one billed probe.
+  ASSERT_TRUE(policy.Probe(metered, 0, 1).has_value());
+  EXPECT_EQ(metered.probes(), 1u);
+  EXPECT_EQ(ledger.count(0), 1u);
+  // Crashed target: all four attempts billed (meter and ledger see
+  // every retry), then give-up.
+  EXPECT_FALSE(policy.Probe(metered, 0, 3).has_value());
+  EXPECT_EQ(metered.probes(), 5u);
+  EXPECT_EQ(ledger.count(0), 5u);
+  const auto snapshot = counter.Read();
+  EXPECT_EQ(snapshot.failed_probes, 4u);
+  EXPECT_EQ(snapshot.retries, 3u);
+}
+
+TEST(ProbePolicy, BackoffArithmetic) {
+  ProbePolicyConfig config;
+  config.max_attempts = 3;
+  config.timeout_ms = 100.0;
+  config.backoff_factor = 2.0;
+  const ProbePolicy policy(config);
+  EXPECT_DOUBLE_EQ(policy.AttemptTimeoutMs(0), 100.0);
+  EXPECT_DOUBLE_EQ(policy.AttemptTimeoutMs(1), 200.0);
+  EXPECT_DOUBLE_EQ(policy.AttemptTimeoutMs(2), 400.0);
+  EXPECT_DOUBLE_EQ(policy.GiveUpCostMs(), 700.0);
+
+  ProbePolicyConfig flat = config;
+  flat.backoff_factor = 1.0;
+  const ProbePolicy flat_policy(flat);
+  EXPECT_DOUBLE_EQ(flat_policy.AttemptTimeoutMs(2), 100.0);
+  EXPECT_DOUBLE_EQ(flat_policy.GiveUpCostMs(), 300.0);
+}
+
+TEST(ProbePolicy, SingleAttemptPolicyChargesFailuresButNoRetries) {
+  const auto m = SmallMatrix(8);
+  const MatrixSpace inner(m);
+  std::unordered_set<NodeId> crashed = {2};
+  const matrix::FaultySpace faulty(inner, 0.0, /*seed=*/1, &crashed);
+  ProbeCounter counter;
+  ProbePolicyConfig config;  // max_attempts = 1
+  const ProbePolicy policy(config, &counter);
+  EXPECT_FALSE(policy.Probe(faulty, 0, 2).has_value());
+  const auto snapshot = counter.Read();
+  EXPECT_EQ(snapshot.failed_probes, 1u);
+  EXPECT_EQ(snapshot.retries, 0u);
+}
+
+}  // namespace
+}  // namespace np::core

@@ -1,0 +1,152 @@
+// FaultySpace: the lost-probe sentinel, per-pair attempt keying
+// (determinism, order-robustness, retry re-rolls), empirical loss
+// rate, crashed peers always failing, and the loss_rate == 0
+// passthrough that the byte-identity invariant rests on.
+#include "matrix/faulty_space.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/latency_space.h"
+#include "matrix/latency_matrix.h"
+
+namespace np::matrix {
+namespace {
+
+LatencyMatrix SmallMatrix(NodeId n) {
+  LatencyMatrix m(n, 10.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      m.Set(i, j, 10.0 + static_cast<LatencyMs>(i + j));
+    }
+  }
+  return m;
+}
+
+TEST(FaultySpace, LostProbeSentinelNeverWinsComparisons) {
+  const LatencyMs lost = kLostProbeMs;
+  EXPECT_TRUE(ProbeLost(lost));
+  EXPECT_FALSE(ProbeLost(0.0));
+  EXPECT_FALSE(ProbeLost(1e9));
+  // Quiet NaN: every ordering comparison is false, so an unchecked
+  // nearest-candidate loop can never select a lost measurement.
+  EXPECT_FALSE(lost < 1e9);
+  EXPECT_FALSE(lost <= 1e9);
+  EXPECT_FALSE(lost > 0.0);
+  EXPECT_FALSE(lost == lost);
+}
+
+TEST(FaultySpace, ZeroLossIsAnExactPassthrough) {
+  const auto m = SmallMatrix(16);
+  const core::MatrixSpace inner(m);
+  const FaultySpace faulty(inner, 0.0, /*seed=*/123);
+  ASSERT_EQ(faulty.size(), inner.size());
+  for (NodeId a = 0; a < faulty.size(); ++a) {
+    for (NodeId b = 0; b < faulty.size(); ++b) {
+      EXPECT_EQ(faulty.Latency(a, b), inner.Latency(a, b));
+    }
+  }
+}
+
+TEST(FaultySpace, LossIsDeterministicPerSeedPairAndAttempt) {
+  const auto m = SmallMatrix(24);
+  const core::MatrixSpace inner(m);
+  // Two instances with the same seed, probed in different orders, must
+  // agree on which (pair, attempt) is lost.
+  FaultySpace a(inner, 0.35, /*seed=*/77);
+  FaultySpace b(inner, 0.35, /*seed=*/77);
+  // Only i < j: (i, j) and (j, i) share the unordered pair key, so
+  // probing both directions would make the attempt index depend on
+  // traversal order by construction.
+  std::vector<char> lost_a;
+  for (NodeId i = 0; i < 24; ++i) {
+    for (NodeId j = i + 1; j < 24; ++j) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        lost_a.push_back(ProbeLost(a.Latency(i, j)) ? 1 : 0);
+      }
+    }
+  }
+  // Probe b over the same (pair, attempt) grid but with the pair loop
+  // reversed: per-pair attempt counters make losses order-robust
+  // across pairs.
+  std::vector<char> lost_b(lost_a.size());
+  std::size_t index = lost_a.size();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId i = 0; i < 24; ++i) {
+    for (NodeId j = i + 1; j < 24; ++j) {
+      pairs.push_back({i, j});
+    }
+  }
+  for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
+    // Attempts of one pair stay ordered; the pairs themselves reversed.
+    index -= 3;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      lost_b[index + attempt] =
+          ProbeLost(b.Latency(it->first, it->second)) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(lost_a, lost_b);
+}
+
+TEST(FaultySpace, RetryOfTheSamePairRerollsLoss) {
+  const auto m = SmallMatrix(8);
+  const core::MatrixSpace inner(m);
+  FaultySpace faulty(inner, 0.5, /*seed=*/9);
+  // With loss 0.5 and 64 attempts of one pair, seeing both outcomes is
+  // a (1 - 2^-63) certainty unless attempts were (incorrectly) keyed
+  // identically.
+  bool saw_lost = false;
+  bool saw_ok = false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (ProbeLost(faulty.Latency(1, 2))) {
+      saw_lost = true;
+    } else {
+      saw_ok = true;
+    }
+  }
+  EXPECT_TRUE(saw_lost);
+  EXPECT_TRUE(saw_ok);
+}
+
+TEST(FaultySpace, EmpiricalLossRateMatchesConfigured) {
+  const auto m = SmallMatrix(64);
+  const core::MatrixSpace inner(m);
+  const double loss = 0.2;
+  FaultySpace faulty(inner, loss, /*seed=*/31);
+  int lost = 0;
+  int total = 0;
+  for (NodeId i = 0; i < 64; ++i) {
+    for (NodeId j = 0; j < 64; ++j) {
+      if (i == j) continue;
+      ++total;
+      if (ProbeLost(faulty.Latency(i, j))) ++lost;
+    }
+  }
+  const double rate = static_cast<double>(lost) / total;
+  EXPECT_NEAR(rate, loss, 0.03);  // ~4000 samples: 5 sigma ≈ 0.031
+}
+
+TEST(FaultySpace, CrashedPeersAlwaysFailEvenAtZeroLoss) {
+  const auto m = SmallMatrix(12);
+  const core::MatrixSpace inner(m);
+  std::unordered_set<NodeId> crashed = {3, 7};
+  FaultySpace faulty(inner, 0.0, /*seed=*/1, &crashed);
+  for (NodeId other = 0; other < 12; ++other) {
+    if (other == 3 || other == 7) continue;
+    // Dead endpoint on either side: no answer, ever.
+    EXPECT_TRUE(ProbeLost(faulty.Latency(3, other)));
+    EXPECT_TRUE(ProbeLost(faulty.Latency(other, 7)));
+    EXPECT_FALSE(ProbeLost(faulty.Latency(other, other == 0 ? 1 : 0)));
+  }
+  // Growing the set (between probe phases) takes effect immediately.
+  crashed.insert(5);
+  EXPECT_TRUE(ProbeLost(faulty.Latency(5, 0)));
+  // Detaching the view restores the healthy passthrough.
+  faulty.set_crashed(nullptr);
+  EXPECT_FALSE(ProbeLost(faulty.Latency(3, 0)));
+}
+
+}  // namespace
+}  // namespace np::matrix

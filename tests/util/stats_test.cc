@@ -191,5 +191,30 @@ TEST(RunSpreadStats, EmptyThrows) {
   EXPECT_THROW(RunSpread::Of({}), Error);
 }
 
+TEST(Gini, UniformSampleIsPerfectlyEqual) {
+  EXPECT_DOUBLE_EQ(Gini({5.0, 5.0, 5.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({1.0}), 0.0);
+}
+
+TEST(Gini, FullyConcentratedSampleApproachesOne) {
+  // One holder of all mass: G = (n - 1) / n.
+  EXPECT_NEAR(Gini({0.0, 0.0, 0.0, 4.0}), 0.75, 1e-12);
+  EXPECT_NEAR(Gini({0.0, 10.0}), 0.5, 1e-12);
+  std::vector<double> big(100, 0.0);
+  big.back() = 7.0;
+  EXPECT_NEAR(Gini(std::move(big)), 0.99, 1e-12);
+}
+
+TEST(Gini, KnownMixedSample) {
+  // Sorted {1, 2, 3, 4}: G = 2*(1+4+9+16)/(4*10) - 5/4 = 0.25.
+  EXPECT_NEAR(Gini({4.0, 1.0, 3.0, 2.0}), 0.25, 1e-12);
+}
+
+TEST(Gini, DegenerateSamplesAreZeroNegativeThrows) {
+  EXPECT_DOUBLE_EQ(Gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({0.0, 0.0, 0.0}), 0.0);
+  EXPECT_THROW(Gini({1.0, -0.5}), Error);
+}
+
 }  // namespace
 }  // namespace np::util

@@ -208,10 +208,14 @@ ChurnSchedule BuildSchedule(const JsonValue& spec) {
         event.type = ChurnEventType::kJoin;
       } else if (op == "leave") {
         event.type = ChurnEventType::kLeave;
+      } else if (op == "crash") {
+        event.type = ChurnEventType::kCrash;
       } else {
-        throw np::util::Error("trace op must be join|leave, got: " + op);
+        throw np::util::Error("trace op must be join|leave|crash, got: " +
+                              op);
       }
       event.join_of = entry.GetInt("join_of", -1);
+      event.node = static_cast<NodeId>(entry.GetInt("node", np::kInvalidNode));
       events.push_back(event);
     }
     return ChurnSchedule::FromTrace(std::move(events));
@@ -229,6 +233,8 @@ ChurnSchedule BuildSchedule(const JsonValue& spec) {
     config.lognormal_sigma =
         spec.GetDouble("lognormal_sigma", config.lognormal_sigma);
     config.pareto_alpha = spec.GetDouble("pareto_alpha", config.pareto_alpha);
+    config.crash_fraction =
+        spec.GetDouble("crash_frac", config.crash_fraction);
     if (const JsonValue* diurnal = spec.Find("diurnal")) {
       config.diurnal.day_s =
           diurnal->GetDouble("day_s", config.diurnal.day_s);
@@ -369,26 +375,43 @@ void ValidateSpec(const JsonValue& spec) {
     RequireKeys(churn, "churn (poisson)",
                 {"mode", "duration_s", "events_per_s", "join_fraction",
                  "mean_session_s", "session_model", "lognormal_sigma",
-                 "pareto_alpha", "diurnal", "seed"});
+                 "pareto_alpha", "crash_frac", "diurnal", "blackouts",
+                 "seed"});
     ParseSessionModel(churn.GetString("session_model", "exponential"));
     if (const JsonValue* diurnal = churn.Find("diurnal")) {
       RequireKeys(*diurnal, "churn.diurnal",
                   {"day_s", "amplitude", "peak_frac", "multipliers"});
     }
   } else if (mode == "trace") {
-    RequireKeys(churn, "churn (trace)", {"mode", "trace", "seed"});
+    RequireKeys(churn, "churn (trace)", {"mode", "trace", "blackouts",
+                                         "seed"});
     for (const JsonValue& entry : churn.at("trace").items()) {
-      RequireKeys(entry, "churn.trace entry", {"t", "op", "join_of"});
+      RequireKeys(entry, "churn.trace entry", {"t", "op", "join_of", "node"});
     }
   } else {
     throw np::util::Error("unknown churn mode: " + mode +
                           " (expected poisson | trace)");
   }
+  if (const JsonValue* blackouts = churn.Find("blackouts")) {
+    if (world_type != "clustered") {
+      throw np::util::Error(
+          "churn.blackouts needs a clustered world (victims are a cluster)");
+    }
+    for (const JsonValue& entry : blackouts->items()) {
+      RequireKeys(entry, "churn.blackouts entry", {"t", "cluster"});
+    }
+  }
 
-  RequireKeys(spec.at("scenario"), "scenario",
+  const JsonValue& engine = spec.at("scenario");
+  RequireKeys(engine, "scenario",
               {"initial_overlay", "epochs", "queries_per_epoch",
                "num_threads", "tie_epsilon_ms", "measurement_noise_frac",
-               "measurement_noise_floor_ms", "seed"});
+               "measurement_noise_floor_ms", "fault", "query_zipf_s",
+               "seed"});
+  if (const JsonValue* fault = engine.Find("fault")) {
+    RequireKeys(*fault, "scenario.fault",
+                {"loss_rate", "retry", "track_load"});
+  }
 
   for (const JsonValue& entry : spec.at("algorithms").items()) {
     ValidateAlgorithmName(entry.AsString(), world_type);
@@ -545,6 +568,21 @@ void WriteReportJson(std::ostream& out, const std::string& scenario_name,
         << ", \"maintenance_probes\": " << report.totals.maintenance_probes
         << ", \"churn_events\": " << report.totals.churn_events
         << ", \"build_probes\": " << report.totals.build_probes << "},\n";
+    // Fault/load blocks are gated on the run actually exercising them:
+    // fault-free scenarios keep byte-identical reports.
+    if (report.fault_mode) {
+      out << "     \"fault\": {\"failed_probes\": "
+          << report.totals.failed_probes
+          << ", \"retries\": " << report.totals.retries
+          << ", \"failed_queries\": " << report.failed_queries << "},\n";
+    }
+    if (report.load_tracking) {
+      out << "     \"load\": {\"total\": " << report.load.total
+          << ", \"max\": " << report.load.max
+          << ", \"max_node\": " << report.load.max_node
+          << ", \"median\": " << report.load.median
+          << ", \"gini\": " << report.load.gini << "},\n";
+    }
     out << "     \"epochs\": [\n";
     for (std::size_t e = 0; e < report.epochs.size(); ++e) {
       const np::core::EpochReport& er = report.epochs[e];
@@ -563,8 +601,19 @@ void WriteReportJson(std::ostream& out, const std::string& scenario_name,
           << ", \"excess_latency_p99_ms\": " << er.excess_latency_p99_ms
           << ", \"messages_per_query\": " << er.messages_per_query
           << ", \"maintenance_messages\": " << er.maintenance_messages
-          << ", \"maintenance_per_event\": " << er.maintenance_per_event
-          << "}" << (e + 1 < report.epochs.size() ? "," : "") << "\n";
+          << ", \"maintenance_per_event\": " << er.maintenance_per_event;
+      if (report.fault_mode) {
+        out << ", \"crashes\": " << er.crashes
+            << ", \"p_query_failed\": " << er.p_query_failed
+            << ", \"failed_probes\": " << er.failed_probes
+            << ", \"retries\": " << er.retries;
+      }
+      if (report.load_tracking) {
+        out << ", \"load_max\": " << er.load_max
+            << ", \"load_median\": " << er.load_median
+            << ", \"load_gini\": " << er.load_gini;
+      }
+      out << "}" << (e + 1 < report.epochs.size() ? "," : "") << "\n";
     }
     out << "     ]}" << (a + 1 < reports.size() ? "," : "") << "\n";
   }
@@ -634,6 +683,24 @@ int Run(int argc, char** argv) {
       "measurement_noise_frac", config.measurement_noise_frac);
   config.measurement_noise_floor_ms = engine.GetDouble(
       "measurement_noise_floor_ms", config.measurement_noise_floor_ms);
+  if (const JsonValue* fault = engine.Find("fault")) {
+    config.fault.loss_rate =
+        fault->GetDouble("loss_rate", config.fault.loss_rate);
+    config.fault.max_attempts = static_cast<int>(
+        fault->GetInt("retry", config.fault.max_attempts));
+    config.fault.track_load =
+        fault->GetBool("track_load", config.fault.track_load);
+  }
+  config.query_zipf_s =
+      engine.GetDouble("query_zipf_s", config.query_zipf_s);
+  if (const JsonValue* blackouts = spec.at("churn").Find("blackouts")) {
+    for (const JsonValue& entry : blackouts->items()) {
+      ScenarioConfig::Blackout blackout;
+      blackout.time_s = entry.GetDouble("t", 0.0);
+      blackout.cluster = static_cast<int>(entry.GetInt("cluster", 0));
+      config.blackouts.push_back(blackout);
+    }
+  }
   config.seed = engine.GetUint64("seed", config.seed);
   if (threads_override >= 0) {
     config.num_threads = threads_override;
@@ -652,27 +719,56 @@ int Run(int argc, char** argv) {
                                   schedule, config, world.population));
 
     const ScenarioReport& report = reports.back();
-    np::util::Table table({"epoch", "t_s", "members", "joins", "leaves",
-                           "p_exact", "p95_excess_ms", "msgs/query",
-                           "maint_msgs", "maint/event"});
+    // Fault/load columns only appear when the run exercised them, so
+    // fault-free scenarios render byte-identical to pre-fault builds.
+    std::vector<std::string> headers = {
+        "epoch", "t_s", "members", "joins", "leaves", "p_exact",
+        "p95_excess_ms", "msgs/query", "maint_msgs", "maint/event"};
+    if (report.fault_mode) {
+      headers.insert(headers.end(),
+                     {"crashes", "p_qfail", "failed_probes", "retries"});
+    }
+    if (report.load_tracking) {
+      headers.insert(headers.end(), {"load_max", "load_gini"});
+    }
+    np::util::Table table(headers);
     for (const np::core::EpochReport& er : report.epochs) {
-      table.AddRow({std::to_string(er.epoch),
-                    np::util::FormatDouble(er.time_s, 1),
-                    std::to_string(er.live_members),
-                    std::to_string(er.joins), std::to_string(er.leaves),
-                    np::util::FormatDouble(er.p_exact_closest, 3),
-                    np::util::FormatDouble(er.excess_latency_p95_ms, 2),
-                    np::util::FormatDouble(er.messages_per_query, 1),
-                    std::to_string(er.maintenance_messages),
-                    np::util::FormatDouble(er.maintenance_per_event, 1)});
+      std::vector<std::string> row = {
+          std::to_string(er.epoch),
+          np::util::FormatDouble(er.time_s, 1),
+          std::to_string(er.live_members),
+          std::to_string(er.joins), std::to_string(er.leaves),
+          np::util::FormatDouble(er.p_exact_closest, 3),
+          np::util::FormatDouble(er.excess_latency_p95_ms, 2),
+          np::util::FormatDouble(er.messages_per_query, 1),
+          std::to_string(er.maintenance_messages),
+          np::util::FormatDouble(er.maintenance_per_event, 1)};
+      if (report.fault_mode) {
+        row.push_back(std::to_string(er.crashes));
+        row.push_back(np::util::FormatDouble(er.p_query_failed, 3));
+        row.push_back(std::to_string(er.failed_probes));
+        row.push_back(std::to_string(er.retries));
+      }
+      if (report.load_tracking) {
+        row.push_back(std::to_string(er.load_max));
+        row.push_back(np::util::FormatDouble(er.load_gini, 3));
+      }
+      table.AddRow(std::move(row));
     }
     std::cout << "algorithm: " << report.algorithm
               << "  (build_messages " << report.build_messages
               << ", overall msgs/query "
               << np::util::FormatDouble(report.messages_per_query, 1)
               << ", maint/event "
-              << np::util::FormatDouble(report.maintenance_per_event, 1)
-              << ")\n";
+              << np::util::FormatDouble(report.maintenance_per_event, 1);
+    if (report.fault_mode) {
+      std::cout << ", failed_queries " << report.failed_queries;
+    }
+    if (report.load_tracking) {
+      std::cout << ", load_gini "
+                << np::util::FormatDouble(report.load.gini, 3);
+    }
+    std::cout << ")\n";
     std::cout << table.Render();
   }
 
