@@ -26,7 +26,12 @@ be present in the current report and agree within the threshold
 (relative, both directions — derived metrics are deterministic, so a
 shift either way means the simulation changed, unlike wall-ms which
 only regresses). Use this for gates that must be robust across
-machines of different speeds.
+machines of different speeds. Key sets must match exactly under the
+watched prefixes: a baseline metric missing from the current report
+AND a current metric missing from the baseline are both hard failures
+— either direction of schema drift would otherwise shrink the watched
+set and silently disarm the gate (regenerate the baseline with
+--update after an intentional schema change).
 
 --require (repeatable) asserts an absolute bound on a derived metric
 of the CURRENT report: "name>=value", "name>value", "name<=value" or
@@ -91,6 +96,25 @@ def compare_derived(baseline, current, args):
             f"  {name:<{width}}  baseline {base_value:12.4f}  "
             f"current {cur_value:12.4f}  ({signed_rel:+6.1%})  {verdict}"
         )
+
+    # Symmetric drift check: a current metric under a watched prefix
+    # that the baseline does not know is the same schema-drift hazard
+    # as a missing one — were the baseline ever regenerated from such
+    # a report, the unknown key would join the gate unreviewed (and a
+    # rename would shrink the watched set to the surviving keys).
+    unknown = sorted(
+        name
+        for name in cur
+        if any(name.startswith(prefix) for prefix in prefixes)
+        and name not in base
+    )
+    for name in unknown:
+        failures.append(
+            f"{name}: in current report but not in baseline "
+            f"(schema drift; regenerate the baseline with --update if "
+            f"intentional)"
+        )
+        print(f"  {name}  current {cur[name]:12.4f}  NOT-IN-BASELINE")
 
     if failures:
         print("bench_compare: FAILED", file=sys.stderr)

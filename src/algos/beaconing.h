@@ -9,6 +9,7 @@
 // to all the beacon servers ... impossible to tell apart".
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/member_index.h"
@@ -67,6 +68,13 @@ class BeaconingNearest final : public core::NearestPeerAlgorithm {
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
+  }
+
+  /// All state is value-semantic (index, beacon rows) plus the
+  /// borrowed immutable space, so a member-wise copy is a deep clone.
+  bool SupportsSnapshot() const override { return true; }
+  std::unique_ptr<core::NearestPeerAlgorithm> Clone() const override {
+    return core::DetachedClone(std::make_unique<BeaconingNearest>(*this));
   }
 
   const std::vector<NodeId>& beacons() const { return beacons_; }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/member_index.h"
@@ -71,6 +72,13 @@ class KargerRuhlNearest final : public core::NearestPeerAlgorithm {
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
+  }
+
+  /// All state is value-semantic (index, per-scale sample lists) plus
+  /// the borrowed immutable space.
+  bool SupportsSnapshot() const override { return true; }
+  std::unique_ptr<core::NearestPeerAlgorithm> Clone() const override {
+    return core::DetachedClone(std::make_unique<KargerRuhlNearest>(*this));
   }
 
   /// Samples of one member at one scale (for tests).

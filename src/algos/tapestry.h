@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -65,6 +66,13 @@ class TapestryNearest final : public core::NearestPeerAlgorithm {
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
+  }
+
+  /// All state is value-semantic (index, routing tables) plus the
+  /// borrowed immutable space.
+  bool SupportsSnapshot() const override { return true; }
+  std::unique_ptr<core::NearestPeerAlgorithm> Clone() const override {
+    return core::DetachedClone(std::make_unique<TapestryNearest>(*this));
   }
 
   std::uint32_t IdOf(NodeId member) const;

@@ -6,6 +6,7 @@
 // chosen representative's cluster and following the closest.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +88,13 @@ class TiersNearest final : public core::NearestPeerAlgorithm {
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
+  }
+
+  /// All state is value-semantic (index, level hierarchy) plus the
+  /// borrowed immutable space.
+  bool SupportsSnapshot() const override { return true; }
+  std::unique_ptr<core::NearestPeerAlgorithm> Clone() const override {
+    return core::DetachedClone(std::make_unique<TiersNearest>(*this));
   }
 
   int num_levels() const { return static_cast<int>(levels_.size()); }

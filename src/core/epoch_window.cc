@@ -1,0 +1,116 @@
+#include "core/epoch_window.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/experiment.h"
+#include "util/error.h"
+
+namespace np::core {
+
+OverlaySplit SplitScenarioPopulation(const LatencySpace& space,
+                                     const std::vector<NodeId>& population,
+                                     NodeId initial_overlay, util::Rng& rng) {
+  if (population.empty()) {
+    return SplitOverlay(space.size(), initial_overlay, rng);
+  }
+  NP_ENSURE(initial_overlay >= 1, "overlay must be non-empty");
+  NP_ENSURE(static_cast<std::size_t>(initial_overlay) < population.size(),
+            "need at least one population node left over as a target");
+  std::vector<NodeId> nodes = population;
+  rng.Shuffle(nodes);
+  OverlaySplit split;
+  split.members.assign(nodes.begin(), nodes.begin() + initial_overlay);
+  split.targets.assign(nodes.begin() + initial_overlay, nodes.end());
+  return split;
+}
+
+ChurnWindowRunner::ChurnWindowRunner(
+    NearestPeerAlgorithm& algo, ChurnDriver& driver,
+    const ChurnSchedule& schedule, const matrix::ClusterLayout* layout,
+    const MeteredSpace& maint, ProbeCounter& counter,
+    std::vector<ScenarioConfig::Blackout> blackouts,
+    std::uint64_t rebuild_root, int build_threads, int total_epochs,
+    bool incremental, std::uint64_t charged_build)
+    : algo_(algo),
+      driver_(driver),
+      schedule_(schedule),
+      layout_(layout),
+      maint_(maint),
+      counter_(counter),
+      blackouts_(std::move(blackouts)),
+      rebuild_root_(rebuild_root),
+      build_threads_(build_threads),
+      total_epochs_(total_epochs),
+      incremental_(incremental),
+      charged_maintenance_(charged_build) {
+  std::sort(blackouts_.begin(), blackouts_.end(),
+            [](const ScenarioConfig::Blackout& a,
+               const ScenarioConfig::Blackout& b) {
+              return a.time_s < b.time_s;
+            });
+}
+
+void ChurnWindowRunner::RunWindow(int epoch, EpochReport& er) {
+  er.epoch = epoch;
+  er.time_s = schedule_.duration_s() *
+              (static_cast<double>(epoch + 1) /
+               static_cast<double>(total_epochs_));
+
+  // Crashes from the previous window are detected now (their probes
+  // kept failing all epoch) and purged with billed RemoveMember
+  // repairs — one detection delay, before this window's churn.
+  if (incremental_) {
+    for (const NodeId dead : driver_.TakePendingRepairs()) {
+      algo_.RemoveMember(dead);
+    }
+  }
+  const bool last_epoch = epoch + 1 == total_epochs_;
+  ChurnStats stats;
+  while (next_blackout_ < blackouts_.size() &&
+         (blackouts_[next_blackout_].time_s <= er.time_s || last_epoch)) {
+    // Advance ordinary churn to the blackout instant, then drop
+    // every live member of the cluster at once.
+    const ScenarioConfig::Blackout& b = blackouts_[next_blackout_++];
+    stats += driver_.ApplyUntil(schedule_, b.time_s);
+    const std::vector<NodeId> snapshot = driver_.members();
+    for (const NodeId member : snapshot) {
+      if (layout_->ClusterOf(member) == b.cluster &&
+          driver_.ForceCrash(member)) {
+        ++stats.crashes;
+      }
+    }
+  }
+  stats += last_epoch ? driver_.ApplyAll(schedule_)
+                      : driver_.ApplyUntil(schedule_, er.time_s);
+  er.joins = stats.joins;
+  er.leaves = stats.leaves;
+  er.crashes = stats.crashes;
+  er.skipped_events = stats.skipped;
+
+  const std::int64_t churn_events = stats.joins + stats.leaves + stats.crashes;
+  if (!incremental_ && churn_events > 0) {
+    // No incremental maintenance: pay for a full rebuild on the live
+    // membership. The per-epoch rebuild rng is independent of the
+    // churn streams so resumed and straight-through schedules agree.
+    util::Rng brng(
+        util::Mix64(rebuild_root_ ^ static_cast<std::uint64_t>(epoch)));
+    algo_.ParallelBuild(maint_, driver_.members(), brng, build_threads_);
+    er.rebuilt = true;
+    // The rebuild was over live members only, so every lingering
+    // crashed entry is already gone.
+    driver_.TakePendingRepairs();
+  }
+  er.maintenance_messages = maint_.probes() - charged_maintenance_;
+  charged_maintenance_ = maint_.probes();
+  counter_.AddMaintenanceProbes(er.maintenance_messages);
+  counter_.AddChurnEvents(static_cast<std::uint64_t>(churn_events));
+  er.maintenance_per_event =
+      churn_events == 0
+          ? 0.0
+          : static_cast<double>(er.maintenance_messages) /
+                static_cast<double>(churn_events);
+  er.live_members = static_cast<NodeId>(driver_.members().size());
+}
+
+}  // namespace np::core

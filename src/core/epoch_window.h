@@ -1,0 +1,108 @@
+// Engine-shared plumbing for the scenario and serving drivers: the
+// population split, the scoped probe-counter/policy attachments, and
+// the per-epoch churn window.
+//
+// The serving engine's correctness oracle is bit-identical agreement
+// with serial replay, and the maintenance side of that equation —
+// pending crash repairs, blackout ordering, churn application, the
+// rebuild path, and the probe billing around them — is exactly the
+// code that must not fork into two copies. ChurnWindowRunner is that
+// code, extracted verbatim from the original RunScenario loop; both
+// engines drive it one epoch at a time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/churn.h"
+#include "core/experiment.h"
+#include "core/latency_space.h"
+#include "core/nearest_algorithm.h"
+#include "core/probe_counter.h"
+#include "core/scenario.h"
+#include "matrix/generators.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace np::core {
+
+/// Splits `population` (or, when empty, the whole space) into the
+/// initial overlay membership and the join-pool/query-target rest.
+OverlaySplit SplitScenarioPopulation(const LatencySpace& space,
+                                     const std::vector<NodeId>& population,
+                                     NodeId initial_overlay, util::Rng& rng);
+
+/// Detaches the algorithm's probe counter on every exit path — the
+/// counter is a stack local in the engines, and leaving it attached
+/// past a thrown NP_ENSURE would hand the caller an algorithm holding
+/// a dangling pointer.
+class ScopedProbeCounter {
+ public:
+  ScopedProbeCounter(NearestPeerAlgorithm& algo, ProbeCounter& counter)
+      : algo_(algo) {
+    algo_.AttachProbeCounter(&counter);
+  }
+  ~ScopedProbeCounter() { algo_.AttachProbeCounter(nullptr); }
+  ScopedProbeCounter(const ScopedProbeCounter&) = delete;
+  ScopedProbeCounter& operator=(const ScopedProbeCounter&) = delete;
+
+ private:
+  NearestPeerAlgorithm& algo_;
+};
+
+/// Same exit-path guarantee for the probe policy (also a stack local).
+class ScopedProbePolicy {
+ public:
+  ScopedProbePolicy(NearestPeerAlgorithm& algo, const ProbePolicy& policy)
+      : algo_(algo) {
+    algo_.AttachProbePolicy(&policy);
+  }
+  ~ScopedProbePolicy() { algo_.AttachProbePolicy(nullptr); }
+  ScopedProbePolicy(const ScopedProbePolicy&) = delete;
+  ScopedProbePolicy& operator=(const ScopedProbePolicy&) = delete;
+
+ private:
+  NearestPeerAlgorithm& algo_;
+};
+
+/// One epoch's churn window: crash repairs pending from the previous
+/// window, blackouts due by the boundary, scheduled churn, the
+/// no-incremental-churn rebuild path, and the maintenance billing
+/// around all of it. Stateful across epochs (blackout cursor, charged
+/// maintenance watermark); drive it with consecutive epoch indices.
+class ChurnWindowRunner {
+ public:
+  /// Borrows everything; the caller keeps all of it alive for the
+  /// runner's lifetime. `charged_build` is the build-probe watermark
+  /// already on `maint` (maintenance deltas are billed above it).
+  ChurnWindowRunner(NearestPeerAlgorithm& algo, ChurnDriver& driver,
+                    const ChurnSchedule& schedule,
+                    const matrix::ClusterLayout* layout,
+                    const MeteredSpace& maint, ProbeCounter& counter,
+                    std::vector<ScenarioConfig::Blackout> blackouts,
+                    std::uint64_t rebuild_root, int build_threads,
+                    int total_epochs, bool incremental,
+                    std::uint64_t charged_build);
+
+  /// Applies epoch `epoch`'s window and fills the churn/maintenance
+  /// fields of `er` (epoch, time_s, joins/leaves/crashes/skipped,
+  /// rebuilt, maintenance, live_members).
+  void RunWindow(int epoch, EpochReport& er);
+
+ private:
+  NearestPeerAlgorithm& algo_;
+  ChurnDriver& driver_;
+  const ChurnSchedule& schedule_;
+  const matrix::ClusterLayout* layout_;
+  const MeteredSpace& maint_;
+  ProbeCounter& counter_;
+  std::vector<ScenarioConfig::Blackout> blackouts_;
+  std::size_t next_blackout_ = 0;
+  const std::uint64_t rebuild_root_;
+  const int build_threads_;
+  const int total_epochs_;
+  const bool incremental_;
+  std::uint64_t charged_maintenance_;
+};
+
+}  // namespace np::core

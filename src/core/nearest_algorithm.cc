@@ -25,6 +25,13 @@ void NearestPeerAlgorithm::RemoveMember(NodeId node) {
   NP_ENSURE(false, "this algorithm does not support churn; rebuild instead");
 }
 
+std::unique_ptr<NearestPeerAlgorithm> NearestPeerAlgorithm::Clone() const {
+  NP_ENSURE(false,
+            "this algorithm does not support snapshot clones; "
+            "check SupportsSnapshot() first");
+  return nullptr;
+}
+
 void NearestPeerAlgorithm::ParallelBuild(const LatencySpace& space,
                                          std::vector<NodeId> members,
                                          util::Rng& rng, int num_threads) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -120,10 +121,37 @@ class NearestPeerAlgorithm {
   /// Members the overlay was built over.
   virtual const std::vector<NodeId>& members() const = 0;
 
+  /// True when Clone() produces a deep, independent copy of the
+  /// overlay state (the serving engine's snapshot capability). Opt-in
+  /// like ParallelQuerySafe: an algorithm declares support only after
+  /// auditing that its copied state shares nothing mutable with the
+  /// original (borrowed LatencySpace/Topology pointers are fine —
+  /// those are immutable for the overlay's lifetime).
+  virtual bool SupportsSnapshot() const { return false; }
+
+  /// Deep copy of the built overlay state, with the probe counter and
+  /// probe policy DETACHED (those are caller-owned wiring, not overlay
+  /// state; the serving engine attaches its own per-snapshot pair).
+  /// Queries against the clone answer bit-identically to queries
+  /// against the original at clone time, and mutations of either side
+  /// never affect the other. The default refuses; callers test with
+  /// SupportsSnapshot().
+  virtual std::unique_ptr<NearestPeerAlgorithm> Clone() const;
+
  private:
   ProbeCounter* probe_counter_ = nullptr;
   const ProbePolicy* probe_policy_ = nullptr;
 };
+
+/// Clone() helper: a copy-constructed clone inherits the original's
+/// counter/policy pointers; per the Clone contract those are detached
+/// before the clone is handed out.
+inline std::unique_ptr<NearestPeerAlgorithm> DetachedClone(
+    std::unique_ptr<NearestPeerAlgorithm> clone) {
+  clone->AttachProbeCounter(nullptr);
+  clone->AttachProbePolicy(nullptr);
+  return clone;
+}
 
 /// Brute-force oracle: probes every member. Defines ground truth and
 /// the upper bound on achievable accuracy.
@@ -147,6 +175,12 @@ class OracleNearest final : public NearestPeerAlgorithm {
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
+  }
+
+  /// State is the member index plus a borrowed (immutable) space.
+  bool SupportsSnapshot() const override { return true; }
+  std::unique_ptr<NearestPeerAlgorithm> Clone() const override {
+    return DetachedClone(std::make_unique<OracleNearest>(*this));
   }
 
  private:
@@ -175,6 +209,12 @@ class RandomNearest final : public NearestPeerAlgorithm {
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
+  }
+
+  /// State is just the member index.
+  bool SupportsSnapshot() const override { return true; }
+  std::unique_ptr<NearestPeerAlgorithm> Clone() const override {
+    return DetachedClone(std::make_unique<RandomNearest>(*this));
   }
 
  private:

@@ -1,0 +1,66 @@
+#include "core/overlay_snapshot.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace np::core {
+
+std::shared_ptr<const OverlaySnapshot> SnapshotPublisher::WaitForEpoch(
+    int epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    if (closed_) {
+      return true;
+    }
+    const auto cur = current_.load(std::memory_order_acquire);
+    return cur != nullptr && cur->epoch >= epoch;
+  });
+  auto cur = current_.load(std::memory_order_acquire);
+  if (cur != nullptr && cur->epoch >= epoch) {
+    return cur;
+  }
+  return nullptr;  // closed before the epoch was published
+}
+
+void SnapshotPublisher::Publish(std::shared_ptr<const OverlaySnapshot> snap) {
+  NP_ENSURE(snap != nullptr, "cannot publish a null snapshot");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NP_ENSURE(!closed_, "publisher is closed");
+    const auto cur = current_.load(std::memory_order_acquire);
+    NP_ENSURE(cur == nullptr || snap->epoch > cur->epoch,
+              "published epochs must strictly advance");
+    history_.emplace_back(snap);
+    current_.store(std::move(snap), std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void SnapshotPublisher::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t SnapshotPublisher::published_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+std::size_t SnapshotPublisher::retired_alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto cur = current_.load(std::memory_order_acquire);
+  std::size_t alive = 0;
+  for (const auto& weak : history_) {
+    const auto snap = weak.lock();
+    if (snap != nullptr && snap != cur) {
+      ++alive;
+    }
+  }
+  return alive;
+}
+
+}  // namespace np::core

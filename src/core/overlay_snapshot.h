@@ -1,0 +1,93 @@
+// RCU-style snapshot publication for the concurrent serving mode.
+//
+// The serving engine separates roles: one writer applies churn to the
+// live overlay and, at each epoch boundary, publishes an immutable
+// OverlaySnapshot (a deep clone of the algorithm state plus the
+// membership view it answers against); N reader threads pin the
+// current snapshot and run queries against it with zero per-query
+// synchronization. Publication is an atomic shared_ptr swap, pinning
+// is a refcount bump, and a retired snapshot is reclaimed by the last
+// unpin — the classic read-copy-update economy: readers never block
+// the writer and the writer never blocks readers.
+//
+// The publisher also keeps a weak-reference history of everything it
+// published, so tests (and the serving report) can assert the
+// reclamation contract: a snapshot stays alive exactly while pinned,
+// and the retired chain stays bounded when readers keep up.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "core/nearest_algorithm.h"
+#include "util/types.h"
+
+namespace np::core {
+
+/// Immutable view of the overlay at one epoch boundary. Everything a
+/// reader needs is copied in: the membership/pool/crashed sets evolve
+/// under the writer's churn while the snapshot serves, so sharing them
+/// would race. The algorithm clone is deep (Clone() contract) and is
+/// only mutated through its query path, which the serving engine
+/// requires to be ParallelQuerySafe for >1 reader.
+struct OverlaySnapshot {
+  int epoch = -1;
+  std::unique_ptr<NearestPeerAlgorithm> algo;
+  std::vector<NodeId> members;
+  std::vector<NodeId> pool;
+  std::unordered_set<NodeId> crashed;
+};
+
+/// Single-writer, many-reader snapshot exchange point.
+///
+/// Thread-safety: Publish is writer-only; Pin/WaitForEpoch/stat
+/// reads are safe from any thread. The current pointer is an
+/// std::atomic<std::shared_ptr>, so Pin is a wait-free load on the
+/// fast path; the mutex/condvar pair only serves epoch rendezvous
+/// (readers sleeping until the next epoch appears).
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher() = default;
+  SnapshotPublisher(const SnapshotPublisher&) = delete;
+  SnapshotPublisher& operator=(const SnapshotPublisher&) = delete;
+
+  /// The current snapshot, pinned (refcount bumped); null before the
+  /// first Publish. Unpinning is dropping the returned shared_ptr.
+  std::shared_ptr<const OverlaySnapshot> Pin() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until a snapshot with epoch >= `epoch` is published, and
+  /// returns it pinned. Returns null if the publisher closes first.
+  std::shared_ptr<const OverlaySnapshot> WaitForEpoch(int epoch);
+
+  /// Publishes `snap` as the current snapshot (atomic swap; epochs
+  /// must strictly advance) and wakes every waiter.
+  void Publish(std::shared_ptr<const OverlaySnapshot> snap);
+
+  /// Wakes all waiters and refuses further publications. Idempotent.
+  void Close();
+
+  /// Snapshots published so far.
+  std::size_t published_count() const;
+
+  /// Superseded snapshots still alive — i.e. retired but pinned by at
+  /// least one reader (or mid-reclamation). The serving engine's pin
+  /// rendezvous bounds this at a small constant; an unbounded value
+  /// means readers cannot keep up with the writer.
+  std::size_t retired_alive() const;
+
+ private:
+  std::atomic<std::shared_ptr<const OverlaySnapshot>> current_{};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  /// Weak refs to every published snapshot, for reclamation stats.
+  std::vector<std::weak_ptr<const OverlaySnapshot>> history_;
+};
+
+}  // namespace np::core

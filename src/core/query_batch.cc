@@ -1,0 +1,126 @@
+#include "core/query_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "matrix/faulty_space.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace np::core {
+
+std::vector<double> ZipfCdf(std::size_t n, double s) {
+  std::vector<double> cdf(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += std::pow(static_cast<double>(i + 1), -s);
+    cdf[i] = cum;
+  }
+  for (double& c : cdf) {
+    c /= cum;
+  }
+  return cdf;
+}
+
+std::size_t ZipfIndex(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf.begin());
+  return std::min(idx, cdf.size() - 1);
+}
+
+QueryOutcome RunBatchQuery(const QueryBatch& batch, NearestPeerAlgorithm& algo,
+                           std::size_t q) {
+  const std::vector<NodeId>& pool = *batch.pool;
+  util::Rng qrng(batch.query_base ^ static_cast<std::uint64_t>(q));
+  const NoisySpace noisy(*batch.space, batch.noise_frac,
+                         batch.noise_base ^ static_cast<std::uint64_t>(q),
+                         batch.noise_floor_ms);
+  const matrix::FaultySpace faulty(
+      noisy, batch.loss_rate,
+      batch.fault_base ^ static_cast<std::uint64_t>(q), batch.crashed);
+  const MeteredSpace metered(faulty, batch.ledger);
+  // The uniform path must keep the exact pre-fault draw (Index, not
+  // NextDouble) for byte-identity at zipf 0.
+  const bool uniform = batch.zipf_cdf == nullptr || batch.zipf_cdf->empty();
+  const NodeId target =
+      uniform ? pool[qrng.Index(pool.size())]
+              : pool[ZipfIndex(*batch.zipf_cdf, qrng.NextDouble())];
+  const NodeId truth = TrueClosestMember(*batch.space, *batch.members, target);
+
+  const QueryResult result = algo.Query(target, metered, qrng);
+  if (!batch.fault_mode) {
+    NP_ENSURE(result.found != kInvalidNode, "algorithm returned no peer");
+  }
+
+  QueryOutcome out;
+  out.target = target;
+  out.found = result.found;
+  out.failed = result.found == kInvalidNode;
+  out.probes = metered.probes();
+  out.truth_latency = batch.space->Latency(truth, target);
+  if (out.failed) {
+    return out;
+  }
+  out.hops = result.hops;
+  out.found_latency = batch.space->Latency(result.found, target);
+  out.exact = out.found_latency <= out.truth_latency + batch.tie_epsilon_ms;
+  if (batch.layout != nullptr) {
+    out.correct_cluster = batch.layout->SameCluster(result.found, target);
+    out.same_net = batch.layout->SameNet(result.found, target);
+  }
+  return out;
+}
+
+void ReduceQueryOutcomes(const std::vector<QueryOutcome>& outcomes,
+                         EpochReport& er, std::uint64_t* failed_queries) {
+  std::int64_t exact = 0;
+  std::int64_t correct_cluster = 0;
+  std::int64_t same_net = 0;
+  std::int64_t answered = 0;
+  double total_latency = 0.0;
+  double total_hops = 0.0;
+  std::uint64_t total_probes = 0;
+  std::vector<double> excess;
+  excess.reserve(outcomes.size());
+  for (const QueryOutcome& out : outcomes) {
+    total_probes += out.probes;
+    if (out.failed) {
+      // Failed queries count against p_exact and messages/query but
+      // contribute no latency/hops samples (there is no answer to
+      // measure).
+      continue;
+    }
+    ++answered;
+    exact += out.exact ? 1 : 0;
+    correct_cluster += out.correct_cluster ? 1 : 0;
+    same_net += out.same_net ? 1 : 0;
+    total_latency += out.found_latency;
+    total_hops += out.hops;
+    // >= 0: the true closest is the minimum over members, and found
+    // is a member. Exact answers contribute 0.
+    excess.push_back(out.found_latency - out.truth_latency);
+  }
+  const std::int64_t queries = static_cast<std::int64_t>(outcomes.size());
+  const double n = static_cast<double>(queries);
+  er.p_exact_closest = static_cast<double>(exact) / n;
+  er.p_correct_cluster = static_cast<double>(correct_cluster) / n;
+  er.p_same_net = static_cast<double>(same_net) / n;
+  er.p_query_failed = static_cast<double>(queries - answered) / n;
+  if (failed_queries != nullptr) {
+    *failed_queries += static_cast<std::uint64_t>(queries - answered);
+  }
+  // Divisor: with no faults answered == n, so these stay bit-equal
+  // to the historical divide-by-n.
+  const double na = answered > 0 ? static_cast<double>(answered) : 1.0;
+  er.mean_found_latency_ms = total_latency / na;
+  er.mean_hops = total_hops / na;
+  er.messages_per_query = static_cast<double>(total_probes) / n;
+  if (!excess.empty()) {
+    std::sort(excess.begin(), excess.end());
+    er.excess_latency_p50_ms = util::PercentileSorted(excess, 50.0);
+    er.excess_latency_p95_ms = util::PercentileSorted(excess, 95.0);
+    er.excess_latency_p99_ms = util::PercentileSorted(excess, 99.0);
+  }
+}
+
+}  // namespace np::core

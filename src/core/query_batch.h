@@ -1,0 +1,93 @@
+// Per-query machinery shared by the deterministic scenario engine
+// (core/scenario) and the concurrent serving engine (core/serving).
+//
+// Both engines must issue bit-identical queries — the serving mode's
+// correctness oracle is "a snapshot pinned at epoch k answers exactly
+// like serial replay at epoch k" — so the per-query RNG/noise/fault
+// stream derivation, the target draw, the scoring and the serial
+// reduction live here, in one place, instead of being duplicated.
+//
+// Determinism contract (the PR-1 `base ^ index` idiom): query q of an
+// epoch derives every stream from per-epoch bases xor'ed with q, so
+// outcomes are a pure function of (config seed, epoch, q) — invariant
+// under thread count, execution order, and which engine ran them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/latency_space.h"
+#include "core/nearest_algorithm.h"
+#include "core/probe_counter.h"
+#include "core/scenario.h"
+#include "matrix/generators.h"
+#include "util/types.h"
+
+namespace np::core {
+
+/// Per-query record, reduced serially in query order (thread-count
+/// invariance, as in the PR-1 experiment runners). `found`/`target`
+/// ride along for the serving engine's staleness scoring.
+struct QueryOutcome {
+  LatencyMs found_latency = 0.0;
+  LatencyMs truth_latency = 0.0;
+  std::uint64_t probes = 0;
+  int hops = 0;
+  bool exact = false;
+  bool correct_cluster = false;
+  bool same_net = false;
+  /// Fault mode only: every probe path gave up, no peer returned.
+  bool failed = false;
+  NodeId found = kInvalidNode;
+  NodeId target = kInvalidNode;
+};
+
+/// Normalized CDF of Zipf weights 1/(r+1)^s over pool positions.
+std::vector<double> ZipfCdf(std::size_t n, double s);
+std::size_t ZipfIndex(const std::vector<double>& cdf, double u);
+
+/// Immutable inputs of one epoch's query batch. Pointers are borrowed
+/// views owned by the engine (for serving, by the pinned snapshot);
+/// nullable ones are marked.
+struct QueryBatch {
+  const LatencySpace* space = nullptr;
+  /// Nullable: enables the clustered accuracy metrics.
+  const matrix::ClusterLayout* layout = nullptr;
+  /// Live membership the epoch answers against (ground truth).
+  const std::vector<NodeId>* members = nullptr;
+  /// Query-target pool.
+  const std::vector<NodeId>* pool = nullptr;
+  /// Nullable: dead peers whose probes always fail.
+  const std::unordered_set<NodeId>* crashed = nullptr;
+  /// Nullable/empty: uniform target draw (the exact pre-fault path).
+  const std::vector<double>* zipf_cdf = nullptr;
+  /// Nullable: per-node load attribution (deterministic mode only).
+  PerNodeLedger* ledger = nullptr;
+  double noise_frac = 0.0;
+  double noise_floor_ms = 0.0;
+  double loss_rate = 0.0;
+  LatencyMs tie_epsilon_ms = 0.0;
+  /// When false, a query returning no peer is a hard error.
+  bool fault_mode = false;
+  /// Per-epoch stream bases; query q xors its index in.
+  std::uint64_t query_base = 0;
+  std::uint64_t noise_base = 0;
+  std::uint64_t fault_base = 0;
+};
+
+/// Runs query `q` of the batch against `algo` (charging its attached
+/// probe counter/policy) and returns the scored outcome. Thread-safe
+/// for ParallelQuerySafe algorithms: every mutable stream (rng, noise,
+/// fault, meter) is query-private.
+QueryOutcome RunBatchQuery(const QueryBatch& batch, NearestPeerAlgorithm& algo,
+                           std::size_t q);
+
+/// Serially reduces a batch's outcomes — in query order — into the
+/// query-section fields of `er` (accuracy, latency tail, messages per
+/// query). Adds this epoch's failed-query count to `failed_queries`
+/// when non-null.
+void ReduceQueryOutcomes(const std::vector<QueryOutcome>& outcomes,
+                         EpochReport& er, std::uint64_t* failed_queries);
+
+}  // namespace np::core

@@ -5,102 +5,16 @@
 #include <cstdint>
 #include <utility>
 
+#include "core/epoch_window.h"
 #include "core/experiment.h"
 #include "core/probe_policy.h"
+#include "core/query_batch.h"
 #include "matrix/faulty_space.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 
 namespace np::core {
-
-namespace {
-
-/// Per-query record, reduced serially in query order (thread-count
-/// invariance, as in the PR-1 experiment runners).
-struct ScenarioOutcome {
-  LatencyMs found_latency = 0.0;
-  LatencyMs truth_latency = 0.0;
-  std::uint64_t probes = 0;
-  int hops = 0;
-  bool exact = false;
-  bool correct_cluster = false;
-  bool same_net = false;
-  /// Fault mode only: every probe path gave up, no peer returned.
-  bool failed = false;
-};
-
-/// Normalized CDF of Zipf weights 1/(r+1)^s over pool positions.
-std::vector<double> ZipfCdf(std::size_t n, double s) {
-  std::vector<double> cdf(n);
-  double cum = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    cum += std::pow(static_cast<double>(i + 1), -s);
-    cdf[i] = cum;
-  }
-  for (double& c : cdf) {
-    c /= cum;
-  }
-  return cdf;
-}
-
-std::size_t ZipfIndex(const std::vector<double>& cdf, double u) {
-  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-  const auto idx = static_cast<std::size_t>(it - cdf.begin());
-  return std::min(idx, cdf.size() - 1);
-}
-
-OverlaySplit SplitPopulation(const LatencySpace& space,
-                             const std::vector<NodeId>& population,
-                             NodeId initial_overlay, util::Rng& rng) {
-  if (population.empty()) {
-    return SplitOverlay(space.size(), initial_overlay, rng);
-  }
-  NP_ENSURE(initial_overlay >= 1, "overlay must be non-empty");
-  NP_ENSURE(static_cast<std::size_t>(initial_overlay) < population.size(),
-            "need at least one population node left over as a target");
-  std::vector<NodeId> nodes = population;
-  rng.Shuffle(nodes);
-  OverlaySplit split;
-  split.members.assign(nodes.begin(), nodes.begin() + initial_overlay);
-  split.targets.assign(nodes.begin() + initial_overlay, nodes.end());
-  return split;
-}
-
-/// Detaches the algorithm's probe counter on every exit path — the
-/// counter is a stack local here, and leaving it attached past a
-/// thrown NP_ENSURE would hand the caller an algorithm holding a
-/// dangling pointer.
-class ScopedProbeCounter {
- public:
-  ScopedProbeCounter(NearestPeerAlgorithm& algo, ProbeCounter& counter)
-      : algo_(algo) {
-    algo_.AttachProbeCounter(&counter);
-  }
-  ~ScopedProbeCounter() { algo_.AttachProbeCounter(nullptr); }
-  ScopedProbeCounter(const ScopedProbeCounter&) = delete;
-  ScopedProbeCounter& operator=(const ScopedProbeCounter&) = delete;
-
- private:
-  NearestPeerAlgorithm& algo_;
-};
-
-/// Same exit-path guarantee for the probe policy (also a stack local).
-class ScopedProbePolicy {
- public:
-  ScopedProbePolicy(NearestPeerAlgorithm& algo, const ProbePolicy& policy)
-      : algo_(algo) {
-    algo_.AttachProbePolicy(&policy);
-  }
-  ~ScopedProbePolicy() { algo_.AttachProbePolicy(nullptr); }
-  ScopedProbePolicy(const ScopedProbePolicy&) = delete;
-  ScopedProbePolicy& operator=(const ScopedProbePolicy&) = delete;
-
- private:
-  NearestPeerAlgorithm& algo_;
-};
-
-}  // namespace
 
 ScenarioReport RunScenario(const LatencySpace& space,
                            const matrix::ClusterLayout* layout,
@@ -116,7 +30,7 @@ ScenarioReport RunScenario(const LatencySpace& space,
 
   util::Rng rng(util::Mix64(config.seed));
   OverlaySplit split =
-      SplitPopulation(space, population, config.initial_overlay, rng);
+      SplitScenarioPopulation(space, population, config.initial_overlay, rng);
 
   // Fault streams derive straight from config.seed, NOT from the
   // engine rng: enabling faults must not shift any draw of the
@@ -191,19 +105,15 @@ ScenarioReport RunScenario(const LatencySpace& space,
                       config.fault.max_attempts > 1 || has_crash_events;
   report.load_tracking = track_load;
 
-  std::vector<ScenarioConfig::Blackout> blackouts = config.blackouts;
-  std::sort(blackouts.begin(), blackouts.end(),
-            [](const ScenarioConfig::Blackout& a,
-               const ScenarioConfig::Blackout& b) {
-              return a.time_s < b.time_s;
-            });
-  std::size_t next_blackout = 0;
-
   const int query_threads = algo.ParallelQuerySafe()
                                 ? util::ResolveThreadCount(config.num_threads)
                                 : 1;
 
-  std::uint64_t charged_maintenance = report.build_messages;
+  ChurnWindowRunner windows(algo, driver, schedule, layout, maint, counter,
+                            config.blackouts, rebuild_root, build_threads,
+                            config.epochs, incremental,
+                            report.build_messages);
+
   std::uint64_t charged_failed = 0;
   std::uint64_t charged_retries = 0;
   std::vector<std::uint64_t> ledger_prev;
@@ -212,177 +122,48 @@ ScenarioReport RunScenario(const LatencySpace& space,
   }
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     EpochReport er;
-    er.epoch = epoch;
-    er.time_s = schedule.duration_s() *
-                (static_cast<double>(epoch + 1) /
-                 static_cast<double>(config.epochs));
 
     // --- Churn window -----------------------------------------------------
-    // Crashes from the previous window are detected now (their probes
-    // kept failing all epoch) and purged with billed RemoveMember
-    // repairs — one detection delay, before this window's churn.
-    if (incremental) {
-      for (const NodeId dead : driver.TakePendingRepairs()) {
-        algo.RemoveMember(dead);
-      }
-    }
-    const bool last_epoch = epoch + 1 == config.epochs;
-    ChurnStats stats;
-    while (next_blackout < blackouts.size() &&
-           (blackouts[next_blackout].time_s <= er.time_s || last_epoch)) {
-      // Advance ordinary churn to the blackout instant, then drop
-      // every live member of the cluster at once.
-      const ScenarioConfig::Blackout& b = blackouts[next_blackout++];
-      stats += driver.ApplyUntil(schedule, b.time_s);
-      const std::vector<NodeId> snapshot = driver.members();
-      for (const NodeId member : snapshot) {
-        if (layout->ClusterOf(member) == b.cluster &&
-            driver.ForceCrash(member)) {
-          ++stats.crashes;
-        }
-      }
-    }
-    stats += last_epoch ? driver.ApplyAll(schedule)
-                        : driver.ApplyUntil(schedule, er.time_s);
-    er.joins = stats.joins;
-    er.leaves = stats.leaves;
-    er.crashes = stats.crashes;
-    er.skipped_events = stats.skipped;
-
-    const std::int64_t churn_events =
-        stats.joins + stats.leaves + stats.crashes;
-    if (!incremental && churn_events > 0) {
-      // No incremental maintenance: pay for a full rebuild on the live
-      // membership. The per-epoch rebuild rng is independent of the
-      // churn streams so resumed and straight-through schedules agree.
-      util::Rng brng(
-          util::Mix64(rebuild_root ^ static_cast<std::uint64_t>(epoch)));
-      algo.ParallelBuild(maint, driver.members(), brng, build_threads);
-      er.rebuilt = true;
-      // The rebuild was over live members only, so every lingering
-      // crashed entry is already gone.
-      driver.TakePendingRepairs();
-    }
-    er.maintenance_messages = maint.probes() - charged_maintenance;
-    charged_maintenance = maint.probes();
-    counter.AddMaintenanceProbes(er.maintenance_messages);
-    counter.AddChurnEvents(static_cast<std::uint64_t>(churn_events));
-    er.maintenance_per_event =
-        churn_events == 0
-            ? 0.0
-            : static_cast<double>(er.maintenance_messages) /
-                  static_cast<double>(churn_events);
-    er.live_members = static_cast<NodeId>(driver.members().size());
+    windows.RunWindow(epoch, er);
 
     // --- Measurement epoch ------------------------------------------------
     const std::vector<NodeId>& members = driver.members();
     const std::vector<NodeId>& pool = driver.pool();
     NP_ENSURE(!pool.empty(), "no query targets left outside the overlay");
-    const std::uint64_t noise_base =
-        util::Mix64(noise_root ^ static_cast<std::uint64_t>(epoch));
-    const std::uint64_t query_base =
-        util::Mix64(query_root ^ static_cast<std::uint64_t>(epoch));
-    const std::uint64_t fault_base =
-        util::Mix64(query_fault_root ^ static_cast<std::uint64_t>(epoch));
     // Zipf hotspot targets: rank = position in the (deterministically
     // evolved) pool vector. Rebuilt per epoch since the pool changes.
     std::vector<double> zipf_cdf;
     if (config.query_zipf_s > 0.0) {
       zipf_cdf = ZipfCdf(pool.size(), config.query_zipf_s);
     }
-    const std::unordered_set<NodeId>& crashed = driver.crashed();
-    const bool fault_mode = report.fault_mode;
 
-    std::vector<ScenarioOutcome> outcomes(
+    QueryBatch batch;
+    batch.space = &space;
+    batch.layout = layout;
+    batch.members = &members;
+    batch.pool = &pool;
+    batch.crashed = &driver.crashed();
+    batch.zipf_cdf = &zipf_cdf;
+    batch.ledger = ledger_ptr;
+    batch.noise_frac = config.measurement_noise_frac;
+    batch.noise_floor_ms = config.measurement_noise_floor_ms;
+    batch.loss_rate = config.fault.loss_rate;
+    batch.tie_epsilon_ms = config.tie_epsilon_ms;
+    batch.fault_mode = report.fault_mode;
+    batch.query_base =
+        util::Mix64(query_root ^ static_cast<std::uint64_t>(epoch));
+    batch.noise_base =
+        util::Mix64(noise_root ^ static_cast<std::uint64_t>(epoch));
+    batch.fault_base =
+        util::Mix64(query_fault_root ^ static_cast<std::uint64_t>(epoch));
+
+    std::vector<QueryOutcome> outcomes(
         static_cast<std::size_t>(config.queries_per_epoch));
-    util::ParallelFor(
-        0, outcomes.size(), query_threads, [&](std::size_t q) {
-          util::Rng qrng(query_base ^ static_cast<std::uint64_t>(q));
-          const NoisySpace noisy(space, config.measurement_noise_frac,
-                                 noise_base ^ static_cast<std::uint64_t>(q),
-                                 config.measurement_noise_floor_ms);
-          const matrix::FaultySpace faulty(
-              noisy, config.fault.loss_rate,
-              fault_base ^ static_cast<std::uint64_t>(q), &crashed);
-          const MeteredSpace metered(faulty, ledger_ptr);
-          // The uniform path must keep the exact pre-fault draw
-          // (Index, not NextDouble) for byte-identity at zipf 0.
-          const NodeId target =
-              zipf_cdf.empty()
-                  ? pool[qrng.Index(pool.size())]
-                  : pool[ZipfIndex(zipf_cdf, qrng.NextDouble())];
-          const NodeId truth = TrueClosestMember(space, members, target);
+    util::ParallelFor(0, outcomes.size(), query_threads, [&](std::size_t q) {
+      outcomes[q] = RunBatchQuery(batch, algo, q);
+    });
 
-          const QueryResult result = algo.Query(target, metered, qrng);
-          if (!fault_mode) {
-            NP_ENSURE(result.found != kInvalidNode,
-                      "algorithm returned no peer");
-          }
-
-          ScenarioOutcome& out = outcomes[q];
-          out.failed = result.found == kInvalidNode;
-          out.probes = metered.probes();
-          out.truth_latency = space.Latency(truth, target);
-          if (out.failed) {
-            return;
-          }
-          out.hops = result.hops;
-          out.found_latency = space.Latency(result.found, target);
-          out.exact =
-              out.found_latency <= out.truth_latency + config.tie_epsilon_ms;
-          if (layout != nullptr) {
-            out.correct_cluster = layout->SameCluster(result.found, target);
-            out.same_net = layout->SameNet(result.found, target);
-          }
-        });
-
-    std::int64_t exact = 0;
-    std::int64_t correct_cluster = 0;
-    std::int64_t same_net = 0;
-    std::int64_t answered = 0;
-    double total_latency = 0.0;
-    double total_hops = 0.0;
-    std::uint64_t total_probes = 0;
-    std::vector<double> excess;
-    excess.reserve(outcomes.size());
-    for (const ScenarioOutcome& out : outcomes) {
-      total_probes += out.probes;
-      if (out.failed) {
-        // Failed queries count against p_exact and messages/query but
-        // contribute no latency/hops samples (there is no answer to
-        // measure).
-        continue;
-      }
-      ++answered;
-      exact += out.exact ? 1 : 0;
-      correct_cluster += out.correct_cluster ? 1 : 0;
-      same_net += out.same_net ? 1 : 0;
-      total_latency += out.found_latency;
-      total_hops += out.hops;
-      // >= 0: the true closest is the minimum over members, and found
-      // is a member. Exact answers contribute 0.
-      excess.push_back(out.found_latency - out.truth_latency);
-    }
-    const double n = static_cast<double>(config.queries_per_epoch);
-    er.p_exact_closest = static_cast<double>(exact) / n;
-    er.p_correct_cluster = static_cast<double>(correct_cluster) / n;
-    er.p_same_net = static_cast<double>(same_net) / n;
-    er.p_query_failed =
-        static_cast<double>(config.queries_per_epoch - answered) / n;
-    report.failed_queries +=
-        static_cast<std::uint64_t>(config.queries_per_epoch - answered);
-    // Divisor: with no faults answered == n, so these stay bit-equal
-    // to the historical divide-by-n.
-    const double na = answered > 0 ? static_cast<double>(answered) : 1.0;
-    er.mean_found_latency_ms = total_latency / na;
-    er.mean_hops = total_hops / na;
-    er.messages_per_query = static_cast<double>(total_probes) / n;
-    if (!excess.empty()) {
-      std::sort(excess.begin(), excess.end());
-      er.excess_latency_p50_ms = util::PercentileSorted(excess, 50.0);
-      er.excess_latency_p95_ms = util::PercentileSorted(excess, 95.0);
-      er.excess_latency_p99_ms = util::PercentileSorted(excess, 99.0);
-    }
+    ReduceQueryOutcomes(outcomes, er, &report.failed_queries);
 
     const ProbeCounter::Snapshot fault_snap = counter.Read();
     er.failed_probes = fault_snap.failed_probes - charged_failed;

@@ -1,0 +1,408 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "core/epoch_window.h"
+#include "core/experiment.h"
+#include "core/overlay_snapshot.h"
+#include "core/probe_policy.h"
+#include "core/query_batch.h"
+#include "matrix/faulty_space.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace np::core {
+
+namespace {
+
+/// Everything one epoch's readers and the post-run reduction need.
+/// The writer fills a slot completely before publishing the epoch's
+/// snapshot; the publisher's mutex/condvar hand-off makes the writes
+/// visible to readers.
+struct EpochSlot {
+  /// Churn/maintenance fields, filled by the writer.
+  EpochReport er;
+  /// Maintenance-side failed/retry deltas over this epoch's window
+  /// (main counter); query-side deltas live in reader_counter.
+  std::uint64_t maint_failed = 0;
+  std::uint64_t maint_retries = 0;
+  /// Membership copy for post-run staleness scoring (kept out of the
+  /// snapshot so holding it does not extend snapshot lifetime).
+  std::vector<NodeId> members;
+  /// Per-epoch query-side ledger, shared by all readers of the epoch
+  /// and merged into the main counter at reduction.
+  std::unique_ptr<ProbeCounter> reader_counter;
+  std::unique_ptr<ProbePolicy> reader_policy;
+  std::vector<double> zipf_cdf;
+  QueryBatch batch;
+  std::vector<QueryOutcome> outcomes;
+  /// Wall-clock per-query service time, microseconds.
+  std::vector<double> latency_us;
+};
+
+double ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+ServingReport RunServing(const LatencySpace& space,
+                         const matrix::ClusterLayout* layout,
+                         NearestPeerAlgorithm& algo,
+                         const ChurnSchedule& schedule,
+                         const ServingConfig& config,
+                         const std::vector<NodeId>& population) {
+  const ScenarioConfig& sc = config.scenario;
+  NP_ENSURE(sc.epochs >= 1, "need at least one epoch");
+  NP_ENSURE(sc.queries_per_epoch >= 1, "need queries per epoch");
+  NP_ENSURE(sc.query_zipf_s >= 0.0, "zipf exponent must be >= 0");
+  NP_ENSURE(sc.blackouts.empty() || layout != nullptr,
+            "blackouts need a clustered layout");
+  NP_ENSURE(config.reader_threads >= 1, "need at least one reader thread");
+  NP_ENSURE(!sc.fault.track_load,
+            "serving mode cannot attribute per-node load: reader probes "
+            "race the writer's epoch boundaries");
+  NP_ENSURE(algo.SupportsSnapshot(),
+            "serving mode requires snapshot support (Clone)");
+  NP_ENSURE(config.reader_threads == 1 || algo.ParallelQuerySafe(),
+            "multiple reader threads require a ParallelQuerySafe algorithm");
+
+  // --- Setup: identical to RunScenario, stream for stream ---------------
+  util::Rng rng(util::Mix64(sc.seed));
+  OverlaySplit split =
+      SplitScenarioPopulation(space, population, sc.initial_overlay, rng);
+
+  const std::uint64_t fault_root = util::Mix64(sc.seed ^ 0xFA177ULL);
+
+  const NoisySpace maint_noisy(space, sc.measurement_noise_frac, rng(),
+                               sc.measurement_noise_floor_ms);
+  matrix::FaultySpace maint_faulty(maint_noisy, sc.fault.loss_rate,
+                                   util::Mix64(fault_root ^ 0x1));
+  const MeteredSpace maint(maint_faulty, nullptr);
+
+  ProbeCounter counter;
+  const ScopedProbeCounter attach(algo, counter);
+  const ProbePolicy policy(ProbePolicyConfig{sc.fault.max_attempts},
+                           &counter);
+  const ScopedProbePolicy attach_policy(algo, policy);
+
+  ServingReport sr;
+  sr.reader_threads = config.reader_threads;
+  ScenarioReport& report = sr.scenario;
+  report.algorithm = algo.name();
+  report.clustered = layout != nullptr;
+  report.initial_members = static_cast<NodeId>(split.members.size());
+
+  const bool noisy_maintenance = sc.measurement_noise_frac > 0.0 ||
+                                 sc.measurement_noise_floor_ms > 0.0 ||
+                                 sc.fault.loss_rate > 0.0;
+  const int build_threads = noisy_maintenance ? 1 : sc.num_threads;
+  algo.ParallelBuild(maint, split.members, rng, build_threads);
+  report.build_messages = maint.probes();
+  counter.AddBuildProbes(report.build_messages);
+
+  const bool incremental = algo.SupportsChurn();
+  ChurnDriver driver(incremental ? &algo : nullptr, split.members,
+                     split.targets, rng());
+  maint_faulty.set_crashed(&driver.crashed());
+  const std::uint64_t noise_root = rng();
+  const std::uint64_t query_root = rng();
+  const std::uint64_t rebuild_root = rng();
+  const std::uint64_t query_fault_root = util::Mix64(fault_root ^ 0x2);
+
+  bool has_crash_events = !sc.blackouts.empty();
+  for (const ChurnEvent& event : schedule.events()) {
+    if (event.type == ChurnEventType::kCrash) {
+      has_crash_events = true;
+      break;
+    }
+  }
+  report.fault_mode = sc.fault.loss_rate > 0.0 || sc.fault.max_attempts > 1 ||
+                      has_crash_events;
+  report.load_tracking = false;
+
+  ChurnWindowRunner windows(algo, driver, schedule, layout, maint, counter,
+                            sc.blackouts, rebuild_root, build_threads,
+                            sc.epochs, incremental, report.build_messages);
+
+  // --- Writer/reader rendezvous ------------------------------------------
+  const int n_readers = config.reader_threads;
+  const std::size_t queries =
+      static_cast<std::size_t>(sc.queries_per_epoch);
+  std::vector<EpochSlot> slots(static_cast<std::size_t>(sc.epochs));
+  SnapshotPublisher publisher;
+
+  // Pin accounting: the writer publishes epoch k+1 only after every
+  // reader pinned epoch k. A reader pins k only after dropping k-1, so
+  // this bounds the retired chain (at most the snapshot being
+  // superseded stays transiently alive) and keeps writer and readers
+  // at most one epoch apart.
+  std::mutex pin_mu;
+  std::condition_variable pin_cv;
+  std::vector<int> pinned(static_cast<std::size_t>(sc.epochs), 0);
+  bool reader_failed = false;
+  std::string reader_error;
+
+  const auto serve_start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<std::size_t>(n_readers));
+  for (int t = 0; t < n_readers; ++t) {
+    readers.emplace_back([&, t] {
+      try {
+        for (int epoch = 0; epoch < sc.epochs; ++epoch) {
+          // Pinned for the whole epoch; dropped (and so reclaimable)
+          // when the loop iteration ends.
+          const std::shared_ptr<const OverlaySnapshot> snap =
+              publisher.WaitForEpoch(epoch);
+          NP_ENSURE(snap != nullptr, "publisher closed mid-run");
+          {
+            std::lock_guard<std::mutex> lock(pin_mu);
+            ++pinned[static_cast<std::size_t>(epoch)];
+          }
+          pin_cv.notify_all();
+
+          EpochSlot& slot = slots[static_cast<std::size_t>(epoch)];
+          // Static partition into disjoint outcome slots; the serial
+          // post-join reduction in query order restores thread-count
+          // invariance.
+          const std::size_t chunk =
+              (queries + static_cast<std::size_t>(n_readers) - 1) /
+              static_cast<std::size_t>(n_readers);
+          const std::size_t begin =
+              std::min(static_cast<std::size_t>(t) * chunk, queries);
+          const std::size_t end = std::min(begin + chunk, queries);
+          for (std::size_t q = begin; q < end; ++q) {
+            const auto q_start = std::chrono::steady_clock::now();
+            slot.outcomes[q] = RunBatchQuery(slot.batch, *snap->algo, q);
+            slot.latency_us[q] = ElapsedUs(q_start);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(pin_mu);
+        if (!reader_failed) {
+          reader_failed = true;
+          reader_error = e.what();
+        }
+        pin_cv.notify_all();
+      }
+    });
+  }
+
+  // --- Writer loop (this thread) -----------------------------------------
+  // Window k+1 is applied to the live overlay while readers still
+  // query snapshot k — the concurrency the mode exists to exercise.
+  std::uint64_t charged_failed = 0;
+  std::uint64_t charged_retries = 0;
+  bool writer_aborted = false;
+  for (int epoch = 0; epoch < sc.epochs; ++epoch) {
+    EpochSlot& slot = slots[static_cast<std::size_t>(epoch)];
+    windows.RunWindow(epoch, slot.er);
+    const ProbeCounter::Snapshot maint_snap = counter.Read();
+    slot.maint_failed = maint_snap.failed_probes - charged_failed;
+    slot.maint_retries = maint_snap.retries - charged_retries;
+    charged_failed = maint_snap.failed_probes;
+    charged_retries = maint_snap.retries;
+
+    auto snap = std::make_shared<OverlaySnapshot>();
+    snap->epoch = epoch;
+    snap->algo = algo.Clone();
+    snap->members = driver.members();
+    snap->pool = driver.pool();
+    snap->crashed = driver.crashed();
+    NP_ENSURE(!snap->pool.empty(),
+              "no query targets left outside the overlay");
+
+    slot.members = snap->members;
+    if (sc.query_zipf_s > 0.0) {
+      slot.zipf_cdf = ZipfCdf(snap->pool.size(), sc.query_zipf_s);
+    }
+    slot.reader_counter = std::make_unique<ProbeCounter>();
+    slot.reader_policy = std::make_unique<ProbePolicy>(
+        ProbePolicyConfig{sc.fault.max_attempts}, slot.reader_counter.get());
+    snap->algo->AttachProbeCounter(slot.reader_counter.get());
+    snap->algo->AttachProbePolicy(slot.reader_policy.get());
+
+    slot.outcomes.resize(queries);
+    slot.latency_us.resize(queries);
+    slot.batch.space = &space;
+    slot.batch.layout = layout;
+    slot.batch.members = &snap->members;
+    slot.batch.pool = &snap->pool;
+    slot.batch.crashed = &snap->crashed;
+    slot.batch.zipf_cdf = &slot.zipf_cdf;
+    slot.batch.ledger = nullptr;
+    slot.batch.noise_frac = sc.measurement_noise_frac;
+    slot.batch.noise_floor_ms = sc.measurement_noise_floor_ms;
+    slot.batch.loss_rate = sc.fault.loss_rate;
+    slot.batch.tie_epsilon_ms = sc.tie_epsilon_ms;
+    slot.batch.fault_mode = report.fault_mode;
+    slot.batch.query_base =
+        util::Mix64(query_root ^ static_cast<std::uint64_t>(epoch));
+    slot.batch.noise_base =
+        util::Mix64(noise_root ^ static_cast<std::uint64_t>(epoch));
+    slot.batch.fault_base =
+        util::Mix64(query_fault_root ^ static_cast<std::uint64_t>(epoch));
+
+    if (epoch > 0) {
+      // Epoch rendezvous: don't outrun readers by more than one epoch.
+      std::unique_lock<std::mutex> lock(pin_mu);
+      pin_cv.wait(lock, [&] {
+        return reader_failed ||
+               pinned[static_cast<std::size_t>(epoch - 1)] == n_readers;
+      });
+      if (reader_failed) {
+        writer_aborted = true;
+        break;
+      }
+    }
+    publisher.Publish(std::shared_ptr<const OverlaySnapshot>(std::move(snap)));
+    sr.max_retired_alive =
+        std::max(sr.max_retired_alive, publisher.retired_alive());
+  }
+  publisher.Close();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  sr.wall_ms = ElapsedUs(serve_start) / 1000.0;
+  {
+    std::lock_guard<std::mutex> lock(pin_mu);
+    NP_ENSURE(!reader_failed && !writer_aborted,
+              ("serving reader failed: " + reader_error).c_str());
+  }
+  sr.snapshots_published = publisher.published_count();
+
+  // --- Serial reduction, in epoch and query order ------------------------
+  std::vector<double> all_latency_us;
+  all_latency_us.reserve(slots.size() * queries);
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    EpochSlot& slot = slots[k];
+    ReduceQueryOutcomes(slot.outcomes, slot.er, &report.failed_queries);
+
+    const ProbeCounter::Snapshot reader_snap = slot.reader_counter->Read();
+    counter.AddQueries(reader_snap.queries);
+    counter.AddQueryProbes(reader_snap.query_probes);
+    counter.AddFailedProbes(reader_snap.failed_probes);
+    counter.AddRetries(reader_snap.retries);
+    // Serial replay's per-epoch delta spans the window plus the
+    // queries; here the two halves are ledgered apart and recombined.
+    slot.er.failed_probes = slot.maint_failed + reader_snap.failed_probes;
+    slot.er.retries = slot.maint_retries + reader_snap.retries;
+
+    report.epochs.push_back(slot.er);
+    all_latency_us.insert(all_latency_us.end(), slot.latency_us.begin(),
+                          slot.latency_us.end());
+  }
+
+  report.final_members = static_cast<NodeId>(driver.members().size());
+  report.totals = counter.Read();
+  report.messages_per_query = report.totals.MessagesPerQuery();
+  report.maintenance_per_event = report.totals.MaintenancePerEvent();
+
+  // --- Staleness: epoch k scored against epoch k+1's membership ----------
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    const EpochSlot& slot = slots[k];
+    const std::vector<NodeId>& next_members =
+        k + 1 < slots.size() ? slots[k + 1].members : slot.members;
+    const std::unordered_set<NodeId> next_set(next_members.begin(),
+                                              next_members.end());
+    std::int64_t exact_live = 0;
+    std::int64_t departed = 0;
+    for (const QueryOutcome& out : slot.outcomes) {
+      if (out.failed) {
+        continue;  // counts as not exact-live, not as departed
+      }
+      if (next_set.find(out.found) == next_set.end()) {
+        ++departed;
+        continue;
+      }
+      const NodeId truth =
+          TrueClosestMember(space, next_members, out.target);
+      const LatencyMs truth_latency = space.Latency(truth, out.target);
+      if (out.found_latency <= truth_latency + sc.tie_epsilon_ms) {
+        ++exact_live;
+      }
+    }
+    StalenessReport st;
+    st.epoch = static_cast<int>(k);
+    const double n = static_cast<double>(slot.outcomes.size());
+    st.p_exact_live = static_cast<double>(exact_live) / n;
+    st.p_found_departed = static_cast<double>(departed) / n;
+    sr.staleness.push_back(st);
+  }
+
+  // --- Wall-clock service metrics ----------------------------------------
+  if (!all_latency_us.empty()) {
+    std::sort(all_latency_us.begin(), all_latency_us.end());
+    sr.query_latency_p50_us = util::PercentileSorted(all_latency_us, 50.0);
+    sr.query_latency_p99_us = util::PercentileSorted(all_latency_us, 99.0);
+    if (sr.wall_ms > 0.0) {
+      sr.qps = static_cast<double>(all_latency_us.size()) /
+               (sr.wall_ms / 1000.0);
+    }
+  }
+  return sr;
+}
+
+bool ScenarioReportsIdentical(const ScenarioReport& a,
+                              const ScenarioReport& b) {
+  if (a.algorithm != b.algorithm || a.clustered != b.clustered ||
+      a.build_messages != b.build_messages ||
+      a.initial_members != b.initial_members ||
+      a.final_members != b.final_members ||
+      a.epochs.size() != b.epochs.size() ||
+      a.messages_per_query != b.messages_per_query ||
+      a.maintenance_per_event != b.maintenance_per_event ||
+      a.fault_mode != b.fault_mode || a.load_tracking != b.load_tracking ||
+      a.failed_queries != b.failed_queries) {
+    return false;
+  }
+  const ProbeCounter::Snapshot& ta = a.totals;
+  const ProbeCounter::Snapshot& tb = b.totals;
+  if (ta.query_probes != tb.query_probes || ta.queries != tb.queries ||
+      ta.maintenance_probes != tb.maintenance_probes ||
+      ta.churn_events != tb.churn_events ||
+      ta.build_probes != tb.build_probes ||
+      ta.failed_probes != tb.failed_probes || ta.retries != tb.retries) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    const EpochReport& ea = a.epochs[i];
+    const EpochReport& eb = b.epochs[i];
+    if (ea.epoch != eb.epoch || ea.time_s != eb.time_s ||
+        ea.live_members != eb.live_members || ea.joins != eb.joins ||
+        ea.leaves != eb.leaves || ea.crashes != eb.crashes ||
+        ea.skipped_events != eb.skipped_events || ea.rebuilt != eb.rebuilt ||
+        ea.p_exact_closest != eb.p_exact_closest ||
+        ea.p_correct_cluster != eb.p_correct_cluster ||
+        ea.p_same_net != eb.p_same_net ||
+        ea.mean_found_latency_ms != eb.mean_found_latency_ms ||
+        ea.mean_hops != eb.mean_hops ||
+        ea.excess_latency_p50_ms != eb.excess_latency_p50_ms ||
+        ea.excess_latency_p95_ms != eb.excess_latency_p95_ms ||
+        ea.excess_latency_p99_ms != eb.excess_latency_p99_ms ||
+        ea.messages_per_query != eb.messages_per_query ||
+        ea.maintenance_messages != eb.maintenance_messages ||
+        ea.maintenance_per_event != eb.maintenance_per_event ||
+        ea.p_query_failed != eb.p_query_failed ||
+        ea.failed_probes != eb.failed_probes || ea.retries != eb.retries ||
+        ea.load_max != eb.load_max || ea.load_median != eb.load_median ||
+        ea.load_gini != eb.load_gini) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace np::core

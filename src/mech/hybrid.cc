@@ -32,6 +32,40 @@ HybridNearest::HybridNearest(
             "must probe at least one candidate");
 }
 
+HybridNearest::HybridNearest(const HybridNearest& other)
+    : topology_(other.topology_),
+      config_(other.config_),
+      members_(other.members_),
+      churn_rng_(other.churn_rng_),
+      queries_(other.queries_.load(std::memory_order_relaxed)),
+      mechanism_hits_(
+          other.mechanism_hits_.load(std::memory_order_relaxed)) {
+  if (other.fallback_ != nullptr) {
+    fallback_ = other.fallback_->Clone();
+  }
+  if (other.map_ != nullptr) {
+    map_ = other.map_->Clone();
+  }
+  if (other.ucl_ != nullptr) {
+    ucl_ = std::make_unique<UclDirectory>(*other.ucl_, *map_);
+  }
+  if (other.prefix_ != nullptr) {
+    prefix_ = std::make_unique<PrefixDirectory>(*other.prefix_, *map_);
+  }
+  if (other.multicast_ != nullptr) {
+    multicast_ = std::make_unique<MulticastBootstrap>(*other.multicast_);
+  }
+  if (other.registry_ != nullptr) {
+    registry_ = std::make_unique<EndNetworkRegistry>(*other.registry_);
+  }
+}
+
+std::unique_ptr<core::NearestPeerAlgorithm> HybridNearest::Clone() const {
+  NP_ENSURE(SupportsSnapshot(),
+            "hybrid fallback does not support snapshot clones");
+  return core::DetachedClone(std::make_unique<HybridNearest>(*this));
+}
+
 std::string HybridNearest::name() const {
   std::string n = std::string("hybrid-") + MechanismName(config_.mechanism);
   if (fallback_ != nullptr) {
@@ -143,7 +177,7 @@ void HybridNearest::RemoveMember(NodeId node) {
 core::QueryResult HybridNearest::FindNearest(NodeId target,
                                              const core::MeteredSpace& metered,
                                              util::Rng& rng) {
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
 
   // Collect mechanism candidates, cheapest-estimate first for UCL.
   std::vector<NodeId> candidates;
@@ -191,7 +225,7 @@ core::QueryResult HybridNearest::FindNearest(NodeId target,
 
   if (result.found != kInvalidNode &&
       result.found_latency_ms <= config_.accept_threshold_ms) {
-    ++mechanism_hits_;
+    mechanism_hits_.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
 
@@ -232,10 +266,12 @@ void HybridNearest::AttachProbePolicy(const core::ProbePolicy* policy) {
 }
 
 double HybridNearest::mechanism_hit_rate() const {
-  return queries_ == 0
-             ? 0.0
-             : static_cast<double>(mechanism_hits_) /
-                   static_cast<double>(queries_);
+  const std::uint64_t queries = queries_.load(std::memory_order_relaxed);
+  const std::uint64_t hits =
+      mechanism_hits_.load(std::memory_order_relaxed);
+  return queries == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(queries);
 }
 
 }  // namespace np::mech

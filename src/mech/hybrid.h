@@ -7,6 +7,7 @@
 // and the better of the two answers wins.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 
@@ -56,6 +57,12 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
   HybridNearest(const net::Topology& topology, const HybridConfig& config,
                 std::unique_ptr<core::NearestPeerAlgorithm> fallback);
 
+  /// Deep copy for snapshot clones: the map is cloned, the directories
+  /// are copy-rebound onto the clone's map, and the fallback is cloned
+  /// through its own Clone() (so the fallback must support snapshots
+  /// for the copy to succeed).
+  HybridNearest(const HybridNearest& other);
+
   std::string name() const override;
 
   void Build(const core::LatencySpace& space, std::vector<NodeId> members,
@@ -82,9 +89,19 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
   /// the hybrid's own candidate loop.
   void AttachProbePolicy(const core::ProbePolicy* policy) override;
 
-  /// Queries bump the mechanism-hit counters (and the Chord map's hop
-  /// accounting), so concurrent queries would race.
-  bool ParallelQuerySafe() const override { return false; }
+  /// The query path only reads overlay state; the mechanism-hit and
+  /// map-hop tallies it bumps are relaxed atomics, so concurrent
+  /// queries are safe whenever the fallback's are.
+  bool ParallelQuerySafe() const override {
+    return fallback_ == nullptr || fallback_->ParallelQuerySafe();
+  }
+
+  /// Snapshot clones are supported when the fallback (if any) supports
+  /// them; the mechanism side always deep-copies.
+  bool SupportsSnapshot() const override {
+    return fallback_ == nullptr || fallback_->SupportsSnapshot();
+  }
+  std::unique_ptr<core::NearestPeerAlgorithm> Clone() const override;
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
@@ -111,8 +128,10 @@ class HybridNearest final : public core::NearestPeerAlgorithm {
   /// function of the seed. RemoveMember has no rng parameter by
   /// design — leaves consume from here.
   util::Rng churn_rng_{0};
-  std::uint64_t queries_ = 0;
-  std::uint64_t mechanism_hits_ = 0;
+  /// Bumped inside the (otherwise read-only) query path; relaxed
+  /// atomics so concurrent queries can share the overlay.
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> mechanism_hits_{0};
 };
 
 }  // namespace np::mech

@@ -32,13 +32,13 @@ void PerfectMap::Put(std::uint64_t key, std::uint64_t value,
                      util::Rng& rng) {
   (void)rng;
   store_[key].push_back(value);
-  ++operations_;
+  operations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t> PerfectMap::Get(std::uint64_t key,
                                            util::Rng& rng) const {
   (void)rng;
-  ++operations_;
+  operations_.fetch_add(1, std::memory_order_relaxed);
   const auto it = store_.find(key);
   if (it == store_.end()) {
     return {};
@@ -49,7 +49,7 @@ std::vector<std::uint64_t> PerfectMap::Get(std::uint64_t key,
 void PerfectMap::Remove(std::uint64_t key, std::uint64_t value,
                         util::Rng& rng) {
   (void)rng;
-  ++operations_;
+  operations_.fetch_add(1, std::memory_order_relaxed);
   const auto it = store_.find(key);
   if (it == store_.end()) {
     return;
@@ -70,23 +70,26 @@ ChordMap::ChordMap(std::vector<NodeId> ring_members, std::uint64_t id_salt)
 
 void ChordMap::Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) {
   const auto route = ring_.Put(dht::HashToRing(key), value, rng);
-  hops_ += static_cast<std::uint64_t>(route.hops);
-  ++operations_;
+  hops_.fetch_add(static_cast<std::uint64_t>(route.hops),
+                  std::memory_order_relaxed);
+  operations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ChordMap::Remove(std::uint64_t key, std::uint64_t value,
                       util::Rng& rng) {
   const auto route = ring_.Remove(dht::HashToRing(key), value, rng);
-  hops_ += static_cast<std::uint64_t>(route.hops);
-  ++operations_;
+  hops_.fetch_add(static_cast<std::uint64_t>(route.hops),
+                  std::memory_order_relaxed);
+  operations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t> ChordMap::Get(std::uint64_t key,
                                          util::Rng& rng) const {
   dht::ChordRing::LookupResult route;
   const auto values = ring_.Get(dht::HashToRing(key), rng, &route);
-  hops_ += static_cast<std::uint64_t>(route.hops);
-  ++operations_;
+  hops_.fetch_add(static_cast<std::uint64_t>(route.hops),
+                  std::memory_order_relaxed);
+  operations_.fetch_add(1, std::memory_order_relaxed);
   return values;
 }
 

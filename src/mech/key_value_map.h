@@ -4,6 +4,7 @@
 // Chord-backed map that accounts DHT routing hops (Ablation E).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,11 +47,24 @@ class KeyValueMap {
   /// Cumulative routing hops spent on Put/Get (0 for the perfect map).
   virtual std::uint64_t total_hops() const = 0;
   virtual std::uint64_t operation_count() const = 0;
+
+  /// Deep copy of the stored mappings and accounting (the serving
+  /// engine clones a hybrid's directory map per snapshot).
+  virtual std::unique_ptr<KeyValueMap> Clone() const = 0;
 };
 
 /// Idealized map: exactly what §5's preliminary evaluation assumes.
+///
+/// Operation accounting is a relaxed atomic so concurrent read-only
+/// queries (Get) may share one map; Put/Remove still require exclusive
+/// access (they mutate the store).
 class PerfectMap final : public KeyValueMap {
  public:
+  PerfectMap() = default;
+  PerfectMap(const PerfectMap& other)
+      : store_(other.store_),
+        operations_(other.operations_.load(std::memory_order_relaxed)) {}
+
   std::string name() const override { return "perfect"; }
   void Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) override;
   std::vector<std::uint64_t> Get(std::uint64_t key,
@@ -58,11 +72,16 @@ class PerfectMap final : public KeyValueMap {
   void Remove(std::uint64_t key, std::uint64_t value,
               util::Rng& rng) override;
   std::uint64_t total_hops() const override { return 0; }
-  std::uint64_t operation_count() const override { return operations_; }
+  std::uint64_t operation_count() const override {
+    return operations_.load(std::memory_order_relaxed);
+  }
+  std::unique_ptr<KeyValueMap> Clone() const override {
+    return std::make_unique<PerfectMap>(*this);
+  }
 
  private:
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> store_;
-  mutable std::uint64_t operations_ = 0;
+  mutable std::atomic<std::uint64_t> operations_{0};
 };
 
 /// Chord-backed map: keys are hashed onto the ring (§5's prescription
@@ -73,21 +92,35 @@ class ChordMap final : public KeyValueMap {
   /// The ring is hosted by the given peers.
   ChordMap(std::vector<NodeId> ring_members, std::uint64_t id_salt);
 
+  ChordMap(const ChordMap& other)
+      : ring_(other.ring_),
+        hops_(other.hops_.load(std::memory_order_relaxed)),
+        operations_(other.operations_.load(std::memory_order_relaxed)) {}
+
   std::string name() const override { return "chord"; }
   void Put(std::uint64_t key, std::uint64_t value, util::Rng& rng) override;
   std::vector<std::uint64_t> Get(std::uint64_t key,
                                  util::Rng& rng) const override;
   void Remove(std::uint64_t key, std::uint64_t value,
               util::Rng& rng) override;
-  std::uint64_t total_hops() const override { return hops_; }
-  std::uint64_t operation_count() const override { return operations_; }
+  std::uint64_t total_hops() const override {
+    return hops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t operation_count() const override {
+    return operations_.load(std::memory_order_relaxed);
+  }
+  std::unique_ptr<KeyValueMap> Clone() const override {
+    return std::make_unique<ChordMap>(*this);
+  }
 
   const dht::ChordRing& ring() const { return ring_; }
 
  private:
   dht::ChordRing ring_;
-  mutable std::uint64_t hops_ = 0;
-  mutable std::uint64_t operations_ = 0;
+  /// Hop/operation tallies mutate under const Get, so they are relaxed
+  /// atomics: concurrent queries may share the map read-only.
+  mutable std::atomic<std::uint64_t> hops_{0};
+  mutable std::atomic<std::uint64_t> operations_{0};
 };
 
 }  // namespace np::mech

@@ -18,6 +18,14 @@ class PrefixDirectory {
   /// The map is borrowed and must outlive the directory.
   PrefixDirectory(KeyValueMap& map, int prefix_bits);
 
+  /// Copy-rebind: duplicates `other`'s registration state on top of a
+  /// different (typically freshly cloned) map. Used by snapshot clones,
+  /// where the clone owns its own map copy.
+  PrefixDirectory(const PrefixDirectory& other, KeyValueMap& map)
+      : map_(&map),
+        prefix_bits_(other.prefix_bits_),
+        registered_(other.registered_) {}
+
   int prefix_bits() const { return prefix_bits_; }
 
   /// Idempotent: a repeated registration is a no-op (re-publishing

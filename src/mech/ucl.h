@@ -39,6 +39,14 @@ class UclDirectory {
   /// The map is borrowed and must outlive the directory.
   UclDirectory(KeyValueMap& map, const UclOptions& options);
 
+  /// Copy-rebind: duplicates `other`'s registration state on top of a
+  /// different (typically freshly cloned) map. Used by snapshot clones,
+  /// where the clone owns its own map copy.
+  UclDirectory(const UclDirectory& other, KeyValueMap& map)
+      : map_(&map),
+        options_(other.options_),
+        registered_(other.registered_) {}
+
   /// Publishes the peer's UCL mappings. Idempotent: a repeated
   /// registration is a no-op (re-publishing would duplicate map
   /// entries).

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -138,6 +139,13 @@ class MeridianOverlay final : public core::NearestPeerAlgorithm {
 
   const std::vector<NodeId>& members() const override {
     return members_.members();
+  }
+
+  /// All state is value-semantic (index, per-member rings) plus the
+  /// borrowed immutable space.
+  bool SupportsSnapshot() const override { return true; }
+  std::unique_ptr<core::NearestPeerAlgorithm> Clone() const override {
+    return core::DetachedClone(std::make_unique<MeridianOverlay>(*this));
   }
 
   const MeridianConfig& config() const { return config_; }

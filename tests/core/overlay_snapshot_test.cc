@@ -1,0 +1,178 @@
+// SnapshotPublisher semantics (publish/pin/wait/close, strictly
+// advancing epochs, reclamation: no snapshot freed while pinned and
+// the retired chain collapsing on unpin) and the algorithm Clone()
+// contract the snapshots are built from (deep, detached, and
+// bit-identical at clone time).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "algos/karger_ruhl.h"
+#include "core/nearest_algorithm.h"
+#include "core/overlay_snapshot.h"
+#include "core/probe_counter.h"
+#include "matrix/generators.h"
+#include "util/error.h"
+
+namespace np::core {
+namespace {
+
+std::shared_ptr<const OverlaySnapshot> Snap(int epoch) {
+  auto snap = std::make_shared<OverlaySnapshot>();
+  snap->epoch = epoch;
+  return snap;
+}
+
+TEST(SnapshotPublisher, PinIsNullBeforeFirstPublish) {
+  SnapshotPublisher publisher;
+  EXPECT_EQ(publisher.Pin(), nullptr);
+  EXPECT_EQ(publisher.published_count(), 0u);
+  EXPECT_EQ(publisher.retired_alive(), 0u);
+}
+
+TEST(SnapshotPublisher, PinReturnsLatestPublished) {
+  SnapshotPublisher publisher;
+  publisher.Publish(Snap(0));
+  publisher.Publish(Snap(1));
+  const auto pinned = publisher.Pin();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->epoch, 1);
+  EXPECT_EQ(publisher.published_count(), 2u);
+}
+
+TEST(SnapshotPublisher, EpochsMustStrictlyAdvance) {
+  SnapshotPublisher publisher;
+  publisher.Publish(Snap(0));
+  EXPECT_THROW(publisher.Publish(Snap(0)), util::Error);
+  EXPECT_THROW(publisher.Publish(Snap(-3)), util::Error);
+  publisher.Publish(Snap(1));
+  EXPECT_EQ(publisher.Pin()->epoch, 1);
+}
+
+TEST(SnapshotPublisher, WaitForEpochBlocksUntilPublished) {
+  SnapshotPublisher publisher;
+  publisher.Publish(Snap(0));
+  std::shared_ptr<const OverlaySnapshot> seen;
+  std::thread reader([&] { seen = publisher.WaitForEpoch(2); });
+  publisher.Publish(Snap(1));
+  publisher.Publish(Snap(2));
+  reader.join();
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(seen->epoch, 2);
+}
+
+TEST(SnapshotPublisher, WaitForEpochReturnsImmediatelyWhenSatisfied) {
+  SnapshotPublisher publisher;
+  publisher.Publish(Snap(5));
+  const auto snap = publisher.WaitForEpoch(3);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch, 5);
+}
+
+TEST(SnapshotPublisher, CloseWakesWaitersWithNull) {
+  SnapshotPublisher publisher;
+  std::shared_ptr<const OverlaySnapshot> seen = Snap(99);
+  std::thread reader([&] { seen = publisher.WaitForEpoch(0); });
+  publisher.Close();
+  reader.join();
+  EXPECT_EQ(seen, nullptr);
+  EXPECT_THROW(publisher.Publish(Snap(0)), util::Error);
+  // Idempotent.
+  publisher.Close();
+}
+
+TEST(SnapshotPublisher, RetiredSnapshotStaysAliveWhilePinned) {
+  SnapshotPublisher publisher;
+  publisher.Publish(Snap(0));
+  // A reader pins epoch 0; the writer moves on.
+  std::shared_ptr<const OverlaySnapshot> pinned = publisher.Pin();
+  const std::weak_ptr<const OverlaySnapshot> watch = pinned;
+  publisher.Publish(Snap(1));
+
+  // Epoch 0 is superseded but must stay alive: the reader still holds
+  // it.
+  EXPECT_EQ(publisher.retired_alive(), 1u);
+  ASSERT_FALSE(watch.expired());
+  EXPECT_EQ(watch.lock()->epoch, 0);
+
+  // Last unpin reclaims it; the retired chain collapses to zero.
+  pinned.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(publisher.retired_alive(), 0u);
+  // The current snapshot is alive but not retired.
+  EXPECT_EQ(publisher.Pin()->epoch, 1);
+}
+
+TEST(SnapshotPublisher, RetiredChainTracksEveryPinnedGeneration) {
+  SnapshotPublisher publisher;
+  std::vector<std::shared_ptr<const OverlaySnapshot>> pins;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    publisher.Publish(Snap(epoch));
+    pins.push_back(publisher.Pin());
+  }
+  // Three superseded generations, all still pinned.
+  EXPECT_EQ(publisher.retired_alive(), 3u);
+  pins.erase(pins.begin(), pins.begin() + 2);
+  EXPECT_EQ(publisher.retired_alive(), 1u);
+  pins.clear();
+  EXPECT_EQ(publisher.retired_alive(), 0u);
+  EXPECT_EQ(publisher.published_count(), 4u);
+}
+
+// --- The Clone() contract ------------------------------------------------
+
+TEST(CloneContract, CloneIsDeepDetachedAndBitIdentical) {
+  matrix::ClusteredConfig wconfig;
+  wconfig.num_clusters = 3;
+  wconfig.nets_per_cluster = 10;
+  wconfig.peers_per_net = 2;
+  util::Rng wrng(11);
+  const auto world = matrix::GenerateClustered(wconfig, wrng);
+  const MatrixSpace space(world.matrix);
+
+  algos::KargerRuhlNearest algo{algos::KargerRuhlConfig{}};
+  std::vector<NodeId> members;
+  for (NodeId node = 0; node < 40; ++node) members.push_back(node);
+  util::Rng build_rng(13);
+  algo.Build(space, members, build_rng);
+
+  ProbeCounter counter;
+  algo.AttachProbeCounter(&counter);
+  ASSERT_TRUE(algo.SupportsSnapshot());
+  const auto clone = algo.Clone();
+
+  // Detached: the clone never bills the original's counter (the
+  // serving engine attaches its own per-snapshot pair).
+  EXPECT_EQ(clone->probe_counter(), nullptr);
+  const MeteredSpace metered(space);
+  const NodeId target = 55;
+  util::Rng qrng_clone(17);
+  const QueryResult before = clone->Query(target, metered, qrng_clone);
+  EXPECT_EQ(counter.Read().queries, 0u);
+
+  // Bit-identical at clone time: same target, same rng stream, same
+  // answer as the original.
+  util::Rng qrng_orig(17);
+  const QueryResult original = algo.Query(target, metered, qrng_orig);
+  EXPECT_EQ(original.found, before.found);
+  EXPECT_EQ(original.probes, before.probes);
+  EXPECT_EQ(counter.Read().queries, 1u);
+
+  // Deep: mutating the original (removing the found member) must not
+  // change what the clone answers.
+  ASSERT_TRUE(algo.SupportsChurn());
+  algo.RemoveMember(before.found);
+  util::Rng qrng_after(17);
+  const QueryResult after = clone->Query(target, metered, qrng_after);
+  EXPECT_EQ(after.found, before.found);
+  util::Rng qrng_mutated(17);
+  EXPECT_NE(algo.Query(target, metered, qrng_mutated).found, before.found);
+
+  algo.AttachProbeCounter(nullptr);
+}
+
+}  // namespace
+}  // namespace np::core

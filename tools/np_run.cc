@@ -29,6 +29,7 @@
 #include "algos/tapestry.h"
 #include "algos/tiers.h"
 #include "core/scenario.h"
+#include "core/serving.h"
 #include "core/space_factory.h"
 #include "matrix/embedded_space.h"
 #include "matrix/generators.h"
@@ -50,8 +51,11 @@ using np::core::ChurnScheduleConfig;
 using np::core::LatencySpace;
 using np::core::NearestPeerAlgorithm;
 using np::core::RunScenario;
+using np::core::RunServing;
 using np::core::ScenarioConfig;
 using np::core::ScenarioReport;
+using np::core::ServingConfig;
+using np::core::ServingReport;
 using np::util::JsonValue;
 
 std::string ReadFile(const std::string& path) {
@@ -407,7 +411,19 @@ void ValidateSpec(const JsonValue& spec) {
               {"initial_overlay", "epochs", "queries_per_epoch",
                "num_threads", "tie_epsilon_ms", "measurement_noise_frac",
                "measurement_noise_floor_ms", "fault", "query_zipf_s",
-               "seed"});
+               "mode", "reader_threads", "check_replay", "seed"});
+  const std::string engine_mode = engine.GetString("mode", "scenario");
+  if (engine_mode != "scenario" && engine_mode != "serving") {
+    throw np::util::Error("unknown scenario.mode: " + engine_mode +
+                          " (expected scenario | serving)");
+  }
+  if (engine_mode != "serving" &&
+      (engine.Find("reader_threads") != nullptr ||
+       engine.Find("check_replay") != nullptr)) {
+    throw np::util::Error(
+        "scenario.reader_threads / scenario.check_replay require "
+        "\"mode\": \"serving\"");
+  }
   if (const JsonValue* fault = engine.Find("fault")) {
     RequireKeys(*fault, "scenario.fault",
                 {"loss_rate", "retry", "track_load"});
@@ -523,9 +539,23 @@ std::string SanitizeFileStem(const std::string& name) {
   return out.empty() ? std::string("scenario") : out;
 }
 
+/// Serving-mode sidecar for one algorithm's report; inactive (and
+/// absent from the JSON) in plain scenario mode, so fault-free
+/// scenario reports stay byte-identical to pre-serving builds.
+struct ServingResult {
+  bool active = false;
+  /// report.scenario duplicates the ScenarioReport in `reports`; only
+  /// the serving-specific fields are serialized from here.
+  ServingReport report;
+  bool replay_checked = false;
+  bool replay_identical = false;
+};
+
 void WriteReportJson(std::ostream& out, const std::string& scenario_name,
                      const World& world, const ChurnSchedule& schedule,
-                     const std::vector<ScenarioReport>& reports) {
+                     const std::vector<ScenarioReport>& reports,
+                     const std::vector<ServingResult>& serving,
+                     bool strip_wallclock) {
   out << "{\n";
   out << "  \"scenario\": \"" << JsonEscape(scenario_name) << "\",\n";
   out << "  \"world\": \"" << JsonEscape(world.type) << "\",\n";
@@ -568,6 +598,37 @@ void WriteReportJson(std::ostream& out, const std::string& scenario_name,
         << ", \"maintenance_probes\": " << report.totals.maintenance_probes
         << ", \"churn_events\": " << report.totals.churn_events
         << ", \"build_probes\": " << report.totals.build_probes << "},\n";
+    if (serving[a].active) {
+      const ServingReport& sv = serving[a].report;
+      out << "     \"serving\": {\"reader_threads\": " << sv.reader_threads
+          << ", \"snapshots_published\": " << sv.snapshots_published
+          << ",\n";
+      out << "      \"replay\": {\"checked\": "
+          << (serving[a].replay_checked ? "true" : "false")
+          << ", \"identical\": "
+          << (serving[a].replay_identical ? "true" : "false") << "},\n";
+      out << "      \"staleness\": [";
+      for (std::size_t s = 0; s < sv.staleness.size(); ++s) {
+        const np::core::StalenessReport& st = sv.staleness[s];
+        out << (s == 0 ? "" : ", ") << "{\"epoch\": " << st.epoch
+            << ", \"p_exact_live\": " << st.p_exact_live
+            << ", \"p_found_departed\": " << st.p_found_departed << "}";
+      }
+      out << "]";
+      if (!strip_wallclock) {
+        // Wall-clock block: varies run to run, so the CI equivalence
+        // gates compare reports written with --strip-wallclock.
+        // max_retired_alive lives here too — the pin rendezvous bounds
+        // it, but the observed value depends on thread scheduling.
+        out << ",\n      \"wall\": {\"wall_ms\": " << sv.wall_ms
+            << ", \"max_retired_alive\": " << sv.max_retired_alive
+            << ", \"qps\": " << sv.qps
+            << ", \"query_latency_p50_us\": " << sv.query_latency_p50_us
+            << ", \"query_latency_p99_us\": " << sv.query_latency_p99_us
+            << "}";
+      }
+      out << "},\n";
+    }
     // Fault/load blocks are gated on the run actually exercising them:
     // fault-free scenarios keep byte-identical reports.
     if (report.fault_mode) {
@@ -625,28 +686,33 @@ int Run(int argc, char** argv) {
   std::string spec_path;
   std::string out_path;
   int threads_override = -1;
+  int readers_override = -1;
+  bool strip_wallclock = false;
   bool validate_only = false;
+  constexpr const char* kUsage =
+      "usage: np_run <scenario.json> [--out FILE] [--threads N] "
+      "[--readers N] [--strip-wallclock] [--validate]";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads_override = std::stoi(argv[++i]);
+    } else if (arg == "--readers" && i + 1 < argc) {
+      readers_override = std::stoi(argv[++i]);
+    } else if (arg == "--strip-wallclock") {
+      strip_wallclock = true;
     } else if (arg == "--validate") {
       validate_only = true;
     } else if (!arg.empty() && arg[0] != '-' && spec_path.empty()) {
       spec_path = arg;
     } else {
-      std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N] "
-                   "[--validate]"
-                << std::endl;
+      std::cerr << kUsage << std::endl;
       return 2;
     }
   }
   if (spec_path.empty()) {
-    std::cerr << "usage: np_run <scenario.json> [--out FILE] [--threads N] "
-                 "[--validate]"
-              << std::endl;
+    std::cerr << kUsage << std::endl;
     return 2;
   }
 
@@ -706,17 +772,61 @@ int Run(int argc, char** argv) {
     config.num_threads = threads_override;
   }
 
+  const bool serving_mode = engine.GetString("mode", "scenario") == "serving";
+  ServingConfig serving_config;
+  serving_config.scenario = config;
+  serving_config.reader_threads =
+      static_cast<int>(engine.GetInt("reader_threads", 4));
+  if (readers_override >= 0) {
+    serving_config.reader_threads = readers_override;
+  }
+  // Replay check defaults on: the deterministic loop stays the
+  // correctness oracle unless the spec explicitly opts out.
+  const bool check_replay = engine.GetBool("check_replay", true);
+
   std::cout << "scenario: " << name << " (world " << world.type << ", "
             << schedule.size() << " churn events over "
             << schedule.duration_s() << " s, " << config.epochs
-            << " epochs)\n";
+            << " epochs";
+  if (serving_mode) {
+    std::cout << ", serving with " << serving_config.reader_threads
+              << " readers";
+  }
+  std::cout << ")\n";
 
   std::vector<ScenarioReport> reports;
+  std::vector<ServingResult> serving;
   for (const JsonValue& entry : spec.at("algorithms").items()) {
     const std::string algo_name = entry.AsString();
     const auto algo = MakeAlgorithm(algo_name, world);
-    reports.push_back(RunScenario(world.space(), world.layout(), *algo,
-                                  schedule, config, world.population));
+    ServingResult sr;
+    if (serving_mode) {
+      sr.active = true;
+      sr.report = RunServing(world.space(), world.layout(), *algo, schedule,
+                             serving_config, world.population);
+      if (check_replay) {
+        // The oracle: serial replay on a fresh instance must agree
+        // bit-for-bit with the concurrent run's deterministic block.
+        const auto replay_algo = MakeAlgorithm(algo_name, world);
+        const ScenarioReport replay =
+            RunScenario(world.space(), world.layout(), *replay_algo,
+                        schedule, config, world.population);
+        sr.replay_checked = true;
+        sr.replay_identical =
+            np::core::ScenarioReportsIdentical(sr.report.scenario, replay);
+        if (!sr.replay_identical) {
+          throw np::util::Error(
+              "serving/replay divergence for " + algo_name +
+              ": concurrent snapshot run is not bit-identical to serial "
+              "replay");
+        }
+      }
+      reports.push_back(sr.report.scenario);
+    } else {
+      reports.push_back(RunScenario(world.space(), world.layout(), *algo,
+                                    schedule, config, world.population));
+    }
+    serving.push_back(std::move(sr));
 
     const ScenarioReport& report = reports.back();
     // Fault/load columns only appear when the run exercised them, so
@@ -770,6 +880,25 @@ int Run(int argc, char** argv) {
     }
     std::cout << ")\n";
     std::cout << table.Render();
+    if (serving[serving.size() - 1].active) {
+      const ServingReport& sv = serving[serving.size() - 1].report;
+      const np::core::StalenessReport& last = sv.staleness.back();
+      std::cout << "serving: readers " << sv.reader_threads << ", qps "
+                << np::util::FormatDouble(sv.qps, 0) << ", p50 "
+                << np::util::FormatDouble(sv.query_latency_p50_us, 1)
+                << " us, p99 "
+                << np::util::FormatDouble(sv.query_latency_p99_us, 1)
+                << " us, retired_alive<=" << sv.max_retired_alive
+                << ", p_exact_live[last] "
+                << np::util::FormatDouble(last.p_exact_live, 3)
+                << ", replay "
+                << (serving[serving.size() - 1].replay_checked
+                        ? (serving[serving.size() - 1].replay_identical
+                               ? "identical"
+                               : "DIVERGED")
+                        : "unchecked")
+                << "\n";
+    }
   }
 
   if (const auto* sparse =
@@ -795,7 +924,8 @@ int Run(int argc, char** argv) {
   if (!out) {
     throw np::util::Error("cannot write report: " + report_path);
   }
-  WriteReportJson(out, name, world, schedule, reports);
+  WriteReportJson(out, name, world, schedule, reports, serving,
+                  strip_wallclock);
   std::cout << "report: " << report_path << "\n";
   return 0;
 }
