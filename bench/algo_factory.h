@@ -11,6 +11,7 @@
 #include <string>
 
 #include "algos/beaconing.h"
+#include "algos/coord_nearest.h"
 #include "algos/karger_ruhl.h"
 #include "algos/tapestry.h"
 #include "algos/tiers.h"
@@ -52,6 +53,19 @@ inline std::unique_ptr<core::NearestPeerAlgorithm> MakeBenchAlgorithm(
     algos::TiersConfig rebuild;
     rebuild.incremental = false;
     return std::make_unique<algos::TiersNearest>(rebuild);
+  }
+  if (name == "coord-vivaldi") {
+    return std::make_unique<algos::CoordNearest>(algos::CoordConfig{});
+  }
+  if (name == "coord-pic") {
+    algos::CoordConfig config;
+    config.scheme = algos::CoordScheme::kPic;
+    return std::make_unique<algos::CoordNearest>(config);
+  }
+  if (name == "coord-landmark") {
+    algos::CoordConfig config;
+    config.scheme = algos::CoordScheme::kLandmark;
+    return std::make_unique<algos::CoordNearest>(config);
   }
   throw util::Error("unknown bench algorithm: " + name);
 }

@@ -19,10 +19,10 @@ double Distance(const double* a, const double* b, int dims) {
   return std::sqrt(sq);
 }
 
-/// One relaxation step pulling `self` toward satisfying |self-other| =
-/// rtt, with step size `step`.
-void Relax(double* self, const double* other, double rtt, int dims,
-           double step, util::Rng& rng) {
+}  // namespace
+
+void LandmarkRelax(double* self, const double* other, double rtt, int dims,
+                   double step, util::Rng& rng) {
   double dist = Distance(self, other, dims);
   if (dist < 1e-9) {
     // Coincident: nudge in a random direction.
@@ -36,8 +36,6 @@ void Relax(double* self, const double* other, double rtt, int dims,
     self[d] += factor * (self[d] - other[d]);
   }
 }
-
-}  // namespace
 
 LandmarkEmbedding::LandmarkEmbedding(LandmarkConfig config,
                                      std::vector<NodeId> members)
@@ -98,9 +96,9 @@ LandmarkEmbedding LandmarkEmbedding::Train(const core::LatencySpace& space,
     }
     const double rtt =
         space.Latency(embedding.members_[a], embedding.members_[b]);
-    Relax(&embedding.coords_[a * static_cast<std::size_t>(dims)],
-          &embedding.coords_[b * static_cast<std::size_t>(dims)], rtt, dims,
-          step, rng);
+    LandmarkRelax(&embedding.coords_[a * static_cast<std::size_t>(dims)],
+                  &embedding.coords_[b * static_cast<std::size_t>(dims)],
+                  rtt, dims, step, rng);
   }
 
   // Every other node: measure the landmarks once, relax against them.
@@ -124,10 +122,10 @@ LandmarkEmbedding LandmarkEmbedding::Train(const core::LatencySpace& space,
           0.25 * (1.0 - 0.9 * static_cast<double>(it) /
                             config.node_iterations);
       for (std::size_t l = 0; l < landmark_pos.size(); ++l) {
-        Relax(self,
-              &embedding.coords_[landmark_pos[l] *
-                                 static_cast<std::size_t>(dims)],
-              rtts[l], dims, step, rng);
+        LandmarkRelax(self,
+                      &embedding.coords_[landmark_pos[l] *
+                                         static_cast<std::size_t>(dims)],
+                      rtts[l], dims, step, rng);
       }
     }
   }

@@ -18,6 +18,13 @@
 
 namespace np::coord {
 
+/// One relaxation step pulling `self` toward satisfying
+/// |self - other| = rtt, with step size `step`. `rng` is only consumed
+/// when the coordinates coincide (random nudge). Shared by the
+/// landmark trainer and the coordinate NearestPeerAlgorithms.
+void LandmarkRelax(double* self, const double* other, double rtt, int dims,
+                   double step, util::Rng& rng);
+
 struct LandmarkConfig {
   int num_landmarks = 15;
   int dimensions = 5;

@@ -38,13 +38,9 @@ double VivaldiEmbedding::Distance(const double* a, const double* b,
   return std::sqrt(sq);
 }
 
-namespace {
-
-/// One Vivaldi spring update of `self` toward/away from a neighbor at
-/// measured RTT. Adjusts self's coordinate and error in place.
-void SpringUpdate(double* self, double& self_error, const double* other,
-                  double other_error, double rtt, int dims, double ce,
-                  double cc, util::Rng& rng) {
+void VivaldiSpringUpdate(double* self, double& self_error,
+                         const double* other, double other_error, double rtt,
+                         int dims, double ce, double cc, util::Rng& rng) {
   double dist = 0.0;
   for (int d = 0; d < dims; ++d) {
     const double diff = self[d] - other[d];
@@ -81,6 +77,13 @@ void SpringUpdate(double* self, double& self_error, const double* other,
   }
 }
 
+namespace {
+
+/// Stream tags for Train's forked rng streams (arbitrary constants;
+/// distinct so init/neighbor/round streams never collide).
+constexpr std::uint64_t kVivaldiInitTag = 0x76697661496e6974ULL;
+constexpr std::uint64_t kVivaldiRoundTag = 0x7669766152646e64ULL;
+
 }  // namespace
 
 VivaldiEmbedding VivaldiEmbedding::Train(const core::LatencySpace& space,
@@ -93,57 +96,97 @@ VivaldiEmbedding VivaldiEmbedding::Train(const core::LatencySpace& space,
   const auto n = embedding.members_.size();
   const int dims = config.dimensions;
 
-  // Small random init breaks symmetry.
-  for (double& c : embedding.coords_) {
-    c = rng.Gaussian(0.0, 1.0);
+  // Single root draw; all randomness below forks off it keyed by node
+  // *id* (and round), never by vector position, and the relaxation
+  // sweeps nodes in sorted-id order. A node's coordinate is then a
+  // function of (base, id) alone — permuting the input yields
+  // bit-identical coordinates per node.
+  const std::uint64_t base = rng();
+
+  // Canonical sweep order: positions sorted by node id.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return embedding.members_[a] < embedding.members_[b];
+  });
+
+  // Small random init breaks symmetry (per-node stream).
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng init_rng(util::Mix64(
+        base ^ kVivaldiInitTag ^
+        static_cast<std::uint64_t>(embedding.members_[i])));
+    double* row = &embedding.coords_[i * static_cast<std::size_t>(dims)];
+    for (int d = 0; d < dims; ++d) {
+      row[d] = init_rng.Gaussian(0.0, 1.0);
+    }
   }
   std::vector<double> error(n, 1.0);
 
-  // Fixed neighbor sets (random graph), as deployed Vivaldi uses.
-  std::vector<std::vector<std::size_t>> neighbor_sets(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t k =
-        std::min<std::size_t>(static_cast<std::size_t>(config.neighbors),
-                              n - 1);
-    auto sample = rng.Sample(n - 1, k);
-    for (std::size_t s : sample) {
-      neighbor_sets[i].push_back(s >= i ? s + 1 : s);
-    }
+  // Close-neighbor sets, filled in before the polish phase (empty
+  // during coarse placement). A FIXED sparse random neighbor graph is
+  // a known failure mode here: the spring system satisfies its few
+  // constraints while misplacing nodes globally and plateaus near 30%
+  // median error with no local signal; fresh random partners every
+  // round keep every pairwise constraint in play.
+  std::vector<std::vector<std::size_t>> close_sets(n);
+
+  // Rank of each position in the canonical order, for sampling
+  // partners in sorted-rank space (input-order invariant).
+  std::vector<std::size_t> rank_of(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    rank_of[order[r]] = r;
   }
 
-  const auto run_rounds = [&](int rounds, double ce_start, double ce_end) {
+  // `phase` offsets the round key so phase 2 never replays phase 1's
+  // streams; within a round each node gets its own
+  // Mix64(Mix64(base ^ round) ^ id) stream. Each node contacts one
+  // partner per round: a close neighbor or a fresh random member,
+  // half/half once close sets exist (the Vivaldi paper's mix of close
+  // and far neighbors).
+  const auto run_rounds = [&](int phase, int rounds, double ce_start,
+                              double ce_end) {
     for (int round = 0; round < rounds; ++round) {
       const double t =
           rounds <= 1 ? 0.0
                       : static_cast<double>(round) / (rounds - 1);
       const double ce = ce_start + t * (ce_end - ce_start);
-      for (std::size_t i = 0; i < n; ++i) {
-        if (neighbor_sets[i].empty()) {
-          continue;
+      const std::uint64_t round_key = util::Mix64(
+          base ^ kVivaldiRoundTag ^
+          static_cast<std::uint64_t>(phase * config.rounds + round));
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t i = order[r];
+        util::Rng step_rng(util::Mix64(
+            round_key ^ static_cast<std::uint64_t>(embedding.members_[i])));
+        const auto& close = close_sets[i];
+        std::size_t j;
+        if (!close.empty() && step_rng.Index(2) == 0) {
+          j = close[step_rng.Index(close.size())];
+        } else {
+          const std::size_t s = step_rng.Index(n - 1);
+          j = order[s >= rank_of[i] ? s + 1 : s];
         }
-        const std::size_t j =
-            neighbor_sets[i][rng.Index(neighbor_sets[i].size())];
         const double rtt =
             space.Latency(embedding.members_[i], embedding.members_[j]);
-        SpringUpdate(
+        VivaldiSpringUpdate(
             &embedding.coords_[i * static_cast<std::size_t>(dims)],
             error[i],
             &embedding.coords_[j * static_cast<std::size_t>(dims)],
-            error[j], rtt, dims, ce, config.cc, rng);
+            error[j], rtt, dims, ce, config.cc, step_rng);
       }
     }
   };
 
-  // Phase 1: coarse placement over random neighbors.
-  run_rounds(config.rounds, config.ce, config.ce * 0.4);
+  // Phase 1: coarse placement over fresh random partners.
+  run_rounds(0, config.rounds, config.ce, config.ce * 0.4);
 
   // Phase 2: polish. The Vivaldi paper observes that mixing in *close*
   // neighbors sharpens local accuracy — exactly what nearest-peer
-  // selection needs. Rebuild each node's neighbor set as half
-  // coordinate-nearest, half random, and relax with a decaying
-  // timestep.
+  // selection needs. Anchor each node's close set to its
+  // coordinate-nearest peers and relax with a decaying timestep.
   if (n > 2) {
-    std::vector<std::pair<double, std::size_t>> scratch;
+    std::vector<std::pair<double, NodeId>> scratch;
     for (std::size_t i = 0; i < n; ++i) {
       scratch.clear();
       scratch.reserve(n - 1);
@@ -156,21 +199,22 @@ VivaldiEmbedding VivaldiEmbedding::Train(const core::LatencySpace& space,
             {Distance(ci,
                       &embedding.coords_[j * static_cast<std::size_t>(dims)],
                       dims),
-             j});
+             embedding.members_[j]});
       }
       const std::size_t half = std::min<std::size_t>(
           static_cast<std::size_t>(std::max(config.neighbors / 2, 1)),
           scratch.size());
+      // Ties broken by id (the pair's second component), keeping the
+      // rebuilt sets input-order invariant.
       std::partial_sort(scratch.begin(),
                         scratch.begin() + static_cast<long>(half),
                         scratch.end());
-      auto& set = neighbor_sets[i];
-      // Replace the first half with coordinate-nearest nodes.
-      for (std::size_t t = 0; t < half && t < set.size(); ++t) {
-        set[t] = scratch[t].second;
+      close_sets[i].reserve(half);
+      for (std::size_t t = 0; t < half; ++t) {
+        close_sets[i].push_back(embedding.IndexOf(scratch[t].second));
       }
     }
-    run_rounds(config.rounds / 2 + 1, config.ce * 0.4, config.ce * 0.05);
+    run_rounds(1, config.rounds / 2 + 1, config.ce * 0.4, config.ce * 0.05);
   }
   return embedding;
 }
@@ -218,9 +262,10 @@ std::vector<double> VivaldiEmbedding::PlaceNode(
     const double ce =
         config_.ce * (1.0 - 0.9 * static_cast<double>(pass) / kPasses);
     for (const auto& [idx, rtt] : measured) {
-      SpringUpdate(coordinate.data(), error,
-                   &coords_[idx * static_cast<std::size_t>(dims)],
-                   /*other_error=*/0.2, rtt, dims, ce, config_.cc, rng);
+      VivaldiSpringUpdate(coordinate.data(), error,
+                          &coords_[idx * static_cast<std::size_t>(dims)],
+                          /*other_error=*/0.2, rtt, dims, ce, config_.cc,
+                          rng);
     }
   }
   return coordinate;

@@ -14,6 +14,16 @@
 
 namespace np::coord {
 
+/// One Vivaldi spring update of `self` toward/away from a neighbor at
+/// measured RTT: adjusts self's coordinate and confidence-weighted
+/// error in place (Dabek et al., Fig. 3). `rng` is only consumed when
+/// the two coordinates coincide (random escape direction). Shared by
+/// the embedding trainer, PlaceNode, and the coordinate
+/// NearestPeerAlgorithms' gossip maintenance.
+void VivaldiSpringUpdate(double* self, double& self_error,
+                         const double* other, double other_error, double rtt,
+                         int dims, double ce, double cc, util::Rng& rng);
+
 struct VivaldiConfig {
   int dimensions = 3;
   /// Adaptive timestep constant (paper value 0.25).
@@ -32,6 +42,14 @@ class VivaldiEmbedding {
   /// Runs the spring relaxation over the members (build-time
   /// measurements are unmetered, matching how coordinate systems
   /// piggyback on background traffic).
+  ///
+  /// Determinism: Train draws a single root value from `rng` and
+  /// derives every stream it needs as `Mix64(Mix64(base ^ round) ^
+  /// node)` — per-(round,node), keyed by node *id*, never by position
+  /// — and sweeps nodes in sorted-id order. The resulting coordinate
+  /// of each node is therefore a function of (seed, node) alone:
+  /// permuting the `members` vector yields bit-identical coordinates
+  /// (update-order robustness; regression-tested).
   static VivaldiEmbedding Train(const core::LatencySpace& space,
                                 std::vector<NodeId> members,
                                 const VivaldiConfig& config, util::Rng& rng);

@@ -1,0 +1,322 @@
+// Behavior tests for the coordinate nearest-peer algorithms:
+// embedding accuracy of the gossip and landmark substrates, end-to-end
+// exactness against brute force on held-out targets, the query probe
+// budget, PIC walk hop caps, billed join/leave lifecycle, landmark
+// re-election, honest failure under total probe loss, and seeded
+// build reproducibility.
+#include "algos/coord_nearest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/probe_counter.h"
+#include "matrix/embedded_space.h"
+#include "matrix/faulty_space.h"
+#include "matrix/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace np::algos {
+namespace {
+
+using core::MeteredSpace;
+using core::QueryResult;
+
+const std::vector<CoordScheme> kSchemes = {
+    CoordScheme::kVivaldi, CoordScheme::kPic, CoordScheme::kLandmark};
+
+std::vector<NodeId> FirstN(NodeId n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) {
+    v.push_back(i);
+  }
+  return v;
+}
+
+matrix::EmbeddedSpace MakeWorld(NodeId n, std::uint64_t seed = 7) {
+  matrix::EmbeddedSpaceConfig config;
+  config.num_nodes = n;
+  config.dimensions = 3;
+  config.side_ms = 100.0;
+  config.distortion = 0.1;
+  config.seed = seed;
+  return matrix::EmbeddedSpace(config);
+}
+
+CoordConfig SchemeConfig(CoordScheme scheme) {
+  CoordConfig config;
+  config.scheme = scheme;
+  return config;
+}
+
+/// Lifecycle tests exercise joins/leaves/billing, not embedding
+/// quality — a trimmed training schedule keeps them fast.
+CoordConfig FastConfig(CoordScheme scheme) {
+  CoordConfig config = SchemeConfig(scheme);
+  config.gossip_rounds = 48;
+  config.sharpen_cycles = 2;
+  config.sharpen_rounds = 2;
+  config.num_landmarks = 8;
+  config.landmark_iterations = 32;
+  return config;
+}
+
+/// Median |predicted - actual| / actual over sampled member pairs of a
+/// built CoordNearest.
+double MedianRelError(const CoordNearest& algo,
+                      const core::LatencySpace& space, int pairs,
+                      util::Rng& rng) {
+  const auto& members = algo.members();
+  std::vector<double> errors;
+  errors.reserve(static_cast<std::size_t>(pairs));
+  for (int s = 0; s < pairs; ++s) {
+    const std::size_t i = rng.Index(members.size());
+    std::size_t j = rng.Index(members.size() - 1);
+    if (j >= i) {
+      ++j;
+    }
+    const auto ci = algo.CoordinateOf(members[i]);
+    const auto cj = algo.CoordinateOf(members[j]);
+    double sq = 0.0;
+    for (std::size_t d = 0; d < ci.size(); ++d) {
+      sq += (ci[d] - cj[d]) * (ci[d] - cj[d]);
+    }
+    const double predicted = std::sqrt(sq);
+    const double actual = space.Latency(members[i], members[j]);
+    errors.push_back(std::abs(predicted - actual) / std::max(actual, 1e-6));
+  }
+  return util::Percentile(std::move(errors), 50.0);
+}
+
+NodeId BruteForceNearest(const core::LatencySpace& space, NodeId target,
+                         const std::vector<NodeId>& members) {
+  NodeId best = kInvalidNode;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (const NodeId m : members) {
+    const double latency = space.Latency(m, target);
+    if (latency < best_latency || (latency == best_latency && m < best)) {
+      best_latency = latency;
+      best = m;
+    }
+  }
+  return best;
+}
+
+TEST(CoordNearest, SchemeNamesAreStable) {
+  EXPECT_EQ(CoordNearest(SchemeConfig(CoordScheme::kVivaldi)).name(),
+            "coord-vivaldi");
+  EXPECT_EQ(CoordNearest(SchemeConfig(CoordScheme::kPic)).name(),
+            "coord-pic");
+  EXPECT_EQ(CoordNearest(SchemeConfig(CoordScheme::kLandmark)).name(),
+            "coord-landmark");
+}
+
+TEST(CoordNearest, GossipTrainingEmbedsAccurately) {
+  const auto space = MakeWorld(500);
+  CoordNearest algo(SchemeConfig(CoordScheme::kVivaldi));
+  util::Rng rng(11);
+  algo.Build(space, FirstN(500), rng);
+  util::Rng eval_rng(12);
+  EXPECT_LT(MedianRelError(algo, space, 2000, eval_rng), 0.25);
+}
+
+TEST(CoordNearest, LandmarkTrainingEmbedsAccurately) {
+  const auto space = MakeWorld(500);
+  CoordNearest algo(SchemeConfig(CoordScheme::kLandmark));
+  util::Rng rng(13);
+  algo.Build(space, FirstN(500), rng);
+  util::Rng eval_rng(14);
+  EXPECT_LT(MedianRelError(algo, space, 2000, eval_rng), 0.45);
+}
+
+/// End-to-end exactness on held-out targets: candidate lists come from
+/// coordinates, real probes decide — so a well-trained embedding must
+/// place the true nearest member inside the refined top-k most of the
+/// time. PIC walks a sampled link graph instead of scanning a
+/// directory, so its bar is lower.
+TEST(CoordNearest, FindsTrueNearestOnHeldOutTargets) {
+  const NodeId overlay = 1000;
+  const NodeId total = 1100;
+  const auto space = MakeWorld(total);
+  const auto members = FirstN(overlay);
+  for (const CoordScheme scheme : kSchemes) {
+    SCOPED_TRACE(CoordSchemeName(scheme));
+    CoordNearest algo(SchemeConfig(scheme));
+    util::Rng rng(17);
+    algo.Build(space, members, rng);
+    const MeteredSpace metered(space);
+    int exact = 0;
+    for (NodeId target = overlay; target < total; ++target) {
+      util::Rng qrng(util::Mix64(target));
+      const QueryResult result = algo.FindNearest(target, metered, qrng);
+      ASSERT_NE(result.found, kInvalidNode);
+      if (result.found == BruteForceNearest(space, target, members)) {
+        ++exact;
+      }
+    }
+    const double p_exact = static_cast<double>(exact) / (total - overlay);
+    EXPECT_GE(p_exact, scheme == CoordScheme::kPic ? 0.5 : 0.75);
+  }
+}
+
+/// O(1) query traffic: placement probes plus top-k refinement probes,
+/// never an O(n) scan of real probes.
+TEST(CoordNearest, QueryProbeBudgetIsBounded) {
+  const auto space = MakeWorld(300);
+  for (const CoordScheme scheme : kSchemes) {
+    SCOPED_TRACE(CoordSchemeName(scheme));
+    const CoordConfig config = FastConfig(scheme);
+    CoordNearest algo(config);
+    util::Rng rng(19);
+    algo.Build(space, FirstN(250), rng);
+    const MeteredSpace metered(space);
+    const std::uint64_t placement =
+        scheme == CoordScheme::kLandmark
+            ? static_cast<std::uint64_t>(config.num_landmarks)
+            : static_cast<std::uint64_t>(config.placement_samples);
+    const std::uint64_t budget =
+        placement + static_cast<std::uint64_t>(config.refine_candidates);
+    for (NodeId target = 250; target < 290; ++target) {
+      util::Rng qrng(util::Mix64(target));
+      const QueryResult result = algo.FindNearest(target, metered, qrng);
+      EXPECT_LE(result.probes, budget) << "target " << target;
+    }
+  }
+}
+
+TEST(CoordNearest, PicWalkHopsAreBounded) {
+  const auto space = MakeWorld(300);
+  const CoordConfig config = FastConfig(CoordScheme::kPic);
+  CoordNearest algo(config);
+  util::Rng rng(23);
+  algo.Build(space, FirstN(250), rng);
+  const MeteredSpace metered(space);
+  const int cap = config.num_walks * config.max_walk_hops;
+  for (NodeId target = 250; target < 290; ++target) {
+    util::Rng qrng(util::Mix64(target));
+    const QueryResult result = algo.FindNearest(target, metered, qrng);
+    EXPECT_LE(result.hops, cap);
+  }
+}
+
+/// A joiner bootstraps its coordinate from billed probes against the
+/// Build-time space, and keep-fresh gossip charges on top.
+TEST(CoordNearest, JoinerIsIntegratedAndBilled) {
+  const auto space = MakeWorld(350);
+  for (const CoordScheme scheme : kSchemes) {
+    SCOPED_TRACE(CoordSchemeName(scheme));
+    const CoordConfig config = FastConfig(scheme);
+    CoordNearest algo(config);
+    const MeteredSpace metered(space);
+    util::Rng rng(29);
+    algo.Build(metered, FirstN(300), rng);
+    const std::uint64_t before = metered.probes();
+    algo.AddMember(NodeId{320}, rng);
+    EXPECT_TRUE(std::find(algo.members().begin(), algo.members().end(),
+                          NodeId{320}) != algo.members().end());
+    const auto coordinate = algo.CoordinateOf(NodeId{320});
+    ASSERT_EQ(coordinate.size(),
+              static_cast<std::size_t>(config.dimensions));
+    for (const double c : coordinate) {
+      EXPECT_TRUE(std::isfinite(c));
+    }
+    // At least the bootstrap samples plus the per-event gossip.
+    EXPECT_GE(metered.probes() - before,
+              static_cast<std::uint64_t>(config.gossip_probes_per_event));
+  }
+}
+
+TEST(CoordNearest, RemovedMemberIsNeverReturned) {
+  const auto space = MakeWorld(350);
+  for (const CoordScheme scheme : kSchemes) {
+    SCOPED_TRACE(CoordSchemeName(scheme));
+    CoordNearest algo(FastConfig(scheme));
+    util::Rng rng(31);
+    algo.Build(space, FirstN(300), rng);
+    const NodeId departed = 7;
+    algo.RemoveMember(departed);
+    EXPECT_TRUE(std::find(algo.members().begin(), algo.members().end(),
+                          departed) == algo.members().end());
+    const MeteredSpace metered(space);
+    for (NodeId target = 300; target < 340; ++target) {
+      util::Rng qrng(util::Mix64(target));
+      const QueryResult result = algo.FindNearest(target, metered, qrng);
+      EXPECT_NE(result.found, departed);
+    }
+  }
+}
+
+/// A departing landmark takes the reference frame with it; the scheme
+/// promotes a surviving member and keeps the landmark count.
+TEST(CoordNearest, LandmarkDepartureTriggersReelection) {
+  const auto space = MakeWorld(300);
+  const CoordConfig config = FastConfig(CoordScheme::kLandmark);
+  CoordNearest algo(config);
+  util::Rng rng(37);
+  algo.Build(space, FirstN(250), rng);
+  ASSERT_EQ(algo.landmarks().size(),
+            static_cast<std::size_t>(config.num_landmarks));
+  const NodeId departed = algo.landmarks().front();
+  algo.RemoveMember(departed);
+  EXPECT_EQ(algo.landmarks().size(),
+            static_cast<std::size_t>(config.num_landmarks));
+  EXPECT_TRUE(std::find(algo.landmarks().begin(), algo.landmarks().end(),
+                        departed) == algo.landmarks().end());
+  for (const NodeId lm : algo.landmarks()) {
+    EXPECT_TRUE(std::find(algo.members().begin(), algo.members().end(),
+                          lm) != algo.members().end());
+  }
+}
+
+/// When every placement probe is lost, the query fails honestly:
+/// kInvalidNode, infinite latency, no refinement probes fabricated.
+TEST(CoordNearest, UnplaceableTargetFailsHonestly) {
+  const auto space = MakeWorld(300);
+  for (const CoordScheme scheme : kSchemes) {
+    SCOPED_TRACE(CoordSchemeName(scheme));
+    const CoordConfig config = FastConfig(scheme);
+    CoordNearest algo(config);
+    util::Rng rng(41);
+    algo.Build(space, FirstN(250), rng);
+    const matrix::FaultySpace lossy(space, 0.999, 43);
+    const MeteredSpace metered(lossy);
+    util::Rng qrng(47);
+    const QueryResult result = algo.FindNearest(NodeId{260}, metered, qrng);
+    ASSERT_EQ(result.found, kInvalidNode);
+    EXPECT_EQ(result.found_latency_ms, kInfiniteLatency);
+    const std::uint64_t placement =
+        scheme == CoordScheme::kLandmark
+            ? static_cast<std::uint64_t>(config.num_landmarks)
+            : static_cast<std::uint64_t>(config.placement_samples);
+    EXPECT_LE(result.probes, placement);
+  }
+}
+
+TEST(CoordNearest, SeededBuildIsReproducible) {
+  const auto space = MakeWorld(300);
+  for (const CoordScheme scheme : kSchemes) {
+    SCOPED_TRACE(CoordSchemeName(scheme));
+    CoordNearest first(FastConfig(scheme));
+    CoordNearest second(FastConfig(scheme));
+    {
+      util::Rng rng(53);
+      first.Build(space, FirstN(250), rng);
+    }
+    {
+      util::Rng rng(53);
+      second.Build(space, FirstN(250), rng);
+    }
+    ASSERT_EQ(first.members(), second.members());
+    EXPECT_EQ(first.landmarks(), second.landmarks());
+    for (const NodeId member : first.members()) {
+      EXPECT_EQ(first.CoordinateOf(member), second.CoordinateOf(member));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace np::algos

@@ -1,0 +1,182 @@
+// Dedicated coverage for the PIC-style greedy-walk baseline
+// (coord/pic.h): embedding convergence, member-order invariance of
+// the trained substrate, seeded reproducibility of whole query
+// sequences, walk hop and probe budget caps, and degenerate tiny
+// overlays.
+#include "coord/pic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/probe_counter.h"
+#include "matrix/embedded_space.h"
+#include "util/rng.h"
+
+namespace np::coord {
+namespace {
+
+using core::MeteredSpace;
+using core::QueryResult;
+
+std::vector<NodeId> FirstN(NodeId n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) {
+    v.push_back(i);
+  }
+  return v;
+}
+
+matrix::EmbeddedSpace MakeWorld(NodeId n, std::uint64_t seed = 7) {
+  matrix::EmbeddedSpaceConfig config;
+  config.num_nodes = n;
+  config.dimensions = 3;
+  config.side_ms = 100.0;
+  config.distortion = 0.1;
+  config.seed = seed;
+  return matrix::EmbeddedSpace(config);
+}
+
+TEST(PicNearest, EmbeddingConvergesOnEmbeddedWorld) {
+  const auto space = MakeWorld(400);
+  PicNearest pic(PicConfig{});
+  util::Rng rng(11);
+  pic.Build(space, FirstN(400), rng);
+  util::Rng eval_rng(12);
+  EXPECT_LT(pic.embedding().MedianRelativeError(space, 2000, eval_rng),
+            0.35);
+}
+
+/// Train derives every stream per-(round, node id) and sweeps in
+/// sorted-id order, so the trained coordinate of each member is a
+/// function of (seed, id) alone — feeding the members in any order
+/// yields bit-identical coordinates.
+TEST(PicNearest, TrainedEmbeddingIsMemberOrderInvariant) {
+  const auto space = MakeWorld(300);
+  const auto members = FirstN(300);
+  std::vector<NodeId> shuffled = members;
+  util::Rng shuffle_rng(13);
+  for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[shuffle_rng.Index(i + 1)]);
+  }
+  ASSERT_NE(shuffled, members);
+
+  PicNearest forward(PicConfig{});
+  PicNearest permuted(PicConfig{});
+  {
+    util::Rng rng(17);
+    forward.Build(space, members, rng);
+  }
+  {
+    util::Rng rng(17);
+    permuted.Build(space, shuffled, rng);
+  }
+  for (const NodeId member : members) {
+    const double* a = forward.embedding().CoordinateOf(member);
+    const double* b = permuted.embedding().CoordinateOf(member);
+    for (int d = 0; d < forward.embedding().dimensions(); ++d) {
+      EXPECT_EQ(a[d], b[d]) << "member " << member << " dim " << d;
+    }
+  }
+}
+
+TEST(PicNearest, SeededQuerySequenceIsReproducible) {
+  const auto space = MakeWorld(350);
+  PicNearest first(PicConfig{});
+  PicNearest second(PicConfig{});
+  {
+    util::Rng rng(19);
+    first.Build(space, FirstN(300), rng);
+  }
+  {
+    util::Rng rng(19);
+    second.Build(space, FirstN(300), rng);
+  }
+  const MeteredSpace metered_a(space);
+  const MeteredSpace metered_b(space);
+  util::Rng qrng_a(23);
+  util::Rng qrng_b(23);
+  for (NodeId target = 300; target < 340; ++target) {
+    const QueryResult a = first.FindNearest(target, metered_a, qrng_a);
+    const QueryResult b = second.FindNearest(target, metered_b, qrng_b);
+    EXPECT_EQ(a.found, b.found);
+    EXPECT_EQ(a.found_latency_ms, b.found_latency_ms);
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.probes, b.probes);
+  }
+  EXPECT_EQ(metered_a.probes(), metered_b.probes());
+}
+
+TEST(PicNearest, WalkHopsAndProbesAreBounded) {
+  const auto space = MakeWorld(350);
+  const PicConfig config;
+  PicNearest pic(config);
+  util::Rng rng(29);
+  pic.Build(space, FirstN(300), rng);
+  const MeteredSpace metered(space);
+  const int hop_cap = config.num_walks * config.max_walk_hops;
+  // Placement probes plus every walk endpoint and its neighborhood.
+  const std::uint64_t probe_cap =
+      static_cast<std::uint64_t>(config.placement_samples) +
+      static_cast<std::uint64_t>(config.num_walks) *
+          static_cast<std::uint64_t>(1 + config.walk_neighbors +
+                                     config.random_links);
+  for (NodeId target = 300; target < 340; ++target) {
+    util::Rng qrng(util::Mix64(target));
+    const QueryResult result = pic.FindNearest(target, metered, qrng);
+    ASSERT_NE(result.found, kInvalidNode);
+    EXPECT_LE(result.hops, hop_cap);
+    EXPECT_LE(result.probes, probe_cap);
+  }
+}
+
+/// Walk endpoints plus neighborhoods are probed for real, so the
+/// returned peer must beat a random member by a wide margin.
+TEST(PicNearest, ReturnsMuchCloserThanRandomMember) {
+  const auto space = MakeWorld(450);
+  const auto members = FirstN(400);
+  PicNearest pic(PicConfig{});
+  util::Rng rng(31);
+  pic.Build(space, members, rng);
+  const MeteredSpace metered(space);
+  double found_sum = 0.0;
+  double random_sum = 0.0;
+  util::Rng baseline_rng(37);
+  const int queries = 50;
+  for (NodeId target = 400; target < 400 + queries; ++target) {
+    util::Rng qrng(util::Mix64(target));
+    const QueryResult result = pic.FindNearest(target, metered, qrng);
+    ASSERT_NE(result.found, kInvalidNode);
+    found_sum += result.found_latency_ms;
+    random_sum +=
+        space.Latency(members[baseline_rng.Index(members.size())], target);
+  }
+  EXPECT_LT(found_sum, 0.5 * random_sum);
+}
+
+TEST(PicNearest, TinyOverlayStillAnswers) {
+  const auto space = MakeWorld(10);
+  PicNearest pic(PicConfig{});
+  util::Rng rng(41);
+  pic.Build(space, FirstN(3), rng);
+  const MeteredSpace metered(space);
+  util::Rng qrng(43);
+  const QueryResult result = pic.FindNearest(NodeId{5}, metered, qrng);
+  ASSERT_NE(result.found, kInvalidNode);
+  EXPECT_LT(result.found, NodeId{3});
+  double best = std::numeric_limits<double>::infinity();
+  NodeId best_id = kInvalidNode;
+  for (NodeId m = 0; m < 3; ++m) {
+    const double latency = space.Latency(m, NodeId{5});
+    if (latency < best) {
+      best = latency;
+      best_id = m;
+    }
+  }
+  EXPECT_EQ(result.found, best_id);
+}
+
+}  // namespace
+}  // namespace np::coord

@@ -1,0 +1,118 @@
+// Regression tests for VivaldiEmbedding::Train's rng-stream contract:
+// every update draws from a per-(round, node id) forked stream and
+// nodes sweep in sorted-id order, so trained coordinates are a
+// function of (seed, id) alone — robust to the order the member list
+// arrives in. The pre-fix trainer consumed one shared stream in
+// member-list order, so any permutation of the input silently changed
+// every coordinate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "coord/vivaldi.h"
+#include "matrix/embedded_space.h"
+#include "util/rng.h"
+
+namespace np::coord {
+namespace {
+
+std::vector<NodeId> FirstN(NodeId n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) {
+    v.push_back(i);
+  }
+  return v;
+}
+
+matrix::EmbeddedSpace MakeWorld(NodeId n) {
+  matrix::EmbeddedSpaceConfig config;
+  config.num_nodes = n;
+  config.dimensions = 3;
+  config.side_ms = 100.0;
+  config.distortion = 0.1;
+  config.seed = 7;
+  return matrix::EmbeddedSpace(config);
+}
+
+std::vector<NodeId> Shuffled(std::vector<NodeId> members,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (std::size_t i = members.size() - 1; i > 0; --i) {
+    std::swap(members[i], members[rng.Index(i + 1)]);
+  }
+  return members;
+}
+
+TEST(VivaldiStreams, TrainIsMemberOrderInvariant) {
+  const auto space = MakeWorld(300);
+  const auto members = FirstN(300);
+  const auto shuffled = Shuffled(members, 13);
+  ASSERT_NE(shuffled, members);
+
+  util::Rng rng_a(17);
+  const auto forward =
+      VivaldiEmbedding::Train(space, members, VivaldiConfig{}, rng_a);
+  util::Rng rng_b(17);
+  const auto permuted =
+      VivaldiEmbedding::Train(space, shuffled, VivaldiConfig{}, rng_b);
+
+  for (const NodeId member : members) {
+    const double* a = forward.CoordinateOf(member);
+    const double* b = permuted.CoordinateOf(member);
+    for (int d = 0; d < forward.dimensions(); ++d) {
+      EXPECT_EQ(a[d], b[d]) << "member " << member << " dim " << d;
+    }
+  }
+}
+
+/// A member subset must not change how the rng streams fork: dropping
+/// members changes the *partners* nodes can sample (coordinates move),
+/// but the same (seed, members) pair always reproduces itself.
+TEST(VivaldiStreams, TrainIsSeedReproducible) {
+  const auto space = MakeWorld(300);
+  const auto members = FirstN(250);
+  util::Rng rng_a(19);
+  const auto first =
+      VivaldiEmbedding::Train(space, members, VivaldiConfig{}, rng_a);
+  util::Rng rng_b(19);
+  const auto second =
+      VivaldiEmbedding::Train(space, members, VivaldiConfig{}, rng_b);
+  for (const NodeId member : members) {
+    const double* a = first.CoordinateOf(member);
+    const double* b = second.CoordinateOf(member);
+    for (int d = 0; d < first.dimensions(); ++d) {
+      EXPECT_EQ(a[d], b[d]);
+    }
+  }
+
+  util::Rng rng_c(23);
+  const auto reseeded =
+      VivaldiEmbedding::Train(space, members, VivaldiConfig{}, rng_c);
+  bool any_different = false;
+  for (const NodeId member : members) {
+    const double* a = first.CoordinateOf(member);
+    const double* c = reseeded.CoordinateOf(member);
+    for (int d = 0; d < first.dimensions(); ++d) {
+      any_different = any_different || a[d] != c[d];
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(VivaldiStreams, PlaceNodeIsSeedDeterministic) {
+  const auto space = MakeWorld(320);
+  const auto members = FirstN(300);
+  util::Rng rng(29);
+  const auto embedding =
+      VivaldiEmbedding::Train(space, members, VivaldiConfig{}, rng);
+  const core::MeteredSpace metered(space);
+  util::Rng place_a(31);
+  util::Rng place_b(31);
+  const auto a = embedding.PlaceNode(NodeId{310}, metered, 16, place_a);
+  const auto b = embedding.PlaceNode(NodeId{310}, metered, 16, place_b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace np::coord

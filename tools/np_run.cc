@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "algos/beaconing.h"
+#include "algos/coord_nearest.h"
 #include "algos/karger_ruhl.h"
 #include "algos/tapestry.h"
 #include "algos/tiers.h"
@@ -294,8 +295,10 @@ void RequireKeys(const JsonValue& object, const std::string& where,
 /// from these (the factory's dispatch chain is necessarily separate,
 /// but an entry missing there now throws instead of drifting).
 constexpr const char* kSimpleAlgorithms[] = {
-    "oracle", "random",        "meridian",  "karger-ruhl",
-    "tiers",  "tiers-rebuild", "beaconing", "tapestry"};
+    "oracle",        "random",        "meridian",
+    "karger-ruhl",   "tiers",         "tiers-rebuild",
+    "beaconing",     "tapestry",      "coord-vivaldi",
+    "coord-pic",     "coord-landmark"};
 constexpr const char* kHybridMechanisms[] = {"ucl", "prefix", "multicast",
                                              "registry"};
 
@@ -472,6 +475,20 @@ std::unique_ptr<NearestPeerAlgorithm> MakeAlgorithm(const std::string& name,
   if (name == "beaconing") {
     return std::make_unique<np::algos::BeaconingNearest>(
         np::algos::BeaconingConfig{});
+  }
+  if (name == "coord-vivaldi") {
+    return std::make_unique<np::algos::CoordNearest>(
+        np::algos::CoordConfig{});
+  }
+  if (name == "coord-pic") {
+    np::algos::CoordConfig config;
+    config.scheme = np::algos::CoordScheme::kPic;
+    return std::make_unique<np::algos::CoordNearest>(config);
+  }
+  if (name == "coord-landmark") {
+    np::algos::CoordConfig config;
+    config.scheme = np::algos::CoordScheme::kLandmark;
+    return std::make_unique<np::algos::CoordNearest>(config);
   }
   if (name.rfind("hybrid-", 0) == 0) {
     if (world.topology == nullptr) {
