@@ -20,7 +20,10 @@
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_baselines",
       "Not a paper figure (implements §7's 'more extensively evaluate "

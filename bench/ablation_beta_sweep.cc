@@ -12,7 +12,10 @@
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_beta_sweep",
       "Not a paper figure. Beta sweep: probe cost rises with beta; "

@@ -11,7 +11,10 @@
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_churn",
       "Not a paper figure. Accuracy per churn wave stays close to the "

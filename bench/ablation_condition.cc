@@ -16,10 +16,13 @@
 #include "matrix/generators.h"
 #include "util/stats.h"
 
+#include "util/contract.h"
+
 using np::NodeId;
 using np::kInvalidNode;
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_condition",
       "Not a paper figure (quantifies §2.2): growth ratio and doubling "

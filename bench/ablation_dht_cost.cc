@@ -14,10 +14,13 @@
 #include "net/tools.h"
 #include "util/stats.h"
 
+#include "util/contract.h"
+
 using np::NodeId;
 using np::kInfiniteLatency;
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_dht_cost",
       "Not a paper figure. Chord lookups cost O(log n) hops; a UCL "

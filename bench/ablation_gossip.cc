@@ -11,9 +11,12 @@
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
 
+#include "util/contract.h"
+
 using np::NodeId;
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_gossip",
       "Not a paper figure. Gossip rounds vs accuracy: Euclidean "

@@ -14,6 +14,8 @@
 #include "mech/hybrid.h"
 #include "meridian/meridian.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::NodeId;
@@ -69,6 +71,7 @@ std::unique_ptr<np::core::NearestPeerAlgorithm> MakeMeridian() {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_mechanisms",
       "Not a paper figure (extends §5's preliminary evaluation): "

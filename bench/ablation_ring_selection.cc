@@ -12,6 +12,8 @@
 #include "matrix/generators.h"
 #include "meridian/meridian.h"
 
+#include "util/contract.h"
+
 namespace {
 
 const char* PolicyName(np::meridian::RingSelectionPolicy policy) {
@@ -29,6 +31,7 @@ const char* PolicyName(np::meridian::RingSelectionPolicy policy) {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "ablation_ring_selection",
       "Not a paper figure. §2.3 check: ring-member diversity policies "

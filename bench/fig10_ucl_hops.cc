@@ -14,7 +14,10 @@
 #include "measure/heuristic_eval.h"
 #include "net/tools.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig10_ucl_hops",
       "Binned percentiles of router hop-length vs inter-peer latency "

@@ -12,7 +12,10 @@
 #include "measure/heuristic_eval.h"
 #include "net/tools.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig11_prefix_rates",
       "Median FP rate falls and median FN rate rises with prefix "

@@ -15,7 +15,10 @@
 #include "net/tools.h"
 #include "util/stats.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig3_prediction_cdf",
       "CDF of predicted/measured latency over ~18k DNS-server pairs; "

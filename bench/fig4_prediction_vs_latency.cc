@@ -9,7 +9,10 @@
 #include "measure/dns_study.h"
 #include "net/tools.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig4_prediction_vs_latency",
       "Binned percentiles (5/25/50/75/95) of predicted/measured vs "

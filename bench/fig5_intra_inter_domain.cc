@@ -14,6 +14,8 @@
 #include "net/tools.h"
 #include "util/stats.h"
 
+#include "util/contract.h"
+
 namespace {
 
 void PrintCdfRow(np::util::Table& table, const std::string& name,
@@ -33,6 +35,7 @@ void PrintCdfRow(np::util::Table& table, const std::string& name,
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig5_intra_inter_domain",
       "Intra-domain latencies ~an order of magnitude below "

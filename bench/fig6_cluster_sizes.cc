@@ -13,7 +13,10 @@
 #include "measure/azureus_study.h"
 #include "net/tools.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig6_cluster_sizes",
       "Cumulative count of peers vs cluster size (unpruned and "

@@ -10,7 +10,10 @@
 #include "net/tools.h"
 #include "util/stats.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig7_intra_cluster_latency",
       "Hub-to-peer latency distribution for the 5 largest pruned "

@@ -20,6 +20,8 @@
 #include "meridian/meridian.h"
 #include "util/stats.h"
 
+#include "util/contract.h"
+
 namespace {
 
 constexpr int kTotalNets = 1250;  // 2500 peers / 2 per net
@@ -69,6 +71,7 @@ Row RunPoint(int nets_per_cluster, int num_queries, int num_seeds) {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig8_meridian_cluster_size",
       "P(correct closest peer) peaks near 25 end-networks/cluster then "

@@ -19,7 +19,10 @@
 #include "meridian/meridian.h"
 #include "util/stats.h"
 
+#include "util/contract.h"
+
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig9_meridian_delta",
       "P(correct closest) rises from ~0.05 at delta=0 to ~0.4 at "

@@ -25,6 +25,8 @@
 #include "core/scenario.h"
 #include "matrix/generators.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::core::ChurnSchedule;
@@ -77,6 +79,7 @@ std::vector<ModelCase> Models(bool quick) {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig_churn_cost",
       "Not a paper figure. Maintenance messages per churn event and "

@@ -34,6 +34,8 @@
 #include "core/space_factory.h"
 #include "matrix/embedded_space.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::NodeId;
@@ -79,6 +81,7 @@ std::vector<ModelCase> Models(NodeId overlay) {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig_coord_arena",
       "Not a paper figure. Coordinate nearest-peer schemes vs structured "

@@ -29,6 +29,8 @@
 #include "matrix/generators.h"
 #include "util/table.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::core::ChurnSchedule;
@@ -55,6 +57,7 @@ double MeanPQueryFailed(const ScenarioReport& report) {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig_fault_tolerance",
       "Not a paper figure. p_exact, msgs/query, failed-query rate and "

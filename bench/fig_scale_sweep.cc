@@ -42,6 +42,8 @@
 #include "util/error.h"
 #include "util/parallel.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::LatencyMs;
@@ -142,6 +144,7 @@ BatchQueryStats MeasureQueries(const np::core::LatencySpace& space,
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig_scale_sweep",
       "Not a paper figure. P(exact closest), messages per query, "

@@ -34,6 +34,8 @@
 #include "matrix/embedded_space.h"
 #include "util/error.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::NodeId;
@@ -89,6 +91,7 @@ std::string ChurnTag(double events_per_s) {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "fig_serving_throughput",
       "Not a paper figure. Serving-mode qps and p50/p99 query latency "

@@ -33,6 +33,8 @@
 #include "util/parallel.h"
 #include "util/rng.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::LatencyMs;
@@ -366,6 +368,7 @@ void BenchBuildingBlocks(np::bench::Reporter& reporter, bool quick) {
 }  // namespace
 
 int main() {
+  NP_REPORT_AFFECTING();
   np::bench::PrintHeader(
       "micro_core",
       "raw costs of the simulation core: blocked/parallel Floyd-Warshall "

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "bench/common.h"
+#include "util/contract.h"
 #include "util/error.h"
 
 namespace np::bench {
@@ -70,6 +71,7 @@ double PhaseTimer::Stop() {
     return 0.0;
   }
   stopped_ = true;
+  NP_LINT_SUPPRESS("banned-call", "wall_* quarantine: wall_ms phases");
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   const double wall_ms =
       std::chrono::duration<double, std::milli>(elapsed).count();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/contract.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -121,6 +122,7 @@ void TiersNearest::BuildImpl(const core::LatencySpace& space,
   }
   // Ran out of levels: whatever remains is the top cluster.
   top_reps_.clear();
+  NP_ORDER_INSENSITIVE("reps collected then sorted on the line below");
   for (const auto& [rep, cluster] : levels_.back().clusters) {
     top_reps_.push_back(rep);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contract.h"
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -62,6 +63,7 @@ LandmarkEmbedding LandmarkEmbedding::Train(const core::LatencySpace& space,
                                            std::vector<NodeId> members,
                                            const LandmarkConfig& config,
                                            util::Rng& rng) {
+  NP_REPORT_AFFECTING();
   NP_ENSURE(config.landmark_iterations >= 1 && config.node_iterations >= 1,
             "invalid iteration counts");
   LandmarkEmbedding embedding(config, std::move(members));

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <unordered_set>
 
+#include "util/contract.h"
 #include "util/error.h"
 
 namespace np::coord {
@@ -56,6 +58,7 @@ void PicNearest::Build(const core::LatencySpace& space,
       }
       chosen.insert(candidate);
     }
+    NP_ORDER_INSENSITIVE("assigned then sorted on the next line");
     neighbors_[i].assign(chosen.begin(), chosen.end());
     std::sort(neighbors_[i].begin(), neighbors_[i].end());
   }
@@ -73,7 +76,10 @@ core::QueryResult PicNearest::FindNearest(NodeId target,
       target, metered, config_.placement_samples, rng);
 
   // Greedy walks on predicted distances (no probing while walking).
-  std::unordered_set<std::size_t> endpoints;
+  // Ordered sets: probe order below is part of the report (metered
+  // probe sequencing under fault injection), so candidates must come
+  // out in a deterministic order (determinism contract rule 1).
+  std::set<std::size_t> endpoints;
   for (int walk = 0; walk < config_.num_walks; ++walk) {
     std::size_t current = rng.Index(members_.size());
     double current_predicted =
@@ -102,7 +108,7 @@ core::QueryResult PicNearest::FindNearest(NodeId target,
   // Probe the walk endpoints plus their coordinate neighborhoods: the
   // coordinates got us near the target, real measurements resolve what
   // they cannot.
-  std::unordered_set<std::size_t> to_probe = endpoints;
+  std::set<std::size_t> to_probe = endpoints;
   for (std::size_t endpoint : endpoints) {
     for (std::size_t neighbor : neighbors_[endpoint]) {
       to_probe.insert(neighbor);

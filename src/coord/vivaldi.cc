@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contract.h"
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -90,6 +91,7 @@ VivaldiEmbedding VivaldiEmbedding::Train(const core::LatencySpace& space,
                                          std::vector<NodeId> members,
                                          const VivaldiConfig& config,
                                          util::Rng& rng) {
+  NP_REPORT_AFFECTING();
   NP_ENSURE(config.rounds >= 1 && config.neighbors >= 1,
             "invalid Vivaldi schedule");
   VivaldiEmbedding embedding(config, std::move(members));

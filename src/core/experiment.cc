@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "util/contract.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 
@@ -214,6 +215,7 @@ ClusteredMetrics RunClusteredExperiment(const LatencySpace& space,
                                         NearestPeerAlgorithm& algo,
                                         const ExperimentConfig& config,
                                         util::Rng& rng) {
+  NP_REPORT_AFFECTING();
   NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
   // Build-time measurements carry the same noise as query probes: no
@@ -256,6 +258,7 @@ ClusteredMetrics RunClusteredExperiment(const LatencySpace& space,
                                         const ExperimentConfig& config,
                                         const ChurnSchedule& schedule,
                                         util::Rng& rng) {
+  NP_REPORT_AFFECTING();
   NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
   // Maintenance traffic (build, churn handling, rebuilds) is metered
@@ -302,6 +305,7 @@ GenericMetrics RunGenericExperiment(const LatencySpace& space,
                                     NearestPeerAlgorithm& algo,
                                     const ExperimentConfig& config,
                                     util::Rng& rng) {
+  NP_REPORT_AFFECTING();
   NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
   const NoisySpace build_noisy(space, config.measurement_noise_frac, rng(),
@@ -326,6 +330,7 @@ GenericMetrics RunGenericExperiment(const LatencySpace& space,
                                     const ExperimentConfig& config,
                                     const ChurnSchedule& schedule,
                                     util::Rng& rng) {
+  NP_REPORT_AFFECTING();
   NP_ENSURE(config.num_queries >= 1, "num_queries must be >= 1");
   OverlaySplit split = SplitOverlay(space.size(), config.overlay_size, rng);
   const NoisySpace build_noisy(space, config.measurement_noise_frac, rng(),

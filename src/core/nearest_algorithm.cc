@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/probe_counter.h"
+#include "util/contract.h"
 #include "util/error.h"
 
 namespace np::core {
@@ -45,6 +46,7 @@ void NearestPeerAlgorithm::ParallelBuild(const LatencySpace& space,
 QueryResult NearestPeerAlgorithm::Query(NodeId target,
                                         const MeteredSpace& metered,
                                         util::Rng& rng) {
+  NP_REPORT_AFFECTING();
   const std::uint64_t before = metered.probes();
   QueryResult result = FindNearest(target, metered, rng);
   if (probe_counter_ != nullptr) {

@@ -10,6 +10,7 @@
 #include "core/probe_policy.h"
 #include "core/query_batch.h"
 #include "matrix/faulty_space.h"
+#include "util/contract.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -22,6 +23,7 @@ ScenarioReport RunScenario(const LatencySpace& space,
                            const ChurnSchedule& schedule,
                            const ScenarioConfig& config,
                            const std::vector<NodeId>& population) {
+  NP_REPORT_AFFECTING();
   NP_ENSURE(config.epochs >= 1, "need at least one epoch");
   NP_ENSURE(config.queries_per_epoch >= 1, "need queries per epoch");
   NP_ENSURE(config.query_zipf_s >= 0.0, "zipf exponent must be >= 0");

@@ -17,6 +17,7 @@
 #include "core/probe_policy.h"
 #include "core/query_batch.h"
 #include "matrix/faulty_space.h"
+#include "util/contract.h"
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -50,6 +51,7 @@ struct EpochSlot {
 };
 
 double ElapsedUs(std::chrono::steady_clock::time_point since) {
+  NP_LINT_SUPPRESS("banned-call", "wall_* quarantine: qps/p99 only");
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - since)
       .count();
@@ -63,6 +65,7 @@ ServingReport RunServing(const LatencySpace& space,
                          const ChurnSchedule& schedule,
                          const ServingConfig& config,
                          const std::vector<NodeId>& population) {
+  NP_REPORT_AFFECTING();
   const ScenarioConfig& sc = config.scenario;
   NP_ENSURE(sc.epochs >= 1, "need at least one epoch");
   NP_ENSURE(sc.queries_per_epoch >= 1, "need queries per epoch");
@@ -154,6 +157,7 @@ ServingReport RunServing(const LatencySpace& space,
   bool reader_failed = false;
   std::string reader_error;
 
+  NP_LINT_SUPPRESS("banned-call", "wall_* quarantine: qps/p99 only");
   const auto serve_start = std::chrono::steady_clock::now();
 
   std::vector<std::thread> readers;
@@ -184,6 +188,8 @@ ServingReport RunServing(const LatencySpace& space,
               std::min(static_cast<std::size_t>(t) * chunk, queries);
           const std::size_t end = std::min(begin + chunk, queries);
           for (std::size_t q = begin; q < end; ++q) {
+            NP_LINT_SUPPRESS("banned-call",
+                             "wall_* quarantine: qps/p99 only");
             const auto q_start = std::chrono::steady_clock::now();
             slot.outcomes[q] = RunBatchQuery(slot.batch, *snap->algo, q);
             slot.latency_us[q] = ElapsedUs(q_start);

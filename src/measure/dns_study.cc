@@ -1,8 +1,8 @@
 #include "measure/dns_study.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
-#include <unordered_map>
 
 #include "util/error.h"
 
@@ -181,7 +181,10 @@ DnsStudyResult RunDnsStudy(const net::Topology& topology, net::Tools& tools,
 
   // Trace every server once and group by inferred upstream PoP.
   std::vector<ServerTrace> traces(servers.size());
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> clusters;
+  // Ordered map: the pairing loop below consumes the rng stream and
+  // appends pairs per cluster, so cluster visit order is part of the
+  // report (determinism contract rule 1, NPL001).
+  std::map<std::uint64_t, std::vector<std::size_t>> clusters;
   for (std::size_t i = 0; i < servers.size(); ++i) {
     traces[i].server = servers[i];
     // rockettrace probes each hop repeatedly; two passes merged
@@ -218,7 +221,9 @@ DnsStudyResult RunDnsStudy(const net::Topology& topology, net::Tools& tools,
   }
   // Every same-domain pair as well (Fig 5's intra-domain population).
   {
-    std::unordered_map<int, std::vector<std::size_t>> by_domain;
+    // Ordered for the same reason as `clusters`: pair_indices order
+    // feeds the report.
+    std::map<int, std::vector<std::size_t>> by_domain;
     for (std::size_t i = 0; i < servers.size(); ++i) {
       by_domain[topology.host(servers[i]).domain_id].push_back(i);
     }

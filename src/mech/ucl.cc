@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/contract.h"
 #include "util/error.h"
 
 namespace np::mech {
@@ -71,6 +72,7 @@ std::vector<UclDirectory::Candidate> UclDirectory::Candidates(
   }
   std::vector<Candidate> out;
   out.reserve(best.size());
+  NP_ORDER_INSENSITIVE("filtered into `out`, sorted with a total tie-break");
   for (const auto& [peer, candidate] : best) {
     if (candidate.estimated_ms <= max_estimate_ms) {
       out.push_back(candidate);

@@ -1,0 +1,50 @@
+// Determinism-contract annotations, consumed by tools/np_lint.
+//
+// Every marker expands to nothing: the annotations are a vocabulary
+// for the static-analysis pass (tools/np_lint/np_lint.py), which
+// enforces the numbered determinism rules in docs/ARCHITECTURE.md
+// ("Determinism contract"). The linter walks src/, bench/, and tools/
+// and computes reachability from the NP_REPORT_AFFECTING roots, so a
+// nondeterminism hazard in a result-bearing path fails CI instead of
+// waiting for a lucky byte-diff.
+//
+// Usage:
+//
+//   void RunScenario(...) {
+//     NP_REPORT_AFFECTING();          // reachability root for np_lint
+//     ...
+//   }
+//
+//   NP_ORDER_INSENSITIVE("collected then sorted before use");
+//   for (const auto& [rep, cluster] : levels_.back().clusters) { ... }
+//
+//   NP_LINT_SUPPRESS("static-state", "immutable after first call");
+//   static const Table table = BuildTable();
+//
+// NP_ORDER_INSENSITIVE waives the unordered-iteration rule (NPL001)
+// for the loop that follows; the reason string is mandatory and should
+// say *why* iteration order cannot reach a report (canonical pattern:
+// collect into a vector, then sort with a total tie-break).
+//
+// NP_LINT_SUPPRESS waives one named rule for the statement that
+// follows. Rule names accepted today: "unordered-iter" (NPL001),
+// "banned-call" (NPL002), "shared-rng" (NPL003), "static-state"
+// (NPL004), "fp-reduction" (NPL005). Prefer fixing over suppressing;
+// suppressions are grep-able and reviewed like baseline entries.
+#pragma once
+
+// Marks the function containing it as a report-affecting root: its
+// output feeds a scenario/bench report that CI byte-diffs. np_lint
+// applies the reachability-scoped rules (NPL001, NPL002) to every
+// function reachable from any root.
+#define NP_REPORT_AFFECTING() \
+  static_assert(true, "np_lint reachability root")
+
+// Waives NPL001 for the next loop. `reason` must be a string literal.
+#define NP_ORDER_INSENSITIVE(reason) \
+  static_assert(true, "np_lint: order-insensitive loop")
+
+// Waives `rule` (a string literal, see list above) for the next
+// statement. `reason` must be a string literal.
+#define NP_LINT_SUPPRESS(rule, reason) \
+  static_assert(true, "np_lint: suppressed finding")

@@ -87,4 +87,30 @@ inline void ParallelFor(std::size_t begin, std::size_t end, int num_threads,
   }
 }
 
+/// Serial, index-ordered sum over per-index slots — the blessed
+/// floating-point reduction for parallel regions (determinism contract
+/// rule 5, np_lint NPL005). Accumulating into a shared double inside a
+/// ParallelFor body is both a data race and an order-dependent sum;
+/// writing slots[i] and reducing here is bit-identical for any thread
+/// count.
+inline double DeterministicSum(const std::vector<double>& slots) {
+  double total = 0.0;
+  for (double v : slots) {
+    total += v;
+  }
+  return total;
+}
+
+/// Fills one slot per index with fn(i) under ParallelFor, then returns
+/// the serial DeterministicSum of the slots. The fn contract matches
+/// ParallelFor's.
+inline double ParallelSum(std::size_t begin, std::size_t end, int num_threads,
+                          const std::function<double(std::size_t)>& fn) {
+  std::vector<double> slots(end > begin ? end - begin : 0, 0.0);
+  ParallelFor(begin, end, num_threads, [&slots, begin, &fn](std::size_t i) {
+    slots[i - begin] = fn(i);
+  });
+  return DeterministicSum(slots);
+}
+
 }  // namespace np::util

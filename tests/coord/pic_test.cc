@@ -9,8 +9,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "core/latency_space.h"
 #include "core/probe_counter.h"
 #include "matrix/embedded_space.h"
 #include "util/rng.h"
@@ -154,6 +156,57 @@ TEST(PicNearest, ReturnsMuchCloserThanRandomMember) {
         space.Latency(members[baseline_rng.Index(members.size())], target);
   }
   EXPECT_LT(found_sum, 0.5 * random_sum);
+}
+
+/// Sees every probe FindNearest issues, in order.
+class RecordingSpace final : public core::LatencySpace {
+ public:
+  explicit RecordingSpace(const core::LatencySpace& inner) : inner_(&inner) {}
+  NodeId size() const override { return inner_->size(); }
+  LatencyMs Latency(NodeId a, NodeId b) const override {
+    probes_.push_back({a, b});
+    return inner_->Latency(a, b);
+  }
+  const std::vector<std::pair<NodeId, NodeId>>& probes() const {
+    return probes_;
+  }
+
+ private:
+  const core::LatencySpace* inner_;
+  mutable std::vector<std::pair<NodeId, NodeId>> probes_;
+};
+
+/// Regression test for the candidate-probe ordering fix (np_lint
+/// NPL001): endpoints and their neighborhoods used to live in
+/// unordered_sets, so the endpoint-probing phase walked them in hash
+/// order — probe order is part of the report under fault injection.
+/// Candidates are now held in ordered sets, so after the placement
+/// probes (which go out as (target, member)) the candidate probes
+/// (member, target) must arrive in strictly ascending member order.
+TEST(PicNearest, ProbesCandidatesInAscendingMemberOrder) {
+  const auto space = MakeWorld(350);
+  PicNearest pic(PicConfig{});
+  util::Rng rng(47);
+  pic.Build(space, FirstN(300), rng);
+
+  for (NodeId target = 300; target < 320; ++target) {
+    RecordingSpace recording(space);
+    const MeteredSpace metered(recording);
+    util::Rng qrng(util::Mix64(target));
+    const QueryResult result = pic.FindNearest(target, metered, qrng);
+    ASSERT_NE(result.found, kInvalidNode);
+
+    std::vector<NodeId> candidate_order;
+    for (const auto& [a, b] : recording.probes()) {
+      if (b == target) {
+        candidate_order.push_back(a);
+      }
+    }
+    ASSERT_GE(candidate_order.size(), 2u) << target;
+    for (std::size_t i = 1; i < candidate_order.size(); ++i) {
+      EXPECT_LT(candidate_order[i - 1], candidate_order[i]) << target;
+    }
+  }
 }
 
 TEST(PicNearest, TinyOverlayStillAnswers) {

@@ -57,6 +57,32 @@ TEST(DnsStudy, EachServerInAboutConfiguredPairs) {
   EXPECT_LE(mean, options.pairs_per_server + 1.0);
 }
 
+/// Regression test for the cluster-iteration fix (np_lint NPL001):
+/// the pairing loop draws from the study rng once per cluster, so
+/// cluster visit order decides which servers get paired — it used to
+/// follow unordered_map hash order and now follows sorted PoP keys.
+/// Two independently constructed studies must agree pair for pair;
+/// reintroducing hash-order iteration is additionally blocked
+/// statically by np_lint, which keeps this invariant across stdlibs.
+TEST(DnsStudy, ReportIsBitIdenticalAcrossIndependentRuns) {
+  auto run = [] {
+    StudyFixture f(5);
+    util::Rng rng(6);
+    return RunDnsStudy(f.topology, f.tools, DnsStudyOptions{}, rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  ASSERT_EQ(a.num_clusters, b.num_clusters);
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].server_a, b.pairs[i].server_a) << i;
+    EXPECT_EQ(a.pairs[i].server_b, b.pairs[i].server_b) << i;
+    EXPECT_EQ(a.pairs[i].exclusion, b.pairs[i].exclusion) << i;
+    EXPECT_EQ(a.pairs[i].predicted_ms, b.pairs[i].predicted_ms) << i;
+    EXPECT_EQ(a.pairs[i].measured_ms, b.pairs[i].measured_ms) << i;
+  }
+}
+
 TEST(DnsStudy, MostPredictionsNearTruth) {
   // The central §3.1 claim: the common-router prediction tracks the
   // King measurement — most included pairs within [0.5, 2].

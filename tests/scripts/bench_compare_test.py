@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py — the gate every bench in CI
+runs through. Each test drives the script exactly as CI does (a
+subprocess over two report files) and pins the contract: symmetric
+derived-drift detection, hard failure on missing keys in either
+direction, --require bound semantics, the scale-mismatch refusal, and
+the asymmetric (regression-only) wall-ms comparison.
+
+Run directly (python3 tests/scripts/bench_compare_test.py) or via ctest
+(scripts_bench_compare).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SCRIPT = os.path.join(ROOT, "scripts", "bench_compare.py")
+
+
+def report(derived=None, phases=None, scale="quick"):
+    out = {"bench": "fixture", "scale": scale}
+    if derived is not None:
+        out["derived"] = derived
+    if phases is not None:
+        out["phases"] = [{"name": n, "wall_ms": ms}
+                         for n, ms in phases.items()]
+    return out
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_compare(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT,
+             self.write("baseline.json", baseline),
+             self.write("current.json", current), *extra],
+            capture_output=True, text=True)
+
+    # ---- --derived -----------------------------------------------------
+
+    def test_derived_within_threshold_passes(self):
+        base = report(derived={"n100_p_exact": 0.80, "other": 1.0})
+        cur = report(derived={"n100_p_exact": 0.82, "other": 99.0})
+        proc = self.run_compare(base, cur, "--derived", "n",
+                                "--threshold", "0.05")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_derived_drift_fails_in_both_directions(self):
+        base = report(derived={"n100_p_exact": 0.80})
+        for drifted in (0.90, 0.70):  # +12.5% and -12.5%
+            cur = report(derived={"n100_p_exact": drifted})
+            proc = self.run_compare(base, cur, "--derived", "n",
+                                    "--threshold", "0.05")
+            self.assertEqual(proc.returncode, 1, (drifted, proc.stdout))
+            self.assertIn("DIVERGED", proc.stdout)
+
+    def test_derived_baseline_key_missing_from_current_fails(self):
+        base = report(derived={"n100_p_exact": 0.8, "n100_msgs": 12.0})
+        cur = report(derived={"n100_p_exact": 0.8})
+        proc = self.run_compare(base, cur, "--derived", "n")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("MISSING", proc.stdout)
+
+    def test_derived_unknown_current_key_fails_symmetrically(self):
+        base = report(derived={"n100_p_exact": 0.8})
+        cur = report(derived={"n100_p_exact": 0.8, "n100_new_metric": 1.0})
+        proc = self.run_compare(base, cur, "--derived", "n")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("NOT-IN-BASELINE", proc.stdout)
+
+    def test_derived_no_watched_prefix_is_usage_error(self):
+        base = report(derived={"other": 1.0})
+        cur = report(derived={"other": 1.0})
+        proc = self.run_compare(base, cur, "--derived", "n")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    # ---- --require -----------------------------------------------------
+
+    def test_require_bounds(self):
+        base = report(derived={})
+        cur = report(derived={"gap": 1.10, "p_fail": 0.01})
+        ok = self.run_compare(base, cur,
+                              "--require", "gap>=1.05",
+                              "--require", "gap>1.0",
+                              "--require", "p_fail<=0.05",
+                              "--require", "p_fail<0.05")
+        self.assertEqual(ok.returncode, 0, ok.stdout + ok.stderr)
+        violated = self.run_compare(base, cur, "--require", "gap>=1.2")
+        self.assertEqual(violated.returncode, 1, violated.stdout)
+        self.assertIn("VIOLATED", violated.stdout)
+        boundary = self.run_compare(base, cur, "--require", "gap>1.1")
+        self.assertEqual(boundary.returncode, 1,
+                         "strict > must reject the boundary value")
+
+    def test_require_missing_metric_is_hard_failure(self):
+        base = report(derived={})
+        cur = report(derived={"gap": 1.10})
+        proc = self.run_compare(base, cur, "--require", "absent>=1.0")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("MISSING", proc.stdout)
+
+    def test_require_composes_with_derived(self):
+        base = report(derived={"n100_p_exact": 0.8})
+        cur = report(derived={"n100_p_exact": 0.8})
+        proc = self.run_compare(base, cur, "--derived", "n",
+                                "--require", "n100_p_exact>=0.9")
+        self.assertEqual(proc.returncode, 1,
+                         "derived ok must not mask a violated bound")
+
+    # ---- scale + phases ------------------------------------------------
+
+    def test_scale_mismatch_refuses_to_compare(self):
+        base = report(derived={"x": 1.0}, scale="full")
+        cur = report(derived={"x": 1.0}, scale="quick")
+        proc = self.run_compare(base, cur, "--derived", "x")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("scale mismatch", proc.stderr)
+
+    def test_phase_regression_fails_but_speedup_passes(self):
+        base = report(phases={"metric_repair_all": 100.0})
+        slow = report(phases={"metric_repair_all": 150.0})
+        fast = report(phases={"metric_repair_all": 50.0})
+        proc = self.run_compare(base, slow, "--threshold", "0.20")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+        proc = self.run_compare(base, fast, "--threshold", "0.20")
+        self.assertEqual(proc.returncode, 0,
+                         "wall-ms gate is regression-only by design")
+
+    def test_update_rewrites_baseline(self):
+        base = report(derived={"x": 1.0})
+        cur = report(derived={"x": 2.0})
+        base_path = self.write("baseline.json", base)
+        cur_path = self.write("current.json", cur)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, base_path, cur_path, "--update"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        with open(base_path, "r", encoding="utf-8") as f:
+            self.assertEqual(json.load(f), cur)
+
+
+if __name__ == "__main__":
+    unittest.main()

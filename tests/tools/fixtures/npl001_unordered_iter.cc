@@ -1,0 +1,56 @@
+// np_lint fixture: NPL001 (unordered-iter). Not compiled — linted by
+// tests/tools/np_lint_test.py, which checks the findings against the
+// `EXPECT:` markers below (and that unmarked lines stay clean).
+#include <unordered_map>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace np::lintfix {
+
+int FlaggedRangeFor(const std::unordered_map<int, int>& counts) {
+  NP_REPORT_AFFECTING();
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // EXPECT: NPL001
+    total += key + value;
+  }
+  return total;
+}
+
+int FlaggedIteratorHarvest(const std::unordered_map<int, int>& counts) {
+  NP_REPORT_AFFECTING();
+  return counts.empty() ? 0 : counts.begin()->second;  // EXPECT: NPL001
+}
+
+int WaivedRangeFor(const std::unordered_map<int, int>& counts) {
+  NP_REPORT_AFFECTING();
+  int total = 0;
+  NP_ORDER_INSENSITIVE("integer sum is commutative");
+  for (const auto& [key, value] : counts) {
+    total += key + value;
+  }
+  return total;
+}
+
+int CleanOrderedIteration(const std::vector<int>& values) {
+  NP_REPORT_AFFECTING();
+  int total = 0;
+  for (int v : values) {
+    total += v;
+  }
+  return total;
+}
+
+// A local declaration shadows same-name unordered containers declared
+// elsewhere in the file: this must not be flagged.
+int CleanLocalShadow() {
+  NP_REPORT_AFFECTING();
+  std::vector<int> counts{1, 2, 3};
+  int total = 0;
+  for (int v : counts) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace np::lintfix

@@ -1,0 +1,33 @@
+// np_lint fixture: NPL002 (banned-call). Not compiled — linted by
+// tests/tools/np_lint_test.py against the `EXPECT:` markers.
+#include <chrono>
+#include <cstdlib>
+
+#include "util/contract.h"
+
+namespace np::lintfix {
+
+// rand() is banned everywhere, reachable or not.
+int FlaggedGlobalRand() { return std::rand(); }  // EXPECT: NPL002
+
+// Wall clocks are banned only in report-affecting paths.
+double FlaggedWallClock() {
+  NP_REPORT_AFFECTING();
+  const auto now = std::chrono::steady_clock::now();  // EXPECT: NPL002
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+double WaivedWallClock() {
+  NP_REPORT_AFFECTING();
+  NP_LINT_SUPPRESS("banned-call", "fixture: wall_* quarantine stand-in");
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+// steady_clock outside any report-affecting path stays legal.
+double CleanUnreachableWallClock() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace np::lintfix

@@ -1,0 +1,35 @@
+// np_lint fixture: NPL003 (shared-rng). Not compiled — linted by
+// tests/tools/np_lint_test.py against the `EXPECT:` markers.
+#include <cstddef>
+#include <vector>
+
+#include "util/contract.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace np::lintfix {
+
+void FlaggedSharedCapture(std::vector<std::size_t>& out) {
+  util::Rng rng(7);
+  util::ParallelFor(0, out.size(), 4, [&](std::size_t i) {
+    out[i] = rng.Index(100);  // EXPECT: NPL003
+  });
+}
+
+void CleanForkedStreams(std::vector<std::size_t>& out) {
+  const std::uint64_t base = 7;
+  util::ParallelFor(0, out.size(), 4, [&](std::size_t i) {
+    util::Rng fork(util::Mix64(base ^ i));
+    out[i] = fork.Index(100);
+  });
+}
+
+void WaivedSharedCapture(std::vector<std::size_t>& out) {
+  util::Rng rng(7);
+  util::ParallelFor(0, out.size(), 4, [&](std::size_t i) {
+    NP_LINT_SUPPRESS("shared-rng", "fixture: deliberate shared draw");
+    out[i] = rng.Index(100);
+  });
+}
+
+}  // namespace np::lintfix

@@ -1,0 +1,31 @@
+// np_lint fixture: NPL004 (static-state). Not compiled — linted by
+// tests/tools/np_lint_test.py against the `EXPECT:` markers.
+#include <vector>
+
+#include "util/contract.h"
+
+namespace np::lintfix {
+
+int FlaggedMutableStatic() {
+  static int counter = 0;  // EXPECT: NPL004
+  return ++counter;
+}
+
+int FlaggedThreadLocal() {
+  thread_local int scratch = 0;  // EXPECT: NPL004
+  return ++scratch;
+}
+
+int CleanImmutableStatic(int i) {
+  static const std::vector<int> kTable{1, 2, 3, 5, 8};
+  static constexpr int kBias = 2;
+  return kTable[static_cast<std::size_t>(i) % kTable.size()] + kBias;
+}
+
+int WaivedSingleton() {
+  NP_LINT_SUPPRESS("static-state", "fixture: immutable after first call");
+  static std::vector<int> table{1, 2, 3};
+  return table.front();
+}
+
+}  // namespace np::lintfix

@@ -1,0 +1,37 @@
+// np_lint fixture: NPL005 (fp-reduction). Not compiled — linted by
+// tests/tools/np_lint_test.py against the `EXPECT:` markers.
+#include <cstddef>
+#include <vector>
+
+#include "util/contract.h"
+#include "util/parallel.h"
+
+namespace np::lintfix {
+
+double Weight(std::size_t i) { return 1.0 / static_cast<double>(i + 1); }
+
+double FlaggedSharedAccumulator(std::size_t n) {
+  double total = 0.0;
+  util::ParallelFor(0, n, 4, [&](std::size_t i) {
+    total += Weight(i);  // EXPECT: NPL005
+  });
+  return total;
+}
+
+double CleanSlotReduction(std::size_t n) {
+  std::vector<double> slots(n, 0.0);
+  util::ParallelFor(0, n, 4,
+                    [&](std::size_t i) { slots[i] = Weight(i); });
+  return util::DeterministicSum(slots);
+}
+
+double WaivedAccumulator(std::size_t n) {
+  double total = 0.0;
+  util::ParallelFor(0, n, 1, [&](std::size_t i) {
+    NP_LINT_SUPPRESS("fp-reduction", "fixture: single-threaded region");
+    total += Weight(i);
+  });
+  return total;
+}
+
+}  // namespace np::lintfix

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/np_lint/np_lint.py.
+
+Each fixture under tests/tools/fixtures/ is a .cc file (never compiled)
+that marks every line expected to be flagged with an `EXPECT: NPLxxx`
+comment. The linter is run on each fixture in isolation and must report
+exactly the marked (line, rule) pairs: a missed marker means the rule
+rotted, an extra finding means a false positive crept in — including on
+the suppressed/waived variants, which is how NP_ORDER_INSENSITIVE and
+NP_LINT_SUPPRESS themselves stay tested.
+
+Run directly (python3 tests/tools/np_lint_test.py) or via ctest
+(tools_np_lint_fixtures).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+LINTER = os.path.join(ROOT, "tools", "np_lint", "np_lint.py")
+FIXTURE_DIR = os.path.join(ROOT, "tests", "tools", "fixtures")
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(NPL\d{3})")
+FINDING_RE = re.compile(r"^(.*?):(\d+): (NPL\d{3}) ")
+
+
+def expected_findings(path):
+    out = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                out.add((lineno, m.group(1)))
+    return out
+
+
+def actual_findings(path):
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--root", ROOT, "--no-baseline", path],
+        capture_output=True, text=True)
+    out = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            out.add((int(m.group(2)), m.group(3)))
+    return proc.returncode, out
+
+
+def main():
+    fixtures = sorted(
+        os.path.join(FIXTURE_DIR, name)
+        for name in os.listdir(FIXTURE_DIR) if name.endswith(".cc"))
+    if not fixtures:
+        print("np_lint_test: no fixtures found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in fixtures:
+        rel = os.path.relpath(path, ROOT)
+        expected = expected_findings(path)
+        returncode, actual = actual_findings(path)
+        problems = []
+        for missing in sorted(expected - actual):
+            problems.append(f"  missing: line {missing[0]} {missing[1]}")
+        for extra in sorted(actual - expected):
+            problems.append(f"  extra:   line {extra[0]} {extra[1]}")
+        want_rc = 1 if expected else 0
+        if returncode != want_rc:
+            problems.append(
+                f"  exit code {returncode}, expected {want_rc}")
+        if problems:
+            failures += 1
+            print(f"FAIL {rel}")
+            for p in problems:
+                print(p)
+        else:
+            print(f"ok   {rel} ({len(expected)} expected finding(s))")
+
+    if failures:
+        print(f"np_lint_test: {failures}/{len(fixtures)} fixture(s) "
+              f"failed", file=sys.stderr)
+        return 1
+    print(f"np_lint_test: {len(fixtures)} fixture(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,27 @@ TEST(ParallelForFn, MoreThreadsThanWorkIsFine) {
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
 }
 
+TEST(DeterministicSumFn, SumsSlotsInIndexOrder) {
+  EXPECT_EQ(DeterministicSum({}), 0.0);
+  // Bit-exact serial left fold: (0.1 + 0.2) + 0.3, not any reassociation.
+  const std::vector<double> slots{0.1, 0.2, 0.3};
+  EXPECT_EQ(DeterministicSum(slots), (0.1 + 0.2) + 0.3);
+}
+
+TEST(ParallelSumFn, BitIdenticalAcrossThreadCounts) {
+  // Values chosen so reassociating the sum changes the result in the
+  // low bits: a naive parallel per-chunk accumulation would differ
+  // between thread counts, the slot-based reduction must not.
+  const auto term = [](std::size_t i) {
+    return 1.0 / (1.0 + static_cast<double>(i * i));
+  };
+  const double serial = ParallelSum(0, 10000, 1, term);
+  for (const int threads : {2, 3, 8, 16}) {
+    EXPECT_EQ(ParallelSum(0, 10000, threads, term), serial) << threads;
+  }
+  EXPECT_EQ(ParallelSum(7, 7, 4, term), 0.0);
+}
+
 TEST(ParallelForFn, PropagatesWorkerExceptions) {
   for (const int threads : {1, 4}) {
     EXPECT_THROW(

@@ -1,0 +1,985 @@
+#!/usr/bin/env python3
+"""np_lint — the repo's determinism contract as machine-checked rules.
+
+Every headline number this reproduction emits rests on bit-identical
+replay: thread-count-invariant parallel loops, serving-vs-serial
+report identity, and per-(event, id) keyed RNG streams. Those
+guarantees are enforced at runtime by byte-diff tests — np_lint
+enforces them at lint time, so the class of bug that bit NoisySpace
+(sequential jitter stream, PR 4) and Vivaldi training (member-order
+variance, PR 8) fails CI before a report ever diverges.
+
+Rules (docs/ARCHITECTURE.md "Determinism contract" cross-references
+these IDs; src/util/contract.h defines the waiver annotations):
+
+  NPL001 unordered-iter   No iteration over std::unordered_map /
+                          std::unordered_set in any function reachable
+                          from a report-affecting root, unless the
+                          loop is marked NP_ORDER_INSENSITIVE(reason).
+  NPL002 banned-call      No rand()/srand()/std::random_device,
+                          wall-clock reads (system_clock,
+                          steady_clock, time(), gettimeofday,
+                          clock_gettime), or pointer-value keying
+                          (reinterpret_cast of `this`, hashing a
+                          pointer) in report-affecting paths.
+                          rand/srand/random_device/system_clock are
+                          additionally banned everywhere in src/.
+  NPL003 shared-rng       Inside a ParallelFor body, every Rng draw
+                          must come from a stream declared inside the
+                          body (per-index fork: Rng(Mix64(base ^ i)));
+                          touching an Rng captured from the enclosing
+                          scope is flagged.
+  NPL004 static-state     No non-const function-local `static` (and no
+                          `thread_local`) outside annotated
+                          singletons: hidden mutable state breaks
+                          replay identity and Clone() detachment.
+  NPL005 fp-reduction     Floating-point accumulation (`x += ...`) onto
+                          a variable captured from outside a
+                          ParallelFor body is both a race and an
+                          order-dependent sum; reduce into per-index
+                          slots (slots[i] += ... is allowed) or use
+                          util::DeterministicSum.
+
+Reachability: a function is report-affecting iff its body contains
+NP_REPORT_AFFECTING() or it is reachable from such a function in the
+name-based call graph (conservative: calls resolve to every known
+function with the same unqualified name, virtual dispatch included by
+construction). NPL001 and NPL002's clock bans apply only there;
+NPL002's hard bans and NPL003/004/005 apply to every scanned file.
+
+The gate is "no new findings": findings are matched against the
+committed baseline (tools/np_lint/baseline.json) by a line-content
+fingerprint that survives unrelated edits, new findings fail the run,
+and stale baseline entries are reported so the baseline only shrinks.
+
+Usage:
+  np_lint.py [--root .] [--compile-commands build/compile_commands.json]
+             [--baseline tools/np_lint/baseline.json]
+             [--update-baseline] [--no-baseline] [--stats]
+             [--dump-reachable] [files...]
+
+Exit codes: 0 clean (or baseline-covered), 1 new findings, 2 usage.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Lexer: C++ source -> (kind, text, line) tokens, comments and
+# preprocessor lines stripped, strings collapsed, with `#include "..."`
+# captured on the side for the include graph.
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<line_comment>//[^\n]*)
+    | (?P<block_comment>/\*.*?\*/)
+    | (?P<string>L?"(?:\\.|[^"\\])*")
+    | (?P<char>L?'(?:\\.|[^'\\])*')
+    | (?P<number>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|[{}()\[\];:,.<>+\-*/%&|^~!?=\#@\\])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def strip_preprocessor(text):
+    """Blanks preprocessor lines (keeping newlines so line numbers
+    hold), honoring backslash continuations; returns (text, includes)."""
+    out_lines = []
+    includes = []
+    in_directive = False
+    for line in text.split("\n"):
+        if in_directive:
+            in_directive = line.rstrip().endswith("\\")
+            out_lines.append("")
+            continue
+        if re.match(r"^\s*#", line):
+            m = INCLUDE_RE.match(line)
+            if m:
+                includes.append(m.group(1))
+            in_directive = line.rstrip().endswith("\\")
+            out_lines.append("")
+        else:
+            out_lines.append(line)
+    return "\n".join(out_lines), includes
+
+
+def lex(text):
+    text, includes = strip_preprocessor(text)
+    toks = []
+    line = 1
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = TOKEN_RE.match(text, pos)
+        if not m:
+            pos += 1  # stray byte (rare; e.g. inside raw strings)
+            continue
+        kind = m.lastgroup
+        frag = m.group()
+        if kind == "ws" or kind == "line_comment" or kind == "block_comment":
+            line += frag.count("\n")
+        elif kind == "string":
+            toks.append(Tok("string", '""', line))
+            line += frag.count("\n")
+        elif kind == "char":
+            toks.append(Tok("char", "''", line))
+        else:
+            toks.append(Tok(kind, frag, line))
+        pos = m.end()
+    return toks, includes
+
+
+# --------------------------------------------------------------------------
+# Bracket matching over the token list.
+
+
+def match_forward(toks, i, open_t, close_t):
+    """Index of the token closing the open_t at toks[i], or None."""
+    depth = 0
+    for j in range(i, len(toks)):
+        t = toks[j].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return j
+    return None
+
+
+def statement_end(toks, i):
+    """End index (inclusive) of the statement starting at toks[i]:
+    the first `;` at depth 0, or the close of the first depth-0 brace
+    block (covers loops and if-chains)."""
+    depth = 0
+    j = i
+    while j < len(toks):
+        t = toks[j].text
+        if t in "([":
+            depth += 1
+        elif t in ")]":
+            depth -= 1
+        elif t == "{":
+            if depth == 0:
+                return match_forward(toks, j, "{", "}") or len(toks) - 1
+            depth += 1
+        elif t == "}":
+            if depth == 0:
+                return j  # enclosing block ended first: empty statement
+            depth -= 1
+        elif t == ";" and depth == 0:
+            return j
+        j += 1
+    return len(toks) - 1
+
+
+# --------------------------------------------------------------------------
+# Declared-name registries. Token-level type tracking: good enough to
+# know which identifiers name unordered containers, Rngs, and
+# floating-point scalars in a file (plus its transitive includes).
+
+CONTAINER_HEADS = {"unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset"}
+
+
+def collect_registries(toks):
+    unordered = set()
+    rngs = set()
+    floats = set()
+    n = len(toks)
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident":
+            continue
+        if tok.text in CONTAINER_HEADS:
+            j = i + 1
+            if j < n and toks[j].text == "<":
+                close = match_forward(toks, j, "<", ">")
+                # `>>` never appears: the lexer splits template closers?
+                # No — `>>` lexes as one token; handle by counting both.
+                if close is None:
+                    close = angle_close(toks, j)
+                j = close + 1 if close is not None else j
+            # skip ref/pointer/cv tokens, then an identifier is a name
+            while j < n and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < n and toks[j].kind == "ident":
+                unordered.add(toks[j].text)
+        elif tok.text == "Rng":
+            j = i + 1
+            while j < n and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < n and toks[j].kind == "ident":
+                rngs.add(toks[j].text)
+        elif tok.text in ("double", "float"):
+            j = i + 1
+            while j < n and toks[j].text in ("&", "const"):
+                j += 1
+            if (j < n and toks[j].kind == "ident"
+                    and (j + 1 >= n or toks[j + 1].text not in ("(", "<"))):
+                floats.add(toks[j].text)
+    return unordered, rngs, floats
+
+
+ORDERED_HEADS = {"vector", "map", "set", "multimap", "multiset", "deque",
+                 "array", "list", "string"}
+
+
+def local_decl_kinds(toks, begin, end):
+    """Declarations inside toks[begin:end]: name -> True when declared
+    with an unordered container head, False when declared with a known
+    order-stable container. Function-local declarations shadow the
+    file/header registry, so `std::vector<...> probed;` in one function
+    is not poisoned by an `unordered_set<...> probed` elsewhere."""
+    kinds = {}
+    n = end
+    i = begin
+    while i < n:
+        tok = toks[i]
+        if tok.kind == "ident" and (tok.text in CONTAINER_HEADS
+                                    or tok.text in ORDERED_HEADS):
+            is_unordered = tok.text in CONTAINER_HEADS
+            j = i + 1
+            if j < n and toks[j].text == "<":
+                close = angle_close(toks, j)
+                if close is None:
+                    i += 1
+                    continue
+                j = close + 1
+            while j < n and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if (j < n and toks[j].kind == "ident"
+                    and (j + 1 >= n
+                         or toks[j + 1].text not in ("(", "<", ".", "->",
+                                                     "::", ","))):
+                kinds.setdefault(toks[j].text, is_unordered)
+            i = j
+        i += 1
+    return kinds
+
+
+def angle_close(toks, i):
+    """Matches `<` at i against `>`, treating `>>` as two closers."""
+    depth = 0
+    for j in range(i, len(toks)):
+        t = toks[j].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j
+        elif t in (";", "{"):
+            return None  # not a template argument list after all
+    return None
+
+
+# --------------------------------------------------------------------------
+# Function extraction.
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "new",
+    "delete", "throw", "do", "else", "case", "default", "goto", "alignof",
+    "decltype", "typeid", "co_await", "co_return", "co_yield", "assert",
+}
+
+QUALIFIERS_AFTER_PARAMS = {"const", "noexcept", "override", "final",
+                           "mutable", "constexpr", "&", "&&", "->",
+                           "requires", "try"}
+
+
+class Func:
+    __slots__ = ("qname", "base", "file", "line", "body_begin", "body_end",
+                 "calls", "is_root")
+
+    def __init__(self, qname, base, file, line, body_begin, body_end):
+        self.qname = qname
+        self.base = base
+        self.file = file
+        self.line = line
+        self.body_begin = body_begin  # index of `{`
+        self.body_end = body_end      # index of matching `}`
+        self.calls = set()
+        self.is_root = False
+
+
+def extract_functions(toks, path):
+    funcs = []
+    n = len(toks)
+    i = 0
+    while i < n:
+        tok = toks[i]
+        if tok.kind != "ident" or tok.text in KEYWORDS:
+            i += 1
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            i += 1
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        if prev in (".", "->", "return", "new", "throw", "=", ",", "(",
+                    "[", "!", "&&", "||", "<", ">", "+", "-", "*", "/",
+                    "?", ":", "case", "co_return", "co_await"):
+            i += 1
+            continue
+        close = match_forward(toks, i + 1, "(", ")")
+        if close is None:
+            i += 1
+            continue
+        # Walk the qualifier tail (and a possible ctor-init list) to `{`.
+        j = close + 1
+        body = None
+        while j < n:
+            t = toks[j].text
+            if t == "{":
+                body = j
+                break
+            if t == ":":  # ctor-init list: consume to the body brace
+                depth = 0
+                k = j + 1
+                while k < n:
+                    tk = toks[k].text
+                    if tk in "([":
+                        depth += 1
+                    elif tk in ")]":
+                        depth -= 1
+                    elif tk == "{" and depth == 0:
+                        body = k
+                        break
+                    elif tk == ";" and depth == 0:
+                        break
+                    k += 1
+                break
+            if (t in QUALIFIERS_AFTER_PARAMS or toks[j].kind == "ident"
+                    or t in ("::", "<", ">", ">>", "(", ")", "*", "&")):
+                if t == "(":
+                    j = match_forward(toks, j, "(", ")")
+                    if j is None:
+                        break
+                j += 1
+                continue
+            break
+        if body is None:
+            i = close + 1
+            continue
+        end = match_forward(toks, body, "{", "}")
+        if end is None:
+            i = close + 1
+            continue
+        # Qualified name: walk back over `ident ::` pairs (and `~`).
+        qparts = [tok.text]
+        k = i - 1
+        while k - 1 >= 0 and toks[k].text == "::" and toks[k - 1].kind == "ident":
+            qparts.insert(0, toks[k - 1].text)
+            k -= 2
+        funcs.append(Func("::".join(qparts), tok.text, path, tok.line,
+                          body, end))
+        i = body + 1  # functions at class scope nest; bodies don't
+    return funcs
+
+
+def collect_calls(toks, func):
+    for j in range(func.body_begin + 1, func.body_end):
+        t = toks[j]
+        if (t.kind == "ident" and t.text not in KEYWORDS
+                and j + 1 < len(toks) and toks[j + 1].text == "("):
+            func.calls.add(t.text)
+        if t.kind == "ident" and t.text == "NP_REPORT_AFFECTING":
+            func.is_root = True
+
+
+# --------------------------------------------------------------------------
+# Suppressions.
+
+RULE_NAMES = {
+    "NPL001": "unordered-iter",
+    "NPL002": "banned-call",
+    "NPL003": "shared-rng",
+    "NPL004": "static-state",
+    "NPL005": "fp-reduction",
+}
+NAME_TO_RULE = {v: k for k, v in RULE_NAMES.items()}
+
+
+def collect_suppressions(toks):
+    """Returns {rule_id: [(begin_tok, end_tok)]} token-index spans."""
+    spans = {}
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident":
+            continue
+        if tok.text == "NP_ORDER_INSENSITIVE":
+            rule = "NPL001"
+        elif tok.text == "NP_LINT_SUPPRESS":
+            rule = None
+        else:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        close = match_forward(toks, i + 1, "(", ")")
+        if close is None:
+            continue
+        if rule is None:
+            # The rule name is NP_LINT_SUPPRESS's first argument — a
+            # string literal the lexer collapsed. Mark the span '?' and
+            # re-resolve it from the raw source line afterwards.
+            rule = "?"
+        j = close + 1
+        if j < len(toks) and toks[j].text == ";":
+            j += 1
+        if j >= len(toks):
+            continue
+        end = statement_end(toks, j)
+        spans.setdefault(rule, []).append((j, end))
+    return spans
+
+
+def resolve_suppress_rules(raw_lines, toks, spans):
+    """NP_LINT_SUPPRESS rule names live in string literals, which the
+    lexer collapses. Re-resolve each '?' span by reading the raw source
+    line of the marker."""
+    resolved = {}
+    for rule, ranges in spans.items():
+        if rule != "?":
+            resolved.setdefault(rule, []).extend(ranges)
+            continue
+        for begin, end in ranges:
+            # the marker sits just before `begin`; search backwards a
+            # few tokens for its line number
+            line_no = toks[max(begin - 4, 0)].line
+            window = "\n".join(
+                raw_lines[max(line_no - 2, 0):min(line_no + 1,
+                                                  len(raw_lines))])
+            m = re.search(r'NP_LINT_SUPPRESS\(\s*"([^"]+)"', window)
+            if not m:
+                continue
+            rule_id = NAME_TO_RULE.get(m.group(1))
+            if rule_id is None:
+                continue
+            resolved.setdefault(rule_id, []).append((begin, end))
+    return resolved
+
+
+def suppressed(spans, rule, tok_index):
+    for begin, end in spans.get(rule, ()):
+        if begin <= tok_index <= end:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rule implementations. Each yields (rule, tok_index, message).
+
+GLOBAL_BANNED = {"rand", "srand", "drand48", "lrand48", "random_device",
+                 "system_clock"}
+REACHABLE_BANNED = GLOBAL_BANNED | {
+    "steady_clock", "high_resolution_clock", "clock_gettime",
+    "gettimeofday", "timespec_get",
+}
+
+
+def iter_expr_candidates(toks, begin, end):
+    """Identifiers that could name the iterated container in
+    toks[begin:end]: depth-0 idents not immediately called."""
+    depth = 0
+    out = []
+    for j in range(begin, end):
+        t = toks[j].text
+        if t in "([":
+            depth += 1
+        elif t in ")]":
+            depth -= 1
+        elif depth == 0 and toks[j].kind == "ident":
+            nxt = toks[j + 1].text if j + 1 < end else ""
+            if nxt != "(":
+                out.append((j, toks[j].text))
+    return out
+
+
+def rule_unordered_iter(toks, func, unordered):
+    """NPL001 within one reachable function body."""
+    local = local_decl_kinds(toks, func.body_begin, func.body_end)
+
+    def is_unordered(name):
+        if name in local:
+            return local[name]
+        return name in unordered
+
+    j = func.body_begin
+    while j < func.body_end:
+        t = toks[j]
+        if t.kind == "ident" and t.text == "for" and \
+                j + 1 < len(toks) and toks[j + 1].text == "(":
+            close = match_forward(toks, j + 1, "(", ")")
+            if close is not None:
+                colon = None
+                depth = 0
+                for k in range(j + 2, close):
+                    tk = toks[k].text
+                    if tk in "([":
+                        depth += 1
+                    elif tk in ")]":
+                        depth -= 1
+                    elif tk == ":" and depth == 0:
+                        colon = k
+                        break
+                    elif tk == ";" and depth == 0:
+                        break  # classic for: handled via .begin() below
+                if colon is not None:
+                    for k, name in iter_expr_candidates(toks, colon + 1,
+                                                        close):
+                        if is_unordered(name):
+                            yield ("NPL001", k,
+                                   f"range-for over unordered container "
+                                   f"'{name}' — iteration order is "
+                                   f"implementation-defined; collect + "
+                                   f"sort, or mark the loop "
+                                   f"NP_ORDER_INSENSITIVE(reason)")
+                            break
+                j = close + 1
+                continue
+        # iterator harvesting: X.begin() / X.cbegin() on an unordered X
+        if (t.kind == "ident" and t.text in ("begin", "cbegin")
+                and j + 1 < len(toks) and toks[j + 1].text == "("
+                and j >= 2 and toks[j - 1].text in (".", "->")
+                and toks[j - 2].kind == "ident"
+                and is_unordered(toks[j - 2].text)):
+            yield ("NPL001", j,
+                   f"'{toks[j - 2].text}.{t.text}()' walks an unordered "
+                   f"container in iteration order; copy out + sort, or "
+                   f"mark NP_ORDER_INSENSITIVE(reason)")
+        j += 1
+
+
+def rule_banned_calls(toks, func, reachable):
+    banned = REACHABLE_BANNED if reachable else GLOBAL_BANNED
+    for j in range(func.body_begin + 1, func.body_end):
+        t = toks[j]
+        if t.kind != "ident":
+            continue
+        if t.text in banned:
+            # member accesses like foo.rand are not the libc call
+            if toks[j - 1].text in (".", "->"):
+                continue
+            yield ("NPL002", j,
+                   f"'{t.text}' is nondeterministic (wall clock / global "
+                   f"RNG); use the keyed util::Rng streams or the bench "
+                   f"wall_* quarantine")
+        elif t.text == "time" and toks[j + 1].text == "(" \
+                and toks[j - 1].text == "::" and toks[j - 2].text == "std":
+            yield ("NPL002", j, "'std::time' reads the wall clock")
+        elif reachable and t.text == "reinterpret_cast":
+            close = angle_close(toks, j + 1) if toks[j + 1].text == "<" \
+                else None
+            # keying on the object address varies run to run (ASLR)
+            if close is not None and toks[close + 1].text == "(" \
+                    and toks[close + 2].text == "this":
+                yield ("NPL002", j,
+                       "pointer-value keying: reinterpret_cast of "
+                       "`this` feeds address-dependent (ASLR) values "
+                       "into the computation")
+        elif reachable and t.text == "hash" and toks[j + 1].text == "<":
+            close = angle_close(toks, j + 1)
+            if close is not None and any(
+                    toks[k].text == "*" for k in range(j + 1, close)):
+                yield ("NPL002", j,
+                       "std::hash of a pointer type keys on addresses, "
+                       "which change run to run")
+
+
+def parallel_for_lambdas(toks, func):
+    """Yields (body_begin, body_end) for lambda bodies passed to
+    ParallelFor within this function."""
+    for j in range(func.body_begin + 1, func.body_end):
+        if toks[j].kind == "ident" and toks[j].text == "ParallelFor" \
+                and j + 1 < len(toks) and toks[j + 1].text == "(":
+            close = match_forward(toks, j + 1, "(", ")")
+            if close is None:
+                continue
+            k = j + 2
+            while k < close:
+                if toks[k].text == "[":
+                    cap_close = match_forward(toks, k, "[", "]")
+                    if cap_close is None:
+                        break
+                    b = cap_close + 1
+                    while b < close and toks[b].text != "{":
+                        b += 1
+                    if b < close:
+                        body_end = match_forward(toks, b, "{", "}")
+                        if body_end is not None:
+                            yield (b, body_end)
+                    break
+                k += 1
+
+
+def lambda_local_decls(toks, begin, end, type_names):
+    """Names declared inside [begin, end] with a type in type_names
+    (single-token match, `util::Rng x` and `Rng x(...)` both hit)."""
+    out = set()
+    for j in range(begin, end):
+        if toks[j].kind == "ident" and toks[j].text in type_names:
+            k = j + 1
+            while k < end and toks[k].text in ("&", "*", "const"):
+                k += 1
+            if k < end and toks[k].kind == "ident":
+                out.add(toks[k].text)
+    return out
+
+
+def rule_shared_rng(toks, func, rng_names):
+    for body_begin, body_end in parallel_for_lambdas(toks, func):
+        locals_ = lambda_local_decls(toks, body_begin, body_end, {"Rng"})
+        for j in range(body_begin + 1, body_end):
+            t = toks[j]
+            if t.kind != "ident" or t.text not in rng_names:
+                continue
+            if t.text in locals_:
+                continue
+            if toks[j - 1].text in (".", "->", "::"):
+                continue  # member of something else
+            # the declaration token of a local: `Rng mrng(...)` — the
+            # name right after the type was collected above; skip the
+            # type token itself
+            if t.text == "Rng":
+                continue
+            yield ("NPL003", j,
+                   f"'{t.text}' is an Rng captured from the enclosing "
+                   f"scope used inside a ParallelFor body — draws become "
+                   f"schedule-dependent; fork a per-index stream instead "
+                   f"(util::Rng(Mix64(base ^ index)))")
+
+
+def rule_static_state(toks, func):
+    for j in range(func.body_begin + 1, func.body_end):
+        t = toks[j]
+        if t.kind != "ident":
+            continue
+        if t.text == "thread_local":
+            yield ("NPL004", j,
+                   "'thread_local' state varies with the thread count; "
+                   "results must be thread-count invariant")
+        elif t.text == "static":
+            nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+            if nxt not in ("const", "constexpr"):
+                yield ("NPL004", j,
+                       "non-const function-local static is hidden "
+                       "mutable state: it survives across queries and "
+                       "breaks Clone()/replay identity; annotate "
+                       "NP_LINT_SUPPRESS(\"static-state\", reason) if "
+                       "this is a deliberate immutable singleton")
+
+
+def rule_fp_reduction(toks, func, float_names):
+    for body_begin, body_end in parallel_for_lambdas(toks, func):
+        locals_ = lambda_local_decls(toks, body_begin, body_end,
+                                     {"double", "float"})
+        for j in range(body_begin + 1, body_end):
+            t = toks[j]
+            if t.text not in ("+=", "-=", "*=", "/="):
+                continue
+            lhs = toks[j - 1]
+            if lhs.kind != "ident":
+                continue  # slots[i] += x: lhs token is `]` — allowed
+            if lhs.text in locals_ or lhs.text not in float_names:
+                continue
+            if toks[j - 2].text in (".", "->"):
+                continue  # field of a per-index element
+            yield ("NPL005", j - 1,
+                   f"floating-point accumulation onto captured "
+                   f"'{lhs.text}' inside a ParallelFor body: a data race "
+                   f"AND an order-dependent sum; write per-index slots "
+                   f"and reduce serially (util::DeterministicSum)")
+
+
+# --------------------------------------------------------------------------
+# Driver.
+
+
+def resolve_include(inc, src_file, root):
+    for base in (os.path.join(root, "src"), root,
+                 os.path.dirname(src_file)):
+        cand = os.path.normpath(os.path.join(base, inc))
+        if os.path.isfile(cand):
+            return cand
+    return None
+
+
+class FileInfo:
+    __slots__ = ("path", "toks", "raw_lines", "includes", "unordered",
+                 "rngs", "floats", "funcs", "suppressions")
+
+    def __init__(self, path, root):
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        self.path = path
+        self.raw_lines = text.split("\n")
+        self.toks, incs = lex(text)
+        self.includes = [resolve_include(i, path, root) for i in incs]
+        self.includes = [i for i in self.includes if i]
+        self.unordered, self.rngs, self.floats = collect_registries(
+            self.toks)
+        self.funcs = extract_functions(self.toks, path)
+        for fn in self.funcs:
+            collect_calls(self.toks, fn)
+        raw_spans = collect_suppressions(self.toks)
+        self.suppressions = resolve_suppress_rules(self.raw_lines,
+                                                   self.toks, raw_spans)
+
+
+def scoped_unordered(info, infos):
+    """NPL001 name registry for one file: its own declarations plus the
+    stem-matching headers it includes (foo.cc -> foo.h). A transitive
+    merge over the whole include closure false-positives across classes
+    that reuse member names (members_, probed, ...)."""
+    stem = os.path.splitext(os.path.basename(info.path))[0]
+    merged = set(info.unordered)
+    for inc in info.includes:
+        if os.path.splitext(os.path.basename(inc))[0] == stem:
+            other = infos.get(inc)
+            if other is not None:
+                merged |= other.unordered
+    return merged
+
+
+def transitive_registry(info, infos, attr):
+    seen = set()
+    stack = [info.path]
+    merged = set()
+    while stack:
+        p = stack.pop()
+        if p in seen:
+            continue
+        seen.add(p)
+        fi = infos.get(p)
+        if fi is None:
+            continue
+        merged |= getattr(fi, attr)
+        stack.extend(fi.includes)
+    return merged
+
+
+def find_sources(root, compile_commands, explicit):
+    if explicit:
+        return [os.path.abspath(p) for p in explicit]
+    files = set()
+    if compile_commands and os.path.isfile(compile_commands):
+        with open(compile_commands, "r", encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = os.path.normpath(
+                    os.path.join(entry.get("directory", ""),
+                                 entry["file"]))
+                files.add(p)
+    lint_dirs = ("src", "bench", "tools")
+    for d in lint_dirs:
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
+            if "np_lint" in dirpath:
+                continue
+            for name in names:
+                if name.endswith((".h", ".cc", ".cpp")):
+                    files.add(os.path.join(dirpath, name))
+    prefixes = tuple(os.path.join(os.path.abspath(root), d)
+                     for d in lint_dirs)
+    return sorted(p for p in files
+                  if os.path.abspath(p).startswith(prefixes))
+
+
+def fingerprint(rule, path, line_text):
+    h = hashlib.sha1()
+    h.update(rule.encode())
+    h.update(b"\0")
+    h.update(os.path.basename(path).encode())
+    h.update(b"\0")
+    h.update(re.sub(r"\s+", " ", line_text.strip()).encode())
+    return h.hexdigest()[:16]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="determinism-contract linter (see docs/LINTING.md)")
+    ap.add_argument("files", nargs="*",
+                    help="explicit files to lint (default: src/ bench/ "
+                         "tools/ and compile_commands.json)")
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--compile-commands", default=None)
+    ap.add_argument("--baseline", default=None)
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--no-baseline", action="store_true")
+    ap.add_argument("--stats", action="store_true")
+    ap.add_argument("--dump-reachable", action="store_true")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.baseline is None:
+        default_baseline = os.path.join(root, "tools", "np_lint",
+                                        "baseline.json")
+        args.baseline = default_baseline if os.path.isfile(
+            default_baseline) else None
+
+    paths = find_sources(root, args.compile_commands, args.files)
+    if not paths:
+        print("np_lint: no source files found", file=sys.stderr)
+        return 2
+
+    infos = {}
+    for p in paths:
+        infos[p] = FileInfo(p, root)
+    # headers pulled in via includes also carry declarations (and
+    # possibly functions): load them for registries but lint only the
+    # requested set
+    extra = set()
+    for fi in list(infos.values()):
+        for inc in fi.includes:
+            if inc not in infos:
+                extra.add(inc)
+    for p in sorted(extra):
+        infos[p] = FileInfo(p, root)
+
+    # ---- call graph + reachability -----------------------------------
+    by_base = {}
+    for fi in infos.values():
+        for fn in fi.funcs:
+            by_base.setdefault(fn.base, []).append(fn)
+    roots = [fn for fi in infos.values() for fn in fi.funcs if fn.is_root]
+    reachable = set()
+    stack = list(roots)
+    while stack:
+        fn = stack.pop()
+        key = id(fn)
+        if key in reachable:
+            continue
+        reachable.add(key)
+        for callee in fn.calls:
+            for target in by_base.get(callee, ()):
+                if id(target) not in reachable:
+                    stack.append(target)
+    if args.dump_reachable:
+        for fn in sorted((f for fi in infos.values() for f in fi.funcs
+                          if id(f) in reachable),
+                         key=lambda f: (f.file, f.line)):
+            rel = os.path.relpath(fn.file, root)
+            print(f"{rel}:{fn.line}: {fn.qname}")
+        return 0
+
+    # ---- run rules ---------------------------------------------------
+    findings = []
+    lint_set = {os.path.abspath(p) for p in paths}
+    for path, fi in sorted(infos.items()):
+        if os.path.abspath(path) not in lint_set:
+            continue
+        unordered = scoped_unordered(fi, infos)
+        rngs = transitive_registry(fi, infos, "rngs")
+        floats = fi.floats  # float names stay file-local: member floats
+        # from headers would make `sum +=` false-positive too easily
+        for fn in fi.funcs:
+            is_reachable = id(fn) in reachable
+            rules = []
+            if is_reachable:
+                rules.append(rule_unordered_iter(fi.toks, fn, unordered))
+            rules.append(rule_banned_calls(fi.toks, fn, is_reachable))
+            rules.append(rule_shared_rng(fi.toks, fn, rngs))
+            rules.append(rule_static_state(fi.toks, fn))
+            rules.append(rule_fp_reduction(fi.toks, fn, floats))
+            for gen in rules:
+                for rule, tok_index, message in gen:
+                    if suppressed(fi.suppressions, rule, tok_index):
+                        continue
+                    line = fi.toks[tok_index].line
+                    line_text = fi.raw_lines[line - 1] \
+                        if line - 1 < len(fi.raw_lines) else ""
+                    findings.append({
+                        "rule": rule,
+                        "name": RULE_NAMES[rule],
+                        "file": os.path.relpath(path, root),
+                        "line": line,
+                        "function": fn.qname,
+                        "message": message,
+                        "fingerprint": fingerprint(rule, path, line_text),
+                    })
+
+    if args.stats:
+        n_funcs = sum(len(fi.funcs) for fi in infos.values())
+        print(f"np_lint: {len(paths)} files, {n_funcs} functions, "
+              f"{len(roots)} roots, {len(reachable)} reachable, "
+              f"{len(findings)} finding(s) pre-baseline")
+
+    # ---- baseline gate -----------------------------------------------
+    if args.update_baseline:
+        target = args.baseline or os.path.join(root, "tools", "np_lint",
+                                               "baseline.json")
+        payload = {
+            "comment": "np_lint known findings; burn down, never grow. "
+                       "Regenerate with --update-baseline.",
+            "findings": sorted(
+                ({"rule": f["rule"], "file": f["file"],
+                  "function": f["function"],
+                  "fingerprint": f["fingerprint"]} for f in findings),
+                key=lambda e: (e["file"], e["rule"], e["fingerprint"])),
+        }
+        with open(target, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"np_lint: baseline {target} updated "
+              f"({len(findings)} finding(s))")
+        return 0
+
+    baseline_keys = {}
+    if args.baseline and not args.no_baseline:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            for e in json.load(f).get("findings", []):
+                k = (e["rule"], e["file"], e["fingerprint"])
+                baseline_keys[k] = baseline_keys.get(k, 0) + 1
+
+    new = []
+    matched = {}
+    for f in findings:
+        k = (f["rule"], f["file"], f["fingerprint"])
+        if matched.get(k, 0) < baseline_keys.get(k, 0):
+            matched[k] = matched.get(k, 0) + 1
+        else:
+            new.append(f)
+
+    stale = {k: c - matched.get(k, 0) for k, c in baseline_keys.items()
+             if matched.get(k, 0) < c}
+    for k in sorted(stale):
+        print(f"np_lint: stale baseline entry {k[0]} {k[1]} {k[2]} — "
+              f"finding fixed; shrink the baseline "
+              f"(--update-baseline)")
+
+    for f in new:
+        print(f"{f['file']}:{f['line']}: {f['rule']} [{f['name']}] "
+              f"in {f['function']}: {f['message']}")
+    if new:
+        print(f"np_lint: FAILED — {len(new)} new finding(s) "
+              f"({len(findings) - len(new)} baseline-covered)",
+              file=sys.stderr)
+        return 1
+    covered = f" ({len(findings)} baseline-covered)" if findings else ""
+    print(f"np_lint: ok{covered}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,8 @@
 #include "util/json.h"
 #include "util/table.h"
 
+#include "util/contract.h"
+
 namespace {
 
 using np::NodeId;
@@ -950,6 +952,7 @@ int Run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  NP_REPORT_AFFECTING();
   try {
     return Run(argc, argv);
   } catch (const std::exception& e) {
