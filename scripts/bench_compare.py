@@ -39,6 +39,22 @@ of the CURRENT report: "name>=value", "name>value", "name<=value" or
 it for invariants a refactor must never silently lose (e.g. the
 blackout Gini gap staying > 1). When --require is given without
 --derived, the phase wall-time comparison is skipped.
+
+--np-run switches the input format: the single REPORT argument is an
+np_run scenario report (NP_RUN_*.json), not a bench report, and its
+per-algorithm metrics are flattened into derived-style keys that
+--require can gate directly:
+
+  scripts/bench_compare.py --np-run NP_RUN_zipf_hotspot.json \
+      --require "meridian_load_gini_max<=0.6"
+
+Flattened keys per algorithm: run-level scalars
+(<algo>_messages_per_query, <algo>_maintenance_per_event,
+<algo>_failed_queries, and <algo>_load_{total,max,median,gini} when the
+run tracked load) plus <algo>_<field>_{min,max,mean} over the epochs
+for every numeric per-epoch field (p_exact_closest, p_query_failed,
+load_gini, p_exact_reachable, ...). Only --require composes with
+--np-run; there is no baseline.
 """
 
 import argparse
@@ -172,10 +188,40 @@ def check_requirements(current, specs):
     return 0
 
 
+def flatten_np_run(report):
+    """Per-algorithm derived-style metrics from an np_run report."""
+    derived = {}
+    for algo in report.get("algorithms", []):
+        name = algo["name"]
+        for key in ("messages_per_query", "maintenance_per_event"):
+            if key in algo:
+                derived[f"{name}_{key}"] = float(algo[key])
+        if "fault" in algo:
+            derived[f"{name}_failed_queries"] = float(
+                algo["fault"].get("failed_queries", 0))
+        for key, value in algo.get("load", {}).items():
+            derived[f"{name}_load_{key}"] = float(value)
+        epochs = algo.get("epochs", [])
+        fields = sorted({
+            field
+            for epoch in epochs
+            for field, value in epoch.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        })
+        for field in fields:
+            values = [float(e[field]) for e in epochs if field in e]
+            if not values:
+                continue
+            derived[f"{name}_{field}_min"] = min(values)
+            derived[f"{name}_{field}_max"] = max(values)
+            derived[f"{name}_{field}_mean"] = sum(values) / len(values)
+    return derived
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="?", default=None)
     parser.add_argument(
         "--threshold",
         type=float,
@@ -209,7 +255,36 @@ def main():
         'e.g. --require "blackout_tiers_gini_over_meridian>=1.05"; '
         "repeatable, all bounds must hold",
     )
+    parser.add_argument(
+        "--np-run",
+        action="store_true",
+        help="treat the single REPORT argument as an np_run scenario "
+        "report and gate --require bounds on its flattened "
+        "per-algorithm metrics (no baseline)",
+    )
     args = parser.parse_args()
+
+    if args.np_run:
+        if args.current is not None or args.update or args.derived:
+            print(
+                "bench_compare: --np-run takes a single report and only "
+                "composes with --require",
+                file=sys.stderr,
+            )
+            return 2
+        if not args.require:
+            print(
+                "bench_compare: --np-run needs at least one --require bound",
+                file=sys.stderr,
+            )
+            return 2
+        flattened = {"derived": flatten_np_run(load(args.baseline))}
+        return check_requirements(flattened, args.require)
+
+    if args.current is None:
+        print("bench_compare: CURRENT report argument is required",
+              file=sys.stderr)
+        return 2
 
     current = load(args.current)
 

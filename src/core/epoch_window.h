@@ -19,8 +19,10 @@
 #include "core/latency_space.h"
 #include "core/nearest_algorithm.h"
 #include "core/probe_counter.h"
+#include "core/probe_policy.h"
 #include "core/scenario.h"
 #include "matrix/generators.h"
+#include "matrix/partitioned_space.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -31,6 +33,17 @@ namespace np::core {
 OverlaySplit SplitScenarioPopulation(const LatencySpace& space,
                                      const std::vector<NodeId>& population,
                                      NodeId initial_overlay, util::Rng& rng);
+
+/// Resolves FaultConfig's cluster-group partition windows, grey-node
+/// and asymmetric-loss knobs into the per-node PartitionSchedule the
+/// PartitionedSpace decorators consume. Validates window sanity (no
+/// overlap, start < end) and that partitions only appear on clustered
+/// worlds. `fault_root` seeds the schedule-level grey/asym membership
+/// draws; both engines derive it identically, which is what makes
+/// scenario and serving replays agree.
+matrix::PartitionSchedule BuildPartitionSchedule(
+    const FaultConfig& fault, const matrix::ClusterLayout* layout,
+    NodeId space_size, std::uint64_t fault_root);
 
 /// Detaches the algorithm's probe counter on every exit path — the
 /// counter is a stack local in the engines, and leaving it attached
@@ -65,8 +78,27 @@ class ScopedProbePolicy {
   NearestPeerAlgorithm& algo_;
 };
 
+/// Correlated-fault hooks threaded through the churn window, all
+/// nullable/optional. Both engines pass the same hooks, so the
+/// partition clock, suspicion recording, and probation/heal repair stay
+/// replay-identical by construction.
+struct WindowFaultHooks {
+  /// Maintenance-stack partition decorator; its epoch clock is advanced
+  /// at each window start (serial).
+  matrix::PartitionedSpace* partition = nullptr;
+  /// Failure-detector ledger; recording is enabled only inside the
+  /// serial window (never while query threads run), and probation
+  /// re-probes drain here with billed maintenance traffic.
+  SuspicionLedger* suspicion = nullptr;
+  /// Policy used for probation re-probes (the engine's policy).
+  const ProbePolicy* policy = nullptr;
+  /// Seed root for the post-release rejoin-refresh rng streams.
+  std::uint64_t rejoin_root = 0;
+};
+
 /// One epoch's churn window: crash repairs pending from the previous
-/// window, blackouts due by the boundary, scheduled churn, the
+/// window, probation re-probes of quarantined peers (heal repair),
+/// blackouts due by the boundary, scheduled churn, the
 /// no-incremental-churn rebuild path, and the maintenance billing
 /// around all of it. Stateful across epochs (blackout cursor, charged
 /// maintenance watermark); drive it with consecutive epoch indices.
@@ -82,14 +114,20 @@ class ChurnWindowRunner {
                     std::vector<ScenarioConfig::Blackout> blackouts,
                     std::uint64_t rebuild_root, int build_threads,
                     int total_epochs, bool incremental,
-                    std::uint64_t charged_build);
+                    std::uint64_t charged_build,
+                    WindowFaultHooks hooks = {});
 
   /// Applies epoch `epoch`'s window and fills the churn/maintenance
   /// fields of `er` (epoch, time_s, joins/leaves/crashes/skipped,
-  /// rebuilt, maintenance, live_members).
+  /// rebuilt, maintenance, live_members, quarantined_peers).
   void RunWindow(int epoch, EpochReport& er);
 
  private:
+  /// Probation re-probes for quarantined peers due this epoch; a
+  /// success releases the peer and (for incremental overlays) refreshes
+  /// its entries with a billed leave+rejoin.
+  void DrainProbation(int epoch);
+
   NearestPeerAlgorithm& algo_;
   ChurnDriver& driver_;
   const ChurnSchedule& schedule_;
@@ -103,6 +141,7 @@ class ChurnWindowRunner {
   const int total_epochs_;
   const bool incremental_;
   std::uint64_t charged_maintenance_;
+  WindowFaultHooks hooks_;
 };
 
 }  // namespace np::core

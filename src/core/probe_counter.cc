@@ -49,6 +49,9 @@ ProbeCounter::Snapshot ProbeCounter::Read() const {
   snapshot.build_probes = build_probes_.load(std::memory_order_relaxed);
   snapshot.failed_probes = failed_probes_.load(std::memory_order_relaxed);
   snapshot.retries = retries_.load(std::memory_order_relaxed);
+  snapshot.suspicion_skips = suspicion_skips_.load(std::memory_order_relaxed);
+  snapshot.probation_probes =
+      probation_probes_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -60,6 +63,8 @@ void ProbeCounter::Reset() {
   build_probes_.store(0, std::memory_order_relaxed);
   failed_probes_.store(0, std::memory_order_relaxed);
   retries_.store(0, std::memory_order_relaxed);
+  suspicion_skips_.store(0, std::memory_order_relaxed);
+  probation_probes_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t> PerNodeLedger::Counts() const {

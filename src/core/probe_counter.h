@@ -48,6 +48,15 @@ class ProbeCounter {
     /// Re-attempts issued by a ProbePolicy after a failed probe. Each
     /// retry is also billed as a probe in the phase counters.
     std::uint64_t retries = 0;
+    /// Probes *not* issued because the target was quarantined by the
+    /// suspicion ledger (failure detector). A skip is free on the wire
+    /// — that is the point of quarantining — so it is counted here and
+    /// nowhere else.
+    std::uint64_t suspicion_skips = 0;
+    /// Probation re-probes issued to quarantined peers at backed-off
+    /// intervals. Each is also billed as a maintenance probe: heal
+    /// detection is metered traffic, symmetric with crash repair.
+    std::uint64_t probation_probes = 0;
 
     /// Mean messages per query; 0 when no query has been charged.
     double MessagesPerQuery() const;
@@ -69,6 +78,12 @@ class ProbeCounter {
   void AddBuildProbes(std::uint64_t n) { SaturatingAdd(build_probes_, n); }
   void AddFailedProbes(std::uint64_t n) { SaturatingAdd(failed_probes_, n); }
   void AddRetries(std::uint64_t n) { SaturatingAdd(retries_, n); }
+  void AddSuspicionSkips(std::uint64_t n) {
+    SaturatingAdd(suspicion_skips_, n);
+  }
+  void AddProbationProbes(std::uint64_t n) {
+    SaturatingAdd(probation_probes_, n);
+  }
 
   Snapshot Read() const;
 
@@ -86,6 +101,8 @@ class ProbeCounter {
   std::atomic<std::uint64_t> build_probes_{0};
   std::atomic<std::uint64_t> failed_probes_{0};
   std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> suspicion_skips_{0};
+  std::atomic<std::uint64_t> probation_probes_{0};
 };
 
 /// Per-node tally of messages *answered*: who pays for all that probe

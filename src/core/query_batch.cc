@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <optional>
 
 #include "matrix/faulty_space.h"
 #include "util/error.h"
 #include "util/stats.h"
 
 namespace np::core {
+namespace {
+
+/// True closest member of the target's component (clean latencies),
+/// kInvalidNode when the component holds no member. Lowest id on ties,
+/// like TrueClosestMember.
+NodeId TrueClosestReachable(const LatencySpace& space,
+                            const std::vector<NodeId>& members, NodeId target,
+                            const matrix::PartitionWindow& window,
+                            int target_component) {
+  NodeId best = kInvalidNode;
+  LatencyMs best_latency = kInfiniteLatency;
+  for (const NodeId m : members) {
+    if (matrix::ComponentOf(window, m) != target_component) {
+      continue;
+    }
+    const LatencyMs l = space.Latency(m, target);
+    if (l < best_latency || (l == best_latency && m < best)) {
+      best = m;
+      best_latency = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 std::vector<double> ZipfCdf(std::size_t n, double s) {
   std::vector<double> cdf(n);
@@ -35,8 +62,20 @@ QueryOutcome RunBatchQuery(const QueryBatch& batch, NearestPeerAlgorithm& algo,
   const NoisySpace noisy(*batch.space, batch.noise_frac,
                          batch.noise_base ^ static_cast<std::uint64_t>(q),
                          batch.noise_floor_ms);
+  // Correlated faults slot in between noise and i.i.d. loss; the
+  // decorator is query-private (grey loss is stateful) and pinned at
+  // the batch's epoch. Absent a schedule the stack is byte-identical
+  // to the pre-partition build.
+  std::optional<matrix::PartitionedSpace> partitioned;
+  const LatencySpace* upstream = &noisy;
+  if (batch.partition != nullptr && batch.partition->Any()) {
+    partitioned.emplace(noisy, *batch.partition,
+                        batch.partition_base ^ static_cast<std::uint64_t>(q));
+    partitioned->set_epoch(batch.epoch);
+    upstream = &*partitioned;
+  }
   const matrix::FaultySpace faulty(
-      noisy, batch.loss_rate,
+      *upstream, batch.loss_rate,
       batch.fault_base ^ static_cast<std::uint64_t>(q), batch.crashed);
   const MeteredSpace metered(faulty, batch.ledger);
   // The uniform path must keep the exact pre-fault draw (Index, not
@@ -58,15 +97,36 @@ QueryOutcome RunBatchQuery(const QueryBatch& batch, NearestPeerAlgorithm& algo,
   out.failed = result.found == kInvalidNode;
   out.probes = metered.probes();
   out.truth_latency = batch.space->Latency(truth, target);
-  if (out.failed) {
-    return out;
+  if (!out.failed) {
+    out.hops = result.hops;
+    out.found_latency = batch.space->Latency(result.found, target);
+    out.exact = out.found_latency <= out.truth_latency + batch.tie_epsilon_ms;
+    if (batch.layout != nullptr) {
+      out.correct_cluster = batch.layout->SameCluster(result.found, target);
+      out.same_net = batch.layout->SameNet(result.found, target);
+    }
   }
-  out.hops = result.hops;
-  out.found_latency = batch.space->Latency(result.found, target);
-  out.exact = out.found_latency <= out.truth_latency + batch.tie_epsilon_ms;
-  if (batch.layout != nullptr) {
-    out.correct_cluster = batch.layout->SameCluster(result.found, target);
-    out.same_net = batch.layout->SameNet(result.found, target);
+  // Nearest-reachable scoring: identical to `exact` in whole epochs,
+  // restricted to the target's component under a partition window.
+  out.exact_reachable = out.exact;
+  if (batch.active_window != nullptr) {
+    const matrix::PartitionWindow& window = *batch.active_window;
+    out.target_component = matrix::ComponentOf(window, target);
+    const NodeId rtruth = TrueClosestReachable(
+        *batch.space, *batch.members, target, window, out.target_component);
+    if (rtruth == kInvalidNode) {
+      // No member shares the target's component: the only correct
+      // answer is an honest failure.
+      out.exact_reachable = out.failed;
+    } else if (out.failed ||
+               matrix::ComponentOf(window, result.found) !=
+                   out.target_component) {
+      out.exact_reachable = false;
+    } else {
+      const LatencyMs rtruth_latency = batch.space->Latency(rtruth, target);
+      out.exact_reachable =
+          out.found_latency <= rtruth_latency + batch.tie_epsilon_ms;
+    }
   }
   return out;
 }
@@ -74,6 +134,7 @@ QueryOutcome RunBatchQuery(const QueryBatch& batch, NearestPeerAlgorithm& algo,
 void ReduceQueryOutcomes(const std::vector<QueryOutcome>& outcomes,
                          EpochReport& er, std::uint64_t* failed_queries) {
   std::int64_t exact = 0;
+  std::int64_t exact_reachable = 0;
   std::int64_t correct_cluster = 0;
   std::int64_t same_net = 0;
   std::int64_t answered = 0;
@@ -84,6 +145,9 @@ void ReduceQueryOutcomes(const std::vector<QueryOutcome>& outcomes,
   excess.reserve(outcomes.size());
   for (const QueryOutcome& out : outcomes) {
     total_probes += out.probes;
+    // Counted before the failed-query skip: an honest failure on an
+    // unreachable target is the *correct* reachable outcome.
+    exact_reachable += out.exact_reachable ? 1 : 0;
     if (out.failed) {
       // Failed queries count against p_exact and messages/query but
       // contribute no latency/hops samples (there is no answer to
@@ -103,6 +167,7 @@ void ReduceQueryOutcomes(const std::vector<QueryOutcome>& outcomes,
   const std::int64_t queries = static_cast<std::int64_t>(outcomes.size());
   const double n = static_cast<double>(queries);
   er.p_exact_closest = static_cast<double>(exact) / n;
+  er.p_exact_reachable = static_cast<double>(exact_reachable) / n;
   er.p_correct_cluster = static_cast<double>(correct_cluster) / n;
   er.p_same_net = static_cast<double>(same_net) / n;
   er.p_query_failed = static_cast<double>(queries - answered) / n;
@@ -121,6 +186,32 @@ void ReduceQueryOutcomes(const std::vector<QueryOutcome>& outcomes,
     er.excess_latency_p95_ms = util::PercentileSorted(excess, 95.0);
     er.excess_latency_p99_ms = util::PercentileSorted(excess, 99.0);
   }
+}
+
+std::vector<EpochReport::ComponentStats> SplitByComponent(
+    const std::vector<QueryOutcome>& outcomes,
+    const std::vector<NodeId>& members,
+    const matrix::PartitionWindow& window) {
+  // Ordered map: the report lists components by id, not hash order.
+  std::map<int, EpochReport::ComponentStats> split;
+  for (const NodeId m : members) {
+    EpochReport::ComponentStats& c = split[matrix::ComponentOf(window, m)];
+    ++c.members;
+  }
+  for (const QueryOutcome& out : outcomes) {
+    EpochReport::ComponentStats& c = split[out.target_component];
+    ++c.queries;
+    if (out.failed) {
+      ++c.failed_queries;
+    }
+  }
+  std::vector<EpochReport::ComponentStats> out;
+  out.reserve(split.size());
+  for (auto& [component, stats] : split) {
+    stats.component = component;
+    out.push_back(stats);
+  }
+  return out;
 }
 
 }  // namespace np::core

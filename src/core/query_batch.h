@@ -22,6 +22,7 @@
 #include "core/probe_counter.h"
 #include "core/scenario.h"
 #include "matrix/generators.h"
+#include "matrix/partitioned_space.h"
 #include "util/types.h"
 
 namespace np::core {
@@ -39,6 +40,13 @@ struct QueryOutcome {
   bool same_net = false;
   /// Fault mode only: every probe path gave up, no peer returned.
   bool failed = false;
+  /// Nearest *reachable* peer correctness: under an active partition
+  /// window the truth is restricted to the target's component, and a
+  /// target with no reachable member scores correct iff the query
+  /// honestly failed. Equals `exact` when no window is active.
+  bool exact_reachable = false;
+  /// Component of the target under the active window (0 when whole).
+  int target_component = 0;
   NodeId found = kInvalidNode;
   NodeId target = kInvalidNode;
 };
@@ -70,10 +78,19 @@ struct QueryBatch {
   LatencyMs tie_epsilon_ms = 0.0;
   /// When false, a query returning no peer is a hard error.
   bool fault_mode = false;
+  /// Nullable: correlated-fault plan. When set (and Any()), each query
+  /// wraps its space stack in a private PartitionedSpace seeded
+  /// partition_base ^ q, pinned at `epoch`.
+  const matrix::PartitionSchedule* partition = nullptr;
+  /// Nullable: the partition window active this epoch (drives the
+  /// nearest-reachable scoring); nullptr when the population is whole.
+  const matrix::PartitionWindow* active_window = nullptr;
+  int epoch = 0;
   /// Per-epoch stream bases; query q xors its index in.
   std::uint64_t query_base = 0;
   std::uint64_t noise_base = 0;
   std::uint64_t fault_base = 0;
+  std::uint64_t partition_base = 0;
 };
 
 /// Runs query `q` of the batch against `algo` (charging its attached
@@ -89,5 +106,12 @@ QueryOutcome RunBatchQuery(const QueryBatch& batch, NearestPeerAlgorithm& algo,
 /// when non-null.
 void ReduceQueryOutcomes(const std::vector<QueryOutcome>& outcomes,
                          EpochReport& er, std::uint64_t* failed_queries);
+
+/// Per-component membership/query split for one partitioned epoch,
+/// ordered by component id (deterministic). Load Gini is left zero for
+/// the caller to fill under track_load.
+std::vector<EpochReport::ComponentStats> SplitByComponent(
+    const std::vector<QueryOutcome>& outcomes,
+    const std::vector<NodeId>& members, const matrix::PartitionWindow& window);
 
 }  // namespace np::core

@@ -10,6 +10,7 @@
 #include "core/probe_policy.h"
 #include "core/query_batch.h"
 #include "matrix/faulty_space.h"
+#include "matrix/partitioned_space.h"
 #include "util/contract.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -47,7 +48,14 @@ ScenarioReport RunScenario(const LatencySpace& space,
   // query probes go through per-query meters instead.
   const NoisySpace maint_noisy(space, config.measurement_noise_frac, rng(),
                                config.measurement_noise_floor_ms);
-  matrix::FaultySpace maint_faulty(maint_noisy, config.fault.loss_rate,
+  // Correlated faults (partitions / grey nodes / one-way links) sit
+  // between noise and i.i.d. loss. An empty schedule forwards verbatim,
+  // so pre-partition runs stay byte-identical.
+  const matrix::PartitionSchedule partition_schedule = BuildPartitionSchedule(
+      config.fault, layout, space.size(), fault_root);
+  matrix::PartitionedSpace maint_part(maint_noisy, partition_schedule,
+                                      util::Mix64(fault_root ^ 0x6));
+  matrix::FaultySpace maint_faulty(maint_part, config.fault.loss_rate,
                                    util::Mix64(fault_root ^ 0x1));
   const bool track_load = config.fault.track_load;
   PerNodeLedger ledger(track_load ? static_cast<std::size_t>(space.size())
@@ -57,8 +65,10 @@ ScenarioReport RunScenario(const LatencySpace& space,
 
   ProbeCounter counter;
   const ScopedProbeCounter attach(algo, counter);
+  const bool suspicion_mode = config.fault.suspicion.Enabled();
+  SuspicionLedger suspicion(config.fault.suspicion);
   const ProbePolicy policy(ProbePolicyConfig{config.fault.max_attempts},
-                           &counter);
+                           &counter, suspicion_mode ? &suspicion : nullptr);
   const ScopedProbePolicy attach_policy(algo, policy);
 
   ScenarioReport report;
@@ -73,7 +83,8 @@ ScenarioReport RunScenario(const LatencySpace& space,
   // thread.
   const bool noisy_maintenance = config.measurement_noise_frac > 0.0 ||
                                  config.measurement_noise_floor_ms > 0.0 ||
-                                 config.fault.loss_rate > 0.0;
+                                 config.fault.loss_rate > 0.0 ||
+                                 partition_schedule.GreyActive();
   const int build_threads = noisy_maintenance ? 1 : config.num_threads;
   algo.ParallelBuild(maint, split.members, rng, build_threads);
   report.build_messages = maint.probes();
@@ -103,21 +114,32 @@ ScenarioReport RunScenario(const LatencySpace& space,
       break;
     }
   }
+  report.partition_mode = partition_schedule.Any();
+  report.suspicion_mode = suspicion_mode;
   report.fault_mode = config.fault.loss_rate > 0.0 ||
-                      config.fault.max_attempts > 1 || has_crash_events;
+                      config.fault.max_attempts > 1 || has_crash_events ||
+                      report.partition_mode || suspicion_mode;
   report.load_tracking = track_load;
 
   const int query_threads = algo.ParallelQuerySafe()
                                 ? util::ResolveThreadCount(config.num_threads)
                                 : 1;
 
+  WindowFaultHooks hooks;
+  hooks.partition = report.partition_mode ? &maint_part : nullptr;
+  hooks.suspicion = suspicion_mode ? &suspicion : nullptr;
+  hooks.policy = &policy;
+  hooks.rejoin_root = util::Mix64(fault_root ^ 0x3);
   ChurnWindowRunner windows(algo, driver, schedule, layout, maint, counter,
                             config.blackouts, rebuild_root, build_threads,
                             config.epochs, incremental,
-                            report.build_messages);
+                            report.build_messages, hooks);
 
   std::uint64_t charged_failed = 0;
   std::uint64_t charged_retries = 0;
+  std::uint64_t charged_skips = 0;
+  std::uint64_t charged_probation = 0;
+  const std::uint64_t partition_root = util::Mix64(fault_root ^ 0x7);
   std::vector<std::uint64_t> ledger_prev;
   if (track_load) {
     ledger_prev = ledger.Counts();
@@ -152,6 +174,13 @@ ScenarioReport RunScenario(const LatencySpace& space,
     batch.loss_rate = config.fault.loss_rate;
     batch.tie_epsilon_ms = config.tie_epsilon_ms;
     batch.fault_mode = report.fault_mode;
+    if (report.partition_mode) {
+      batch.partition = &partition_schedule;
+      batch.active_window = partition_schedule.WindowFor(epoch);
+      batch.epoch = epoch;
+      batch.partition_base =
+          util::Mix64(partition_root ^ static_cast<std::uint64_t>(epoch));
+    }
     batch.query_base =
         util::Mix64(query_root ^ static_cast<std::uint64_t>(epoch));
     batch.noise_base =
@@ -166,12 +195,19 @@ ScenarioReport RunScenario(const LatencySpace& space,
     });
 
     ReduceQueryOutcomes(outcomes, er, &report.failed_queries);
+    if (batch.active_window != nullptr) {
+      er.components = SplitByComponent(outcomes, members, *batch.active_window);
+    }
 
     const ProbeCounter::Snapshot fault_snap = counter.Read();
     er.failed_probes = fault_snap.failed_probes - charged_failed;
     er.retries = fault_snap.retries - charged_retries;
     charged_failed = fault_snap.failed_probes;
     charged_retries = fault_snap.retries;
+    er.suspicion_skips = fault_snap.suspicion_skips - charged_skips;
+    er.probation_probes = fault_snap.probation_probes - charged_probation;
+    charged_skips = fault_snap.suspicion_skips;
+    charged_probation = fault_snap.probation_probes;
 
     if (track_load) {
       std::vector<std::uint64_t> now = ledger.Counts();
@@ -180,6 +216,19 @@ ScenarioReport RunScenario(const LatencySpace& space,
       er.load_max = snap.max;
       er.load_median = snap.median;
       er.load_gini = snap.gini;
+      // Load concentration inside each partition component: who
+      // carries a side's traffic while the other side is dark.
+      for (EpochReport::ComponentStats& c : er.components) {
+        std::vector<NodeId> comp_members;
+        comp_members.reserve(static_cast<std::size_t>(c.members));
+        for (const NodeId m : members) {
+          if (matrix::ComponentOf(*batch.active_window, m) == c.component) {
+            comp_members.push_back(m);
+          }
+        }
+        c.load_gini =
+            PerNodeSnapshot::Over(now, &ledger_prev, comp_members).gini;
+      }
       ledger_prev = std::move(now);
     }
 

@@ -34,6 +34,7 @@
 #include "core/latency_space.h"
 #include "core/nearest_algorithm.h"
 #include "core/probe_counter.h"
+#include "core/probe_policy.h"
 #include "matrix/generators.h"
 #include "util/types.h"
 
@@ -53,6 +54,33 @@ struct FaultConfig {
   /// Track per-node load (messages answered per peer) and report
   /// max/median/Gini per epoch plus a whole-run snapshot.
   bool track_load = false;
+
+  /// Correlated partition: during epochs [start_epoch, end_epoch) the
+  /// world's clusters are split into disjoint groups and every
+  /// inter-group probe is lost (see matrix::PartitionedSpace). Clusters
+  /// not named in any group sit in component 0. Requires a clustered
+  /// layout; windows must not overlap.
+  struct Partition {
+    int start_epoch = 0;
+    int end_epoch = 0;  // exclusive
+    std::vector<std::vector<int>> groups;
+  };
+  std::vector<Partition> partitions;
+  /// Grey failure: grey_node_frac of nodes (chosen deterministically
+  /// per run) lose probes touching them at grey_loss_rate per attempt.
+  double grey_node_frac = 0.0;
+  double grey_loss_rate = 0.0;
+  /// Fraction of directed pairs with permanent one-way loss.
+  double asymmetric_loss = 0.0;
+  /// Suspicion / failure detector (see SuspicionLedger); strikes == 0
+  /// disables it.
+  SuspicionConfig suspicion{/*strikes=*/0};
+
+  /// True iff any correlated pathology is configured.
+  bool Partitioned() const {
+    return !partitions.empty() || (grey_node_frac > 0.0 && grey_loss_rate > 0.0)
+           || asymmetric_loss > 0.0;
+  }
 };
 
 struct ScenarioConfig {
@@ -140,6 +168,33 @@ struct EpochReport {
   /// Retry attempts issued by the probe policy this epoch.
   std::uint64_t retries = 0;
 
+  // Partition-mode metrics (FaultConfig::Partitioned()).
+  /// P(found the nearest *reachable* peer): during a partition the
+  /// truth is restricted to the target's component, and a query with
+  /// no reachable member is scored correct iff it honestly failed.
+  /// Equals p_exact_closest in epochs with no active window.
+  double p_exact_reachable = 0.0;
+  /// Per-component accuracy/load split; populated only in epochs with
+  /// an active partition window.
+  struct ComponentStats {
+    int component = 0;
+    NodeId members = 0;
+    std::int64_t queries = 0;
+    std::int64_t failed_queries = 0;
+    /// Load Gini across this component's members (track_load only).
+    double load_gini = 0.0;
+  };
+  std::vector<ComponentStats> components;
+
+  // Suspicion-mode metrics (FaultConfig::suspicion enabled).
+  /// Peers quarantined at this epoch's window end (queries see exactly
+  /// this set).
+  std::uint64_t quarantined_peers = 0;
+  /// Probes skipped for free against quarantined peers this epoch.
+  std::uint64_t suspicion_skips = 0;
+  /// Billed probation re-probes issued this epoch.
+  std::uint64_t probation_probes = 0;
+
   // Per-node load over this epoch's window + queries, across live
   // members; only populated under FaultConfig::track_load.
   std::uint64_t load_max = 0;
@@ -168,6 +223,12 @@ struct ScenarioReport {
   bool fault_mode = false;
   /// True when the per-node load ledger ran.
   bool load_tracking = false;
+  /// True when a correlated pathology (partition windows, grey nodes,
+  /// asymmetric loss) was configured; gates the partition fields in
+  /// report serialization.
+  bool partition_mode = false;
+  /// True when the suspicion ledger ran; gates its fields likewise.
+  bool suspicion_mode = false;
   /// Queries that found no reachable peer, whole run.
   std::uint64_t failed_queries = 0;
   /// Whole-run per-node load over final members (post-build traffic:

@@ -32,16 +32,22 @@ namespace {
 struct EpochSlot {
   /// Churn/maintenance fields, filled by the writer.
   EpochReport er;
-  /// Maintenance-side failed/retry deltas over this epoch's window
-  /// (main counter); query-side deltas live in reader_counter.
+  /// Maintenance-side failed/retry/suspicion deltas over this epoch's
+  /// window (main counter); query-side deltas live in reader_counter.
   std::uint64_t maint_failed = 0;
   std::uint64_t maint_retries = 0;
+  std::uint64_t maint_skips = 0;
+  std::uint64_t maint_probation = 0;
   /// Membership copy for post-run staleness scoring (kept out of the
   /// snapshot so holding it does not extend snapshot lifetime).
   std::vector<NodeId> members;
   /// Per-epoch query-side ledger, shared by all readers of the epoch
   /// and merged into the main counter at reduction.
   std::unique_ptr<ProbeCounter> reader_counter;
+  /// Frozen copy of the suspicion ledger at this epoch's window end:
+  /// readers consult the quarantine set without racing the writer's
+  /// strike recording (recording stays off on the copy).
+  std::unique_ptr<SuspicionLedger> reader_suspicion;
   std::unique_ptr<ProbePolicy> reader_policy;
   std::vector<double> zipf_cdf;
   QueryBatch batch;
@@ -90,14 +96,20 @@ ServingReport RunServing(const LatencySpace& space,
 
   const NoisySpace maint_noisy(space, sc.measurement_noise_frac, rng(),
                                sc.measurement_noise_floor_ms);
-  matrix::FaultySpace maint_faulty(maint_noisy, sc.fault.loss_rate,
+  const matrix::PartitionSchedule partition_schedule =
+      BuildPartitionSchedule(sc.fault, layout, space.size(), fault_root);
+  matrix::PartitionedSpace maint_part(maint_noisy, partition_schedule,
+                                      util::Mix64(fault_root ^ 0x6));
+  matrix::FaultySpace maint_faulty(maint_part, sc.fault.loss_rate,
                                    util::Mix64(fault_root ^ 0x1));
   const MeteredSpace maint(maint_faulty, nullptr);
 
   ProbeCounter counter;
   const ScopedProbeCounter attach(algo, counter);
+  const bool suspicion_mode = sc.fault.suspicion.Enabled();
+  SuspicionLedger suspicion(sc.fault.suspicion);
   const ProbePolicy policy(ProbePolicyConfig{sc.fault.max_attempts},
-                           &counter);
+                           &counter, suspicion_mode ? &suspicion : nullptr);
   const ScopedProbePolicy attach_policy(algo, policy);
 
   ServingReport sr;
@@ -109,7 +121,8 @@ ServingReport RunServing(const LatencySpace& space,
 
   const bool noisy_maintenance = sc.measurement_noise_frac > 0.0 ||
                                  sc.measurement_noise_floor_ms > 0.0 ||
-                                 sc.fault.loss_rate > 0.0;
+                                 sc.fault.loss_rate > 0.0 ||
+                                 partition_schedule.GreyActive();
   const int build_threads = noisy_maintenance ? 1 : sc.num_threads;
   algo.ParallelBuild(maint, split.members, rng, build_threads);
   report.build_messages = maint.probes();
@@ -131,13 +144,23 @@ ServingReport RunServing(const LatencySpace& space,
       break;
     }
   }
+  report.partition_mode = partition_schedule.Any();
+  report.suspicion_mode = suspicion_mode;
   report.fault_mode = sc.fault.loss_rate > 0.0 || sc.fault.max_attempts > 1 ||
-                      has_crash_events;
+                      has_crash_events || report.partition_mode ||
+                      suspicion_mode;
   report.load_tracking = false;
 
+  WindowFaultHooks hooks;
+  hooks.partition = report.partition_mode ? &maint_part : nullptr;
+  hooks.suspicion = suspicion_mode ? &suspicion : nullptr;
+  hooks.policy = &policy;
+  hooks.rejoin_root = util::Mix64(fault_root ^ 0x3);
   ChurnWindowRunner windows(algo, driver, schedule, layout, maint, counter,
                             sc.blackouts, rebuild_root, build_threads,
-                            sc.epochs, incremental, report.build_messages);
+                            sc.epochs, incremental, report.build_messages,
+                            hooks);
+  const std::uint64_t partition_root = util::Mix64(fault_root ^ 0x7);
 
   // --- Writer/reader rendezvous ------------------------------------------
   const int n_readers = config.reader_threads;
@@ -211,6 +234,8 @@ ServingReport RunServing(const LatencySpace& space,
   // query snapshot k — the concurrency the mode exists to exercise.
   std::uint64_t charged_failed = 0;
   std::uint64_t charged_retries = 0;
+  std::uint64_t charged_skips = 0;
+  std::uint64_t charged_probation = 0;
   bool writer_aborted = false;
   for (int epoch = 0; epoch < sc.epochs; ++epoch) {
     EpochSlot& slot = slots[static_cast<std::size_t>(epoch)];
@@ -220,6 +245,10 @@ ServingReport RunServing(const LatencySpace& space,
     slot.maint_retries = maint_snap.retries - charged_retries;
     charged_failed = maint_snap.failed_probes;
     charged_retries = maint_snap.retries;
+    slot.maint_skips = maint_snap.suspicion_skips - charged_skips;
+    slot.maint_probation = maint_snap.probation_probes - charged_probation;
+    charged_skips = maint_snap.suspicion_skips;
+    charged_probation = maint_snap.probation_probes;
 
     auto snap = std::make_shared<OverlaySnapshot>();
     snap->epoch = epoch;
@@ -235,8 +264,15 @@ ServingReport RunServing(const LatencySpace& space,
       slot.zipf_cdf = ZipfCdf(snap->pool.size(), sc.query_zipf_s);
     }
     slot.reader_counter = std::make_unique<ProbeCounter>();
+    if (suspicion_mode) {
+      // Copied after the window closed, so the frozen quarantine set is
+      // exactly what serial replay's queries consult.
+      slot.reader_suspicion = std::make_unique<SuspicionLedger>(suspicion);
+      slot.reader_suspicion->set_recording(false);
+    }
     slot.reader_policy = std::make_unique<ProbePolicy>(
-        ProbePolicyConfig{sc.fault.max_attempts}, slot.reader_counter.get());
+        ProbePolicyConfig{sc.fault.max_attempts}, slot.reader_counter.get(),
+        slot.reader_suspicion.get());
     snap->algo->AttachProbeCounter(slot.reader_counter.get());
     snap->algo->AttachProbePolicy(slot.reader_policy.get());
 
@@ -254,6 +290,13 @@ ServingReport RunServing(const LatencySpace& space,
     slot.batch.loss_rate = sc.fault.loss_rate;
     slot.batch.tie_epsilon_ms = sc.tie_epsilon_ms;
     slot.batch.fault_mode = report.fault_mode;
+    if (report.partition_mode) {
+      slot.batch.partition = &partition_schedule;
+      slot.batch.active_window = partition_schedule.WindowFor(epoch);
+      slot.batch.epoch = epoch;
+      slot.batch.partition_base =
+          util::Mix64(partition_root ^ static_cast<std::uint64_t>(epoch));
+    }
     slot.batch.query_base =
         util::Mix64(query_root ^ static_cast<std::uint64_t>(epoch));
     slot.batch.noise_base =
@@ -295,16 +338,26 @@ ServingReport RunServing(const LatencySpace& space,
   for (std::size_t k = 0; k < slots.size(); ++k) {
     EpochSlot& slot = slots[k];
     ReduceQueryOutcomes(slot.outcomes, slot.er, &report.failed_queries);
+    if (slot.batch.active_window != nullptr) {
+      slot.er.components =
+          SplitByComponent(slot.outcomes, slot.members,
+                           *slot.batch.active_window);
+    }
 
     const ProbeCounter::Snapshot reader_snap = slot.reader_counter->Read();
     counter.AddQueries(reader_snap.queries);
     counter.AddQueryProbes(reader_snap.query_probes);
     counter.AddFailedProbes(reader_snap.failed_probes);
     counter.AddRetries(reader_snap.retries);
+    counter.AddSuspicionSkips(reader_snap.suspicion_skips);
+    counter.AddProbationProbes(reader_snap.probation_probes);
     // Serial replay's per-epoch delta spans the window plus the
     // queries; here the two halves are ledgered apart and recombined.
     slot.er.failed_probes = slot.maint_failed + reader_snap.failed_probes;
     slot.er.retries = slot.maint_retries + reader_snap.retries;
+    slot.er.suspicion_skips = slot.maint_skips + reader_snap.suspicion_skips;
+    slot.er.probation_probes =
+        slot.maint_probation + reader_snap.probation_probes;
 
     report.epochs.push_back(slot.er);
     all_latency_us.insert(all_latency_us.end(), slot.latency_us.begin(),
@@ -371,6 +424,8 @@ bool ScenarioReportsIdentical(const ScenarioReport& a,
       a.messages_per_query != b.messages_per_query ||
       a.maintenance_per_event != b.maintenance_per_event ||
       a.fault_mode != b.fault_mode || a.load_tracking != b.load_tracking ||
+      a.partition_mode != b.partition_mode ||
+      a.suspicion_mode != b.suspicion_mode ||
       a.failed_queries != b.failed_queries) {
     return false;
   }
@@ -380,7 +435,9 @@ bool ScenarioReportsIdentical(const ScenarioReport& a,
       ta.maintenance_probes != tb.maintenance_probes ||
       ta.churn_events != tb.churn_events ||
       ta.build_probes != tb.build_probes ||
-      ta.failed_probes != tb.failed_probes || ta.retries != tb.retries) {
+      ta.failed_probes != tb.failed_probes || ta.retries != tb.retries ||
+      ta.suspicion_skips != tb.suspicion_skips ||
+      ta.probation_probes != tb.probation_probes) {
     return false;
   }
   for (std::size_t i = 0; i < a.epochs.size(); ++i) {
@@ -403,9 +460,24 @@ bool ScenarioReportsIdentical(const ScenarioReport& a,
         ea.maintenance_per_event != eb.maintenance_per_event ||
         ea.p_query_failed != eb.p_query_failed ||
         ea.failed_probes != eb.failed_probes || ea.retries != eb.retries ||
+        ea.p_exact_reachable != eb.p_exact_reachable ||
+        ea.quarantined_peers != eb.quarantined_peers ||
+        ea.suspicion_skips != eb.suspicion_skips ||
+        ea.probation_probes != eb.probation_probes ||
+        ea.components.size() != eb.components.size() ||
         ea.load_max != eb.load_max || ea.load_median != eb.load_median ||
         ea.load_gini != eb.load_gini) {
       return false;
+    }
+    for (std::size_t c = 0; c < ea.components.size(); ++c) {
+      const EpochReport::ComponentStats& ca = ea.components[c];
+      const EpochReport::ComponentStats& cb = eb.components[c];
+      if (ca.component != cb.component || ca.members != cb.members ||
+          ca.queries != cb.queries ||
+          ca.failed_queries != cb.failed_queries ||
+          ca.load_gini != cb.load_gini) {
+        return false;
+      }
     }
   }
   return true;

@@ -1,0 +1,282 @@
+// Partition fault injection end to end through the scenario engine:
+// schedule validation, the p_exact_reachable == p_exact identity in
+// whole epochs, the dip/heal arc (per-component blocks during the
+// window, quarantine during, drain after), thread-count invariance of
+// every partition/suspicion metric, serving-mode equivalence, and the
+// empty-schedule byte-identity gate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algos/karger_ruhl.h"
+#include "algos/tiers.h"
+#include "core/churn.h"
+#include "core/epoch_window.h"
+#include "core/scenario.h"
+#include "core/serving.h"
+#include "matrix/generators.h"
+#include "util/error.h"
+
+namespace np::core {
+namespace {
+
+matrix::ClusteredWorld SmallClusteredWorld(std::uint64_t seed) {
+  matrix::ClusteredConfig config;
+  config.num_clusters = 4;
+  config.nets_per_cluster = 15;
+  config.peers_per_net = 2;
+  config.delta = 0.6;
+  util::Rng rng(seed);
+  return matrix::GenerateClustered(config, rng);
+}
+
+ChurnSchedule LightSchedule(double duration_s) {
+  ChurnScheduleConfig config;
+  config.duration_s = duration_s;
+  config.events_per_s = 0.2;
+  config.join_fraction = 0.5;
+  config.seed = 5;
+  return ChurnSchedule::Poisson(config);
+}
+
+/// Seven epochs, clusters {0,1} | {2,3} split during epochs [2, 5).
+ScenarioConfig PartitionScenario(int threads) {
+  ScenarioConfig config;
+  config.initial_overlay = 80;
+  config.epochs = 7;
+  config.queries_per_epoch = 60;
+  config.num_threads = threads;
+  FaultConfig::Partition window;
+  window.start_epoch = 2;
+  window.end_epoch = 5;
+  window.groups = {{0, 1}, {2, 3}};
+  config.fault.partitions.push_back(window);
+  config.fault.suspicion.strikes = 3;
+  config.seed = 77;
+  return config;
+}
+
+// --- Schedule construction -------------------------------------------------
+
+TEST(BuildPartitionSchedule, ResolvesClustersAndRejectsBadSpecs) {
+  const auto world = SmallClusteredWorld(3);
+  FaultConfig fault;
+  FaultConfig::Partition window;
+  window.start_epoch = 1;
+  window.end_epoch = 3;
+  window.groups = {{0}, {1, 2}};  // cluster 3 unlisted -> component 0
+  fault.partitions.push_back(window);
+  const matrix::PartitionSchedule schedule = BuildPartitionSchedule(
+      fault, &world.layout, world.layout.peer_count(), /*fault_root=*/9);
+  ASSERT_EQ(schedule.windows.size(), 1u);
+  const matrix::PartitionWindow& w = schedule.windows[0];
+  for (NodeId n = 0; n < world.layout.peer_count(); ++n) {
+    const int cluster = world.layout.ClusterOf(n);
+    const int expect = cluster == 1 || cluster == 2 ? 1 : 0;
+    ASSERT_EQ(matrix::ComponentOf(w, n), expect) << n;
+  }
+
+  // No layout: partitions are meaningless.
+  EXPECT_THROW(BuildPartitionSchedule(fault, nullptr, 100, 9), util::Error);
+  // Backwards window.
+  FaultConfig bad = fault;
+  bad.partitions[0].end_epoch = 1;
+  EXPECT_THROW(BuildPartitionSchedule(bad, &world.layout,
+                                      world.layout.peer_count(), 9),
+               util::Error);
+  // A single group is not a partition.
+  bad = fault;
+  bad.partitions[0].groups = {{0, 1, 2, 3}};
+  EXPECT_THROW(BuildPartitionSchedule(bad, &world.layout,
+                                      world.layout.peer_count(), 9),
+               util::Error);
+  // A cluster cannot sit on both sides.
+  bad = fault;
+  bad.partitions[0].groups = {{0, 1}, {1, 2}};
+  EXPECT_THROW(BuildPartitionSchedule(bad, &world.layout,
+                                      world.layout.peer_count(), 9),
+               util::Error);
+  // Overlapping windows.
+  bad = fault;
+  FaultConfig::Partition second = bad.partitions[0];
+  second.start_epoch = 2;
+  second.end_epoch = 5;
+  bad.partitions.push_back(second);
+  EXPECT_THROW(BuildPartitionSchedule(bad, &world.layout,
+                                      world.layout.peer_count(), 9),
+               util::Error);
+}
+
+// --- Scenario-level semantics ---------------------------------------------
+
+TEST(PartitionScenario, DipQuarantineHealArc) {
+  const auto world = SmallClusteredWorld(11);
+  const MatrixSpace space(world.matrix);
+  const ChurnSchedule schedule = LightSchedule(140.0);
+  algos::KargerRuhlNearest algo{algos::KargerRuhlConfig{}};
+  const ScenarioReport report = RunScenario(space, &world.layout, algo,
+                                            schedule, PartitionScenario(1));
+  ASSERT_EQ(report.epochs.size(), 7u);
+  EXPECT_TRUE(report.partition_mode);
+  EXPECT_TRUE(report.suspicion_mode);
+  EXPECT_TRUE(report.fault_mode);
+
+  for (int e = 0; e < 7; ++e) {
+    const EpochReport& er = report.epochs[e];
+    const bool in_window = e >= 2 && e < 5;
+    // Component blocks exist exactly during the window, and cover the
+    // full membership and query budget.
+    if (in_window) {
+      ASSERT_EQ(er.components.size(), 2u) << e;
+      NodeId members = 0;
+      std::int64_t queries = 0;
+      for (const auto& c : er.components) {
+        members += c.members;
+        queries += c.queries;
+        EXPECT_GT(c.members, 0) << e;
+      }
+      EXPECT_EQ(members, er.live_members) << e;
+      EXPECT_EQ(queries, 60) << e;
+    } else {
+      EXPECT_TRUE(er.components.empty()) << e;
+      // Whole population: reachable-truth equals global truth.
+      EXPECT_EQ(er.p_exact_reachable, er.p_exact_closest) << e;
+    }
+  }
+
+  // The detector sees the far side go dark: somebody is quarantined by
+  // the last window epoch, probes to them are skipped, and after the
+  // heal the probation drain releases everyone (billed re-probes).
+  EXPECT_GT(report.epochs[4].quarantined_peers, 0u);
+  EXPECT_GT(report.totals.suspicion_skips, 0u);
+  EXPECT_GT(report.totals.probation_probes, 0u);
+  EXPECT_EQ(report.epochs[6].quarantined_peers, 0u);
+
+  // Inter-component maintenance probes were lost during the window.
+  EXPECT_GT(report.epochs[2].failed_probes, 0u);
+  // After the heal no partition losses remain (loss_rate is 0 here).
+  EXPECT_EQ(report.epochs[6].failed_probes, 0u);
+}
+
+TEST(PartitionScenario, ReachableScoreIsNoWorseThanGlobalDuringWindow) {
+  const auto world = SmallClusteredWorld(13);
+  const MatrixSpace space(world.matrix);
+  const ChurnSchedule schedule = LightSchedule(140.0);
+  algos::TiersNearest algo{algos::TiersConfig{}};
+  const ScenarioReport report = RunScenario(space, &world.layout, algo,
+                                            schedule, PartitionScenario(1));
+  for (int e = 2; e < 5; ++e) {
+    // Restricting truth to the reachable component can only make a
+    // returned answer easier to match, and honest failures on
+    // unreachable targets score correct — so reachable >= global.
+    EXPECT_GE(report.epochs[e].p_exact_reachable,
+              report.epochs[e].p_exact_closest)
+        << e;
+  }
+}
+
+TEST(PartitionScenario, MetricsAreThreadCountInvariant) {
+  const auto world = SmallClusteredWorld(17);
+  const MatrixSpace space(world.matrix);
+  const ChurnSchedule schedule = LightSchedule(140.0);
+  std::vector<ScenarioReport> reports;
+  for (const int threads : {1, 2, 8}) {
+    algos::KargerRuhlNearest algo{algos::KargerRuhlConfig{}};
+    reports.push_back(RunScenario(space, &world.layout, algo, schedule,
+                                  PartitionScenario(threads)));
+  }
+  EXPECT_TRUE(ScenarioReportsIdentical(reports[0], reports[1]));
+  EXPECT_TRUE(ScenarioReportsIdentical(reports[0], reports[2]));
+}
+
+TEST(PartitionScenario, ServingModeMatchesScenarioEngine) {
+  const auto world = SmallClusteredWorld(19);
+  const MatrixSpace space(world.matrix);
+  const ChurnSchedule schedule = LightSchedule(140.0);
+  ScenarioConfig config = PartitionScenario(1);
+
+  algos::KargerRuhlNearest scenario_algo{algos::KargerRuhlConfig{}};
+  const ScenarioReport oracle = RunScenario(space, &world.layout,
+                                            scenario_algo, schedule, config);
+
+  for (const int readers : {1, 2}) {
+    ServingConfig serving;
+    serving.scenario = config;
+    serving.reader_threads = readers;
+    algos::KargerRuhlNearest algo{algos::KargerRuhlConfig{}};
+    const ServingReport report =
+        RunServing(space, &world.layout, algo, schedule, serving);
+    // The deterministic block — p_exact_reachable, components,
+    // quarantines, everything — is bit-identical to serial replay.
+    EXPECT_TRUE(ScenarioReportsIdentical(report.scenario, oracle)) << readers;
+  }
+}
+
+TEST(PartitionScenario, NoScheduleKeepsReportsByteIdentical) {
+  const auto world = SmallClusteredWorld(23);
+  const MatrixSpace space(world.matrix);
+  const ChurnSchedule schedule = LightSchedule(100.0);
+  ScenarioConfig plain;
+  plain.initial_overlay = 80;
+  plain.epochs = 3;
+  plain.queries_per_epoch = 40;
+  plain.num_threads = 1;
+  plain.seed = 31;
+  // An explicitly empty partition list and a disabled detector must
+  // not consume a single extra draw anywhere.
+  ScenarioConfig gated = plain;
+  gated.fault.partitions.clear();
+  gated.fault.suspicion.strikes = 0;
+  std::vector<ScenarioReport> reports;
+  for (const ScenarioConfig* config : {&plain, &gated}) {
+    algos::KargerRuhlNearest algo{algos::KargerRuhlConfig{}};
+    reports.push_back(
+        RunScenario(space, &world.layout, algo, schedule, *config));
+  }
+  EXPECT_FALSE(reports[0].partition_mode);
+  EXPECT_FALSE(reports[0].suspicion_mode);
+  EXPECT_TRUE(ScenarioReportsIdentical(reports[0], reports[1]));
+  // And the identity p_exact_reachable == p_exact holds everywhere.
+  for (const EpochReport& er : reports[0].epochs) {
+    EXPECT_EQ(er.p_exact_reachable, er.p_exact_closest);
+    EXPECT_TRUE(er.components.empty());
+  }
+}
+
+TEST(GreyFailureScenario, GreyAndAsymmetricLossCompleteAndQuarantine) {
+  const auto world = SmallClusteredWorld(29);
+  const MatrixSpace space(world.matrix);
+  const ChurnSchedule schedule = LightSchedule(100.0);
+  ScenarioConfig config;
+  config.initial_overlay = 80;
+  config.epochs = 3;
+  config.queries_per_epoch = 40;
+  config.num_threads = 1;
+  config.fault.grey_node_frac = 0.3;
+  config.fault.grey_loss_rate = 0.6;
+  config.fault.asymmetric_loss = 0.05;
+  config.fault.max_attempts = 2;
+  config.fault.suspicion.strikes = 2;
+  config.seed = 37;
+  algos::KargerRuhlNearest algo{algos::KargerRuhlConfig{}};
+  const ScenarioReport report =
+      RunScenario(space, &world.layout, algo, schedule, config);
+  ASSERT_EQ(report.epochs.size(), 3u);
+  EXPECT_TRUE(report.partition_mode);
+  EXPECT_GT(report.totals.failed_probes, 0u);
+  // No partition window ever forms, so no component blocks appear and
+  // the reachable score stays the global score.
+  for (const EpochReport& er : report.epochs) {
+    EXPECT_TRUE(er.components.empty());
+    EXPECT_EQ(er.p_exact_reachable, er.p_exact_closest);
+  }
+  // And the run is reproducible: same seed, same report.
+  algos::KargerRuhlNearest again{algos::KargerRuhlConfig{}};
+  const ScenarioReport rerun =
+      RunScenario(space, &world.layout, again, schedule, config);
+  EXPECT_TRUE(ScenarioReportsIdentical(report, rerun));
+}
+
+}  // namespace
+}  // namespace np::core

@@ -1,0 +1,234 @@
+// PartitionedSpace: window gating by epoch, component math, the
+// self-probe exemption, asymmetric one-way loss, grey-node membership
+// agreement across instances, per-attempt grey re-rolls, and the
+// empty-schedule passthrough the byte-identity invariant rests on.
+#include "matrix/partitioned_space.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/latency_space.h"
+#include "matrix/faulty_space.h"
+#include "matrix/latency_matrix.h"
+
+namespace np::matrix {
+namespace {
+
+LatencyMatrix SmallMatrix(NodeId n) {
+  LatencyMatrix m(n, 10.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      m.Set(i, j, 10.0 + static_cast<LatencyMs>(i + j));
+    }
+  }
+  return m;
+}
+
+/// Two components: nodes [0, split) vs [split, n).
+PartitionSchedule TwoComponentSchedule(NodeId n, NodeId split, int start,
+                                       int end) {
+  PartitionSchedule schedule;
+  PartitionWindow w;
+  w.start_epoch = start;
+  w.end_epoch = end;
+  w.component.resize(static_cast<std::size_t>(n), 0);
+  for (NodeId i = split; i < n; ++i) {
+    w.component[static_cast<std::size_t>(i)] = 1;
+  }
+  schedule.windows.push_back(std::move(w));
+  return schedule;
+}
+
+TEST(PartitionedSpace, EmptyScheduleIsAnExactPassthrough) {
+  const auto m = SmallMatrix(16);
+  const core::MatrixSpace inner(m);
+  const PartitionSchedule schedule;
+  EXPECT_FALSE(schedule.Any());
+  PartitionedSpace part(inner, schedule, /*seed=*/123);
+  part.set_epoch(2);
+  ASSERT_EQ(part.size(), inner.size());
+  for (NodeId a = 0; a < part.size(); ++a) {
+    for (NodeId b = 0; b < part.size(); ++b) {
+      EXPECT_EQ(part.Latency(a, b), inner.Latency(a, b));
+    }
+  }
+}
+
+TEST(PartitionedSpace, WindowBlocksOnlyInterComponentProbes) {
+  const auto m = SmallMatrix(12);
+  const core::MatrixSpace inner(m);
+  const auto schedule = TwoComponentSchedule(12, 6, /*start=*/1, /*end=*/3);
+  PartitionedSpace part(inner, schedule, /*seed=*/7);
+  part.set_epoch(1);
+  ASSERT_NE(part.active_window(), nullptr);
+  for (NodeId a = 0; a < 12; ++a) {
+    for (NodeId b = 0; b < 12; ++b) {
+      if (a == b) continue;
+      const bool cross = (a < 6) != (b < 6);
+      EXPECT_EQ(ProbeLost(part.Latency(a, b)), cross)
+          << "a=" << a << " b=" << b;
+      if (!cross) {
+        EXPECT_EQ(part.Latency(a, b), inner.Latency(a, b));
+      }
+    }
+  }
+}
+
+TEST(PartitionedSpace, EpochWindowIsHalfOpenAndBuildSeesNoPartition) {
+  const auto m = SmallMatrix(8);
+  const core::MatrixSpace inner(m);
+  const auto schedule = TwoComponentSchedule(8, 4, /*start=*/2, /*end=*/4);
+  PartitionedSpace part(inner, schedule, /*seed=*/7);
+  // Construction pins epoch -1: the initial build probes freely.
+  EXPECT_EQ(part.epoch(), -1);
+  EXPECT_EQ(part.active_window(), nullptr);
+  EXPECT_FALSE(ProbeLost(part.Latency(0, 7)));
+  const int expect_lost_from[] = {2, 3};  // [start, end) is half-open
+  for (const int epoch : {0, 1, 2, 3, 4, 5}) {
+    part.set_epoch(epoch);
+    const bool in_window =
+        epoch == expect_lost_from[0] || epoch == expect_lost_from[1];
+    EXPECT_EQ(part.active_window() != nullptr, in_window) << epoch;
+    EXPECT_EQ(ProbeLost(part.Latency(0, 7)), in_window) << epoch;
+  }
+}
+
+TEST(PartitionedSpace, SelfProbeIsExemptFromEveryPathology) {
+  const auto m = SmallMatrix(8);
+  const core::MatrixSpace inner(m);
+  auto schedule = TwoComponentSchedule(8, 4, 0, 10);
+  schedule.grey_node_frac = 1.0;  // every node grey
+  schedule.grey_loss_rate = 0.99;
+  schedule.grey_seed = 5;
+  schedule.asymmetric_frac = 0.99;
+  schedule.asym_seed = 6;
+  PartitionedSpace part(inner, schedule, /*seed=*/9);
+  part.set_epoch(0);
+  for (NodeId a = 0; a < 8; ++a) {
+    EXPECT_EQ(part.Latency(a, a), inner.Latency(a, a));
+  }
+}
+
+TEST(PartitionedSpace, ComponentOfDefaultsToZeroBeyondVector) {
+  PartitionWindow w;
+  w.component = {0, 1, 1};
+  EXPECT_EQ(ComponentOf(w, 0), 0);
+  EXPECT_EQ(ComponentOf(w, 2), 1);
+  EXPECT_EQ(ComponentOf(w, 3), 0);
+  EXPECT_EQ(ComponentOf(w, 1000), 0);
+}
+
+TEST(PartitionedSpace, AsymmetricLossIsOneWayAndScheduleKeyed) {
+  const auto m = SmallMatrix(48);
+  const core::MatrixSpace inner(m);
+  PartitionSchedule schedule;
+  schedule.asymmetric_frac = 0.3;
+  schedule.asym_seed = 1234;
+  // Membership is a pure function of the schedule: two instances with
+  // different stream seeds agree on every directed verdict.
+  PartitionedSpace p1(inner, schedule, /*seed=*/1);
+  PartitionedSpace p2(inner, schedule, /*seed=*/2);
+  int dead = 0;
+  int one_way = 0;
+  int total = 0;
+  for (NodeId a = 0; a < 48; ++a) {
+    for (NodeId b = 0; b < 48; ++b) {
+      if (a == b) continue;
+      ++total;
+      const bool lost = ProbeLost(p1.Latency(a, b));
+      EXPECT_EQ(lost, ProbeLost(p2.Latency(a, b)));
+      EXPECT_EQ(lost, schedule.AsymmetricLost(a, b));
+      // Permanent: a second attempt of a dead directed link stays dead.
+      EXPECT_EQ(ProbeLost(p1.Latency(a, b)), lost);
+      if (lost) {
+        ++dead;
+        if (!ProbeLost(p1.Latency(b, a))) {
+          ++one_way;
+        }
+      }
+    }
+  }
+  const double rate = static_cast<double>(dead) / total;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+  // Directed draws are independent per direction, so most dead links
+  // are one-way — the pathology FaultySpace's unordered pairs cannot
+  // express.
+  EXPECT_GT(one_way, dead / 2);
+}
+
+TEST(PartitionedSpace, GreyMembershipAgreesAcrossInstancesButRollsPerAttempt) {
+  const auto m = SmallMatrix(64);
+  const core::MatrixSpace inner(m);
+  PartitionSchedule schedule;
+  schedule.grey_node_frac = 0.25;
+  schedule.grey_loss_rate = 0.5;
+  schedule.grey_seed = 99;
+  PartitionedSpace p1(inner, schedule, /*seed=*/11);
+  std::vector<NodeId> grey;
+  for (NodeId n = 0; n < 64; ++n) {
+    if (schedule.IsGrey(n)) {
+      grey.push_back(n);
+    }
+  }
+  const double frac = static_cast<double>(grey.size()) / 64.0;
+  EXPECT_NEAR(frac, 0.25, 0.2);
+  ASSERT_FALSE(grey.empty());
+
+  // A healthy-healthy pair never loses a probe (no background loss in
+  // this decorator).
+  NodeId h1 = kInvalidNode;
+  NodeId h2 = kInvalidNode;
+  for (NodeId n = 0; n < 64 && (h1 == kInvalidNode || h2 == kInvalidNode);
+       ++n) {
+    if (!schedule.IsGrey(n)) {
+      (h1 == kInvalidNode ? h1 : h2) = n;
+    }
+  }
+  ASSERT_NE(h2, kInvalidNode);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    EXPECT_FALSE(ProbeLost(p1.Latency(h1, h2)));
+  }
+
+  // A grey endpoint loses per attempt: over 64 attempts of one pair
+  // both outcomes appear — retries can get through, which is what
+  // distinguishes grey from partitioned/crashed.
+  const NodeId g = grey.front();
+  const NodeId other = g == h1 ? h2 : h1;
+  bool saw_lost = false;
+  bool saw_ok = false;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    if (ProbeLost(p1.Latency(g, other))) {
+      saw_lost = true;
+    } else {
+      saw_ok = true;
+    }
+  }
+  EXPECT_TRUE(saw_lost);
+  EXPECT_TRUE(saw_ok);
+
+  // Same stream seed => identical per-attempt loss sequence.
+  PartitionedSpace p2(inner, schedule, /*seed=*/11);
+  PartitionedSpace p3(inner, schedule, /*seed=*/11);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    EXPECT_EQ(ProbeLost(p2.Latency(g, other)), ProbeLost(p3.Latency(g, other)));
+  }
+}
+
+TEST(PartitionedSpace, ComposesUnderFaultySpace) {
+  // The engine stack is Noisy -> Partitioned -> Faulty -> Metered; a
+  // partition-lost probe must stay lost through FaultySpace at zero
+  // i.i.d. loss.
+  const auto m = SmallMatrix(10);
+  const core::MatrixSpace inner(m);
+  const auto schedule = TwoComponentSchedule(10, 5, 0, 2);
+  PartitionedSpace part(inner, schedule, /*seed=*/3);
+  part.set_epoch(0);
+  const FaultySpace faulty(part, 0.0, /*seed=*/4);
+  EXPECT_TRUE(ProbeLost(faulty.Latency(0, 9)));
+  EXPECT_FALSE(ProbeLost(faulty.Latency(0, 4)));
+  EXPECT_EQ(faulty.Latency(0, 4), inner.Latency(0, 4));
+}
+
+}  // namespace
+}  // namespace np::matrix

@@ -141,6 +141,70 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0,
                          "wall-ms gate is regression-only by design")
 
+    # ---- --np-run ------------------------------------------------------
+
+    def np_run_report(self):
+        return {
+            "scenario": "fixture",
+            "algorithms": [{
+                "name": "meridian",
+                "messages_per_query": 30.5,
+                "maintenance_per_event": 12.0,
+                "fault": {"failed_probes": 10, "retries": 5,
+                          "failed_queries": 3},
+                "load": {"total": 1000, "max": 40, "max_node": 7,
+                         "median": 9, "gini": 0.41},
+                "epochs": [
+                    {"epoch": 0, "p_exact_closest": 0.8, "load_gini": 0.30,
+                     "rebuilt": False},
+                    {"epoch": 1, "p_exact_closest": 0.6, "load_gini": 0.50,
+                     "rebuilt": True},
+                ],
+            }],
+        }
+
+    def run_np_run(self, payload, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--np-run",
+             self.write("np_run.json", payload), *extra],
+            capture_output=True, text=True)
+
+    def test_np_run_flattens_and_gates(self):
+        ok = self.run_np_run(
+            self.np_run_report(),
+            "--require", "meridian_load_gini<=0.5",        # run-level
+            "--require", "meridian_load_gini_max<=0.55",   # epoch max
+            "--require", "meridian_load_gini_min>=0.25",
+            "--require", "meridian_p_exact_closest_mean>=0.69",
+            "--require", "meridian_failed_queries<=3",
+            "--require", "meridian_messages_per_query<=31")
+        self.assertEqual(ok.returncode, 0, ok.stdout + ok.stderr)
+        violated = self.run_np_run(
+            self.np_run_report(), "--require", "meridian_load_gini_max<=0.4")
+        self.assertEqual(violated.returncode, 1, violated.stdout)
+        self.assertIn("VIOLATED", violated.stdout)
+
+    def test_np_run_ignores_booleans_and_misses_absent_algos(self):
+        report = self.np_run_report()
+        proc = self.run_np_run(report,
+                               "--require", "meridian_rebuilt_max<=1")
+        self.assertEqual(proc.returncode, 1,
+                         "bool epoch fields must not become metrics")
+        proc = self.run_np_run(report, "--require", "tiers_load_gini<=1")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("MISSING", proc.stdout)
+
+    def test_np_run_refuses_other_modes_and_requires_bounds(self):
+        report = self.np_run_report()
+        no_bounds = self.run_np_run(report)
+        self.assertEqual(no_bounds.returncode, 2, no_bounds.stderr)
+        with_current = subprocess.run(
+            [sys.executable, SCRIPT, "--np-run",
+             self.write("a.json", report), self.write("b.json", report),
+             "--require", "x>=0"],
+            capture_output=True, text=True)
+        self.assertEqual(with_current.returncode, 2, with_current.stderr)
+
     def test_update_rewrites_baseline(self):
         base = report(derived={"x": 1.0})
         cur = report(derived={"x": 2.0})

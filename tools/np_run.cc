@@ -431,7 +431,30 @@ void ValidateSpec(const JsonValue& spec) {
   }
   if (const JsonValue* fault = engine.Find("fault")) {
     RequireKeys(*fault, "scenario.fault",
-                {"loss_rate", "retry", "track_load"});
+                {"loss_rate", "retry", "track_load", "partitions",
+                 "grey_nodes", "asymmetric_loss", "suspicion"});
+    if (const JsonValue* partitions = fault->Find("partitions")) {
+      if (world_type != "clustered") {
+        throw np::util::Error(
+            "fault.partitions splits cluster groups and needs a clustered "
+            "world");
+      }
+      for (const JsonValue& entry : partitions->items()) {
+        RequireKeys(entry, "fault.partitions entry",
+                    {"start_epoch", "end_epoch", "groups"});
+        if (entry.at("groups").items().size() < 2) {
+          throw np::util::Error(
+              "fault.partitions entry needs at least two groups");
+        }
+      }
+    }
+    if (const JsonValue* grey = fault->Find("grey_nodes")) {
+      RequireKeys(*grey, "fault.grey_nodes", {"frac", "loss_rate"});
+    }
+    if (const JsonValue* suspicion = fault->Find("suspicion")) {
+      RequireKeys(*suspicion, "fault.suspicion",
+                  {"strikes", "probation_epochs", "probation_backoff"});
+    }
   }
 
   for (const JsonValue& entry : spec.at("algorithms").items()) {
@@ -656,6 +679,12 @@ void WriteReportJson(std::ostream& out, const std::string& scenario_name,
           << ", \"retries\": " << report.totals.retries
           << ", \"failed_queries\": " << report.failed_queries << "},\n";
     }
+    if (report.suspicion_mode) {
+      out << "     \"suspicion\": {\"suspicion_skips\": "
+          << report.totals.suspicion_skips
+          << ", \"probation_probes\": " << report.totals.probation_probes
+          << "},\n";
+    }
     if (report.load_tracking) {
       out << "     \"load\": {\"total\": " << report.load.total
           << ", \"max\": " << report.load.max
@@ -688,6 +717,29 @@ void WriteReportJson(std::ostream& out, const std::string& scenario_name,
             << ", \"failed_probes\": " << er.failed_probes
             << ", \"retries\": " << er.retries;
       }
+      if (report.partition_mode) {
+        out << ", \"p_exact_reachable\": " << er.p_exact_reachable;
+        if (!er.components.empty()) {
+          out << ", \"components\": [";
+          for (std::size_t c = 0; c < er.components.size(); ++c) {
+            const auto& comp = er.components[c];
+            out << (c == 0 ? "" : ", ") << "{\"component\": "
+                << comp.component << ", \"members\": " << comp.members
+                << ", \"queries\": " << comp.queries
+                << ", \"failed_queries\": " << comp.failed_queries;
+            if (report.load_tracking) {
+              out << ", \"load_gini\": " << comp.load_gini;
+            }
+            out << "}";
+          }
+          out << "]";
+        }
+      }
+      if (report.suspicion_mode) {
+        out << ", \"quarantined\": " << er.quarantined_peers
+            << ", \"suspicion_skips\": " << er.suspicion_skips
+            << ", \"probation_probes\": " << er.probation_probes;
+      }
       if (report.load_tracking) {
         out << ", \"load_max\": " << er.load_max
             << ", \"load_median\": " << er.load_median
@@ -706,11 +758,13 @@ int Run(int argc, char** argv) {
   std::string out_path;
   int threads_override = -1;
   int readers_override = -1;
+  std::string mode_override;
   bool strip_wallclock = false;
   bool validate_only = false;
   constexpr const char* kUsage =
       "usage: np_run <scenario.json> [--out FILE] [--threads N] "
-      "[--readers N] [--strip-wallclock] [--validate]";
+      "[--readers N] [--mode scenario|serving] [--strip-wallclock] "
+      "[--validate]";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
@@ -719,6 +773,12 @@ int Run(int argc, char** argv) {
       threads_override = std::stoi(argv[++i]);
     } else if (arg == "--readers" && i + 1 < argc) {
       readers_override = std::stoi(argv[++i]);
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode_override = argv[++i];
+      if (mode_override != "scenario" && mode_override != "serving") {
+        std::cerr << kUsage << std::endl;
+        return 2;
+      }
     } else if (arg == "--strip-wallclock") {
       strip_wallclock = true;
     } else if (arg == "--validate") {
@@ -775,6 +835,37 @@ int Run(int argc, char** argv) {
         fault->GetInt("retry", config.fault.max_attempts));
     config.fault.track_load =
         fault->GetBool("track_load", config.fault.track_load);
+    if (const JsonValue* partitions = fault->Find("partitions")) {
+      for (const JsonValue& entry : partitions->items()) {
+        np::core::FaultConfig::Partition partition;
+        partition.start_epoch =
+            static_cast<int>(entry.GetInt("start_epoch", 0));
+        partition.end_epoch = static_cast<int>(entry.GetInt("end_epoch", 0));
+        for (const JsonValue& group : entry.at("groups").items()) {
+          std::vector<int> clusters;
+          for (const JsonValue& cluster : group.items()) {
+            clusters.push_back(static_cast<int>(cluster.AsInt()));
+          }
+          partition.groups.push_back(std::move(clusters));
+        }
+        config.fault.partitions.push_back(std::move(partition));
+      }
+    }
+    if (const JsonValue* grey = fault->Find("grey_nodes")) {
+      config.fault.grey_node_frac = grey->GetDouble("frac", 0.0);
+      config.fault.grey_loss_rate = grey->GetDouble("loss_rate", 0.0);
+    }
+    config.fault.asymmetric_loss =
+        fault->GetDouble("asymmetric_loss", config.fault.asymmetric_loss);
+    if (const JsonValue* suspicion = fault->Find("suspicion")) {
+      config.fault.suspicion.strikes =
+          static_cast<int>(suspicion->GetInt("strikes", 3));
+      config.fault.suspicion.probation_epochs = static_cast<int>(
+          suspicion->GetInt("probation_epochs",
+                            config.fault.suspicion.probation_epochs));
+      config.fault.suspicion.probation_backoff = suspicion->GetDouble(
+          "probation_backoff", config.fault.suspicion.probation_backoff);
+    }
   }
   config.query_zipf_s =
       engine.GetDouble("query_zipf_s", config.query_zipf_s);
@@ -791,7 +882,12 @@ int Run(int argc, char** argv) {
     config.num_threads = threads_override;
   }
 
-  const bool serving_mode = engine.GetString("mode", "scenario") == "serving";
+  // --mode lets CI drive one spec both ways (t1/t2/t8 scenario
+  // byte-diffs AND serving replay) without duplicating the file.
+  const std::string engine_mode =
+      mode_override.empty() ? engine.GetString("mode", "scenario")
+                            : mode_override;
+  const bool serving_mode = engine_mode == "serving";
   ServingConfig serving_config;
   serving_config.scenario = config;
   serving_config.reader_threads =
@@ -857,6 +953,12 @@ int Run(int argc, char** argv) {
       headers.insert(headers.end(),
                      {"crashes", "p_qfail", "failed_probes", "retries"});
     }
+    if (report.partition_mode) {
+      headers.push_back("p_reach");
+    }
+    if (report.suspicion_mode) {
+      headers.push_back("quar");
+    }
     if (report.load_tracking) {
       headers.insert(headers.end(), {"load_max", "load_gini"});
     }
@@ -877,6 +979,12 @@ int Run(int argc, char** argv) {
         row.push_back(np::util::FormatDouble(er.p_query_failed, 3));
         row.push_back(std::to_string(er.failed_probes));
         row.push_back(std::to_string(er.retries));
+      }
+      if (report.partition_mode) {
+        row.push_back(np::util::FormatDouble(er.p_exact_reachable, 3));
+      }
+      if (report.suspicion_mode) {
+        row.push_back(std::to_string(er.quarantined_peers));
       }
       if (report.load_tracking) {
         row.push_back(std::to_string(er.load_max));
